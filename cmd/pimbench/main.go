@@ -1,0 +1,73 @@
+// Command pimbench regenerates every table and figure of the paper's
+// evaluation (Table I and Figs. 2, 8-17) and prints them in paper
+// order. Individual experiments can be selected by id.
+//
+// Usage:
+//
+//	pimbench              # everything
+//	pimbench -only F8,F9  # just those artifacts
+//	pimbench -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"heteropim"
+)
+
+func main() {
+	only := flag.String("only", "", "comma-separated experiment ids (e.g. T1,F8)")
+	ext := flag.Bool("ext", false, "include the extension studies (E1, E2, E3)")
+	asCSV := flag.Bool("csv", false, "emit tables as CSV instead of text")
+	list := flag.Bool("list", false, "list experiment ids")
+	flag.Parse()
+
+	experiments := heteropim.Experiments()
+	if *ext || *only != "" {
+		experiments = append(experiments, heteropim.ExtensionExperiments()...)
+	}
+	if *list {
+		for _, e := range experiments {
+			fmt.Printf("%-4s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			want[strings.ToUpper(strings.TrimSpace(id))] = true
+		}
+	}
+
+	failed := false
+	for _, e := range experiments {
+		if len(want) > 0 && !want[e.ID] {
+			continue
+		}
+		start := time.Now()
+		t, err := e.Run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pimbench: %s: %v\n", e.ID, err)
+			failed = true
+			continue
+		}
+		if *asCSV {
+			fmt.Printf("# %s %s\n", e.ID, e.Title)
+			if err := t.WriteCSV(os.Stdout); err != nil {
+				fmt.Fprintf(os.Stderr, "pimbench: %s: %v\n", e.ID, err)
+				failed = true
+			}
+			continue
+		}
+		fmt.Printf("[%s] %s (%.1fs)\n", e.ID, e.Title, time.Since(start).Seconds())
+		fmt.Println(t.String())
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,106 @@
+// Command pimdse runs the hardware design-space exploration that the
+// paper performed with McPAT and HotSpot (Section IV-D): it derives the
+// fixed-function unit budget from the thermal model, shows the
+// placement policy's thermal margin, and sweeps the unit budget's
+// performance effect on a chosen model.
+//
+// Usage:
+//
+//	pimdse                 # thermal exploration + VGG-19 unit sweep
+//	pimdse -model AlexNet
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"heteropim"
+	"heteropim/internal/hmc"
+	"heteropim/internal/hw"
+	"heteropim/internal/pim"
+	"heteropim/internal/report"
+	"heteropim/internal/thermal"
+)
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "pimdse: %v\n", err)
+	os.Exit(1)
+}
+
+func main() {
+	model := flag.String("model", "VGG-19", "model for the unit-budget performance sweep")
+	flag.Parse()
+
+	stack, err := hmc.New(hw.PaperStack(1))
+	if err != nil {
+		fail(err)
+	}
+
+	// 1. Thermal exploration: how many units fit under the DRAM cap?
+	tt := &report.Table{
+		Title:   "Thermal design-space exploration (HotSpot-substitute)",
+		Columns: []string{"Freq", "Max units under 85C", "Paper budget"},
+	}
+	for _, scale := range []float64{1, 2, 4} {
+		units, err := thermal.MaxUnitsUnderCap(stack, thermal.DRAMThermalCap, scale)
+		if err != nil {
+			fail(err)
+		}
+		note := ""
+		if scale == 1 {
+			note = "444"
+		}
+		tt.AddRow(fmt.Sprintf("%gx", scale), fmt.Sprintf("%d", units), note)
+	}
+	tt.Notes = append(tt.Notes,
+		"at 1x the cap reproduces the paper's 444-unit budget; the 2x/4x PLL points need derating or better cooling")
+	fmt.Println(tt.String())
+
+	// 2. Placement policy margin.
+	spec := hw.PaperFixedPIM(hw.PaperFixedUnits)
+	thermalPl, err := pim.ThermalPlacement(stack, hw.PaperFixedUnits)
+	if err != nil {
+		fail(err)
+	}
+	uniformPl, err := pim.UniformPlacement(stack, hw.PaperFixedUnits)
+	if err != nil {
+		fail(err)
+	}
+	tThermal, err := thermal.PlacementMaxTemp(stack, thermalPl, spec, 1)
+	if err != nil {
+		fail(err)
+	}
+	tUniform, err := thermal.PlacementMaxTemp(stack, uniformPl, spec, 1)
+	if err != nil {
+		fail(err)
+	}
+	pt := &report.Table{
+		Title:   "Placement policy thermal margin (444 units, 1x)",
+		Columns: []string{"Placement", "Hottest bank"},
+	}
+	pt.AddRow("thermal-aware (paper)", fmt.Sprintf("%.1fC", tThermal))
+	pt.AddRow("uniform", fmt.Sprintf("%.1fC", tUniform))
+	fmt.Println(pt.String())
+
+	// 3. Performance effect of the unit budget.
+	st := &report.Table{
+		Title:   fmt.Sprintf("Unit-budget performance sweep (%s)", *model),
+		Columns: []string{"Units", "Step", "Energy", "EDP", "Util"},
+	}
+	base := heteropim.DefaultHardware(heteropim.ConfigHeteroPIM)
+	for _, units := range []int{111, 222, 444, 888} {
+		hc, err := base.WithFixedUnits(units)
+		if err != nil {
+			fail(err)
+		}
+		r, err := heteropim.RunOnHardware(hc, heteropim.Model(*model))
+		if err != nil {
+			fail(err)
+		}
+		st.AddRow(fmt.Sprintf("%d", units),
+			report.Seconds(r.StepTime), report.Joules(r.Energy),
+			fmt.Sprintf("%.3g", r.EDP), report.Percent(r.FixedUtilization))
+	}
+	fmt.Println(st.String())
+}

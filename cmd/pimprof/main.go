@@ -1,0 +1,61 @@
+// Command pimprof reproduces the paper's profiling outputs: Table I
+// (top-5 compute-intensive and memory-intensive operations per model),
+// the Fig. 2 operation taxonomy, and — optionally — the Pin-substitute
+// instruction trace as JSON lines.
+//
+// Usage:
+//
+//	pimprof                      # Table I + Fig. 2
+//	pimprof -trace VGG-19        # dump the instruction trace to stdout
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"heteropim"
+	"heteropim/internal/nn"
+	"heteropim/internal/trace"
+)
+
+func main() {
+	traceModel := flag.String("trace", "", "dump the instruction trace of this model as JSON lines")
+	dotModel := flag.String("dot", "", "dump this model's step DAG in Graphviz DOT format")
+	flag.Parse()
+
+	if *dotModel != "" {
+		g, err := nn.Build(nn.ModelName(*dotModel))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pimprof: %v\n", err)
+			os.Exit(1)
+		}
+		if err := g.WriteDOT(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "pimprof: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *traceModel != "" {
+		g, err := nn.Build(nn.ModelName(*traceModel))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pimprof: %v\n", err)
+			os.Exit(1)
+		}
+		if err := trace.Write(os.Stdout, trace.Generate(g, 0)); err != nil {
+			fmt.Fprintf(os.Stderr, "pimprof: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	for _, run := range []func() (*heteropim.Table, error){heteropim.ModelSummaries, heteropim.TableI, heteropim.Fig2Classes} {
+		t, err := run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pimprof: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(t.String())
+	}
+}

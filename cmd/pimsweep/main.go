@@ -1,0 +1,150 @@
+// Command pimsweep emits CSV parameter sweeps for plotting the paper's
+// figures: the 5x5 configuration matrix (Figs. 8/9), the frequency
+// sweep (Figs. 11/17), the RC/OP variant matrix (Figs. 13-15), and the
+// batch-size extension sweep.
+//
+// Usage:
+//
+//	pimsweep -sweep config                  # model x configuration
+//	pimsweep -sweep freq   -models VGG-19   # 1x/2x/4x
+//	pimsweep -sweep variant                 # RC/OP toggles
+//	pimsweep -sweep batch  -models AlexNet  # batch sizes
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"heteropim"
+)
+
+func main() {
+	sweep := flag.String("sweep", "config", "config|freq|variant|batch")
+	models := flag.String("models", "", "comma-separated models (default: the 5 CNNs)")
+	flag.Parse()
+
+	selected := heteropim.Models()
+	if *models != "" {
+		selected = nil
+		for _, m := range strings.Split(*models, ",") {
+			selected = append(selected, heteropim.Model(strings.TrimSpace(m)))
+		}
+	}
+
+	w := csv.NewWriter(os.Stdout)
+	defer w.Flush()
+	var err error
+	switch *sweep {
+	case "config":
+		err = sweepConfig(w, selected)
+	case "freq":
+		err = sweepFreq(w, selected)
+	case "variant":
+		err = sweepVariant(w, selected)
+	case "batch":
+		err = sweepBatch(w, selected)
+	default:
+		fmt.Fprintf(os.Stderr, "pimsweep: unknown sweep %q\n", *sweep)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pimsweep: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func f(v float64) string { return strconv.FormatFloat(v, 'g', 8, 64) }
+
+func writeResultRow(w *csv.Writer, prefix []string, r heteropim.Result) error {
+	row := append(prefix,
+		f(r.StepTime), f(r.Breakdown.Operation), f(r.Breakdown.DataMovement),
+		f(r.Breakdown.Sync), f(r.Energy), f(r.AvgPower), f(r.EDP),
+		f(r.FixedUtilization))
+	return w.Write(row)
+}
+
+var resultCols = []string{"step_s", "operation_s", "datamove_s", "sync_s",
+	"energy_j", "power_w", "edp_js", "fixed_util"}
+
+func sweepConfig(w *csv.Writer, models []heteropim.Model) error {
+	if err := w.Write(append([]string{"model", "config"}, resultCols...)); err != nil {
+		return err
+	}
+	for _, m := range models {
+		for _, cfg := range heteropim.Configs() {
+			r, err := heteropim.Run(cfg, m)
+			if err != nil {
+				return err
+			}
+			if err := writeResultRow(w, []string{string(m), r.Config}, r); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func sweepFreq(w *csv.Writer, models []heteropim.Model) error {
+	if err := w.Write(append([]string{"model", "freq_scale"}, resultCols...)); err != nil {
+		return err
+	}
+	for _, m := range models {
+		for _, scale := range []float64{1, 2, 4} {
+			r, err := heteropim.RunScaled(heteropim.ConfigHeteroPIM, m, scale)
+			if err != nil {
+				return err
+			}
+			if err := writeResultRow(w, []string{string(m), f(scale)}, r); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func sweepVariant(w *csv.Writer, models []heteropim.Model) error {
+	if err := w.Write(append([]string{"model", "rc", "op"}, resultCols...)); err != nil {
+		return err
+	}
+	for _, m := range models {
+		for _, rc := range []bool{false, true} {
+			for _, op := range []bool{false, true} {
+				r, err := heteropim.RunVariant(m, heteropim.Variant{
+					RecursiveKernels: rc, OperationPipeline: op})
+				if err != nil {
+					return err
+				}
+				if err := writeResultRow(w, []string{string(m),
+					strconv.FormatBool(rc), strconv.FormatBool(op)}, r); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func sweepBatch(w *csv.Writer, models []heteropim.Model) error {
+	if err := w.Write(append([]string{"model", "batch", "config"}, resultCols...)); err != nil {
+		return err
+	}
+	for _, m := range models {
+		for _, batch := range []int{8, 16, 32, 64, 128} {
+			for _, cfg := range []heteropim.Config{heteropim.ConfigGPU, heteropim.ConfigHeteroPIM} {
+				r, err := heteropim.RunWithBatch(cfg, m, batch)
+				if err != nil {
+					return err
+				}
+				if err := writeResultRow(w, []string{string(m),
+					strconv.Itoa(batch), r.Config}, r); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}

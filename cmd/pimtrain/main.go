@@ -1,0 +1,206 @@
+// Command pimtrain simulates steady-state NN training of one workload
+// model on one platform configuration and prints the step time, the
+// Fig. 8 breakdown, energy, and PIM utilization.
+//
+// Usage:
+//
+//	pimtrain -model VGG-19 -config hetero -freq 2
+//	pimtrain -model ResNet-50 -config all
+//	pimtrain -model AlexNet -schedtrace     # dump scheduling decisions
+//	pimtrain -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"heteropim"
+	"heteropim/internal/core"
+	"heteropim/internal/hw"
+	"heteropim/internal/nn"
+	"heteropim/internal/report"
+	"heteropim/internal/trace"
+)
+
+var configNames = map[string]heteropim.Config{
+	"cpu":    heteropim.ConfigCPU,
+	"gpu":    heteropim.ConfigGPU,
+	"progr":  heteropim.ConfigProgrPIM,
+	"fixed":  heteropim.ConfigFixedPIM,
+	"hetero": heteropim.ConfigHeteroPIM,
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "pimtrain: %v\n", err)
+	os.Exit(1)
+}
+
+// runExplain prints where every op type landed and where the joules
+// went for one Hetero PIM run.
+func runExplain(model string, batch int, freq float64) {
+	g, err := nn.BuildWithBatch(nn.ModelName(model), batch)
+	if err != nil {
+		fail(err)
+	}
+	opts := core.HeteroOptions()
+	census := &core.PlacementCensus{Fixed: map[string]int{}, Prog: map[string]int{}, CPU: map[string]int{}}
+	opts.Census = census
+	r, err := core.RunPIM(g, hw.PaperConfigScaled(hw.ConfigHeteroPIM, freq), opts)
+	if err != nil {
+		fail(err)
+	}
+	ct := &report.Table{
+		Title:   fmt.Sprintf("Placement census: %s on Hetero PIM (%d steps)", model, r.Steps),
+		Columns: []string{"Op type", "Fixed", "Prog", "CPU"},
+	}
+	types := map[string]bool{}
+	for t := range census.Fixed {
+		types[t] = true
+	}
+	for t := range census.Prog {
+		types[t] = true
+	}
+	for t := range census.CPU {
+		types[t] = true
+	}
+	names := make([]string, 0, len(types))
+	for t := range types {
+		names = append(names, t)
+	}
+	sort.Strings(names)
+	for _, t := range names {
+		ct.AddRow(t,
+			fmt.Sprintf("%d", census.Fixed[t]/r.Steps),
+			fmt.Sprintf("%d", census.Prog[t]/r.Steps),
+			fmt.Sprintf("%d", census.CPU[t]/r.Steps))
+	}
+	fmt.Println(ct.String())
+
+	rep := heteropim.EnergyOf(r)
+	et := &report.Table{
+		Title:   "Energy itemization per step",
+		Columns: []string{"Component", "Joules", "Share"},
+	}
+	parts := []struct {
+		name string
+		j    float64
+	}{
+		{"Host CPU", rep.Parts.CPU},
+		{"Programmable PIM", rep.Parts.ProgPIM},
+		{"Fixed-function PIMs", rep.Parts.FixedPIM},
+		{"DRAM background", rep.Parts.DRAM},
+		{"Data movement", rep.Parts.Traffic},
+	}
+	for _, p := range parts {
+		et.AddRow(p.name, report.Joules(p.j), report.Percent(p.j/rep.Dynamic))
+	}
+	et.AddRow("TOTAL", report.Joules(rep.Dynamic), "100.0%")
+	fmt.Println(et.String())
+}
+
+func main() {
+	model := flag.String("model", "VGG-19", "workload model (see -list)")
+	config := flag.String("config", "hetero", "platform: cpu|gpu|progr|fixed|hetero|all")
+	freq := flag.Float64("freq", 1, "PIM/stack frequency scale (1, 2 or 4)")
+	batch := flag.Int("batch", 0, "batch size override (0 = the paper's default)")
+	schedTrace := flag.Bool("schedtrace", false, "print every Hetero PIM scheduling decision to stderr")
+	fromTrace := flag.String("fromtrace", "", "replay an instruction trace file (pimprof -trace output) instead of building a model")
+	explain := flag.Bool("explain", false, "print the Hetero PIM placement census and energy itemization")
+	list := flag.Bool("list", false, "list models and configurations")
+	flag.Parse()
+
+	if *fromTrace != "" {
+		f, err := os.Open(*fromTrace)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		recs, err := trace.Read(f)
+		if err != nil {
+			fail(err)
+		}
+		g, err := trace.ToGraph(*fromTrace, recs)
+		if err != nil {
+			fail(err)
+		}
+		r, err := core.RunPIM(g, hw.PaperConfigScaled(hw.ConfigHeteroPIM, *freq), core.HeteroOptions())
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("replayed %d ops: step=%s offloaded=%d util=%s\n",
+			len(g.Ops), report.Seconds(r.StepTime), r.OffloadedOps,
+			report.Percent(r.FixedUtilization))
+		return
+	}
+
+	if *list {
+		fmt.Println("models:")
+		for _, m := range heteropim.AllModels() {
+			fmt.Println("  ", m)
+		}
+		fmt.Println("configurations: cpu, gpu, progr, fixed, hetero, all")
+		return
+	}
+
+	if *schedTrace {
+		g, err := nn.BuildWithBatch(nn.ModelName(*model), *batch)
+		if err != nil {
+			fail(err)
+		}
+		opts := core.HeteroOptions()
+		opts.Trace = os.Stderr
+		opts.Steps = 1
+		if _, err := core.RunPIM(g, hw.PaperConfigScaled(hw.ConfigHeteroPIM, *freq), opts); err != nil {
+			fail(err)
+		}
+		return
+	}
+
+	if *explain {
+		runExplain(*model, *batch, *freq)
+		return
+	}
+
+	var configs []heteropim.Config
+	if strings.EqualFold(*config, "all") {
+		configs = heteropim.Configs()
+	} else {
+		kind, ok := configNames[strings.ToLower(*config)]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "pimtrain: unknown configuration %q\n", *config)
+			os.Exit(2)
+		}
+		configs = []heteropim.Config{kind}
+	}
+
+	t := &report.Table{
+		Title: fmt.Sprintf("%s at %gx stack frequency", *model, *freq),
+		Columns: []string{"Config", "Step", "Operation", "DataMove", "Sync",
+			"Energy", "Power", "Util", "Offloaded"},
+	}
+	for _, cfg := range configs {
+		var r heteropim.Result
+		var err error
+		if *batch > 0 {
+			r, err = heteropim.RunWithBatch(cfg, heteropim.Model(*model), *batch)
+		} else {
+			r, err = heteropim.RunScaled(cfg, heteropim.Model(*model), *freq)
+		}
+		if err != nil {
+			fail(err)
+		}
+		t.AddRow(r.Config,
+			report.Seconds(r.StepTime),
+			report.Seconds(r.Breakdown.Operation),
+			report.Seconds(r.Breakdown.DataMovement),
+			report.Seconds(r.Breakdown.Sync),
+			report.Joules(r.Energy),
+			report.Watts(r.AvgPower),
+			report.Percent(r.FixedUtilization),
+			fmt.Sprintf("%d", r.OffloadedOps))
+	}
+	fmt.Print(t.String())
+}

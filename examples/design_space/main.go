@@ -1,0 +1,74 @@
+// design_space re-opens the question the paper answered with
+// McPAT/HotSpot (Section IV-D): how many fixed-function PIMs does the
+// logic die need? The paper's area budget allows 444 multiplier/adder
+// pairs; this example sweeps the unit budget and the stack frequency
+// around that point and shows the knee in step time, energy and EDP —
+// including what extra silicon would NOT buy.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"heteropim"
+)
+
+func main() {
+	model := heteropim.VGG19
+	base := heteropim.DefaultHardware(heteropim.ConfigHeteroPIM)
+
+	fmt.Printf("Design space: fixed-function unit budget sweep (%s)\n\n", model)
+	fmt.Printf("%8s %12s %12s %12s %12s\n", "Units", "Step", "Energy", "EDP", "PIM util")
+	for _, units := range []int{111, 222, 444, 888, 1776} {
+		hwCfg, err := base.WithFixedUnits(units)
+		if err != nil {
+			log.Fatal(err)
+		}
+		r, err := heteropim.RunOnHardware(hwCfg, model)
+		if err != nil {
+			log.Fatal(err)
+		}
+		marker := ""
+		if units == 444 {
+			marker = "  <- the paper's McPAT/HotSpot budget"
+		}
+		fmt.Printf("%8d %11.3fs %11.1fJ %12.3g %11.1f%%%s\n",
+			units, r.StepTime, r.Energy, r.EDP, r.FixedUtilization*100, marker)
+	}
+
+	fmt.Printf("\nFrequency x units interaction (EDP):\n%8s", "")
+	scales := []float64{1, 2, 4}
+	for _, s := range scales {
+		fmt.Printf(" %9gx", s)
+	}
+	fmt.Println()
+	for _, units := range []int{222, 444, 888} {
+		fmt.Printf("%7du", units)
+		for _, s := range scales {
+			hwCfg, err := base.WithFixedUnits(units)
+			if err != nil {
+				log.Fatal(err)
+			}
+			hwCfg, err = hwCfg.WithStackFrequencyScale(s)
+			if err != nil {
+				log.Fatal(err)
+			}
+			r, err := heteropim.RunOnHardware(hwCfg, model)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf(" %10.3g", r.EDP)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\nCustom hardware descriptions round-trip as JSON:")
+	custom, err := base.WithFixedUnits(888)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := custom.SaveHardware(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,45 @@
+// Quickstart: simulate one training step of VGG-19 on all five platform
+// configurations of the paper (CPU, GPU, Progr PIM, Fixed PIM, Hetero
+// PIM) and print the Fig. 8-style comparison.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"heteropim"
+)
+
+func main() {
+	model := heteropim.VGG19
+	fmt.Printf("Simulating one training step of %s (batch 32, ImageNet shapes)\n\n", model)
+
+	var hetero heteropim.Result
+	results := make([]heteropim.Result, 0, 5)
+	for _, cfg := range heteropim.Configs() {
+		r, err := heteropim.Run(cfg, model)
+		if err != nil {
+			log.Fatalf("simulating %v: %v", cfg, err)
+		}
+		results = append(results, r)
+		if cfg == heteropim.ConfigHeteroPIM {
+			hetero = r
+		}
+	}
+
+	fmt.Printf("%-12s %12s %12s %12s %10s %10s\n",
+		"Config", "Step time", "Energy", "Avg power", "PIM util", "vs Hetero")
+	for _, r := range results {
+		fmt.Printf("%-12s %11.3fs %11.1fJ %11.1fW %9.1f%% %9.2fx\n",
+			r.Config, r.StepTime, r.Energy, r.AvgPower,
+			r.FixedUtilization*100, r.StepTime/hetero.StepTime)
+	}
+
+	fmt.Println("\nThe heterogeneous PIM runtime offloaded",
+		hetero.OffloadedOps, "operations per step to the PIMs and kept",
+		hetero.CPUOps, "on the host CPU.")
+	fmt.Println("Breakdown of the Hetero PIM step (Fig. 8 categories):")
+	fmt.Printf("  operation     %8.3fs\n", hetero.Breakdown.Operation)
+	fmt.Printf("  data movement %8.3fs\n", hetero.Breakdown.DataMovement)
+	fmt.Printf("  synchronization %6.3fs\n", hetero.Breakdown.Sync)
+}

@@ -1,0 +1,440 @@
+package heteropim
+
+import (
+	"fmt"
+	"sort"
+
+	"heteropim/internal/core"
+	"heteropim/internal/energy"
+	"heteropim/internal/hw"
+	"heteropim/internal/nn"
+	"heteropim/internal/report"
+	"heteropim/internal/workload"
+)
+
+// Table is a rendered experiment result.
+type Table = report.Table
+
+// Experiment regenerates one table or figure of the paper.
+type Experiment struct {
+	// ID is the paper artifact id: "T1", "F2", "F8" ... "F17".
+	ID string
+	// Title describes the artifact.
+	Title string
+	// Run produces the table.
+	Run func() (*Table, error)
+}
+
+// Experiments returns a runner per paper table/figure, in paper order.
+func Experiments() []Experiment {
+	return []Experiment{
+		{"T1", "Table I: operation profiling (top-5 CI and MI ops)", TableI},
+		{"F2", "Fig. 2: four-class operation taxonomy", Fig2Classes},
+		{"F8", "Fig. 8: execution time breakdown, 5 models x 5 configurations", Fig8ExecTime},
+		{"F9", "Fig. 9: normalized dynamic energy", Fig9Energy},
+		{"F10", "Fig. 10: performance and energy vs Neurocube", Fig10Neurocube},
+		{"F11", "Fig. 11: 3D memory frequency scaling (1x/2x/4x)", Fig11FreqScaling},
+		{"F12", "Fig. 12: programmable PIM scaling (1P/4P/16P)", Fig12ProgScaling},
+		{"F13", "Fig. 13: execution time with/without RC and OP", Fig13SoftwareImpact},
+		{"F14", "Fig. 14: energy with/without RC and OP", Fig14SoftwareEnergy},
+		{"F15", "Fig. 15: fixed-function PIM utilization with/without RC and OP", Fig15Utilization},
+		{"F16", "Fig. 16: mixed workloads, co-run vs sequential", Fig16Mixed},
+		{"F17", "Fig. 17: EDP and power under frequency scaling", Fig17EDP},
+	}
+}
+
+// profiledModels are the three models of Table I.
+func profiledModels() []Model { return []Model{VGG19, AlexNet, DCGAN} }
+
+// TableI reproduces the operation-profiling table: for each of VGG-19,
+// AlexNet and DCGAN, the top-5 operations by execution time ("CI ops")
+// and by main-memory accesses ("MI ops"), with their shares and
+// invocation counts.
+func TableI() (*Table, error) {
+	t := &Table{
+		Title:   "Table I: operation profiling (one training step on CPU)",
+		Columns: []string{"Model", "Rank", "Top CI Op", "Time%", "#Inv", "Top MI Op", "Mem%", "#Inv"},
+	}
+	for _, m := range profiledModels() {
+		g, err := nn.Build(m)
+		if err != nil {
+			return nil, err
+		}
+		prof := core.ProfileStep(g, hw.PaperCPU())
+		type agg struct {
+			time, mem float64
+			inv       int
+		}
+		byType := map[nn.OpType]*agg{}
+		for _, e := range prof.Entries {
+			op := g.Ops[e.OpID]
+			a, ok := byType[op.Type]
+			if !ok {
+				a = &agg{}
+				byType[op.Type] = a
+			}
+			a.time += e.Time
+			a.mem += e.MemAccesses
+			a.inv++
+		}
+		type row struct {
+			t nn.OpType
+			a *agg
+		}
+		rows := make([]row, 0, len(byType))
+		for tt, a := range byType {
+			rows = append(rows, row{tt, a})
+		}
+		byTime := append([]row(nil), rows...)
+		sort.Slice(byTime, func(i, j int) bool { return byTime[i].a.time > byTime[j].a.time })
+		byMem := append([]row(nil), rows...)
+		sort.Slice(byMem, func(i, j int) bool { return byMem[i].a.mem > byMem[j].a.mem })
+		for i := 0; i < 5 && i < len(rows); i++ {
+			ci, mi := byTime[i], byMem[i]
+			t.AddRow(string(m), fmt.Sprintf("%d", i+1),
+				string(ci.t), fmt.Sprintf("%.2f", 100*ci.a.time/prof.TotalTime), fmt.Sprintf("%d", ci.a.inv),
+				string(mi.t), fmt.Sprintf("%.2f", 100*mi.a.mem/prof.TotalAccesses), fmt.Sprintf("%d", mi.a.inv))
+		}
+		// The "Other N ops" tail.
+		var otherT, otherM float64
+		otherInv := 0
+		topT := map[nn.OpType]bool{}
+		for i := 0; i < 5 && i < len(byTime); i++ {
+			topT[byTime[i].t] = true
+		}
+		for _, r := range rows {
+			if !topT[r.t] {
+				otherT += r.a.time
+				otherM += r.a.mem
+				otherInv += r.a.inv
+			}
+		}
+		t.AddRow(string(m), "-",
+			fmt.Sprintf("Other %d op types", len(rows)-min(5, len(rows))),
+			fmt.Sprintf("%.2f", 100*otherT/prof.TotalTime), fmt.Sprintf("%d", otherInv),
+			"", "", "")
+	}
+	t.Notes = append(t.Notes,
+		"paper shape: top-5 ops >=95% of time and >=90% of accesses; conv backprops lead both lists")
+	return t, nil
+}
+
+// Fig2Classes reproduces the four-class operation taxonomy.
+func Fig2Classes() (*Table, error) {
+	t := &Table{
+		Title:   "Fig. 2: operation classes (1=CI, 2=CI+MI offload targets, 3=MI only, 4=neither)",
+		Columns: []string{"Model", "Class1", "Class2", "Class3", "Class4"},
+	}
+	for _, m := range profiledModels() {
+		g, err := nn.Build(m)
+		if err != nil {
+			return nil, err
+		}
+		c := g.ClassCounts()
+		t.AddRow(string(m), fmt.Sprint(c[nn.Class1]), fmt.Sprint(c[nn.Class2]),
+			fmt.Sprint(c[nn.Class3]), fmt.Sprint(c[nn.Class4]))
+	}
+	return t, nil
+}
+
+// Fig8ExecTime reproduces the execution-time breakdown of the five CNN
+// models across the five configurations.
+func Fig8ExecTime() (*Table, error) {
+	t := &Table{
+		Title:   "Fig. 8: execution time breakdown per training step",
+		Columns: []string{"Model", "Config", "Step", "Operation", "DataMove", "Sync", "vs Hetero"},
+	}
+	for _, m := range Models() {
+		het, err := Run(ConfigHeteroPIM, m)
+		if err != nil {
+			return nil, err
+		}
+		for _, cfg := range Configs() {
+			r, err := Run(cfg, m)
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(string(m), r.Config,
+				report.Seconds(r.StepTime),
+				report.Seconds(r.Breakdown.Operation),
+				report.Seconds(r.Breakdown.DataMovement),
+				report.Seconds(r.Breakdown.Sync),
+				report.Ratio(r.StepTime/het.StepTime))
+		}
+	}
+	t.Notes = append(t.Notes,
+		"paper shape: PIM designs beat CPU by 19%-28x; Hetero beats Progr 2.5-23x and Fixed 1.4-5.7x",
+		"paper shape: DCGAN loses to GPU, ResNet-50 beats GPU, others within ~10% of GPU")
+	return t, nil
+}
+
+// Fig9Energy reproduces the normalized dynamic energy comparison.
+func Fig9Energy() (*Table, error) {
+	t := &Table{
+		Title:   "Fig. 9: dynamic energy per step, normalized to Hetero PIM",
+		Columns: []string{"Model", "Config", "Energy", "AvgPower", "Normalized"},
+	}
+	for _, m := range Models() {
+		het, err := Run(ConfigHeteroPIM, m)
+		if err != nil {
+			return nil, err
+		}
+		for _, cfg := range Configs() {
+			r, err := Run(cfg, m)
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(string(m), r.Config, report.Joules(r.Energy),
+				report.Watts(r.AvgPower), report.Ratio(r.Energy/het.Energy))
+		}
+	}
+	t.Notes = append(t.Notes,
+		"paper shape: CPU 3-24x and GPU 1.3-5x above Hetero; Progr PIM the highest")
+	return t, nil
+}
+
+// Fig10Neurocube reproduces the Neurocube comparison.
+func Fig10Neurocube() (*Table, error) {
+	t := &Table{
+		Title:   "Fig. 10: Neurocube vs Hetero PIM (ratios of Neurocube to Hetero)",
+		Columns: []string{"Model", "Time ratio", "Energy ratio"},
+	}
+	for _, m := range Models() {
+		het, err := Run(ConfigHeteroPIM, m)
+		if err != nil {
+			return nil, err
+		}
+		nc, err := RunNeurocube(m)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(string(m), report.Ratio(nc.StepTime/het.StepTime), report.Ratio(nc.Energy/het.Energy))
+	}
+	t.Notes = append(t.Notes, "paper shape: Hetero at least 3x better in performance and energy")
+	return t, nil
+}
+
+// Fig11FreqScaling reproduces the 1x/2x/4x frequency-scaling study.
+func Fig11FreqScaling() (*Table, error) {
+	t := &Table{
+		Title:   "Fig. 11: Hetero PIM under 3D memory frequency scaling",
+		Columns: []string{"Model", "Freq", "Step", "Operation", "DataMove", "Sync", "GPU/Hetero"},
+	}
+	for _, m := range Models() {
+		gpu, err := Run(ConfigGPU, m)
+		if err != nil {
+			return nil, err
+		}
+		for _, f := range []float64{1, 2, 4} {
+			r, err := RunScaled(ConfigHeteroPIM, m, f)
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(string(m), fmt.Sprintf("%gx", f),
+				report.Seconds(r.StepTime),
+				report.Seconds(r.Breakdown.Operation),
+				report.Seconds(r.Breakdown.DataMovement),
+				report.Seconds(r.Breakdown.Sync),
+				report.Ratio(gpu.StepTime/r.StepTime))
+		}
+	}
+	t.Notes = append(t.Notes,
+		"paper shape: higher frequency beats GPU; VGG-19 saturates between 2x and 4x, AlexNet keeps gaining")
+	return t, nil
+}
+
+// Fig12ProgScaling reproduces the programmable-PIM scaling study.
+func Fig12ProgScaling() (*Table, error) {
+	t := &Table{
+		Title:   "Fig. 12: programmable PIM scaling at constant logic-die area",
+		Columns: []string{"Model", "Processors", "Step", "Utilization", "vs 1P"},
+	}
+	for _, m := range Models() {
+		var base Result
+		for i, n := range []int{1, 4, 16} {
+			r, err := RunHeteroProcessors(m, n)
+			if err != nil {
+				return nil, err
+			}
+			if i == 0 {
+				base = r
+			}
+			t.AddRow(string(m), fmt.Sprintf("%dP", n),
+				report.Seconds(r.StepTime),
+				report.Percent(r.FixedUtilization),
+				report.Ratio(r.StepTime/base.StepTime))
+		}
+	}
+	t.Notes = append(t.Notes, "paper shape: 1P vs 16P differ by only 12-14%")
+	return t, nil
+}
+
+// softwareVariants enumerates the Section VI-E variants in figure order.
+func softwareVariants() []struct {
+	Name string
+	V    Variant
+} {
+	return []struct {
+		Name string
+		V    Variant
+	}{
+		{"no RC, no OP", Variant{}},
+		{"RC only", Variant{RecursiveKernels: true}},
+		{"OP only", Variant{OperationPipeline: true}},
+		{"RC + OP", Variant{RecursiveKernels: true, OperationPipeline: true}},
+	}
+}
+
+// Fig13SoftwareImpact reproduces the execution-time software study.
+func Fig13SoftwareImpact() (*Table, error) {
+	t := &Table{
+		Title:   "Fig. 13: Hetero PIM execution time with/without RC and OP",
+		Columns: []string{"Model", "Variant", "Step", "Sync", "Speedup vs no-RC/no-OP"},
+	}
+	for _, m := range Models() {
+		var base Result
+		for i, v := range softwareVariants() {
+			r, err := RunVariant(m, v.V)
+			if err != nil {
+				return nil, err
+			}
+			if i == 0 {
+				base = r
+			}
+			t.AddRow(string(m), v.Name, report.Seconds(r.StepTime),
+				report.Seconds(r.Breakdown.Sync), report.Ratio(base.StepTime/r.StepTime))
+		}
+	}
+	t.Notes = append(t.Notes, "paper shape: RC+OP improve Hetero PIM by up to 3.8x")
+	return t, nil
+}
+
+// Fig14SoftwareEnergy reproduces the energy software study.
+func Fig14SoftwareEnergy() (*Table, error) {
+	t := &Table{
+		Title:   "Fig. 14: Hetero PIM energy with/without RC and OP (normalized to RC+OP)",
+		Columns: []string{"Model", "Variant", "Energy", "Normalized"},
+	}
+	for _, m := range Models() {
+		full, err := RunVariant(m, Variant{RecursiveKernels: true, OperationPipeline: true})
+		if err != nil {
+			return nil, err
+		}
+		for _, v := range softwareVariants() {
+			r, err := RunVariant(m, v.V)
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(string(m), v.Name, report.Joules(r.Energy), report.Ratio(r.Energy/full.Energy))
+		}
+	}
+	t.Notes = append(t.Notes, "paper shape: RC+OP reduce energy by up to 3.9x")
+	return t, nil
+}
+
+// Fig15Utilization reproduces the fixed-function utilization study.
+func Fig15Utilization() (*Table, error) {
+	t := &Table{
+		Title:   "Fig. 15: fixed-function PIM utilization with/without RC and OP",
+		Columns: []string{"Model", "Variant", "Utilization"},
+	}
+	for _, m := range Models() {
+		for _, v := range softwareVariants() {
+			r, err := RunVariant(m, v.V)
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(string(m), v.Name, report.Percent(r.FixedUtilization))
+		}
+	}
+	t.Notes = append(t.Notes, "paper shape: with RC and OP utilization approaches 100%")
+	return t, nil
+}
+
+// MixedResult re-exports the Fig. 16 co-run outcome.
+type MixedResult = workload.MixedResult
+
+// RunMixedWorkloads runs the six co-run cases of Section VI-F.
+func RunMixedWorkloads() ([]MixedResult, error) { return workload.RunAllMixed() }
+
+// Fig16Mixed reproduces the mixed-workload study.
+func Fig16Mixed() (*Table, error) {
+	results, err := workload.RunAllMixed()
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:   "Fig. 16: mixed workloads — co-run vs sequential execution",
+		Columns: []string{"Case", "Sequential", "Co-run", "Improvement"},
+	}
+	for _, r := range results {
+		t.AddRow(r.Case.Name(), report.Seconds(r.Sequential), report.Seconds(r.CoRun),
+			report.Percent(r.Improvement))
+	}
+	t.Notes = append(t.Notes, "paper shape: 69%-83% improvement from co-running")
+	return t, nil
+}
+
+// Fig17EDP reproduces the EDP and power study.
+func Fig17EDP() (*Table, error) {
+	t := &Table{
+		Title:   "Fig. 17: energy efficiency (EDP) and power under frequency scaling",
+		Columns: []string{"Model", "Freq", "EDP(J*s)", "HeteroPower", "GPUPower/HeteroPower"},
+	}
+	for _, m := range Models() {
+		gpu, err := Run(ConfigGPU, m)
+		if err != nil {
+			return nil, err
+		}
+		for _, f := range []float64{1, 2, 4} {
+			r, err := RunScaled(ConfigHeteroPIM, m, f)
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(string(m), fmt.Sprintf("%gx", f),
+				fmt.Sprintf("%.3g", r.EDP),
+				report.Watts(r.AvgPower),
+				report.Ratio(gpu.AvgPower/r.AvgPower))
+		}
+	}
+	t.Notes = append(t.Notes,
+		"paper shape: 4x frequency is the most energy-efficient point; GPU draws 1.5-2.6x more power than Hetero at 4x")
+	return t, nil
+}
+
+// EnergyOf evaluates the whole-system energy report for an internal
+// result (used by tools that need the itemized parts).
+func EnergyOf(r core.Result) energy.Report { return energy.Evaluate(r) }
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// ModelSummaries renders the workload-characteristics table: per model,
+// graph size, parameters, per-step arithmetic and main-memory traffic,
+// and the Fig. 2 class mix — the "Section V-C workloads" overview.
+func ModelSummaries() (*Table, error) {
+	t := &Table{
+		Title:   "Workload characteristics (one training step, paper batch sizes)",
+		Columns: []string{"Model", "Batch", "Ops", "Params", "GFLOPs", "GB", "Class2 ops"},
+	}
+	for _, m := range AllModels() {
+		g, err := nn.Build(m)
+		if err != nil {
+			return nil, err
+		}
+		flops, bytes := g.Totals()
+		classes := g.ClassCounts()
+		t.AddRow(string(m),
+			fmt.Sprintf("%d", g.BatchSize),
+			fmt.Sprintf("%d", len(g.Ops)),
+			fmt.Sprintf("%.1fM", g.ParamBytes/4/1e6),
+			fmt.Sprintf("%.1f", flops/1e9),
+			fmt.Sprintf("%.2f", bytes/1e9),
+			fmt.Sprintf("%d", classes[nn.Class2]))
+	}
+	return t, nil
+}

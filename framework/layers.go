@@ -1,0 +1,339 @@
+package framework
+
+import (
+	"fmt"
+	"math/rand"
+
+	"heteropim/internal/nn"
+	"heteropim/internal/tensor"
+)
+
+// Param is one trainable tensor with its gradient and optimizer state.
+type Param struct {
+	Name  string
+	Value *Tensor
+	Grad  *Tensor
+	adam  *tensor.AdamState
+}
+
+// Layer is one differentiable building block. Forward and Backward are
+// invoked by Model.TrainStep, which submits them as OpenCL kernels.
+type Layer interface {
+	Name() string
+	// Forward consumes the input and returns the activation.
+	Forward(s *Session, x *Tensor) (*Tensor, error)
+	// Backward consumes dLoss/dOutput and returns dLoss/dInput,
+	// accumulating parameter gradients.
+	Backward(s *Session, dy *Tensor) (*Tensor, error)
+	// Params exposes the trainable tensors.
+	Params() []*Param
+}
+
+// ---- Conv2D ----
+
+// Conv is a 2D convolution layer with bias and optional ReLU.
+type Conv struct {
+	name  string
+	W     *Param
+	B     *Param
+	Spec  tensor.ConvSpec
+	Relu  bool
+	lastX *Tensor
+	lastZ *Tensor // pre-activation
+}
+
+// NewConv builds a conv layer with HWIO filter shape.
+func NewConv(name string, fh, fw, inC, outC, stride int, same, relu bool, rng *rand.Rand) *Conv {
+	w := tensor.Randn(rng, 0.2, fh, fw, inC, outC)
+	b := tensor.New(outC)
+	return &Conv{
+		name: name,
+		W:    &Param{Name: name + "/weights", Value: w, Grad: tensor.New(w.Shape...), adam: tensor.NewAdamState(w)},
+		B:    &Param{Name: name + "/bias", Value: b, Grad: tensor.New(b.Shape...), adam: tensor.NewAdamState(b)},
+		Spec: tensor.ConvSpec{StrideH: stride, StrideW: stride, SamePadding: same},
+		Relu: relu,
+	}
+}
+
+// Name implements Layer.
+func (c *Conv) Name() string { return c.name }
+
+// Params implements Layer.
+func (c *Conv) Params() []*Param { return []*Param{c.W, c.B} }
+
+// Forward implements Layer: Conv2D on the fixed-function device, then
+// BiasAdd (fixed) and ReLU (programmable — it is conditional).
+func (c *Conv) Forward(s *Session, x *Tensor) (*Tensor, error) {
+	c.lastX = x
+	var z *Tensor
+	if _, err := s.submit(c.name+"/Conv2D", nn.OpConv2D, float64(x.Bytes()+c.W.Value.Bytes()), func() error {
+		var err error
+		z, err = tensor.Conv2DGEMM(x, c.W.Value, c.Spec)
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	if _, err := s.submit(c.name+"/BiasAdd", nn.OpBiasAdd, float64(z.Bytes()), func() error {
+		var err error
+		z, err = tensor.BiasAdd(z, c.B.Value)
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	c.lastZ = z
+	if !c.Relu {
+		return z, nil
+	}
+	var y *Tensor
+	if _, err := s.submit(c.name+"/Relu", nn.OpRelu, float64(z.Bytes()), func() error {
+		y = tensor.Relu(z)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return y, nil
+}
+
+// Backward implements Layer.
+func (c *Conv) Backward(s *Session, dy *Tensor) (*Tensor, error) {
+	if c.lastX == nil {
+		return nil, fmt.Errorf("framework: %s: backward before forward", c.name)
+	}
+	cur := dy
+	if c.Relu {
+		if _, err := s.submit(c.name+"/ReluGrad", nn.OpReluGrad, float64(dy.Bytes()), func() error {
+			var err error
+			cur, err = tensor.ReluGrad(c.lastZ, cur)
+			return err
+		}); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := s.submit(c.name+"/BiasAddGrad", nn.OpBiasAddGrad, float64(cur.Bytes()), func() error {
+		db := tensor.BiasAddGrad(cur)
+		var err error
+		c.B.Grad, err = tensor.Add(c.B.Grad, db)
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	if _, err := s.submit(c.name+"/Conv2DBackpropFilter", nn.OpConv2DBackpropFilter,
+		float64(c.lastX.Bytes()+cur.Bytes()), func() error {
+			dw, err := tensor.Conv2DBackpropFilter(c.lastX, c.W.Value.Shape, cur, c.Spec)
+			if err != nil {
+				return err
+			}
+			c.W.Grad, err = tensor.Add(c.W.Grad, dw)
+			return err
+		}); err != nil {
+		return nil, err
+	}
+	var dx *Tensor
+	if _, err := s.submit(c.name+"/Conv2DBackpropInput", nn.OpConv2DBackpropInput,
+		float64(cur.Bytes()+c.W.Value.Bytes()), func() error {
+			var err error
+			dx, err = tensor.Conv2DBackpropInput(c.lastX.Shape, c.W.Value, cur, c.Spec)
+			return err
+		}); err != nil {
+		return nil, err
+	}
+	return dx, nil
+}
+
+// ---- Dense ----
+
+// Dense is a fully connected layer with optional ReLU.
+type Dense struct {
+	name  string
+	W     *Param
+	B     *Param
+	Relu  bool
+	lastX *Tensor
+	lastZ *Tensor
+}
+
+// NewDense builds a dense layer.
+func NewDense(name string, in, out int, relu bool, rng *rand.Rand) *Dense {
+	w := tensor.Randn(rng, 0.1, in, out)
+	b := tensor.New(out)
+	return &Dense{
+		name: name,
+		W:    &Param{Name: name + "/weights", Value: w, Grad: tensor.New(w.Shape...), adam: tensor.NewAdamState(w)},
+		B:    &Param{Name: name + "/bias", Value: b, Grad: tensor.New(b.Shape...), adam: tensor.NewAdamState(b)},
+		Relu: relu,
+	}
+}
+
+// Name implements Layer.
+func (d *Dense) Name() string { return d.name }
+
+// Params implements Layer.
+func (d *Dense) Params() []*Param { return []*Param{d.W, d.B} }
+
+// Forward implements Layer.
+func (d *Dense) Forward(s *Session, x *Tensor) (*Tensor, error) {
+	d.lastX = x
+	var z *Tensor
+	if _, err := s.submit(d.name+"/MatMul", nn.OpMatMul, float64(x.Bytes()+d.W.Value.Bytes()), func() error {
+		var err error
+		z, err = tensor.MatMul(x, d.W.Value)
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	if _, err := s.submit(d.name+"/BiasAdd", nn.OpBiasAdd, float64(z.Bytes()), func() error {
+		var err error
+		z, err = tensor.BiasAdd(z, d.B.Value)
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	d.lastZ = z
+	if !d.Relu {
+		return z, nil
+	}
+	var y *Tensor
+	if _, err := s.submit(d.name+"/Relu", nn.OpRelu, float64(z.Bytes()), func() error {
+		y = tensor.Relu(z)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return y, nil
+}
+
+// Backward implements Layer.
+func (d *Dense) Backward(s *Session, dy *Tensor) (*Tensor, error) {
+	if d.lastX == nil {
+		return nil, fmt.Errorf("framework: %s: backward before forward", d.name)
+	}
+	cur := dy
+	if d.Relu {
+		if _, err := s.submit(d.name+"/ReluGrad", nn.OpReluGrad, float64(dy.Bytes()), func() error {
+			var err error
+			cur, err = tensor.ReluGrad(d.lastZ, cur)
+			return err
+		}); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := s.submit(d.name+"/BiasAddGrad", nn.OpBiasAddGrad, float64(cur.Bytes()), func() error {
+		db := tensor.BiasAddGrad(cur)
+		var err error
+		d.B.Grad, err = tensor.Add(d.B.Grad, db)
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	if _, err := s.submit(d.name+"/MatMul_grad_w", nn.OpMatMul, float64(d.lastX.Bytes()+cur.Bytes()), func() error {
+		dw, err := tensor.MatMulTransA(d.lastX, cur)
+		if err != nil {
+			return err
+		}
+		d.W.Grad, err = tensor.Add(d.W.Grad, dw)
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	var dx *Tensor
+	if _, err := s.submit(d.name+"/MatMul_grad_x", nn.OpMatMul, float64(cur.Bytes()+d.W.Value.Bytes()), func() error {
+		var err error
+		dx, err = tensor.MatMulTransB(cur, d.W.Value)
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	return dx, nil
+}
+
+// ---- MaxPool ----
+
+// Pool is a max-pooling layer (a programmable-PIM discretization op).
+type Pool struct {
+	name    string
+	Window  int
+	Stride  int
+	lastX   *Tensor
+	lastArg []int
+}
+
+// NewPool builds a max-pool layer.
+func NewPool(name string, window, stride int) *Pool {
+	return &Pool{name: name, Window: window, Stride: stride}
+}
+
+// Name implements Layer.
+func (p *Pool) Name() string { return p.name }
+
+// Params implements Layer.
+func (p *Pool) Params() []*Param { return nil }
+
+// Forward implements Layer.
+func (p *Pool) Forward(s *Session, x *Tensor) (*Tensor, error) {
+	p.lastX = x
+	var y *Tensor
+	if _, err := s.submit(p.name+"/MaxPool", nn.OpMaxPool, float64(x.Bytes()), func() error {
+		var err error
+		y, p.lastArg, err = tensor.MaxPool(x, p.Window, p.Stride)
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	return y, nil
+}
+
+// Backward implements Layer.
+func (p *Pool) Backward(s *Session, dy *Tensor) (*Tensor, error) {
+	if p.lastX == nil {
+		return nil, fmt.Errorf("framework: %s: backward before forward", p.name)
+	}
+	var dx *Tensor
+	if _, err := s.submit(p.name+"/MaxPoolGrad", nn.OpMaxPoolGrad, float64(dy.Bytes()), func() error {
+		var err error
+		dx, err = tensor.MaxPoolGrad(p.lastX.Shape, dy, p.lastArg)
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	return dx, nil
+}
+
+// ---- Flatten ----
+
+// Flatten reshapes NHWC activations to (N, H*W*C).
+type Flatten struct {
+	name      string
+	lastShape []int
+}
+
+// NewFlatten builds a flatten layer.
+func NewFlatten(name string) *Flatten { return &Flatten{name: name} }
+
+// Name implements Layer.
+func (f *Flatten) Name() string { return f.name }
+
+// Params implements Layer.
+func (f *Flatten) Params() []*Param { return nil }
+
+// Forward implements Layer.
+func (f *Flatten) Forward(s *Session, x *Tensor) (*Tensor, error) {
+	f.lastShape = append([]int(nil), x.Shape...)
+	n := x.Shape[0]
+	var y *Tensor
+	if _, err := s.submit(f.name+"/Reshape", nn.OpReshape, float64(x.Bytes()), func() error {
+		var err error
+		y, err = tensor.FromSlice(x.Data, n, x.Size()/n)
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	return y, nil
+}
+
+// Backward implements Layer.
+func (f *Flatten) Backward(s *Session, dy *Tensor) (*Tensor, error) {
+	if f.lastShape == nil {
+		return nil, fmt.Errorf("framework: %s: backward before forward", f.name)
+	}
+	return tensor.FromSlice(dy.Data, f.lastShape...)
+}

@@ -1,0 +1,108 @@
+package framework
+
+import (
+	"fmt"
+
+	"heteropim/internal/nn"
+	"heteropim/internal/tensor"
+)
+
+// Model is a sequential stack of layers trained with Adam and softmax
+// cross-entropy.
+type Model struct {
+	Layers []Layer
+	Adam   tensor.AdamConfig
+	steps  int
+}
+
+// NewModel assembles a model with TensorFlow's default Adam settings.
+func NewModel(layers ...Layer) *Model {
+	return &Model{Layers: layers, Adam: tensor.DefaultAdam()}
+}
+
+// StepReport summarizes one training step.
+type StepReport struct {
+	Loss float64
+	// Placements counts operations per compute resource for this step.
+	Placements map[Placement]int
+}
+
+// Forward runs inference through the session.
+func (m *Model) Forward(s *Session, x *Tensor) (*Tensor, error) {
+	cur := x
+	for _, l := range m.Layers {
+		var err error
+		cur, err = l.Forward(s, cur)
+		if err != nil {
+			return nil, fmt.Errorf("framework: forward %s: %w", l.Name(), err)
+		}
+	}
+	return cur, nil
+}
+
+// TrainStep runs one forward/backward/update pass: every operation is
+// an OpenCL kernel placed on the device the runtime rules pick, the
+// loss is softmax cross-entropy, and every parameter gets an ApplyAdam
+// update (on the programmable PIM — it needs sqrt and divide).
+func (m *Model) TrainStep(s *Session, x *Tensor, labels []int) (StepReport, error) {
+	before := s.Placements()
+	logits, err := m.Forward(s, x)
+	if err != nil {
+		return StepReport{}, err
+	}
+	var loss float64
+	var grad *Tensor
+	if _, err := s.submit("loss/SoftmaxCrossEntropy", nn.OpCrossEntropy, float64(logits.Bytes()), func() error {
+		var err error
+		loss, grad, err = tensor.CrossEntropyWithSoftmax(logits, labels)
+		return err
+	}); err != nil {
+		return StepReport{}, err
+	}
+	cur := grad
+	for i := len(m.Layers) - 1; i >= 0; i-- {
+		l := m.Layers[i]
+		cur, err = l.Backward(s, cur)
+		if err != nil {
+			return StepReport{}, fmt.Errorf("framework: backward %s: %w", l.Name(), err)
+		}
+	}
+	m.steps++
+	for _, l := range m.Layers {
+		for _, p := range l.Params() {
+			p := p
+			if _, err := s.submit(p.Name+"/ApplyAdam", nn.OpApplyAdam, float64(p.Value.Bytes()), func() error {
+				if err := tensor.ApplyAdam(p.Value, p.Grad, p.adam, m.Adam); err != nil {
+					return err
+				}
+				// Zero the gradient accumulator for the next step.
+				for i := range p.Grad.Data {
+					p.Grad.Data[i] = 0
+				}
+				return nil
+			}); err != nil {
+				return StepReport{}, err
+			}
+		}
+	}
+	rep := StepReport{Loss: loss, Placements: map[Placement]int{}}
+	after := s.Placements()
+	for k, v := range after {
+		rep.Placements[k] = v - before[k]
+	}
+	return rep, nil
+}
+
+// Steps returns how many training steps have been applied.
+func (m *Model) Steps() int { return m.steps }
+
+// NumParams counts trainable scalars.
+func (m *Model) NumParams() int {
+	total := 0
+	for _, l := range m.Layers {
+		for _, p := range l.Params() {
+			total += p.Value.Size()
+		}
+	}
+	return total
+}

@@ -1,0 +1,175 @@
+// Package framework is a miniature NN training framework built on the
+// extended-OpenCL layer — the functional analogue of the paper's
+// TensorFlow integration (Section IV-C). A Model is a stack of layers;
+// TrainStep runs a real forward/backward/update pass where every
+// operation is submitted as an OpenCL kernel to the compute device the
+// paper's placement rules choose: multiply/add-decomposable work to the
+// fixed-function PIM device, conditional/discretization work to the
+// programmable PIM, the rest to the host.
+//
+// The tensors are small and the math is genuine (internal/tensor); the
+// value of this package is demonstrating the software design end to
+// end: one portable kernel per operation, placed by the runtime, with
+// no data copies thanks to the shared global memory.
+package framework
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"heteropim/internal/hmc"
+	"heteropim/internal/hw"
+	"heteropim/internal/nn"
+	"heteropim/internal/opencl"
+	"heteropim/internal/tensor"
+)
+
+// Tensor is the dense FP32 tensor type of the functional path.
+type Tensor = tensor.Tensor
+
+// Placement says where an operation executed.
+type Placement int
+
+// The three compute resources of the platform model.
+const (
+	OnHost Placement = iota
+	OnFixedPIM
+	OnProgPIM
+)
+
+// String implements fmt.Stringer.
+func (p Placement) String() string {
+	switch p {
+	case OnHost:
+		return "host"
+	case OnFixedPIM:
+		return "fixed-pim"
+	case OnProgPIM:
+		return "prog-pim"
+	default:
+		return "unknown"
+	}
+}
+
+// Session owns an OpenCL platform over a heterogeneous PIM system and
+// submits operation kernels to it.
+type Session struct {
+	platform *opencl.Platform
+	cfg      hw.SystemConfig
+	bufSeq   atomic.Int64
+
+	// stats
+	mu     sync.Mutex
+	placed map[Placement]int
+}
+
+// NewSession opens a session on the paper's Hetero PIM configuration.
+func NewSession() (*Session, error) {
+	return NewSessionWith(hw.PaperConfig(hw.ConfigHeteroPIM))
+}
+
+// NewSessionWith opens a session on an explicit configuration.
+func NewSessionWith(cfg hw.SystemConfig) (*Session, error) {
+	p, err := opencl.NewPlatform(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Session{platform: p, cfg: cfg, placed: map[Placement]int{}}, nil
+}
+
+// Close shuts the platform down.
+func (s *Session) Close() { s.platform.Close() }
+
+// Placements returns how many operations ran on each resource since the
+// session opened.
+func (s *Session) Placements() map[Placement]int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := map[Placement]int{}
+	for k, v := range s.placed {
+		out[k] = v
+	}
+	return out
+}
+
+// hostOnlyTypes are pure data-movement framework ops (class 4 of
+// Fig. 2): not worth a PIM launch, they stay on the host.
+var hostOnlyTypes = map[nn.OpType]bool{
+	nn.OpReshape:   true,
+	nn.OpSlice:     true,
+	nn.OpTranspose: true,
+	nn.OpPad:       true,
+	nn.OpConcat:    true,
+}
+
+// place applies the scheduling principles of Section III-C to one op
+// type: fixed-function first, then programmable PIM, then host.
+func (s *Session) place(op nn.OpType) Placement {
+	prof := nn.ProfileFor(op)
+	switch {
+	case hostOnlyTypes[op]:
+		return OnHost
+	case prof.FixedEligible && prof.DecomposableFrac > 0 && s.platform.Fixed != nil:
+		return OnFixedPIM
+	case prof.ProgEligible && len(s.platform.Prog) > 0:
+		return OnProgPIM
+	default:
+		return OnHost
+	}
+}
+
+// submit wraps fn as an OpenCL kernel for the given op type, compiles
+// it (Fig. 4), enqueues the right binary on the chosen device's queue,
+// waits for the event, and records traffic against a scratch buffer.
+func (s *Session) submit(name string, op nn.OpType, bytes float64, fn func() error) (Placement, error) {
+	where := s.place(op)
+	k := &opencl.Kernel{Name: name, Op: op}
+	body := func(ctx *opencl.ExecContext) error { return fn() }
+	switch where {
+	case OnFixedPIM:
+		k.FixedBody = body
+	default:
+		k.Body = body
+	}
+	bs, err := opencl.Compile(k)
+	if err != nil {
+		return where, err
+	}
+	var ev *opencl.Event
+	switch where {
+	case OnFixedPIM:
+		ev, err = s.platform.Fixed.Queue().EnqueueKernel(bs.Binaries[opencl.BinFixed], s.platform.Memory, nil)
+	case OnProgPIM:
+		ev, err = s.platform.Prog[0].Queue().EnqueueKernel(bs.Binaries[opencl.BinProgFull], s.platform.Memory, nil)
+	default:
+		ev, err = s.platform.Host.Queue().EnqueueKernel(bs.Binaries[opencl.BinCPU], s.platform.Memory, nil)
+	}
+	if err != nil {
+		return where, err
+	}
+	if err := ev.Wait(); err != nil {
+		return where, err
+	}
+	// Account the op's traffic on the proper path of the stack.
+	buf, err := s.platform.Memory.Alloc(fmt.Sprintf("scratch-%d", s.bufSeq.Add(1)), bytes, nil)
+	if err == nil {
+		path := hmc.PIMPath
+		if where == OnHost {
+			path = hmc.HostPath
+		}
+		s.platform.Memory.Touch(buf, bytes, path)
+		_ = s.platform.Memory.Free(buf.Name)
+	}
+	s.mu.Lock()
+	s.placed[where]++
+	s.mu.Unlock()
+	return where, nil
+}
+
+// Traffic reports the stack traffic accumulated so far (host path, PIM
+// path), in bytes.
+func (s *Session) Traffic() (host, pim float64) {
+	st := s.platform.Memory.Stack()
+	return st.HostBytes(), st.PIMBytes()
+}

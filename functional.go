@@ -1,0 +1,109 @@
+package heteropim
+
+import (
+	"math/rand"
+
+	"heteropim/internal/tensor"
+)
+
+// The functional tensor API: genuine FP32 implementations of the
+// training operations the paper profiles, usable on small tensors. The
+// examples train a real micro-model with these; the simulator proper
+// uses analytic descriptors of the same operations.
+
+// Tensor is a dense FP32 tensor (NHWC activations, HWIO filters).
+type Tensor = tensor.Tensor
+
+// ConvSpec fixes stride and padding of a convolution.
+type ConvSpec = tensor.ConvSpec
+
+// AdamConfig holds optimizer hyperparameters.
+type AdamConfig = tensor.AdamConfig
+
+// AdamState carries per-parameter optimizer state.
+type AdamState = tensor.AdamState
+
+// NewTensor allocates a zero tensor.
+func NewTensor(shape ...int) *Tensor { return tensor.New(shape...) }
+
+// TensorFromSlice wraps data in a tensor of the given shape.
+func TensorFromSlice(data []float32, shape ...int) (*Tensor, error) {
+	return tensor.FromSlice(data, shape...)
+}
+
+// Randn fills a new tensor with seeded pseudo-normal values.
+func Randn(rng *rand.Rand, scale float64, shape ...int) *Tensor {
+	return tensor.Randn(rng, scale, shape...)
+}
+
+// MatMul computes A x B.
+func MatMul(a, b *Tensor) (*Tensor, error) { return tensor.MatMul(a, b) }
+
+// MatMulTransA computes Aᵀ x B (weight gradients of dense layers).
+func MatMulTransA(a, b *Tensor) (*Tensor, error) { return tensor.MatMulTransA(a, b) }
+
+// MatMulTransB computes A x Bᵀ (input gradients of dense layers).
+func MatMulTransB(a, b *Tensor) (*Tensor, error) { return tensor.MatMulTransB(a, b) }
+
+// Conv2D convolves NHWC input x with HWIO filter w (reference
+// implementation).
+func Conv2D(x, w *Tensor, spec ConvSpec) (*Tensor, error) { return tensor.Conv2D(x, w, spec) }
+
+// Conv2DGEMM is the im2col+GEMM convolution: same result as Conv2D,
+// several times faster — TensorFlow's CPU strategy, and the reason
+// forward convolutions are cache friendly in Table I.
+func Conv2DGEMM(x, w *Tensor, spec ConvSpec) (*Tensor, error) {
+	return tensor.Conv2DGEMM(x, w, spec)
+}
+
+// Conv2DBackpropInput is the input gradient of Conv2D.
+func Conv2DBackpropInput(inShape []int, w, dy *Tensor, spec ConvSpec) (*Tensor, error) {
+	return tensor.Conv2DBackpropInput(inShape, w, dy, spec)
+}
+
+// Conv2DBackpropFilter is the filter gradient of Conv2D.
+func Conv2DBackpropFilter(x *Tensor, filterShape []int, dy *Tensor, spec ConvSpec) (*Tensor, error) {
+	return tensor.Conv2DBackpropFilter(x, filterShape, dy, spec)
+}
+
+// BiasAdd adds a per-channel bias.
+func BiasAdd(x, b *Tensor) (*Tensor, error) { return tensor.BiasAdd(x, b) }
+
+// BiasAddGrad reduces dy over all but the channel dimension.
+func BiasAddGrad(dy *Tensor) *Tensor { return tensor.BiasAddGrad(dy) }
+
+// Relu applies max(0, x).
+func Relu(x *Tensor) *Tensor { return tensor.Relu(x) }
+
+// ReluGrad masks dy by the forward input's sign.
+func ReluGrad(x, dy *Tensor) (*Tensor, error) { return tensor.ReluGrad(x, dy) }
+
+// MaxPool performs 2D max pooling, returning argmax indices for the
+// backward pass.
+func MaxPool(x *Tensor, window, stride int) (*Tensor, []int, error) {
+	return tensor.MaxPool(x, window, stride)
+}
+
+// MaxPoolGrad routes dy back to the argmax positions.
+func MaxPoolGrad(xShape []int, dy *Tensor, arg []int) (*Tensor, error) {
+	return tensor.MaxPoolGrad(xShape, dy, arg)
+}
+
+// Softmax applies a row-wise softmax.
+func Softmax(x *Tensor) *Tensor { return tensor.Softmax(x) }
+
+// CrossEntropyWithSoftmax returns mean loss and the logits gradient.
+func CrossEntropyWithSoftmax(logits *Tensor, labels []int) (float64, *Tensor, error) {
+	return tensor.CrossEntropyWithSoftmax(logits, labels)
+}
+
+// DefaultAdam returns TensorFlow's default Adam hyperparameters.
+func DefaultAdam() AdamConfig { return tensor.DefaultAdam() }
+
+// NewAdamState allocates optimizer state for a parameter tensor.
+func NewAdamState(param *Tensor) *AdamState { return tensor.NewAdamState(param) }
+
+// ApplyAdam performs one in-place Adam update.
+func ApplyAdam(param, grad *Tensor, st *AdamState, cfg AdamConfig) error {
+	return tensor.ApplyAdam(param, grad, st, cfg)
+}

@@ -1,0 +1,3 @@
+module heteropim
+
+go 1.22

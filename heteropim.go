@@ -1,0 +1,178 @@
+// Package heteropim is the public API of the heterogeneous
+// processing-in-memory (PIM) training simulator — a from-scratch Go
+// reproduction of "Processing-in-Memory for Energy-efficient Neural
+// Network Training: A Heterogeneous Approach" (MICRO 2018).
+//
+// The package exposes three layers:
+//
+//   - Simulation: Run and RunVariant simulate steady-state NN training
+//     of the paper's seven workload models on the five evaluated
+//     platform configurations (CPU, GPU, Progr PIM, Fixed PIM, Hetero
+//     PIM), returning step time, the Fig. 8 breakdown, whole-system
+//     energy and fixed-function utilization.
+//
+//   - Experiments: Experiments lists a runner per paper table/figure
+//     (Table I, Figs. 2 and 8-17); each regenerates the corresponding
+//     rows/series as a text table.
+//
+//   - Functional math: the Tensor API (MatMul, Conv2D and its backprops,
+//     ReLU, MaxPool, Adam...) runs genuine FP32 training math on small
+//     tensors, so examples can train a real micro-model end to end.
+package heteropim
+
+import (
+	"fmt"
+
+	"heteropim/internal/core"
+	"heteropim/internal/energy"
+	"heteropim/internal/hw"
+	"heteropim/internal/nn"
+)
+
+// Model names a training workload (Section V-C).
+type Model = nn.ModelName
+
+// The seven evaluated models.
+const (
+	VGG19       = nn.VGG19Name
+	AlexNet     = nn.AlexNetName
+	DCGAN       = nn.DCGANName
+	ResNet50    = nn.ResNet50Name
+	InceptionV3 = nn.InceptionV3Name
+	LSTM        = nn.LSTMName
+	Word2Vec    = nn.Word2VecName
+)
+
+// Config names one of the five evaluated platform configurations.
+type Config = hw.ConfigKind
+
+// The five platforms of Section VI.
+const (
+	ConfigCPU       = hw.ConfigCPU
+	ConfigGPU       = hw.ConfigGPU
+	ConfigProgrPIM  = hw.ConfigProgrPIM
+	ConfigFixedPIM  = hw.ConfigFixedPIM
+	ConfigHeteroPIM = hw.ConfigHeteroPIM
+)
+
+// Models returns the five CNN models of Figs. 8-15 in figure order.
+func Models() []Model { return nn.CNNModelNames() }
+
+// AllModels adds the two non-CNN co-run models (LSTM, Word2vec).
+func AllModels() []Model { return nn.AllModelNames() }
+
+// Configs returns the five platform configurations in figure order.
+func Configs() []Config { return hw.AllConfigKinds() }
+
+// Breakdown splits a step's wall clock as in Fig. 8.
+type Breakdown struct {
+	Operation    float64 // seconds of computation (CPU/GPU/PIMs)
+	DataMovement float64 // seconds stalled on data movement
+	Sync         float64 // seconds of synchronization / kernel launch
+}
+
+// Result is the outcome of simulating one model on one configuration.
+type Result struct {
+	Model  Model
+	Config string
+	// StepTime is the steady-state wall-clock seconds per training step.
+	StepTime float64
+	// Breakdown components sum to StepTime.
+	Breakdown Breakdown
+	// Energy is the whole-system dynamic energy per step (joules).
+	Energy float64
+	// AvgPower is Energy / StepTime (watts).
+	AvgPower float64
+	// EDP is the energy-delay product (J*s).
+	EDP float64
+	// FixedUtilization is the fixed-function PIM pool utilization
+	// (0 for configurations without fixed-function PIMs).
+	FixedUtilization float64
+	// OffloadedOps / CPUOps count per-step operation placement.
+	OffloadedOps, CPUOps int
+}
+
+// wrap converts an internal result to the public shape.
+func wrap(r core.Result) Result {
+	e := energy.Evaluate(r)
+	return Result{
+		Model:    Model(r.Model),
+		Config:   r.Config.Name,
+		StepTime: r.StepTime,
+		Breakdown: Breakdown{
+			Operation:    r.Breakdown.Operation,
+			DataMovement: r.Breakdown.DataMovement,
+			Sync:         r.Breakdown.Sync,
+		},
+		Energy:           e.Dynamic,
+		AvgPower:         e.AvgPower,
+		EDP:              e.EDP,
+		FixedUtilization: r.FixedUtilization,
+		OffloadedOps:     r.OffloadedOps,
+		CPUOps:           r.CPUOps,
+	}
+}
+
+// Run simulates steady-state training of model on config at PIM/stack
+// frequency scale 1.
+func Run(config Config, model Model) (Result, error) {
+	return RunScaled(config, model, 1)
+}
+
+// RunScaled is Run at a PIM/stack frequency multiplier (1, 2 or 4 in
+// the paper's Section VI-D study).
+func RunScaled(config Config, model Model, freqScale float64) (Result, error) {
+	r, err := core.BuildAndRun(config, model, freqScale)
+	if err != nil {
+		return Result{}, err
+	}
+	return wrap(r), nil
+}
+
+// Variant toggles the two runtime techniques of Section VI-E.
+type Variant struct {
+	// RecursiveKernels enables RC (Fig. 6 recursive PIM kernels).
+	RecursiveKernels bool
+	// OperationPipeline enables OP (the cross-step operation pipeline).
+	OperationPipeline bool
+}
+
+// RunVariant simulates the Hetero PIM platform with the runtime
+// techniques individually toggled (Figs. 13-15).
+func RunVariant(model Model, v Variant) (Result, error) {
+	g, err := nn.Build(model)
+	if err != nil {
+		return Result{}, err
+	}
+	r, err := core.RunHeteroVariant(g, v.RecursiveKernels, v.OperationPipeline, 1)
+	if err != nil {
+		return Result{}, err
+	}
+	return wrap(r), nil
+}
+
+// RunNeurocube simulates the Neurocube comparison point (Fig. 10).
+func RunNeurocube(model Model) (Result, error) {
+	g, err := nn.Build(model)
+	if err != nil {
+		return Result{}, err
+	}
+	return wrap(core.RunNeurocubeDefault(g)), nil
+}
+
+// RunHeteroProcessors simulates Hetero PIM with n programmable PIM
+// processors at constant logic-die area (Fig. 12: 1, 4, 16).
+func RunHeteroProcessors(model Model, n int) (Result, error) {
+	if n < 1 {
+		return Result{}, fmt.Errorf("heteropim: need at least one processor, got %d", n)
+	}
+	g, err := nn.Build(model)
+	if err != nil {
+		return Result{}, err
+	}
+	r, err := core.RunPIM(g, hw.HeteroConfigWithProcessors(n, 1), core.HeteroOptions())
+	if err != nil {
+		return Result{}, err
+	}
+	return wrap(r), nil
+}

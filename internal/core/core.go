@@ -1,0 +1,91 @@
+package core
+
+import (
+	"fmt"
+
+	"heteropim/internal/device"
+	"heteropim/internal/hw"
+	"heteropim/internal/nn"
+)
+
+// HeteroOptions returns the full paper runtime: profiling-based
+// selection, recursive kernels, and the operation pipeline.
+func HeteroOptions() Options {
+	return Options{RC: true, OP: true, UseSelection: true}
+}
+
+// Run simulates steady-state training of a model on one of the five
+// evaluated platform configurations (Section VI) at the given PIM/stack
+// frequency scale.
+func Run(kind hw.ConfigKind, g *nn.Graph, freqScale float64) (Result, error) {
+	cfg := hw.PaperConfigScaled(kind, freqScale)
+	return RunOn(kind, g, cfg)
+}
+
+// RunOn is Run with an explicit (possibly customized) configuration.
+func RunOn(kind hw.ConfigKind, g *nn.Graph, cfg hw.SystemConfig) (Result, error) {
+	switch kind {
+	case hw.ConfigCPU:
+		return RunCPU(g, cfg), nil
+	case hw.ConfigGPU:
+		return RunGPU(g, cfg), nil
+	case hw.ConfigProgrPIM:
+		// No runtime scheduling: every op runs on the programmable
+		// cores, as wide as its parallelism allows, no pipeline.
+		return RunPIM(g, cfg, Options{NoCPUFallback: true, WideProgOps: true})
+	case hw.ConfigFixedPIM:
+		// Offloadable ops on the fixed-function pool, everything else
+		// (and all residual phases) on the CPU; no runtime scheduling.
+		return RunPIM(g, cfg, Options{})
+	case hw.ConfigHeteroPIM:
+		return RunPIM(g, cfg, HeteroOptions())
+	default:
+		return Result{}, fmt.Errorf("core: unknown configuration %v", kind)
+	}
+}
+
+// RunHeteroVariant simulates the Hetero PIM platform with the runtime
+// techniques individually toggled (the software-impact study of
+// Section VI-E: Figs. 13-15).
+func RunHeteroVariant(g *nn.Graph, rc, op bool, freqScale float64) (Result, error) {
+	cfg := hw.PaperConfigScaled(hw.ConfigHeteroPIM, freqScale)
+	opts := HeteroOptions()
+	opts.RC = rc
+	opts.OP = op
+	res, err := RunPIM(g, cfg, opts)
+	if err != nil {
+		return res, err
+	}
+	res.Config.Name = fmt.Sprintf("Hetero PIM(RC=%v,OP=%v)", rc, op)
+	return res, nil
+}
+
+// RunNeurocubeDefault runs the Neurocube comparison point (Fig. 10).
+func RunNeurocubeDefault(g *nn.Graph) Result {
+	cfg := hw.PaperConfigScaled(hw.ConfigHeteroPIM, 1)
+	return RunNeurocube(g, device.DefaultNeurocube(), cfg)
+}
+
+// RunAll runs a model across the five platform configurations and
+// returns results in figure order.
+func RunAll(g *nn.Graph) ([]Result, error) {
+	out := make([]Result, 0, 5)
+	for _, kind := range hw.AllConfigKinds() {
+		r, err := Run(kind, g, 1)
+		if err != nil {
+			return nil, fmt.Errorf("core: %s on %v: %w", g.Model, kind, err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// BuildAndRun is a convenience for tools: build the model, run one
+// configuration.
+func BuildAndRun(kind hw.ConfigKind, model nn.ModelName, freqScale float64) (Result, error) {
+	g, err := nn.Build(model)
+	if err != nil {
+		return Result{}, err
+	}
+	return Run(kind, g, freqScale)
+}

@@ -1,0 +1,821 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"heteropim/internal/device"
+	"heteropim/internal/hmc"
+	"heteropim/internal/hw"
+	"heteropim/internal/nn"
+	"heteropim/internal/pim"
+	"heteropim/internal/sim"
+)
+
+// Options parameterizes the PIM executors (Hetero PIM and the two
+// PIM-only baselines run through the same discrete-event machinery).
+type Options struct {
+	// RC enables recursive PIM kernels (Fig. 6): residual phases run on
+	// the programmable PIM and per-section synchronization stays inside
+	// the stack instead of round-tripping to the host.
+	RC bool
+	// OP enables the operation pipeline: operations of the next
+	// training step may use idle fixed-function units when data
+	// dependences allow (Section III-C).
+	OP bool
+	// PipelineDepth is how many training steps may be in flight under
+	// OP (default 2: current + next, as in the paper's description).
+	PipelineDepth int
+	// Steps is the number of steady-state steps to simulate (default 4).
+	Steps int
+	// UseSelection runs the profiling + dual-index candidate selection;
+	// when false every op is a candidate (the no-runtime baselines).
+	UseSelection bool
+	// XPercent is the selection threshold (default 90, Section III-C).
+	XPercent float64
+	// NoCPUFallback disables principle 2's CPU fallback; the Progr PIM
+	// baseline runs every operation on the programmable cores.
+	NoCPUFallback bool
+	// WideProgOps lets one operation span multiple programmable
+	// processors (up to its intrinsic parallelism) — the Progr PIM
+	// baseline's "as many ARM-based programmable cores as needed".
+	WideProgOps bool
+	// UniformPlacement switches the fixed-function placement from the
+	// thermal-aware policy to uniform. Central banks then throttle to
+	// respect the thermal envelope, derating the pool's sustained
+	// frequency (the placement ablation of DESIGN.md §6).
+	UniformPlacement bool
+	// HostOnlyOps restricts the listed op IDs to the CPU and the
+	// programmable PIM (never the fixed-function pool). The
+	// mixed-workload study runs the non-CNN model this way
+	// (Section VI-F: "the non-CNN model executes on CPU or the
+	// programmable PIM, when they are idle").
+	HostOnlyOps map[int]bool
+	// GPUHost attaches the heterogeneous PIM to a GPU system instead of
+	// a CPU one (the Section II-D discussion, built here as an
+	// extension study): non-offloaded operations execute on the GPU at
+	// its kernel-launch granularity.
+	GPUHost bool
+	// Trace, when non-nil, receives one line per scheduling decision:
+	// "t=<sim time> step=<n> op=<name> path=<cpu|prog|fixed>".
+	Trace io.Writer
+	// DisableOpportunistic turns off the Fig. 2 class-1 rule (offload
+	// non-candidate compute ops when units idle) — an ablation that
+	// shows the rule is load-bearing for deep serial networks.
+	DisableOpportunistic bool
+	// Census, when non-nil, is filled with per-op-type placement counts.
+	Census *PlacementCensus
+}
+
+// withDefaults normalizes option values.
+func (o Options) withDefaults() Options {
+	if o.PipelineDepth <= 0 {
+		o.PipelineDepth = 2
+	}
+	if o.Steps <= 0 {
+		o.Steps = 4
+	}
+	if o.XPercent <= 0 {
+		o.XPercent = 90
+	}
+	return o
+}
+
+// uniformPlacementDerate is the sustained-frequency penalty of ignoring
+// the thermal placement policy (hot central banks throttle).
+const uniformPlacementDerate = 0.92
+
+// pathKind is where the scheduler placed an operation.
+type pathKind int
+
+const (
+	pathCPU pathKind = iota
+	pathProg
+	pathFixed
+)
+
+// fixedKernelQuantumFlops is the work of ONE small kernel loadable on a
+// group of fixed-function PIMs (one extracted code section instance,
+// Section IV-B). Without recursive kernels the host pays a spawn and a
+// completion synchronization for every one of them — the "frequent
+// operation-spawning and host-PIM synchronization" overhead of
+// Section II-C that RC exists to remove.
+const fixedKernelQuantumFlops = 1e6
+
+// fixedTimeQuantum bounds how long one unit grant is held before the
+// runtime re-evaluates it. This implements the paper's dynamic usage:
+// "an operation can dynamically change its usage of PIMs, depending on
+// the availability of PIMs" — a starved operation regains units at the
+// next quantum, and a newly released pool is redistributed quickly.
+const fixedTimeQuantum hw.Seconds = 2e-3
+
+// task is one operation instance (op x step) in flight.
+type task struct {
+	op   *nn.Op
+	step int
+	deps int
+	outs []*task
+
+	// token is the op's handle in the Fig. 7 status registers.
+	token pim.OpToken
+
+	path pathKind
+	// remFlops/remBytes is the remaining decomposable work streamed
+	// through the fixed-function units.
+	remFlops, remBytes float64
+	// syncPerFlop spreads the op's total per-kernel synchronization
+	// cost over its decomposable flops.
+	syncPerFlop float64
+}
+
+// workItem is a unit of queued device work.
+type workItem struct {
+	dur   hw.Seconds
+	opT   hw.Seconds // operation-time share
+	dmT   hw.Seconds // data-movement share
+	slots int        // device slots occupied (defaults to 1)
+	// bypassed counts how many shorter items jumped ahead (SJF aging:
+	// after maxBypass jumps the item cannot be overtaken again).
+	bypassed int
+	done     func()
+}
+
+// maxBypass bounds SJF queue jumping so long operations cannot starve.
+const maxBypass = 8
+
+// serialDevice is a multi-slot resource (the host, or the set of
+// programmable PIM processors). The host runs shortest-job-first: the
+// 8-core machine timeslices, so a small framework op is never stuck
+// behind a long-running macro operation.
+type serialDevice struct {
+	slots int
+	busy  int
+	sjf   bool
+	queue []workItem
+	// busySeconds integrates slot occupancy for the energy model.
+	busySeconds float64
+}
+
+// exec is the discrete-event executor state.
+type exec struct {
+	eng  *sim.Engine
+	cfg  hw.SystemConfig
+	g    *nn.Graph
+	opts Options
+	cand map[int]bool
+
+	pool *pim.Pool
+	regs *pim.Registers
+	cpu  *serialDevice
+	prog *serialDevice
+
+	fixedPending []*task
+
+	tasks     [][]*task // [step][opID]
+	stepLeft  []int
+	heldBack  [][]*task // dep-free tasks awaiting step admission
+	firstOpen int       // smallest step with unfinished tasks
+
+	bk      Breakdown // serial attribution sums
+	usage   Usage
+	offload int
+	cpuOps  int
+	err     error
+}
+
+// RunPIM simulates steady-state training on a PIM-equipped platform.
+// It covers Hetero PIM (with/without RC and OP), the Fixed PIM baseline
+// (no programmable processors in cfg) and the Progr PIM baseline (no
+// fixed units in cfg).
+func RunPIM(g *nn.Graph, cfg hw.SystemConfig, opts Options) (Result, error) {
+	opts = opts.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	if opts.GPUHost && cfg.GPU.SMs <= 0 {
+		return Result{}, fmt.Errorf("core: GPU-host execution needs a GPU in the configuration")
+	}
+	stack, err := hmc.New(cfg.Stack)
+	if err != nil {
+		return Result{}, err
+	}
+	var placement pim.Placement
+	if cfg.FixedPIM.Units > 0 {
+		if opts.UniformPlacement {
+			placement, err = pim.UniformPlacement(stack, cfg.FixedPIM.Units)
+		} else {
+			placement, err = pim.ThermalPlacement(stack, cfg.FixedPIM.Units)
+		}
+		if err != nil {
+			return Result{}, err
+		}
+	}
+	x := &exec{
+		eng:  sim.New(),
+		cfg:  cfg,
+		g:    g,
+		opts: opts,
+		pool: pim.NewPool(cfg.FixedPIM, placement),
+		regs: pim.NewRegisters(cfg.Stack.Banks, cfg.ProgPIM.Processors),
+		// The host is modelled with two op-level slots: TensorFlow's
+		// inter-op thread pool keeps multiple operations in flight on
+		// the 8-core machine, which is what lets a co-running job use
+		// idle host cycles (Section VI-F).
+		cpu:  &serialDevice{slots: 2, sjf: true},
+		prog: &serialDevice{slots: cfg.ProgPIM.Processors},
+	}
+	if opts.UseSelection {
+		prof := ProfileStep(g, cfg.CPU)
+		if len(opts.HostOnlyOps) > 0 {
+			// Host-pinned operations (the Section VI-F non-CNN job) are
+			// not offload candidates: drop them from the profile so
+			// they cannot eat the x% selection budget.
+			kept := prof.Entries[:0]
+			var t hw.Seconds
+			var a float64
+			for _, e := range prof.Entries {
+				if opts.HostOnlyOps[e.OpID] {
+					continue
+				}
+				kept = append(kept, e)
+				t += e.Time
+				a += e.MemAccesses
+			}
+			prof.Entries = kept
+			prof.TotalTime = t
+			prof.TotalAccesses = a
+		}
+		x.cand = SelectCandidates(prof, opts.XPercent)
+	} else {
+		x.cand = AllOpsCandidates(g)
+	}
+	x.buildTasks()
+	x.seed()
+	if err := x.eng.Run(); err != nil {
+		return Result{}, err
+	}
+	if x.err != nil {
+		return Result{}, x.err
+	}
+	// Hardware/software contract: every pimOffload must have been
+	// matched by a completion — the Fig. 7 registers read all-idle.
+	for b := 0; b < cfg.Stack.Banks; b++ {
+		if x.regs.IsBankBusy(b) {
+			return Result{}, fmt.Errorf("core: bank %d status register still busy at end of simulation", b)
+		}
+	}
+	for pidx := 0; pidx < cfg.ProgPIM.Processors; pidx++ {
+		if x.regs.IsProcessorBusy(pidx) {
+			return Result{}, fmt.Errorf("core: processor %d status register still busy at end of simulation", pidx)
+		}
+	}
+	return x.finish(), nil
+}
+
+// effStack returns the stack spec, derated under uniform placement.
+func (x *exec) effStack() hw.StackSpec {
+	s := x.cfg.Stack
+	if x.opts.UniformPlacement {
+		if s.FreqScale == 0 {
+			s.FreqScale = 1
+		}
+		s.FreqScale *= uniformPlacementDerate
+	}
+	return s
+}
+
+// buildTasks instantiates op x step tasks and wires dependencies.
+func (x *exec) buildTasks() {
+	steps := x.opts.Steps
+	x.tasks = make([][]*task, steps)
+	x.stepLeft = make([]int, steps)
+	x.heldBack = make([][]*task, steps)
+	for s := 0; s < steps; s++ {
+		x.tasks[s] = make([]*task, len(x.g.Ops))
+		x.stepLeft[s] = len(x.g.Ops)
+		for _, op := range x.g.Ops {
+			x.tasks[s][op.ID] = &task{op: op, step: s}
+		}
+	}
+	for s := 0; s < steps; s++ {
+		for _, op := range x.g.Ops {
+			t := x.tasks[s][op.ID]
+			for _, in := range op.Inputs {
+				src := x.tasks[s][in]
+				src.outs = append(src.outs, t)
+				t.deps++
+			}
+			// Cross-step weight gates: under OP the runtime
+			// double-buffers parameter updates so next-step forward
+			// work can start on in-flight weights (the paper's
+			// next-step partial execution, Section III-C); without OP
+			// the step barrier subsumes the gates, so the explicit
+			// edges are only wired for the strict (no-OP) mode.
+			if s > 0 && !x.opts.OP {
+				for _, cs := range op.CrossStep {
+					src := x.tasks[s-1][cs]
+					src.outs = append(src.outs, t)
+					t.deps++
+				}
+			}
+		}
+	}
+}
+
+// admitted reports whether tasks of the given step may start.
+func (x *exec) admitted(step int) bool {
+	if !x.opts.OP {
+		return step == x.firstOpen
+	}
+	return step < x.firstOpen+x.opts.PipelineDepth
+}
+
+// seed dispatches every dependency-free task of admissible steps.
+func (x *exec) seed() {
+	for s := range x.tasks {
+		for _, t := range x.tasks[s] {
+			if t.deps == 0 {
+				x.maybeDispatch(t)
+			}
+		}
+	}
+}
+
+// maybeDispatch starts a dep-free task now or holds it for admission.
+func (x *exec) maybeDispatch(t *task) {
+	if !x.admitted(t.step) {
+		x.heldBack[t.step] = append(x.heldBack[t.step], t)
+		return
+	}
+	x.dispatch(t)
+}
+
+// dispatch applies the three scheduling principles to place a task.
+func (x *exec) dispatch(t *task) {
+	prof := nn.ProfileFor(t.op.Type)
+	isCand := x.cand[t.op.ID]
+	if x.opts.HostOnlyOps[t.op.ID] {
+		// Section VI-F policy: the non-CNN model "executes on CPU or
+		// the programmable PIM, when they are idle". Pick the idle
+		// device only when it is not grossly slower for this op.
+		cpuDur := device.CPUOp(t.op, x.cfg.CPU).Time()
+		progDur := math.Inf(1)
+		if prof.ProgEligible && x.prog.slots > 0 {
+			progDur = device.ProgOp(t.op, x.cfg.ProgPIM, 1, x.effStack()).Time()
+		}
+		if x.cpu.busy >= x.cpu.slots && x.prog.busy < x.prog.slots && progDur <= 2*cpuDur {
+			x.startProg(t)
+			return
+		}
+		x.startCPU(t)
+		return
+	}
+	fixedOK := prof.FixedEligible && x.pool.Total() > 0 && t.op.DecomposableFlops() > 0
+	// Fig. 2 / class 1: compute-intensive ops outside the candidate set
+	// "do not have to be offloaded to PIMs, but we can offload them when
+	// there are idling hardware units in PIMs" — opportunistic offload
+	// when units are free right now (candidates may queue instead).
+	granule := t.op.UnitGranule
+	if granule <= 0 {
+		granule = 1
+	}
+	x.pool.Advance(x.eng.Now())
+	// Offload opportunistically when units are idle right now, or when
+	// the host is itself saturated (waiting for units beats queueing on
+	// a busy CPU).
+	opportunistic := fixedOK && !isCand && !x.opts.DisableOpportunistic &&
+		(x.pool.Available() >= granule || x.cpu.busy >= x.cpu.slots)
+	switch {
+	// Principle 1: fixed-function PIMs first.
+	case fixedOK && (isCand || opportunistic):
+		x.startFixed(t)
+	// Principle 2: PIMs over CPU; fall back to CPU when busy.
+	case isCand && prof.ProgEligible && x.prog.slots > 0:
+		x.startProg(t)
+	default:
+		x.startCPU(t)
+	}
+}
+
+// trace emits one scheduling-decision line when tracing is enabled and
+// feeds the placement census.
+func (x *exec) trace(t *task) {
+	if c := x.opts.Census; c != nil {
+		switch t.path {
+		case pathFixed:
+			c.Fixed[string(t.op.Type)]++
+		case pathProg:
+			c.Prog[string(t.op.Type)]++
+		default:
+			c.CPU[string(t.op.Type)]++
+		}
+	}
+	if x.opts.Trace == nil {
+		return
+	}
+	names := [...]string{"cpu", "prog", "fixed"}
+	fmt.Fprintf(x.opts.Trace, "t=%.9f step=%d op=%s path=%s\n",
+		x.eng.Now(), t.step, t.op.Name, names[t.path])
+}
+
+// complete marks a task done and wakes its dependents; when a step
+// drains it may open admission for held-back steps.
+func (x *exec) complete(t *task) {
+	x.stepLeft[t.step]--
+	for _, d := range t.outs {
+		d.deps--
+		if d.deps == 0 {
+			x.maybeDispatch(d)
+		}
+	}
+	for x.firstOpen < len(x.stepLeft) && x.stepLeft[x.firstOpen] == 0 {
+		x.firstOpen++
+		// Admission horizon moved: release everything now admissible.
+		for s := 0; s < len(x.heldBack); s++ {
+			if !x.admitted(s) {
+				continue
+			}
+			held := x.heldBack[s]
+			x.heldBack[s] = nil
+			for _, ht := range held {
+				x.dispatch(ht)
+			}
+		}
+	}
+}
+
+// ---- device execution ----
+
+// enqueue schedules a work item on a serial device (FIFO, head-of-line
+// blocking for multi-slot items).
+func (x *exec) enqueue(d *serialDevice, w workItem) {
+	if w.slots < 1 {
+		w.slots = 1
+	}
+	if w.slots > d.slots {
+		w.slots = d.slots
+	}
+	x.bk.Operation += w.opT
+	x.bk.DataMovement += w.dmT
+	if d.sjf {
+		at := len(d.queue)
+		for at > 0 && d.queue[at-1].dur > w.dur && d.queue[at-1].bypassed < maxBypass {
+			at--
+		}
+		d.queue = append(d.queue, workItem{})
+		copy(d.queue[at+1:], d.queue[at:])
+		d.queue[at] = w
+		for i := at + 1; i < len(d.queue); i++ {
+			d.queue[i].bypassed++
+		}
+	} else {
+		d.queue = append(d.queue, w)
+	}
+	x.pumpDevice(d)
+}
+
+// pumpDevice starts queued items while slots are free.
+func (x *exec) pumpDevice(d *serialDevice) {
+	for len(d.queue) > 0 && d.busy+d.queue[0].slots <= d.slots {
+		w := d.queue[0]
+		d.queue = d.queue[1:]
+		d.busy += w.slots
+		d.busySeconds += w.dur * float64(w.slots)
+		if err := x.eng.After(w.dur, func() {
+			d.busy -= w.slots
+			x.pumpDevice(d)
+			if w.done != nil {
+				w.done()
+			}
+		}); err != nil {
+			x.err = err
+		}
+	}
+}
+
+// delay schedules fn after a pure synchronization delay.
+func (x *exec) delay(dur hw.Seconds, fn func()) {
+	x.bk.Sync += dur
+	if err := x.eng.After(dur, fn); err != nil {
+		x.err = err
+	}
+}
+
+// startCPU runs the whole op on the host (CPU, or the GPU in the
+// GPU-attached extension).
+func (x *exec) startCPU(t *task) {
+	t.path = pathCPU
+	x.cpuOps++
+	x.trace(t)
+	var w device.Work
+	var overhead hw.Seconds
+	if x.opts.GPUHost {
+		w = device.GPUOp(t.op, x.cfg.GPU, gpuEff(x.g))
+		overhead = x.cfg.GPU.KernelLaunchOverhead
+		x.usage.GPUBytes += t.op.Bytes
+	} else {
+		w = device.CPUOp(t.op, x.cfg.CPU)
+		overhead = cpuDispatchOverhead
+		x.usage.HostBytes += t.op.Bytes
+	}
+	opT, dmT := splitWork(w)
+	x.bk.Sync += overhead
+	x.enqueue(x.cpu, workItem{dur: w.Time() + overhead, opT: opT, dmT: dmT, done: func() { x.complete(t) }})
+}
+
+// startProg runs the whole op on programmable PIM processors. If all
+// processors are busy and the host is idle, principle 2's fallback
+// sends it to the CPU instead (unless disabled for the Progr PIM
+// baseline).
+func (x *exec) startProg(t *task) {
+	if !x.opts.NoCPUFallback && x.prog.busy >= x.prog.slots && x.cpu.busy < x.cpu.slots {
+		x.startCPU(t)
+		return
+	}
+	t.path = pathProg
+	x.offload++
+	x.trace(t)
+	// Track the op in the status registers (pimOffload on the
+	// programmable processor); completion clears it.
+	x.registerOffload(t, pim.Location{OnProgrammable: true, Processor: 0})
+	procs := 1
+	if x.opts.WideProgOps {
+		procs = nn.ProgParallelismFor(t.op.Type)
+		if procs > x.prog.slots {
+			procs = x.prog.slots
+		}
+	}
+	w := device.ProgOp(t.op, x.cfg.ProgPIM, procs, x.effStack())
+	opT, dmT := splitWork(w)
+	x.usage.PIMBytes += t.op.Bytes
+	launch := x.cfg.ProgPIM.KernelLaunchOverhead + x.cfg.FixedPIM.HostSyncOverhead
+	x.bk.Sync += launch
+	procs2 := 1
+	if x.opts.WideProgOps {
+		procs2 = nn.ProgParallelismFor(t.op.Type)
+	}
+	x.enqueue(x.prog, workItem{dur: w.Time() + launch, opT: opT, dmT: dmT, slots: procs2, done: func() {
+		x.completeOffload(t)
+		x.complete(t)
+	}})
+}
+
+// registerOffload records the op in the hardware status registers
+// (Table III's pimOffload) so the runtime can poll pimQueryCompletion;
+// the simulator itself schedules by events, but keeping the registers
+// live lets tests assert the hardware/software contract.
+func (x *exec) registerOffload(t *task, loc pim.Location) {
+	tok, err := x.regs.Offload(loc)
+	if err != nil {
+		x.err = err
+		return
+	}
+	t.token = tok
+}
+
+// completeOffload marks the op finished in the status registers.
+func (x *exec) completeOffload(t *task) {
+	if t.token == 0 {
+		return
+	}
+	if err := x.regs.Complete(t.token); err != nil {
+		x.err = err
+	}
+	t.token = 0
+}
+
+// startFixed begins the offloaded lifecycle of Fig. 6:
+//
+//	phase1 (residual, prog with RC / CPU without) ->
+//	chunked execution on dynamically granted fixed units, paying the
+//	per-kernel synchronization as it goes ->
+//	phase2 (residual) -> done.
+func (x *exec) startFixed(t *task) {
+	t.path = pathFixed
+	x.offload++
+	x.trace(t)
+	df, db := device.FixedWork(t.op)
+	t.remFlops, t.remBytes = df, db
+	kernels := math.Ceil(df / fixedKernelQuantumFlops)
+	if kernels < 1 {
+		kernels = 1
+	}
+	var perKernel hw.Seconds
+	if x.opts.RC {
+		// In-stack synchronization rides the (PLL-scaled) logic clock,
+		// which is why Fig. 11's sync bars shrink at 2x and 4x.
+		scale := x.effStack().FreqScale
+		if scale <= 0 {
+			scale = 1
+		}
+		perKernel = x.cfg.FixedPIM.PIMSyncOverhead / scale
+	} else {
+		perKernel = x.cfg.FixedPIM.SpawnOverhead + x.cfg.FixedPIM.HostSyncOverhead
+	}
+	if df > 0 {
+		t.syncPerFlop = kernels * perKernel / df
+	}
+	x.usage.PIMBytes += db
+	// Track the op in the status registers on the banks holding units
+	// (pimQueryLocation's answer for this op).
+	banks := make([]int, 0, 4)
+	for b, u := range x.pool.Placement.Units {
+		if u > 0 {
+			banks = append(banks, b)
+			if len(banks) == 4 {
+				break
+			}
+		}
+	}
+	x.registerOffload(t, pim.Location{Banks: banks})
+	// Kernel arrival overhead: with RC one host launch starts the
+	// recursive kernel on the programmable PIM; without RC the host
+	// drives every small kernel itself (charged per kernel, below).
+	if x.opts.RC {
+		x.delay(x.cfg.ProgPIM.KernelLaunchOverhead, func() { x.runResidual(t, true) })
+	} else {
+		x.runResidual(t, true)
+	}
+}
+
+// runResidual executes half of the op's residual phases (before or
+// after the sections). The phases are fine-grained bookkeeping that the
+// programmable-PIM runtime (or the 8-core host, without RC) overlaps
+// across in-flight operations, so they delay the op's own lifecycle but
+// do not monopolize a device slot; their busy time still reaches the
+// energy model.
+func (x *exec) runResidual(t *task, before bool) {
+	var w device.Work
+	if x.opts.RC && x.prog.slots > 0 {
+		w = device.ProgResidual(t.op, x.cfg.ProgPIM, x.effStack())
+		x.usage.PIMBytes += t.op.Bytes * 0.10 / 2
+	} else {
+		w = device.CPUResidual(t.op, x.cfg.CPU)
+		x.usage.HostBytes += t.op.Bytes * 0.10 / 2
+	}
+	half := device.Work{Compute: w.Compute / 2, Memory: w.Memory / 2}
+	opT, dmT := splitWork(half)
+	x.bk.Operation += opT
+	x.bk.DataMovement += dmT
+	if x.opts.RC && x.prog.slots > 0 {
+		x.prog.busySeconds += half.Time()
+	} else {
+		x.cpu.busySeconds += half.Time()
+	}
+	if err := x.eng.After(half.Time(), func() {
+		if before {
+			x.requestSection(t)
+		} else {
+			x.completeOffload(t)
+			x.complete(t)
+		}
+	}); err != nil {
+		x.err = err
+	}
+}
+
+// requestSection tries to grant fixed units for the task's next chunk.
+func (x *exec) requestSection(t *task) {
+	granule := t.op.UnitGranule
+	if granule <= 0 {
+		granule = 1
+	}
+	if granule > x.pool.Total() {
+		granule = x.pool.Total()
+	}
+	x.pool.Advance(x.eng.Now())
+	avail := x.pool.Available()
+	granules := avail / granule
+	if granules == 0 {
+		x.fixedPending = append(x.fixedPending, t)
+		return
+	}
+	granted := x.pool.Grant(granules * granule)
+	x.runSection(t, granted)
+}
+
+// runSection executes one time-quantum chunk on granted units.
+func (x *exec) runSection(t *task, granted int) {
+	spec := x.cfg.FixedPIM
+	full := device.FixedSectionTime(t.op, t.remFlops, t.remBytes, granted, spec, x.effStack())
+	if math.IsInf(full, 1) || math.IsNaN(full) {
+		x.err = fmt.Errorf("core: op %s: non-finite section time with %d units", t.op.Name, granted)
+		return
+	}
+	frac := 1.0
+	dur := full
+	if full > fixedTimeQuantum {
+		frac = fixedTimeQuantum / full
+		dur = fixedTimeQuantum
+	}
+	chunkFlops := t.remFlops * frac
+	chunkBytes := t.remBytes * frac
+	// Per-kernel synchronization for this chunk's kernels: cheap
+	// in-stack syncs with RC, host spawns + completion syncs without
+	// (Section III-B). The units are RELEASED during the gap — that
+	// idle time is precisely the utilization loss Fig. 15 shows for
+	// the no-RC configurations.
+	syncCost := t.syncPerFlop * chunkFlops
+	x.bk.Sync += syncCost
+	// Breakdown attribution follows the roofline split.
+	rate := device.FixedUnitRate(t.op, spec, x.effStack()) * float64(granted)
+	compT := chunkFlops / rate
+	opT := math.Min(compT, dur)
+	x.bk.Operation += opT
+	x.bk.DataMovement += dur - opT
+	if err := x.eng.After(dur, func() {
+		x.pool.Advance(x.eng.Now())
+		if err := x.pool.Release(granted); err != nil {
+			x.err = err
+			return
+		}
+		t.remFlops -= chunkFlops
+		t.remBytes -= chunkBytes
+		if t.remFlops < 1 {
+			t.remFlops = 0
+		}
+		x.pumpFixedPending()
+		// The synchronization gap runs with the units already released.
+		if err := x.eng.After(syncCost, func() {
+			if t.remFlops > 0 {
+				x.requestSection(t)
+				return
+			}
+			// Completion: with RC the programmable PIM notifies the
+			// host once; without RC the host already synchronized per
+			// kernel.
+			if x.opts.RC {
+				x.delay(spec.HostSyncOverhead, func() { x.runResidual(t, false) })
+			} else {
+				x.runResidual(t, false)
+			}
+		}); err != nil {
+			x.err = err
+		}
+	}); err != nil {
+		x.err = err
+	}
+}
+
+// pumpFixedPending hands freed units to waiting sections (the paper's
+// "partially executed operations immediately utilize newly released
+// fixed-function PIMs").
+func (x *exec) pumpFixedPending() {
+	for len(x.fixedPending) > 0 {
+		t := x.fixedPending[0]
+		granule := t.op.UnitGranule
+		if granule <= 0 {
+			granule = 1
+		}
+		if granule > x.pool.Total() {
+			granule = x.pool.Total()
+		}
+		granules := x.pool.Available() / granule
+		if granules == 0 {
+			return
+		}
+		x.fixedPending = x.fixedPending[1:]
+		granted := x.pool.Grant(granules * granule)
+		x.runSection(t, granted)
+	}
+}
+
+// finish assembles the Result, scaling the serial breakdown sums onto
+// the wall-clock makespan.
+func (x *exec) finish() Result {
+	makespan := x.eng.Now()
+	x.pool.Advance(makespan)
+	steps := float64(x.opts.Steps)
+	res := Result{
+		Config:   x.cfg,
+		Model:    x.g.Model,
+		StepTime: makespan / steps,
+		Steps:    x.opts.Steps,
+	}
+	serial := x.bk.Total()
+	if serial > 0 {
+		res.Breakdown = x.bk.scale(res.StepTime / serial)
+	}
+	res.Usage = x.usage
+	if x.opts.GPUHost {
+		res.Usage.GPUBusy = x.cpu.busySeconds
+		res.GPUUtilization = x.g.GPUUtilization
+	} else {
+		res.Usage.CPUBusy = x.cpu.busySeconds
+	}
+	res.Usage.ProgBusy = x.prog.busySeconds
+	res.Usage.FixedBusyUnitSeconds = x.pool.BusyUnitSeconds()
+	// Per-step averaging of usage.
+	res.Usage.CPUBusy /= steps
+	res.Usage.GPUBusy /= steps
+	res.Usage.GPUBytes /= steps
+	res.Usage.ProgBusy /= steps
+	res.Usage.FixedBusyUnitSeconds /= steps
+	res.Usage.HostBytes /= steps
+	res.Usage.PIMBytes /= steps
+	res.FixedUtilization = x.pool.Utilization()
+	res.OffloadedOps = x.offload / x.opts.Steps
+	res.CPUOps = x.cpuOps / x.opts.Steps
+	return res
+}

@@ -1,0 +1,148 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"heteropim/internal/hw"
+	"heteropim/internal/nn"
+)
+
+func TestProfileStepCoversEveryOp(t *testing.T) {
+	g := nn.VGG19()
+	prof := ProfileStep(g, hw.PaperCPU())
+	if len(prof.Entries) != len(g.Ops) {
+		t.Fatalf("%d entries for %d ops", len(prof.Entries), len(g.Ops))
+	}
+	var sumT hw.Seconds
+	var sumA float64
+	for _, e := range prof.Entries {
+		if e.Time < 0 || e.MemAccesses < 0 {
+			t.Fatalf("negative profile entry: %+v", e)
+		}
+		sumT += e.Time
+		sumA += e.MemAccesses
+	}
+	if math.Abs(sumT-prof.TotalTime) > 1e-9*sumT {
+		t.Fatalf("total time %g != sum %g", prof.TotalTime, sumT)
+	}
+	if math.Abs(sumA-prof.TotalAccesses) > 1e-6 {
+		t.Fatalf("total accesses %g != sum %g", prof.TotalAccesses, sumA)
+	}
+}
+
+func TestSelectCandidatesCoversXPercent(t *testing.T) {
+	g := nn.VGG19()
+	prof := ProfileStep(g, hw.PaperCPU())
+	cand := SelectCandidates(prof, 90)
+	var covered hw.Seconds
+	for _, e := range prof.Entries {
+		if cand[e.OpID] {
+			covered += e.Time
+		}
+	}
+	frac := covered / prof.TotalTime
+	if frac < 0.90 {
+		t.Fatalf("candidates cover only %.1f%% of step time", frac*100)
+	}
+	// The selection must be frugal: dropping the candidate property for
+	// ~10% of time means far fewer ops than the whole graph.
+	if len(cand) == len(g.Ops) {
+		t.Fatal("selection picked every op; the x% threshold did nothing")
+	}
+}
+
+func TestSelectCandidatesPrefersTimeAndMemoryIntensive(t *testing.T) {
+	// Build a synthetic profile: op 0 dominates both time and memory;
+	// op 2 is hot in neither.
+	prof := StepProfile{
+		Entries: []ProfileEntry{
+			{OpID: 0, Time: 10, MemAccesses: 1000},
+			{OpID: 1, Time: 5, MemAccesses: 2000},
+			{OpID: 2, Time: 0.1, MemAccesses: 1},
+			{OpID: 3, Time: 4, MemAccesses: 500},
+		},
+	}
+	for _, e := range prof.Entries {
+		prof.TotalTime += e.Time
+		prof.TotalAccesses += e.MemAccesses
+	}
+	cand := SelectCandidates(prof, 70)
+	if !cand[0] {
+		t.Fatal("op 0 (top time, #2 memory) must be selected first")
+	}
+	if cand[2] {
+		t.Fatal("op 2 (cold) must not be selected at 70%")
+	}
+}
+
+func TestSelectCandidatesDualIndexBeatsPureTime(t *testing.T) {
+	// An op with middling time but massive memory outranks an op with
+	// slightly more time and no memory traffic — the global (summed)
+	// index decides, as in Section III-C.
+	prof := StepProfile{
+		Entries: []ProfileEntry{
+			{OpID: 0, Time: 6, MemAccesses: 0},     // time rank 0, mem rank 2 -> 2
+			{OpID: 1, Time: 5, MemAccesses: 10000}, // time rank 1, mem rank 0 -> 1
+			{OpID: 2, Time: 1, MemAccesses: 100},   // time rank 2, mem rank 1 -> 3
+		},
+	}
+	for _, e := range prof.Entries {
+		prof.TotalTime += e.Time
+	}
+	// Select just enough for one op (<= 5/12 of time).
+	cand := SelectCandidates(prof, 40)
+	if !cand[1] || cand[0] {
+		t.Fatalf("dual-index rank violated: cand=%v", cand)
+	}
+}
+
+func TestSelectCandidatesEdgeCases(t *testing.T) {
+	if c := SelectCandidates(StepProfile{}, 90); len(c) != 0 {
+		t.Fatal("empty profile must select nothing")
+	}
+	prof := StepProfile{Entries: []ProfileEntry{{OpID: 0, Time: 1}}, TotalTime: 1}
+	if c := SelectCandidates(prof, 0); len(c) != 0 {
+		t.Fatal("0%% must select nothing")
+	}
+	if c := SelectCandidates(prof, 150); !c[0] {
+		t.Fatal(">100%% clamps to everything")
+	}
+}
+
+func TestSelectCandidatesMonotoneQuick(t *testing.T) {
+	// Property: raising x% never shrinks the candidate set's time
+	// coverage.
+	g := nn.AlexNet()
+	prof := ProfileStep(g, hw.PaperCPU())
+	coverage := func(x float64) float64 {
+		cand := SelectCandidates(prof, x)
+		var c hw.Seconds
+		for _, e := range prof.Entries {
+			if cand[e.OpID] {
+				c += e.Time
+			}
+		}
+		return c
+	}
+	f := func(a, b uint8) bool {
+		lo := float64(a % 101)
+		hi := float64(b % 101)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		return coverage(lo) <= coverage(hi)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllOpsCandidates(t *testing.T) {
+	g := nn.DCGAN()
+	c := AllOpsCandidates(g)
+	if len(c) != len(g.Ops) {
+		t.Fatalf("%d candidates for %d ops", len(c), len(g.Ops))
+	}
+}

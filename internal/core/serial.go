@@ -1,0 +1,91 @@
+package core
+
+import (
+	"math"
+
+	"heteropim/internal/device"
+	"heteropim/internal/hw"
+	"heteropim/internal/nn"
+)
+
+// Per-operation framework dispatch overhead on the host (TensorFlow
+// executor bookkeeping), charged by the serial executors.
+const cpuDispatchOverhead hw.Seconds = 2e-6
+
+// splitWork attributes an op's roofline time: the compute-limited part
+// is "operation time", the bandwidth-stall excess is "data movement".
+func splitWork(w device.Work) (operation, dataMove hw.Seconds) {
+	t := w.Time()
+	op := math.Min(w.Compute, t)
+	return op, t - op
+}
+
+// RunCPU executes every training operation on the host CPU, one
+// training step, serially (the paper's CPU baseline).
+func RunCPU(g *nn.Graph, cfg hw.SystemConfig) Result {
+	res := Result{Config: cfg, Model: g.Model, Steps: 1}
+	for _, op := range g.Ops {
+		w := device.CPUOp(op, cfg.CPU)
+		opT, dmT := splitWork(w)
+		res.Breakdown.Operation += opT
+		res.Breakdown.DataMovement += dmT
+		res.Breakdown.Sync += cpuDispatchOverhead
+		res.Usage.CPUBusy += w.Time()
+		res.Usage.HostBytes += op.Bytes
+		res.CPUOps++
+	}
+	res.StepTime = res.Breakdown.Total()
+	return res
+}
+
+// gpuEff combines the paper's reported per-model GPU utilization with
+// the per-model calibration factor (DESIGN.md §2).
+func gpuEff(g *nn.Graph) float64 {
+	f := g.GPUEffFactor
+	if f == 0 {
+		f = 1
+	}
+	return g.GPUUtilization * f
+}
+
+// RunGPU executes every training operation on the GPU, one training
+// step, serially, charging kernel launches and the unhidden host<->GPU
+// transfer (the paper's GPU baseline; Section VI-A's data-movement bars
+// for GPU are exactly the unhidden transfer time).
+func RunGPU(g *nn.Graph, cfg hw.SystemConfig) Result {
+	res := Result{Config: cfg, Model: g.Model, Steps: 1}
+	for _, op := range g.Ops {
+		w := device.GPUOp(op, cfg.GPU, gpuEff(g))
+		res.Breakdown.Operation += w.Time()
+		res.Breakdown.Sync += cfg.GPU.KernelLaunchOverhead
+		res.Usage.GPUBusy += w.Time()
+		res.Usage.GPUBytes += op.Bytes
+	}
+	res.GPUUtilization = g.GPUUtilization
+	transfer := device.GPUStepTransferTime(g, cfg.GPU)
+	res.Breakdown.DataMovement = transfer
+	res.Usage.LinkBytes = device.GPUStepTransferBytes(g)
+	res.Usage.CPUBusy = transfer // the host drives the transfers
+	res.StepTime = res.Breakdown.Total()
+	return res
+}
+
+// RunNeurocube executes every training operation on the Neurocube PE
+// array, serially with a per-op launch (its execution model is static:
+// no dynamic runtime scheduling — Section VI-C).
+func RunNeurocube(g *nn.Graph, spec device.NeurocubeSpec, cfg hw.SystemConfig) Result {
+	res := Result{Config: cfg, Model: g.Model, Steps: 1}
+	res.Config.Name = "Neurocube"
+	for _, op := range g.Ops {
+		w := device.NeurocubeOp(op, spec)
+		opT, dmT := splitWork(w)
+		res.Breakdown.Operation += opT
+		res.Breakdown.DataMovement += dmT
+		res.Breakdown.Sync += spec.LaunchOverhead
+		res.Usage.NeurocubeBusy += w.Time()
+		res.Usage.PIMBytes += op.Bytes
+		res.OffloadedOps++
+	}
+	res.StepTime = res.Breakdown.Total()
+	return res
+}

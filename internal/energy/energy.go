@@ -1,0 +1,129 @@
+// Package energy implements the paper's power/energy methodology
+// (Section V-B): whole-system power — the host CPU is charged in every
+// configuration, including the PIM ones — dynamic energy per training
+// step, and energy-delay product (EDP, Section VI-G).
+package energy
+
+import (
+	"heteropim/internal/core"
+	"heteropim/internal/device"
+	"heteropim/internal/hw"
+)
+
+// Idle-power fractions: a device that is powered but not executing still
+// burns a share of its dynamic power (clocks, uncore, leakage).
+const (
+	cpuIdleFrac   = 0.35
+	gpuIdleFloor  = 0.45 // GPU board power floor as a fraction of peak dynamic
+	progIdleFrac  = 0.50
+	fixedIdleFrac = 0.10
+)
+
+// Per-byte energies not covered by the stack spec.
+const (
+	gddrEnergyPerByte hw.Joules = 20e-12
+	pcieEnergyPerByte hw.Joules = 30e-12
+)
+
+// Report is the energy outcome of one steady-state training step.
+type Report struct {
+	// Dynamic is the whole-system dynamic energy of one step.
+	Dynamic hw.Joules
+	// AvgPower is Dynamic / step time.
+	AvgPower hw.Watts
+	// EDP is the energy-delay product (J*s) of one step.
+	EDP float64
+	// Parts itemizes the energy for analysis.
+	Parts Parts
+}
+
+// Parts itemizes a step's energy.
+type Parts struct {
+	CPU, GPU, ProgPIM, FixedPIM, Neurocube, DRAM, Traffic hw.Joules
+}
+
+// Evaluate computes the whole-system dynamic energy of a simulation
+// result under its configuration.
+func Evaluate(r core.Result) Report {
+	cfg := r.Config
+	step := r.StepTime
+	u := r.Usage
+	var p Parts
+
+	// Host CPU: busy at full dynamic power, idle at the uncore floor.
+	idle := step - u.CPUBusy
+	if idle < 0 {
+		idle = 0
+	}
+	p.CPU = cfg.CPU.DynamicPower*u.CPUBusy + cpuIdleFrac*cfg.CPU.DynamicPower*idle
+
+	// GPU board: measured training power scales with utilization above
+	// a board floor (nvidia-smi-style accounting, Section V-B).
+	if cfg.GPU.SMs > 0 && u.GPUBusy > 0 {
+		util := r.GPUUtilization
+		if util <= 0 {
+			util = 1
+		}
+		boardPower := cfg.GPU.DynamicPower * (gpuIdleFloor + (1-gpuIdleFloor)*util)
+		p.GPU = boardPower * u.GPUBusy
+	}
+
+	// Programmable PIM: busy processors at full power, the rest of the
+	// complement at the idle fraction.
+	if cfg.ProgPIM.Processors > 0 {
+		full := float64(cfg.ProgPIM.Processors) * cfg.ProgPIM.DynamicPowerPerProcessor
+		p.ProgPIM = cfg.ProgPIM.DynamicPowerPerProcessor*u.ProgBusy +
+			progIdleFrac*(full*step-cfg.ProgPIM.DynamicPowerPerProcessor*u.ProgBusy)
+		if p.ProgPIM < 0 {
+			p.ProgPIM = 0
+		}
+	}
+
+	// Fixed-function PIM pool: dynamic power scales with the PLL.
+	if cfg.FixedPIM.Units > 0 {
+		scale := cfg.Stack.FreqScale
+		if scale <= 0 {
+			scale = 1
+		}
+		perUnit := cfg.FixedPIM.DynamicPowerPerUnit * scale
+		idleUnitSeconds := float64(cfg.FixedPIM.Units)*step - u.FixedBusyUnitSeconds
+		if idleUnitSeconds < 0 {
+			idleUnitSeconds = 0
+		}
+		p.FixedPIM = perUnit*u.FixedBusyUnitSeconds + fixedIdleFrac*perUnit*idleUnitSeconds
+	}
+
+	// Neurocube PE array (comparison runs only).
+	if u.NeurocubeBusy > 0 {
+		p.Neurocube = device.DefaultNeurocube().DynamicPower * u.NeurocubeBusy
+	}
+
+	// Stack background (refresh + SerDes idle).
+	p.DRAM = cfg.DRAMBackgroundPower * step
+
+	// Data movement: per-byte energies by path (the core of the
+	// paper's energy argument — PIM-side bytes skip the link energy).
+	p.Traffic = u.HostBytes*(cfg.Stack.RowAccessEnergyPerByte+cfg.Stack.LinkEnergyPerByte) +
+		u.PIMBytes*(cfg.Stack.RowAccessEnergyPerByte+cfg.Stack.TSVEnergyPerByte) +
+		u.GPUBytes*gddrEnergyPerByte +
+		u.LinkBytes*pcieEnergyPerByte
+
+	total := p.CPU + p.GPU + p.ProgPIM + p.FixedPIM + p.Neurocube + p.DRAM + p.Traffic
+	rep := Report{Dynamic: total, Parts: p, EDP: total * step}
+	if step > 0 {
+		rep.AvgPower = total / step
+	}
+	return rep
+}
+
+// Normalize returns each report's dynamic energy divided by the
+// baseline's (Fig. 9 normalizes to Hetero PIM).
+func Normalize(reports []Report, baseline Report) []float64 {
+	out := make([]float64, len(reports))
+	for i, r := range reports {
+		if baseline.Dynamic > 0 {
+			out[i] = r.Dynamic / baseline.Dynamic
+		}
+	}
+	return out
+}

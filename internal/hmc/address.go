@@ -1,0 +1,97 @@
+package hmc
+
+import "fmt"
+
+// AddressMapping decodes physical addresses into (bank, row, column)
+// coordinates, HMC-style: the low-order block bits select the byte
+// within a 32-byte access granule, the next bits interleave consecutive
+// blocks across banks (so streaming accesses spread over the stack),
+// and the remaining bits select column and row within a bank.
+type AddressMapping struct {
+	// BlockBytes is the access granule (HMC 2.0: 32-byte minimum).
+	BlockBytes int
+	// Banks must be a power of two for bit-sliced interleaving.
+	Banks int
+	// RowBytes is the DRAM row (page) size within one bank.
+	RowBytes int
+}
+
+// DefaultMapping returns the mapping for the paper's 32-bank stack.
+func DefaultMapping() AddressMapping {
+	return AddressMapping{BlockBytes: 32, Banks: 32, RowBytes: 8192}
+}
+
+// Validate checks the power-of-two constraints.
+func (m AddressMapping) Validate() error {
+	for _, v := range []struct {
+		name string
+		val  int
+	}{{"block bytes", m.BlockBytes}, {"banks", m.Banks}, {"row bytes", m.RowBytes}} {
+		if v.val <= 0 || v.val&(v.val-1) != 0 {
+			return fmt.Errorf("hmc: %s (%d) must be a positive power of two", v.name, v.val)
+		}
+	}
+	if m.RowBytes < m.BlockBytes {
+		return fmt.Errorf("hmc: row (%dB) smaller than a block (%dB)", m.RowBytes, m.BlockBytes)
+	}
+	return nil
+}
+
+// Coord is a decoded DRAM coordinate.
+type Coord struct {
+	Bank, Row, Col int
+}
+
+// Decode splits a physical address.
+func (m AddressMapping) Decode(addr uint64) (Coord, error) {
+	if err := m.Validate(); err != nil {
+		return Coord{}, err
+	}
+	block := addr / uint64(m.BlockBytes)
+	bank := int(block % uint64(m.Banks))
+	inBank := block / uint64(m.Banks)
+	blocksPerRow := uint64(m.RowBytes / m.BlockBytes)
+	col := int(inBank % blocksPerRow)
+	row := int(inBank / blocksPerRow)
+	return Coord{Bank: bank, Row: row, Col: col}, nil
+}
+
+// Encode is the inverse of Decode (block-aligned address).
+func (m AddressMapping) Encode(c Coord) (uint64, error) {
+	if err := m.Validate(); err != nil {
+		return 0, err
+	}
+	if c.Bank < 0 || c.Bank >= m.Banks || c.Row < 0 || c.Col < 0 {
+		return 0, fmt.Errorf("hmc: bad coordinate %+v", c)
+	}
+	blocksPerRow := m.RowBytes / m.BlockBytes
+	if c.Col >= blocksPerRow {
+		return 0, fmt.Errorf("hmc: column %d beyond row (%d blocks)", c.Col, blocksPerRow)
+	}
+	inBank := uint64(c.Row)*uint64(blocksPerRow) + uint64(c.Col)
+	block := inBank*uint64(m.Banks) + uint64(c.Bank)
+	return block * uint64(m.BlockBytes), nil
+}
+
+// BanksTouched returns how many distinct banks a contiguous [addr,
+// addr+bytes) range touches — the parallelism a streaming fixed-function
+// kernel can exploit.
+func (m AddressMapping) BanksTouched(addr, bytes uint64) (int, error) {
+	if err := m.Validate(); err != nil {
+		return 0, err
+	}
+	if bytes == 0 {
+		return 0, nil
+	}
+	first := addr / uint64(m.BlockBytes)
+	last := (addr + bytes - 1) / uint64(m.BlockBytes)
+	blocks := last - first + 1
+	if blocks >= uint64(m.Banks) {
+		return m.Banks, nil
+	}
+	seen := map[int]bool{}
+	for b := first; b <= last; b++ {
+		seen[int(b%uint64(m.Banks))] = true
+	}
+	return len(seen), nil
+}

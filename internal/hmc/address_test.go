@@ -1,0 +1,110 @@
+package hmc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDecodeInterleavesSequentialBlocks(t *testing.T) {
+	m := DefaultMapping()
+	// Consecutive 32B blocks land on consecutive banks.
+	for i := 0; i < 64; i++ {
+		c, err := m.Decode(uint64(i * m.BlockBytes))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.Bank != i%32 {
+			t.Fatalf("block %d on bank %d, want %d", i, c.Bank, i%32)
+		}
+		if i < 32 && (c.Row != 0 || c.Col != 0) {
+			t.Fatalf("block %d at row %d col %d, want 0/0", i, c.Row, c.Col)
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTripQuick(t *testing.T) {
+	m := DefaultMapping()
+	f := func(raw uint32) bool {
+		addr := uint64(raw) &^ uint64(m.BlockBytes-1) // block aligned
+		c, err := m.Decode(addr)
+		if err != nil {
+			return false
+		}
+		back, err := m.Encode(c)
+		if err != nil {
+			return false
+		}
+		return back == addr
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBanksTouched(t *testing.T) {
+	m := DefaultMapping()
+	// One block: one bank.
+	if n, _ := m.BanksTouched(0, 32); n != 1 {
+		t.Fatalf("one block touches %d banks", n)
+	}
+	// A full stripe: all 32.
+	if n, _ := m.BanksTouched(0, 32*32); n != 32 {
+		t.Fatalf("full stripe touches %d banks", n)
+	}
+	// A large tensor: all banks regardless of alignment.
+	if n, _ := m.BanksTouched(12345, 1<<20); n != 32 {
+		t.Fatalf("1MB touches %d banks", n)
+	}
+	if n, _ := m.BanksTouched(0, 0); n != 0 {
+		t.Fatalf("zero bytes touches %d banks", n)
+	}
+	// 4 blocks: 4 banks.
+	if n, _ := m.BanksTouched(64, 4*32); n != 4 {
+		t.Fatalf("4 blocks touch %d banks", n)
+	}
+}
+
+func TestMappingValidate(t *testing.T) {
+	bad := []AddressMapping{
+		{BlockBytes: 0, Banks: 32, RowBytes: 8192},
+		{BlockBytes: 33, Banks: 32, RowBytes: 8192},
+		{BlockBytes: 32, Banks: 31, RowBytes: 8192},
+		{BlockBytes: 32, Banks: 32, RowBytes: 16},
+	}
+	for i, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("mapping %d must fail validation", i)
+		}
+		if _, err := m.Decode(0); err == nil {
+			t.Errorf("mapping %d Decode must fail", i)
+		}
+	}
+	if err := DefaultMapping().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeRejectsBadCoords(t *testing.T) {
+	m := DefaultMapping()
+	for _, c := range []Coord{
+		{Bank: -1}, {Bank: 32}, {Row: -1}, {Col: -1}, {Col: 8192 / 32},
+	} {
+		if _, err := m.Encode(c); err == nil {
+			t.Errorf("coord %+v must be rejected", c)
+		}
+	}
+}
+
+func TestRowCrossing(t *testing.T) {
+	m := DefaultMapping()
+	// Block index banks*blocksPerRow lands on row 1 of bank 0.
+	blocksPerRow := m.RowBytes / m.BlockBytes
+	addr := uint64(m.Banks) * uint64(blocksPerRow) * uint64(m.BlockBytes)
+	c, err := m.Decode(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Bank != 0 || c.Row != 1 || c.Col != 0 {
+		t.Fatalf("coord = %+v, want bank0/row1/col0", c)
+	}
+}

@@ -1,0 +1,194 @@
+// Package hmc models the 3D die-stacked main memory the heterogeneous
+// PIM lives in: an HMC 2.0-class stack with 32 vertical bank slices over
+// a logic die (paper Sections III-A, IV-D, V-A).
+//
+// The model is deliberately analytic rather than cycle-accurate — the
+// paper's own simulator is trace driven — but it tracks the quantities
+// the runtime and the energy model need: per-bank traffic, host-side vs
+// PIM-side access paths (external SerDes links vs internal TSVs), and
+// per-byte access energy.
+package hmc
+
+import (
+	"fmt"
+
+	"heteropim/internal/hw"
+)
+
+// BankClass is the thermal position class of a bank on the logic die.
+// Edge and corner banks have better heat-dissipation paths and therefore
+// support higher compute density (paper Section IV-D, Fig. 3a).
+type BankClass int
+
+const (
+	// Center banks sit in the interior of the grid.
+	Center BankClass = iota
+	// Edge banks sit on the perimeter but not in a corner.
+	Edge
+	// Corner banks occupy the four grid corners.
+	Corner
+)
+
+// String implements fmt.Stringer.
+func (c BankClass) String() string {
+	switch c {
+	case Center:
+		return "center"
+	case Edge:
+		return "edge"
+	case Corner:
+		return "corner"
+	default:
+		return "unknown"
+	}
+}
+
+// AccessPath distinguishes who touched memory; the two paths have very
+// different bandwidth and energy (external links vs internal TSVs).
+type AccessPath int
+
+const (
+	// HostPath is a CPU access through the external serial links.
+	HostPath AccessPath = iota
+	// PIMPath is a logic-layer access through the TSVs.
+	PIMPath
+)
+
+// BankStats accumulates per-bank traffic.
+type BankStats struct {
+	HostBytes float64 // bytes read/written by the host
+	PIMBytes  float64 // bytes read/written by PIM logic
+}
+
+// Stack is one 3D memory stack instance.
+type Stack struct {
+	Spec  hw.StackSpec
+	banks []BankStats
+
+	hostBytes float64
+	pimBytes  float64
+}
+
+// New builds a stack from its specification.
+func New(spec hw.StackSpec) (*Stack, error) {
+	if spec.Banks <= 0 {
+		return nil, fmt.Errorf("hmc: stack needs at least one bank, got %d", spec.Banks)
+	}
+	if spec.Rows*spec.Cols != spec.Banks {
+		return nil, fmt.Errorf("hmc: %dx%d grid does not cover %d banks", spec.Rows, spec.Cols, spec.Banks)
+	}
+	return &Stack{Spec: spec, banks: make([]BankStats, spec.Banks)}, nil
+}
+
+// Banks returns the number of bank slices.
+func (s *Stack) Banks() int { return len(s.banks) }
+
+// ClassOf returns the thermal class of bank i in the Rows x Cols grid.
+// Banks are numbered row-major.
+func (s *Stack) ClassOf(i int) BankClass {
+	r, c := i/s.Spec.Cols, i%s.Spec.Cols
+	onRowEdge := r == 0 || r == s.Spec.Rows-1
+	onColEdge := c == 0 || c == s.Spec.Cols-1
+	switch {
+	case onRowEdge && onColEdge:
+		return Corner
+	case onRowEdge || onColEdge:
+		return Edge
+	default:
+		return Center
+	}
+}
+
+// ClassCounts returns how many banks fall in each class.
+func (s *Stack) ClassCounts() (corner, edge, center int) {
+	for i := 0; i < len(s.banks); i++ {
+		switch s.ClassOf(i) {
+		case Corner:
+			corner++
+		case Edge:
+			edge++
+		default:
+			center++
+		}
+	}
+	return corner, edge, center
+}
+
+// Access records traffic of the given byte volume against a bank via the
+// given path. Bank index is taken modulo the bank count so callers can
+// hash tensors onto banks without bounds bookkeeping.
+func (s *Stack) Access(bank int, bytes float64, path AccessPath) {
+	if bytes < 0 {
+		bytes = 0
+	}
+	b := ((bank % len(s.banks)) + len(s.banks)) % len(s.banks)
+	switch path {
+	case HostPath:
+		s.banks[b].HostBytes += bytes
+		s.hostBytes += bytes
+	case PIMPath:
+		s.banks[b].PIMBytes += bytes
+		s.pimBytes += bytes
+	}
+}
+
+// HostBytes returns total host-path traffic.
+func (s *Stack) HostBytes() float64 { return s.hostBytes }
+
+// PIMBytes returns total PIM-path traffic.
+func (s *Stack) PIMBytes() float64 { return s.pimBytes }
+
+// BankStatsOf returns a copy of bank i's counters.
+func (s *Stack) BankStatsOf(i int) BankStats { return s.banks[i%len(s.banks)] }
+
+// Reset clears all traffic counters.
+func (s *Stack) Reset() {
+	for i := range s.banks {
+		s.banks[i] = BankStats{}
+	}
+	s.hostBytes, s.pimBytes = 0, 0
+}
+
+// HostTransferTime is the time to move the given bytes between the stack
+// and the host over the external links.
+func (s *Stack) HostTransferTime(bytes float64) hw.Seconds {
+	if bytes <= 0 {
+		return 0
+	}
+	return bytes / s.Spec.ExternalBandwidth
+}
+
+// PIMTransferTime is the time for PIM logic to stream the given bytes
+// through the TSVs at the scaled internal bandwidth.
+func (s *Stack) PIMTransferTime(bytes float64) hw.Seconds {
+	if bytes <= 0 {
+		return 0
+	}
+	return bytes / s.Spec.ScaledInternalBandwidth()
+}
+
+// AccessEnergy returns the DRAM-side energy of moving the given bytes via
+// the given path: every access pays the array energy; host accesses add
+// link energy, PIM accesses add (much cheaper) TSV energy. This energy
+// asymmetry is the root of the paper's data-movement savings.
+func (s *Stack) AccessEnergy(bytes float64, path AccessPath) hw.Joules {
+	if bytes <= 0 {
+		return 0
+	}
+	e := bytes * s.Spec.RowAccessEnergyPerByte
+	switch path {
+	case HostPath:
+		e += bytes * s.Spec.LinkEnergyPerByte
+	case PIMPath:
+		e += bytes * s.Spec.TSVEnergyPerByte
+	}
+	return e
+}
+
+// BankForBlock maps a data block index onto a bank. Tensors are laid out
+// block-interleaved across banks, which is how the low-level API can
+// co-locate operations with their input data (Table III's
+// pimQueryLocation).
+func (s *Stack) BankForBlock(block int) int {
+	return ((block % len(s.banks)) + len(s.banks)) % len(s.banks)
+}

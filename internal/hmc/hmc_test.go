@@ -1,0 +1,187 @@
+package hmc
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"heteropim/internal/hw"
+)
+
+func newPaperStack(t *testing.T) *Stack {
+	t.Helper()
+	s, err := New(hw.PaperStack(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewRejectsBadGeometry(t *testing.T) {
+	spec := hw.PaperStack(1)
+	spec.Banks = 0
+	if _, err := New(spec); err == nil {
+		t.Error("zero banks: want error")
+	}
+	spec = hw.PaperStack(1)
+	spec.Rows = 5
+	if _, err := New(spec); err == nil {
+		t.Error("mismatched grid: want error")
+	}
+}
+
+func TestClassCountsOn8x4Grid(t *testing.T) {
+	s := newPaperStack(t)
+	corner, edge, center := s.ClassCounts()
+	// 4x8 grid: 4 corners, 2*(8-2)+2*(4-2)=16 edges, rest center.
+	if corner != 4 || edge != 16 || center != 12 {
+		t.Fatalf("class counts = (%d,%d,%d), want (4,16,12)", corner, edge, center)
+	}
+}
+
+func TestClassOfSpecificBanks(t *testing.T) {
+	s := newPaperStack(t) // 4 rows x 8 cols, row-major
+	cases := map[int]BankClass{
+		0:  Corner, // (0,0)
+		7:  Corner, // (0,7)
+		24: Corner, // (3,0)
+		31: Corner, // (3,7)
+		1:  Edge,   // (0,1)
+		8:  Edge,   // (1,0)
+		15: Edge,   // (1,7)
+		9:  Center, // (1,1)
+		18: Center, // (2,2)
+	}
+	for bank, want := range cases {
+		if got := s.ClassOf(bank); got != want {
+			t.Errorf("ClassOf(%d) = %v, want %v", bank, got, want)
+		}
+	}
+}
+
+func TestBankClassString(t *testing.T) {
+	if Center.String() != "center" || Edge.String() != "edge" || Corner.String() != "corner" {
+		t.Fatal("BankClass.String mismatch")
+	}
+	if BankClass(9).String() != "unknown" {
+		t.Fatal("unknown class should stringify as unknown")
+	}
+}
+
+func TestAccessAccounting(t *testing.T) {
+	s := newPaperStack(t)
+	s.Access(3, 1000, HostPath)
+	s.Access(3, 500, PIMPath)
+	s.Access(35, 200, PIMPath) // 35 mod 32 = 3
+	if got := s.HostBytes(); got != 1000 {
+		t.Errorf("host bytes = %g, want 1000", got)
+	}
+	if got := s.PIMBytes(); got != 700 {
+		t.Errorf("pim bytes = %g, want 700", got)
+	}
+	b := s.BankStatsOf(3)
+	if b.HostBytes != 1000 || b.PIMBytes != 700 {
+		t.Errorf("bank 3 stats = %+v", b)
+	}
+	s.Access(0, -50, HostPath) // negative clamps to zero
+	if got := s.HostBytes(); got != 1000 {
+		t.Errorf("negative access changed counters: %g", got)
+	}
+	s.Reset()
+	if s.HostBytes() != 0 || s.PIMBytes() != 0 || s.BankStatsOf(3).HostBytes != 0 {
+		t.Error("Reset did not clear counters")
+	}
+}
+
+func TestTransferTimes(t *testing.T) {
+	s := newPaperStack(t)
+	bytes := 320e9 // one second of internal bandwidth at 1x
+	if got := s.PIMTransferTime(bytes); math.Abs(got-1) > 1e-9 {
+		t.Errorf("PIM transfer time = %g, want 1", got)
+	}
+	if got := s.HostTransferTime(120e9); math.Abs(got-1) > 1e-9 {
+		t.Errorf("host transfer time = %g, want 1", got)
+	}
+	if s.PIMTransferTime(0) != 0 || s.HostTransferTime(-4) != 0 {
+		t.Error("degenerate byte volumes must cost zero time")
+	}
+}
+
+func TestTransferTimeDoesNotScaleWithPLL(t *testing.T) {
+	// The Section VI-D PLL scales PIM logic, not the DRAM arrays: both
+	// transfer paths are array/link limited and frequency independent.
+	s1, _ := New(hw.PaperStack(1))
+	s4, _ := New(hw.PaperStack(4))
+	b := 1e9
+	if s1.PIMTransferTime(b) != s4.PIMTransferTime(b) {
+		t.Fatal("PIM transfer time must stay array-limited under the PLL")
+	}
+	if s1.HostTransferTime(b) != s4.HostTransferTime(b) {
+		t.Fatal("host transfer time must not scale with the stack PLL")
+	}
+}
+
+func TestAccessEnergyAsymmetry(t *testing.T) {
+	s := newPaperStack(t)
+	bytes := 1e6
+	host := s.AccessEnergy(bytes, HostPath)
+	pim := s.AccessEnergy(bytes, PIMPath)
+	if host <= pim {
+		t.Fatalf("host access energy (%g) must exceed PIM access energy (%g)", host, pim)
+	}
+	spec := s.Spec
+	wantHost := bytes * (spec.RowAccessEnergyPerByte + spec.LinkEnergyPerByte)
+	wantPIM := bytes * (spec.RowAccessEnergyPerByte + spec.TSVEnergyPerByte)
+	if math.Abs(host-wantHost) > 1e-15 || math.Abs(pim-wantPIM) > 1e-15 {
+		t.Fatalf("energy = (%g,%g), want (%g,%g)", host, pim, wantHost, wantPIM)
+	}
+	if s.AccessEnergy(0, HostPath) != 0 {
+		t.Error("zero bytes must cost zero energy")
+	}
+}
+
+func TestBankForBlockQuick(t *testing.T) {
+	s := newPaperStack(t)
+	f := func(block int32) bool {
+		b := s.BankForBlock(int(block))
+		return b >= 0 && b < s.Banks()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAccessConservationQuick(t *testing.T) {
+	// Property: total traffic equals the sum over banks, for any access
+	// pattern.
+	f := func(banks []uint8, vols []uint16) bool {
+		s, err := New(hw.PaperStack(1))
+		if err != nil {
+			return false
+		}
+		n := len(banks)
+		if len(vols) < n {
+			n = len(vols)
+		}
+		var want float64
+		for i := 0; i < n; i++ {
+			v := float64(vols[i])
+			path := HostPath
+			if banks[i]%2 == 0 {
+				path = PIMPath
+			}
+			s.Access(int(banks[i]), v, path)
+			want += v
+		}
+		var got float64
+		for i := 0; i < s.Banks(); i++ {
+			st := s.BankStatsOf(i)
+			got += st.HostBytes + st.PIMBytes
+		}
+		return math.Abs(got-want) < 1e-6 &&
+			math.Abs((s.HostBytes()+s.PIMBytes())-want) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,193 @@
+package hmc
+
+import (
+	"fmt"
+
+	"heteropim/internal/hw"
+)
+
+// Timing holds the DRAM bank timing parameters in stack-clock cycles
+// (HMC 2.0-class values at 312.5 MHz; Section V-A adopts the HMC 2.0
+// timing parameters). The trace-driven simulator works with aggregate
+// bandwidths; this finer model backs latency-sensitive questions (how
+// expensive is a PIM-PIM synchronization through a DRAM variable, what
+// does a row-buffer-hostile access pattern cost) and the unit tests
+// that pin the constants.
+type Timing struct {
+	// TRCD is ACTIVATE-to-READ/WRITE delay.
+	TRCD int
+	// TRP is PRECHARGE time.
+	TRP int
+	// TCL is the CAS (read) latency.
+	TCL int
+	// TRAS is the minimum ACTIVATE-to-PRECHARGE interval.
+	TRAS int
+	// TWR is the write-recovery time.
+	TWR int
+	// TREFI is the average refresh interval; TRFC the refresh cycle.
+	TREFI, TRFC int
+	// BurstCycles is the data-burst length on the bank's TSV lane.
+	BurstCycles int
+}
+
+// HMC2Timing returns HMC 2.0-class bank timings at the 312.5 MHz stack
+// clock.
+func HMC2Timing() Timing {
+	return Timing{
+		TRCD:        5,
+		TRP:         5,
+		TCL:         5,
+		TRAS:        11,
+		TWR:         6,
+		TREFI:       2437, // 7.8us at 312.5 MHz
+		TRFC:        82,   // 260ns
+		BurstCycles: 4,
+	}
+}
+
+// AccessKind distinguishes reads and writes.
+type AccessKind int
+
+// Read and Write access kinds.
+const (
+	Read AccessKind = iota
+	Write
+)
+
+// RowState tracks one bank's row buffer.
+type rowState struct {
+	open    bool
+	row     int
+	openAt  int64 // cycle of the ACTIVATE
+	readyAt int64 // cycle the bank is next usable
+}
+
+// BankTimingModel simulates a single bank's row-buffer behaviour under
+// an open-row policy with periodic refresh.
+type BankTimingModel struct {
+	T Timing
+
+	state       rowState
+	nextRefresh int64
+
+	// Stats.
+	Accesses  int
+	RowHits   int
+	RowMisses int // empty-row activates
+	Conflicts int // row-buffer conflicts (precharge + activate)
+	Refreshes int
+	totalLat  int64
+}
+
+// NewBankTimingModel builds a bank model.
+func NewBankTimingModel(t Timing) *BankTimingModel {
+	return &BankTimingModel{T: t, nextRefresh: int64(t.TREFI)}
+}
+
+// Access issues a read or write to a row at the given cycle and returns
+// the cycle at which the data burst completes.
+func (b *BankTimingModel) Access(row int, kind AccessKind, at int64) (done int64, err error) {
+	if row < 0 {
+		return 0, fmt.Errorf("hmc: negative row %d", row)
+	}
+	if at < 0 {
+		return 0, fmt.Errorf("hmc: negative issue cycle %d", at)
+	}
+	t := b.T
+	cycle := at
+	if cycle < b.state.readyAt {
+		cycle = b.state.readyAt
+	}
+	// Refresh steals the bank when due.
+	for cycle >= b.nextRefresh {
+		start := b.nextRefresh
+		if cycle < start {
+			cycle = start
+		}
+		cycle = max64(cycle, start) + int64(t.TRFC)
+		b.nextRefresh += int64(t.TREFI)
+		b.state.open = false
+		b.Refreshes++
+	}
+	switch {
+	case b.state.open && b.state.row == row:
+		b.RowHits++
+	case !b.state.open:
+		// Row closed: ACTIVATE then access.
+		b.RowMisses++
+		cycle += int64(t.TRCD)
+		b.state.open = true
+		b.state.row = row
+		b.state.openAt = cycle - int64(t.TRCD)
+	default:
+		// Conflict: respect tRAS, PRECHARGE, ACTIVATE.
+		b.Conflicts++
+		earliestPre := b.state.openAt + int64(t.TRAS)
+		if cycle < earliestPre {
+			cycle = earliestPre
+		}
+		cycle += int64(t.TRP) + int64(t.TRCD)
+		b.state.row = row
+		b.state.openAt = cycle - int64(t.TRCD)
+	}
+	// Column access + burst.
+	switch kind {
+	case Read:
+		cycle += int64(t.TCL) + int64(t.BurstCycles)
+	case Write:
+		cycle += int64(t.TWR) + int64(t.BurstCycles)
+	default:
+		return 0, fmt.Errorf("hmc: bad access kind %d", kind)
+	}
+	b.state.readyAt = cycle
+	b.Accesses++
+	b.totalLat += cycle - at
+	return cycle, nil
+}
+
+// AverageLatencyCycles returns the mean issue-to-burst-complete latency.
+func (b *BankTimingModel) AverageLatencyCycles() float64 {
+	if b.Accesses == 0 {
+		return 0
+	}
+	return float64(b.totalLat) / float64(b.Accesses)
+}
+
+// HitRate returns the row-buffer hit rate.
+func (b *BankTimingModel) HitRate() float64 {
+	if b.Accesses == 0 {
+		return 0
+	}
+	return float64(b.RowHits) / float64(b.Accesses)
+}
+
+// AverageLatency converts the mean latency to seconds at a stack clock.
+func (b *BankTimingModel) AverageLatency(freq hw.Hz) hw.Seconds {
+	if freq <= 0 {
+		return 0
+	}
+	return b.AverageLatencyCycles() / freq
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// StreamLatency runs a synthetic access pattern through a fresh bank
+// model and reports (avg latency cycles, row hit rate). Pattern rows
+// are visited in order, one read per element.
+func StreamLatency(t Timing, rows []int) (avg float64, hitRate float64, err error) {
+	b := NewBankTimingModel(t)
+	cycle := int64(0)
+	for _, r := range rows {
+		done, err := b.Access(r, Read, cycle)
+		if err != nil {
+			return 0, 0, err
+		}
+		cycle = done
+	}
+	return b.AverageLatencyCycles(), b.HitRate(), nil
+}

@@ -1,0 +1,148 @@
+package hmc
+
+import (
+	"math/rand"
+	"testing"
+
+	"heteropim/internal/hw"
+)
+
+func TestRowHitFasterThanMissFasterThanConflict(t *testing.T) {
+	tm := HMC2Timing()
+	// Hit: same row twice.
+	b := NewBankTimingModel(tm)
+	if _, err := b.Access(1, Read, 0); err != nil {
+		t.Fatal(err)
+	}
+	start := b.state.readyAt
+	done, err := b.Access(1, Read, start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hitLat := done - start
+	// Miss: fresh bank.
+	b2 := NewBankTimingModel(tm)
+	done2, _ := b2.Access(1, Read, 0)
+	missLat := done2
+	// Conflict: different row while one is open.
+	b3 := NewBankTimingModel(tm)
+	d, _ := b3.Access(1, Read, 0)
+	done3, _ := b3.Access(2, Read, d)
+	confLat := done3 - d
+	if !(hitLat < missLat && missLat < confLat) {
+		t.Fatalf("latencies hit=%d miss=%d conflict=%d must be strictly ordered", hitLat, missLat, confLat)
+	}
+	// Hand-check the hit latency: tCL + burst.
+	if want := int64(tm.TCL + tm.BurstCycles); hitLat != want {
+		t.Fatalf("hit latency = %d, want %d", hitLat, want)
+	}
+	// Miss: tRCD + tCL + burst.
+	if want := int64(tm.TRCD + tm.TCL + tm.BurstCycles); missLat != want {
+		t.Fatalf("miss latency = %d, want %d", missLat, want)
+	}
+	if b3.Conflicts != 1 || b3.RowMisses != 1 {
+		t.Fatalf("conflict accounting: %+v", b3)
+	}
+}
+
+func TestWriteUsesWriteRecovery(t *testing.T) {
+	tm := HMC2Timing()
+	b := NewBankTimingModel(tm)
+	done, err := b.Access(0, Write, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := int64(tm.TRCD + tm.TWR + tm.BurstCycles); done != want {
+		t.Fatalf("write latency = %d, want %d", done, want)
+	}
+}
+
+func TestRefreshStealsTheBank(t *testing.T) {
+	tm := HMC2Timing()
+	b := NewBankTimingModel(tm)
+	// Jump past several refresh intervals.
+	at := int64(tm.TREFI)*3 + 10
+	if _, err := b.Access(0, Read, at); err != nil {
+		t.Fatal(err)
+	}
+	if b.Refreshes == 0 {
+		t.Fatal("no refresh charged despite crossing tREFI")
+	}
+}
+
+func TestSequentialStreamHasHighHitRate(t *testing.T) {
+	tm := HMC2Timing()
+	// 64 accesses per row, 16 rows: hit rate ~ 63/64.
+	rows := make([]int, 0, 1024)
+	for r := 0; r < 16; r++ {
+		for i := 0; i < 64; i++ {
+			rows = append(rows, r)
+		}
+	}
+	avg, hit, err := StreamLatency(tm, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit < 0.95 {
+		t.Fatalf("sequential hit rate = %.2f, want ~0.98", hit)
+	}
+	// Random rows: hit rate near zero, higher latency.
+	rng := rand.New(rand.NewSource(1))
+	rand0 := make([]int, 1024)
+	for i := range rand0 {
+		rand0[i] = rng.Intn(4096)
+	}
+	avgR, hitR, err := StreamLatency(tm, rand0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hitR > 0.05 {
+		t.Fatalf("random hit rate = %.2f, want ~0", hitR)
+	}
+	if avgR <= avg {
+		t.Fatalf("random latency (%.1f) must exceed sequential (%.1f) — the Table I locality story", avgR, avg)
+	}
+}
+
+func TestAverageLatencySeconds(t *testing.T) {
+	tm := HMC2Timing()
+	b := NewBankTimingModel(tm)
+	if _, err := b.Access(0, Read, 0); err != nil {
+		t.Fatal(err)
+	}
+	sec := b.AverageLatency(hw.PaperStackFreq)
+	// One miss: 14 cycles at 312.5 MHz = 44.8ns.
+	if sec < 40e-9 || sec > 50e-9 {
+		t.Fatalf("first-access latency = %g s, want ~45ns", sec)
+	}
+	if b.AverageLatency(0) != 0 {
+		t.Fatal("zero frequency must not divide by zero")
+	}
+}
+
+func TestTimingErrors(t *testing.T) {
+	b := NewBankTimingModel(HMC2Timing())
+	if _, err := b.Access(-1, Read, 0); err == nil {
+		t.Fatal("negative row must error")
+	}
+	if _, err := b.Access(0, Read, -5); err == nil {
+		t.Fatal("negative cycle must error")
+	}
+	if _, err := b.Access(0, AccessKind(9), 0); err == nil {
+		t.Fatal("bad kind must error")
+	}
+	if b.AverageLatencyCycles() != 0 || b.HitRate() != 0 {
+		t.Fatal("stats on a fresh bank must be zero")
+	}
+}
+
+func TestBankReadyAtSerializes(t *testing.T) {
+	tm := HMC2Timing()
+	b := NewBankTimingModel(tm)
+	d1, _ := b.Access(0, Read, 0)
+	// Issuing "in the past" must still serialize after the burst.
+	d2, _ := b.Access(0, Read, 0)
+	if d2 <= d1 {
+		t.Fatalf("second access (%d) must complete after the first (%d)", d2, d1)
+	}
+}

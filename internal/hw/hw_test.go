@@ -1,0 +1,195 @@
+package hw
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCPUPeak(t *testing.T) {
+	c := PaperCPU()
+	want := 8 * 2.4e9 * 16.0
+	if got := c.Peak(); math.Abs(got-want) > 1 {
+		t.Fatalf("CPU peak = %g, want %g", got, want)
+	}
+}
+
+func TestGPUPeak(t *testing.T) {
+	g := PaperGPU()
+	// 28 SMs x 128 cores x 1.5 GHz x 2 FLOPs = 10.752 TFLOPS.
+	want := 28.0 * 128 * 1.5e9 * 2
+	if got := g.Peak(); math.Abs(got-want) > 1 {
+		t.Fatalf("GPU peak = %g, want %g", got, want)
+	}
+}
+
+func TestStackEffectiveFreq(t *testing.T) {
+	for _, scale := range []float64{1, 2, 4} {
+		s := PaperStack(scale)
+		want := 312.5e6 * scale
+		if got := s.EffectiveFreq(); math.Abs(got-want) > 1 {
+			t.Errorf("scale %g: effective freq = %g, want %g", scale, got, want)
+		}
+		if got := s.ScaledInternalBandwidth(); math.Abs(got-320e9) > 1 {
+			t.Errorf("scale %g: internal bandwidth = %g, want %g (array-limited)", scale, got, 320e9)
+		}
+	}
+}
+
+func TestStackZeroScaleDefaultsToOne(t *testing.T) {
+	s := PaperStack(1)
+	s.FreqScale = 0
+	if got := s.EffectiveFreq(); got != s.Freq {
+		t.Fatalf("zero FreqScale: effective freq = %g, want %g", got, s.Freq)
+	}
+}
+
+func TestPaperConfigsValidate(t *testing.T) {
+	for _, kind := range AllConfigKinds() {
+		cfg := PaperConfig(kind)
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("%v: %v", kind, err)
+		}
+		if cfg.Name != kind.String() {
+			t.Errorf("%v: name = %q", kind, cfg.Name)
+		}
+	}
+}
+
+func TestConfigKindStrings(t *testing.T) {
+	want := map[ConfigKind]string{
+		ConfigCPU:       "CPU",
+		ConfigGPU:       "GPU",
+		ConfigProgrPIM:  "Progr PIM",
+		ConfigFixedPIM:  "Fixed PIM",
+		ConfigHeteroPIM: "Hetero PIM",
+		ConfigKind(99):  "unknown",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("%d.String() = %q, want %q", int(k), k.String(), s)
+		}
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	cases := []func(*SystemConfig){
+		func(c *SystemConfig) { c.CPU.Cores = 0 },
+		func(c *SystemConfig) { c.CPU.Freq = 0 },
+		func(c *SystemConfig) { c.Stack.Banks = 0 },
+		func(c *SystemConfig) { c.Stack.Rows = 3 },
+		func(c *SystemConfig) { c.FixedPIM.Units = -1 },
+		func(c *SystemConfig) { c.ProgPIM.Processors = -1 },
+	}
+	for i, mutate := range cases {
+		cfg := PaperConfig(ConfigHeteroPIM)
+		mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d: want validation error, got nil", i)
+		}
+	}
+}
+
+func TestHeteroConfigAreaConstraint(t *testing.T) {
+	for _, n := range []int{1, 4, 16} {
+		cfg := HeteroConfigWithProcessors(n, 1)
+		wantUnits := PaperFixedUnits - n*ProgPIMAreaInFixedUnits
+		if cfg.FixedPIM.Units != wantUnits {
+			t.Errorf("%dP: fixed units = %d, want %d", n, cfg.FixedPIM.Units, wantUnits)
+		}
+		if cfg.ProgPIM.Processors != n {
+			t.Errorf("%dP: processors = %d", n, cfg.ProgPIM.Processors)
+		}
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("%dP: %v", n, err)
+		}
+	}
+}
+
+func TestHeteroConfigNeverNegativeUnits(t *testing.T) {
+	cfg := HeteroConfigWithProcessors(1000, 1)
+	if cfg.FixedPIM.Units != 0 {
+		t.Fatalf("oversized processor count should clamp units to 0, got %d", cfg.FixedPIM.Units)
+	}
+}
+
+func TestBaselineFixedPoolBiggerThanHetero(t *testing.T) {
+	fixed := PaperConfig(ConfigFixedPIM)
+	het := PaperConfig(ConfigHeteroPIM)
+	if fixed.FixedPIM.Units <= het.FixedPIM.Units {
+		t.Fatalf("Fixed PIM baseline (%d units) should have more units than Hetero (%d)",
+			fixed.FixedPIM.Units, het.FixedPIM.Units)
+	}
+}
+
+func TestItoa(t *testing.T) {
+	cases := map[int]string{0: "0", 1: "1", -7: "-7", 444: "444", 12034: "12034"}
+	for n, want := range cases {
+		if got := itoa(n); got != want {
+			t.Errorf("itoa(%d) = %q, want %q", n, got, want)
+		}
+	}
+}
+
+func TestItoaQuick(t *testing.T) {
+	f := func(n int16) bool {
+		want := ""
+		m := int(n)
+		if m == 0 {
+			want = "0"
+		} else {
+			neg := m < 0
+			v := m
+			if neg {
+				v = -v
+			}
+			for v > 0 {
+				want = string(rune('0'+v%10)) + want
+				v /= 10
+			}
+			if neg {
+				want = "-" + want
+			}
+		}
+		return itoa(m) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConfigJSONRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := PaperConfig(ConfigHeteroPIM)
+	if err := WriteConfig(&buf, cfg); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadConfig(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != cfg {
+		t.Fatalf("round trip changed the config:\n%+v\nvs\n%+v", got, cfg)
+	}
+}
+
+func TestReadConfigRejectsGarbageAndInvalid(t *testing.T) {
+	if _, err := ReadConfig(strings.NewReader("{nope")); err == nil {
+		t.Fatal("garbage JSON must error")
+	}
+	if _, err := ReadConfig(strings.NewReader(`{"Unknown": 1}`)); err == nil {
+		t.Fatal("unknown fields must error")
+	}
+	// Valid JSON, invalid hardware.
+	bad := PaperConfig(ConfigHeteroPIM)
+	bad.CPU.Cores = 0
+	var buf bytes.Buffer
+	if err := WriteConfig(&buf, bad); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadConfig(&buf); err == nil {
+		t.Fatal("invalid hardware must fail validation")
+	}
+}

@@ -1,0 +1,32 @@
+package hw
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// WriteConfig serializes a system configuration as indented JSON, for
+// design-space exploration with custom hardware descriptions.
+func WriteConfig(w io.Writer, cfg SystemConfig) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(cfg); err != nil {
+		return fmt.Errorf("hw: encoding config %q: %w", cfg.Name, err)
+	}
+	return nil
+}
+
+// ReadConfig parses and validates a system configuration from JSON.
+func ReadConfig(r io.Reader) (SystemConfig, error) {
+	var cfg SystemConfig
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&cfg); err != nil {
+		return SystemConfig{}, fmt.Errorf("hw: decoding config: %w", err)
+	}
+	if err := cfg.Validate(); err != nil {
+		return SystemConfig{}, err
+	}
+	return cfg, nil
+}

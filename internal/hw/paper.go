@@ -1,0 +1,229 @@
+package hw
+
+// This file pins down the concrete hardware the MICRO 2018 paper
+// evaluates (Table IV, Sections IV-D and V) plus the calibration
+// constants our analytic models need. Every number either comes straight
+// from the paper / the referenced datasheets (core counts, frequencies,
+// bandwidths, unit budget) or is a standard published figure for the
+// part (power, per-byte energies, launch overheads).
+
+// Paper constants (Sections IV-D, V-A).
+const (
+	// PaperFixedUnits is the total fixed-function PIM budget the paper's
+	// McPAT/HotSpot design-space exploration allows on the logic die.
+	PaperFixedUnits = 444
+	// PaperBanks is the number of vertical bank slices in the stack.
+	PaperBanks = 32
+	// PaperBankRows x PaperBankCols is the logic-die bank grid (Fig. 3a).
+	PaperBankRows = 4
+	PaperBankCols = 8
+	// PaperStackFreq is the HMC 2.0 working frequency.
+	PaperStackFreq Hz = 312.5 * MHz
+	// ProgPIMAreaInFixedUnits is the logic-die area of one 4-core
+	// programmable PIM processor expressed in fixed-function unit
+	// equivalents. Chosen so the Fig. 12 study (1P -> 16P at constant
+	// area) costs 60 fixed units at 16P, reproducing the paper's
+	// observed 12%-14% slowdown on fixed-function-bound workloads.
+	ProgPIMAreaInFixedUnits = 4
+)
+
+// PaperCPU returns the host processor model: Intel Xeon E5-2630 v3
+// (8 cores, 2.4 GHz, AVX2) with 4-channel DDR4.
+func PaperCPU() CPUSpec {
+	return CPUSpec{
+		Name:          "Intel Xeon E5-2630 v3",
+		Cores:         8,
+		Freq:          2.4 * GHz,
+		FlopsPerCycle: 16, // AVX2: 2x 8-wide FMA
+		MemBandwidth:  50 * GBps,
+		DynamicPower:  68,
+	}
+}
+
+// PaperGPU returns the GPU baseline: NVIDIA GeForce GTX 1080 Ti.
+func PaperGPU() GPUSpec {
+	return GPUSpec{
+		Name:                 "NVIDIA GeForce GTX 1080 Ti",
+		SMs:                  28,
+		CoresPerSM:           128,
+		Freq:                 1.5 * GHz,
+		MemBandwidth:         484 * GBps,
+		HostLinkBandwidth:    12 * GBps, // sustained PCIe 3.0 x16
+		DynamicPower:         231,
+		KernelLaunchOverhead: 8e-6,
+	}
+}
+
+// PaperStack returns the HMC 2.0 memory stack at the given frequency
+// scale (1, 2 or 4; Section VI-D drives the PIM logic and TSV interface
+// with a PLL).
+func PaperStack(freqScale float64) StackSpec {
+	if freqScale <= 0 {
+		freqScale = 1
+	}
+	return StackSpec{
+		Name:                   "HMC 2.0 stack",
+		Banks:                  PaperBanks,
+		Rows:                   PaperBankRows,
+		Cols:                   PaperBankCols,
+		Freq:                   PaperStackFreq,
+		FreqScale:              freqScale,
+		InternalBandwidth:      320 * GBps,
+		ExternalBandwidth:      120 * GBps,
+		RowAccessEnergyPerByte: 30e-12,
+		TSVEnergyPerByte:       8e-12,
+		LinkEnergyPerByte:      40e-12,
+	}
+}
+
+// PaperFixedPIM returns the fixed-function PIM pool with the given unit
+// count (444 in the baseline; fewer when programmable PIMs eat die area).
+func PaperFixedPIM(units int) FixedPIMSpec {
+	return FixedPIMSpec{
+		Units:               units,
+		FlopsPerUnitCycle:   2, // one multiply + one add per cycle
+		SpawnOverhead:       2e-6,
+		HostSyncOverhead:    5e-6,
+		PIMSyncOverhead:     0.3e-6,
+		DynamicPowerPerUnit: 0.017,
+	}
+}
+
+// PaperProgPIM returns the programmable PIM complement with the given
+// number of 4-core ARM Cortex-A9-class processors.
+func PaperProgPIM(processors int) ProgPIMSpec {
+	return ProgPIMSpec{
+		Processors:               processors,
+		CoresPerProcessor:        4,
+		Freq:                     2 * GHz,
+		FlopsPerCycle:            2, // in-order core with a simple FPU
+		KernelLaunchOverhead:     3e-6,
+		DynamicPowerPerProcessor: 1.8,
+	}
+}
+
+// ConfigKind enumerates the five platforms of Section VI.
+type ConfigKind int
+
+const (
+	// ConfigCPU executes all training operations on the host CPU.
+	ConfigCPU ConfigKind = iota
+	// ConfigGPU executes all training operations on the GPU.
+	ConfigGPU
+	// ConfigProgrPIM uses programmable PIMs only (no runtime scheduling):
+	// the logic die is filled with ARM processors.
+	ConfigProgrPIM
+	// ConfigFixedPIM uses fixed-function PIMs only; non-offloadable
+	// operations run on the CPU (no runtime scheduling).
+	ConfigFixedPIM
+	// ConfigHeteroPIM is the paper's design: fixed-function + programmable
+	// PIMs with the profiling/scheduling runtime.
+	ConfigHeteroPIM
+)
+
+// String implements fmt.Stringer with the labels used in the figures.
+func (k ConfigKind) String() string {
+	switch k {
+	case ConfigCPU:
+		return "CPU"
+	case ConfigGPU:
+		return "GPU"
+	case ConfigProgrPIM:
+		return "Progr PIM"
+	case ConfigFixedPIM:
+		return "Fixed PIM"
+	case ConfigHeteroPIM:
+		return "Hetero PIM"
+	default:
+		return "unknown"
+	}
+}
+
+// AllConfigKinds lists the five evaluated platforms in figure order.
+func AllConfigKinds() []ConfigKind {
+	return []ConfigKind{ConfigCPU, ConfigGPU, ConfigProgrPIM, ConfigFixedPIM, ConfigHeteroPIM}
+}
+
+// PaperConfig assembles the full SystemConfig for one of the five
+// evaluated platforms at frequency scale 1.
+func PaperConfig(kind ConfigKind) SystemConfig {
+	return PaperConfigScaled(kind, 1)
+}
+
+// PaperConfigScaled assembles a platform at the given PIM/stack frequency
+// scale. The CPU and GPU platforms ignore the scale (their silicon is not
+// behind the PLL).
+func PaperConfigScaled(kind ConfigKind, freqScale float64) SystemConfig {
+	cfg := SystemConfig{
+		Name:                kind.String(),
+		CPU:                 PaperCPU(),
+		Stack:               PaperStack(freqScale),
+		DRAMBackgroundPower: 9,
+	}
+	switch kind {
+	case ConfigCPU:
+		cfg.Stack = PaperStack(1)
+	case ConfigGPU:
+		cfg.GPU = PaperGPU()
+		cfg.Stack = PaperStack(1)
+	case ConfigProgrPIM:
+		// Fill the logic die with programmable processors: the paper's
+		// "as many ARM-based programmable cores as needed by workloads".
+		cfg.ProgPIM = PaperProgPIM(PaperFixedUnits / ProgPIMAreaInFixedUnits)
+	case ConfigFixedPIM:
+		cfg.FixedPIM = PaperFixedPIM(PaperFixedUnits)
+	case ConfigHeteroPIM:
+		cfg.ProgPIM = PaperProgPIM(1)
+		cfg.FixedPIM = PaperFixedPIM(PaperFixedUnits - ProgPIMAreaInFixedUnits)
+	}
+	return cfg
+}
+
+// GPUHostHeteroConfig returns the heterogeneous PIM attached to a GPU
+// system (Section II-D: the PIM logic is "generally applicable to both
+// CPU or GPU systems"; the paper chose CPU because of GPU scheduling
+// constraints — this configuration exists for the extension study).
+func GPUHostHeteroConfig(freqScale float64) SystemConfig {
+	cfg := PaperConfigScaled(ConfigHeteroPIM, freqScale)
+	cfg.GPU = PaperGPU()
+	cfg.Name = "Hetero PIM (GPU host)"
+	return cfg
+}
+
+// HeteroConfigWithProcessors returns the Hetero PIM platform with n
+// programmable processors, shrinking the fixed-function pool to keep the
+// logic-die area constant (Fig. 12: 1P, 4P, 16P).
+func HeteroConfigWithProcessors(n int, freqScale float64) SystemConfig {
+	cfg := PaperConfigScaled(ConfigHeteroPIM, freqScale)
+	cfg.ProgPIM = PaperProgPIM(n)
+	units := PaperFixedUnits - n*ProgPIMAreaInFixedUnits
+	if units < 0 {
+		units = 0
+	}
+	cfg.FixedPIM = PaperFixedPIM(units)
+	cfg.Name = cfg.Name + "-" + itoa(n) + "P"
+	return cfg
+}
+
+// itoa avoids importing strconv for one tiny use.
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	neg := n < 0
+	if neg {
+		n = -n
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,158 @@
+package nn
+
+import "fmt"
+
+// LayerSpec describes one layer of a user-defined CNN for CNNSpec.
+type LayerSpec struct {
+	// Kind is "conv", "pool", "avgpool", "batchnorm", "fc".
+	Kind string
+	// Conv parameters (conv): filter FHxFW, OutC channels, Stride,
+	// SamePad; Transposed marks fractionally-strided layers.
+	FH, FW, OutC, Stride int
+	SamePad              bool
+	Transposed           bool
+	// Pool parameters (pool/avgpool): Window and Stride.
+	Window int
+	// FC parameters: Out units.
+	Out int
+	// Activation: "relu", "tanh", "sigmoid" or "" (none).
+	Activation string
+}
+
+// CNNSpec is a user-defined convolutional network: the library's
+// extension point for simulating models beyond the paper's seven.
+type CNNSpec struct {
+	Name string
+	// Batch size; InputH/W/C the input geometry; Classes the output.
+	Batch, InputH, InputW, InputC, Classes int
+	Layers                                 []LayerSpec
+	// GPUUtilization defaults to 0.5 when zero (no published number
+	// for a custom model).
+	GPUUtilization float64
+	// FrameworkOps is the "Other N ops" tail size (default 20).
+	FrameworkOps int
+}
+
+// activation maps the spec string to an op type.
+func activation(s string) (OpType, error) {
+	switch s {
+	case "relu":
+		return OpRelu, nil
+	case "tanh":
+		return OpTanh, nil
+	case "sigmoid":
+		return OpSigmoid, nil
+	case "":
+		return "", nil
+	default:
+		return "", fmt.Errorf("nn: unknown activation %q", s)
+	}
+}
+
+// BuildCNN lowers a CNNSpec into a training-step graph with the same
+// cost model and backward/optimizer structure as the built-in models.
+func BuildCNN(spec CNNSpec) (*Graph, error) {
+	if spec.Name == "" {
+		return nil, fmt.Errorf("nn: custom CNN needs a name")
+	}
+	if spec.Batch <= 0 || spec.InputH <= 0 || spec.InputW <= 0 || spec.InputC <= 0 {
+		return nil, fmt.Errorf("nn: custom CNN %q: bad input geometry %dx%dx%d batch %d",
+			spec.Name, spec.InputH, spec.InputW, spec.InputC, spec.Batch)
+	}
+	if spec.Classes <= 0 {
+		return nil, fmt.Errorf("nn: custom CNN %q: needs a positive class count", spec.Name)
+	}
+	if len(spec.Layers) == 0 {
+		return nil, fmt.Errorf("nn: custom CNN %q: no layers", spec.Name)
+	}
+	bd := newBuilder(spec.Name, spec.Batch)
+	h, w, c := spec.InputH, spec.InputW, spec.InputC
+	flattened := false
+	flatDim := 0
+	for i, l := range spec.Layers {
+		name := fmt.Sprintf("layer%d_%s", i+1, l.Kind)
+		act, err := activation(l.Activation)
+		if err != nil {
+			return nil, fmt.Errorf("nn: custom CNN %q layer %d: %w", spec.Name, i+1, err)
+		}
+		switch l.Kind {
+		case "conv":
+			if flattened {
+				return nil, fmt.Errorf("nn: custom CNN %q layer %d: conv after fc", spec.Name, i+1)
+			}
+			if l.FH <= 0 || l.FW <= 0 || l.OutC <= 0 || l.Stride <= 0 {
+				return nil, fmt.Errorf("nn: custom CNN %q layer %d: bad conv geometry", spec.Name, i+1)
+			}
+			if !l.SamePad && !l.Transposed && (l.FH > h || l.FW > w) {
+				return nil, fmt.Errorf("nn: custom CNN %q layer %d: %dx%d filter exceeds %dx%d input", spec.Name, i+1, l.FH, l.FW, h, w)
+			}
+			bd.conv(name, h, w, c, l.FH, l.FW, l.OutC, l.Stride, l.SamePad, act, l.Transposed)
+			if l.Transposed {
+				h, w = h*l.Stride, w*l.Stride
+			} else {
+				h, w = convGeom(h, w, l.FH, l.FW, l.Stride, l.SamePad)
+			}
+			c = l.OutC
+		case "pool", "avgpool":
+			if flattened {
+				return nil, fmt.Errorf("nn: custom CNN %q layer %d: pool after fc", spec.Name, i+1)
+			}
+			if l.Window <= 0 || l.Stride <= 0 || l.Window > h || l.Window > w {
+				return nil, fmt.Errorf("nn: custom CNN %q layer %d: bad pool geometry (window %d on %dx%d)", spec.Name, i+1, l.Window, h, w)
+			}
+			kind := OpMaxPool
+			if l.Kind == "avgpool" {
+				kind = OpAvgPool
+			}
+			bd.pool(name, h, w, c, l.Window, l.Stride, kind)
+			h = (h-l.Window)/l.Stride + 1
+			w = (w-l.Window)/l.Stride + 1
+		case "batchnorm":
+			if flattened {
+				return nil, fmt.Errorf("nn: custom CNN %q layer %d: batchnorm after fc", spec.Name, i+1)
+			}
+			bd.batchNorm(name, h, w, c)
+		case "fc":
+			if l.Out <= 0 {
+				return nil, fmt.Errorf("nn: custom CNN %q layer %d: bad fc width", spec.Name, i+1)
+			}
+			in := flatDim
+			if !flattened {
+				in = h * w * c
+				flattened = true
+			}
+			bd.fc(name, in, l.Out, act)
+			flatDim = l.Out
+		default:
+			return nil, fmt.Errorf("nn: custom CNN %q layer %d: unknown kind %q", spec.Name, i+1, l.Kind)
+		}
+		if h <= 0 || w <= 0 {
+			return nil, fmt.Errorf("nn: custom CNN %q layer %d: feature map collapsed to %dx%d", spec.Name, i+1, h, w)
+		}
+	}
+	// Output projection if the last layer did not already emit it.
+	if !flattened {
+		bd.fc("classifier", h*w*c, spec.Classes, "")
+	} else if flatDim != spec.Classes {
+		bd.fc("classifier", flatDim, spec.Classes, "")
+	}
+	fops := spec.FrameworkOps
+	if fops <= 0 {
+		fops = 20
+	}
+	addFrameworkOps(bd, fops)
+	grad := bd.loss(spec.Classes)
+	bd.backward(grad)
+	util := spec.GPUUtilization
+	if util <= 0 {
+		util = 0.5
+	}
+	bd.g.InputBytes = float64(spec.Batch*spec.InputH*spec.InputW*spec.InputC) * bytesPerElem
+	bd.g.GPUUtilization = util
+	bd.g.GPUUnhiddenTransferFrac = 0.1
+	bd.g.GPUEffFactor = 1
+	if err := bd.g.Validate(); err != nil {
+		return nil, fmt.Errorf("nn: custom CNN %q: %w", spec.Name, err)
+	}
+	return bd.g, nil
+}

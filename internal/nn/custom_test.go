@@ -1,0 +1,136 @@
+package nn
+
+import (
+	"strings"
+	"testing"
+)
+
+func lenet() CNNSpec {
+	return CNNSpec{
+		Name:  "LeNet-ish",
+		Batch: 32, InputH: 28, InputW: 28, InputC: 1, Classes: 10,
+		Layers: []LayerSpec{
+			{Kind: "conv", FH: 5, FW: 5, OutC: 6, Stride: 1, SamePad: true, Activation: "relu"},
+			{Kind: "pool", Window: 2, Stride: 2},
+			{Kind: "conv", FH: 5, FW: 5, OutC: 16, Stride: 1, SamePad: true, Activation: "relu"},
+			{Kind: "pool", Window: 2, Stride: 2},
+			{Kind: "fc", Out: 120, Activation: "relu"},
+			{Kind: "fc", Out: 84, Activation: "relu"},
+			{Kind: "fc", Out: 10},
+		},
+	}
+}
+
+func TestBuildCNNLeNet(t *testing.T) {
+	g, err := BuildCNN(lenet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	counts := map[OpType]int{}
+	for _, op := range g.Ops {
+		counts[op.Type]++
+	}
+	if counts[OpConv2D] != 2 || counts[OpMatMul] < 6 || counts[OpMaxPool] != 2 {
+		t.Fatalf("unexpected structure: %v", counts)
+	}
+	// Conv backprops and Adam updates exist.
+	if counts[OpConv2DBackpropFilter] != 2 || counts[OpApplyAdam] == 0 {
+		t.Fatalf("backward/optimizer missing: %v", counts)
+	}
+	// The final fc already has 10 outputs: no extra classifier.
+	for _, op := range g.Ops {
+		if strings.HasPrefix(op.Name, "classifier/") {
+			t.Fatalf("redundant classifier emitted: %s", op.Name)
+		}
+	}
+}
+
+func TestBuildCNNAddsClassifierWhenNeeded(t *testing.T) {
+	spec := lenet()
+	spec.Layers = spec.Layers[:4] // conv/pool only
+	g, err := BuildCNN(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, op := range g.Ops {
+		if strings.HasPrefix(op.Name, "classifier/") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("classifier projection missing")
+	}
+}
+
+func TestBuildCNNBatchNormAndTransposed(t *testing.T) {
+	spec := CNNSpec{
+		Name:  "gen",
+		Batch: 16, InputH: 7, InputW: 7, InputC: 64, Classes: 1,
+		Layers: []LayerSpec{
+			{Kind: "batchnorm"},
+			{Kind: "conv", FH: 5, FW: 5, OutC: 32, Stride: 2, SamePad: true, Transposed: true, Activation: "tanh"},
+			{Kind: "avgpool", Window: 2, Stride: 2},
+		},
+	}
+	g, err := BuildCNN(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[OpType]int{}
+	for _, op := range g.Ops {
+		counts[op.Type]++
+	}
+	if counts[OpBatchNorm] != 1 || counts[OpAvgPool] != 1 || counts[OpTanh] != 1 {
+		t.Fatalf("structure: %v", counts)
+	}
+}
+
+func TestBuildCNNErrors(t *testing.T) {
+	base := lenet()
+	cases := []func(*CNNSpec){
+		func(s *CNNSpec) { s.Name = "" },
+		func(s *CNNSpec) { s.Batch = 0 },
+		func(s *CNNSpec) { s.InputC = 0 },
+		func(s *CNNSpec) { s.Classes = 0 },
+		func(s *CNNSpec) { s.Layers = nil },
+		func(s *CNNSpec) { s.Layers[0].Kind = "mystery" },
+		func(s *CNNSpec) { s.Layers[0].Activation = "gelu" },
+		func(s *CNNSpec) { s.Layers[0].FH = 0 },
+		func(s *CNNSpec) { s.Layers[1].Window = 0 },
+		func(s *CNNSpec) { s.Layers[4].Out = 0 },
+		func(s *CNNSpec) { // conv after fc
+			s.Layers = append(s.Layers, LayerSpec{Kind: "conv", FH: 3, FW: 3, OutC: 4, Stride: 1})
+		},
+		func(s *CNNSpec) { // pool collapse
+			s.Layers = []LayerSpec{{Kind: "pool", Window: 64, Stride: 64}}
+		},
+	}
+	for i, mutate := range cases {
+		spec := lenet()
+		mutate(&spec)
+		if _, err := BuildCNN(spec); err == nil {
+			t.Errorf("case %d: want error", i)
+		}
+	}
+	_ = base
+}
+
+func TestBuildCNNDefaults(t *testing.T) {
+	spec := lenet()
+	spec.GPUUtilization = 0
+	spec.FrameworkOps = 0
+	g, err := BuildCNN(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.GPUUtilization != 0.5 {
+		t.Fatalf("default GPU utilization = %g", g.GPUUtilization)
+	}
+	if g.InputBytes != float64(32*28*28*1*4) {
+		t.Fatalf("input bytes = %g", g.InputBytes)
+	}
+}

@@ -1,0 +1,45 @@
+package nn
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteDOT renders the step DAG in Graphviz DOT format, colored by the
+// Fig. 2 class (class 2 offload targets darkest), for visual inspection
+// of model structure and dependence chains.
+func (g *Graph) WriteDOT(w io.Writer) error {
+	var sb strings.Builder
+	sb.WriteString("digraph ")
+	sb.WriteString(fmt.Sprintf("%q", g.Model))
+	sb.WriteString(" {\n  rankdir=TB;\n  node [shape=box, fontsize=9];\n")
+	colors := map[Class]string{
+		Class1: "#9ecae1",
+		Class2: "#3182bd",
+		Class3: "#fdae6b",
+		Class4: "#eeeeee",
+	}
+	classByType := map[OpType]Class{}
+	for _, op := range g.Ops {
+		if _, ok := classByType[op.Type]; !ok {
+			classByType[op.Type] = g.ClassifyType(op.Type)
+		}
+	}
+	for _, op := range g.Ops {
+		cl := classByType[op.Type]
+		sb.WriteString(fmt.Sprintf("  n%d [label=%q, style=filled, fillcolor=%q];\n",
+			op.ID, op.Name, colors[cl]))
+	}
+	for _, op := range g.Ops {
+		for _, in := range op.Inputs {
+			sb.WriteString(fmt.Sprintf("  n%d -> n%d;\n", in, op.ID))
+		}
+		for _, cs := range op.CrossStep {
+			sb.WriteString(fmt.Sprintf("  n%d -> n%d [style=dashed, color=gray, label=\"step-1\"];\n", cs, op.ID))
+		}
+	}
+	sb.WriteString("}\n")
+	_, err := io.WriteString(w, sb.String())
+	return err
+}

@@ -1,0 +1,487 @@
+package nn
+
+import "fmt"
+
+// Traffic factors: main-memory bytes of an op expressed as a multiple of
+// the tensors it touches. They encode the cache behaviour the paper's
+// VTune profiling observed (forward convolutions are cache blocked and
+// barely touch DRAM; the backward filter pass re-streams its inputs with
+// strided, miss-heavy access; BiasAddGrad's column reduction re-reads dy
+// repeatedly), and they are what makes Table I's memory-intensity
+// ranking come out of the model.
+const (
+	trafficConvFwd     = 0.30
+	trafficConvBwdF    = 5.0
+	trafficConvBwdI    = 2.5
+	trafficBiasAdd     = 0.10
+	trafficBiasGrad    = 6.0
+	trafficRelu        = 0.05
+	trafficPool        = 0.10
+	trafficPoolGrad    = 0.20
+	trafficMatMul      = 0.60
+	trafficAdam        = 2.0
+	trafficBatchNorm   = 0.40
+	trafficElementwise = 0.10
+	trafficSlice       = 1.0
+)
+
+const bytesPerElem = 4 // FP32
+
+// convGeom computes SAME/VALID output extents.
+func convGeom(h, w, fh, fw, stride int, same bool) (oh, ow int) {
+	if same {
+		oh = (h + stride - 1) / stride
+		ow = (w + stride - 1) / stride
+		return oh, ow
+	}
+	return (h-fh)/stride + 1, (w-fw)/stride + 1
+}
+
+// builder accumulates ops for one training step of a model.
+type builder struct {
+	g *Graph
+	b int // batch size
+	// lastFwd is the op producing the current forward activation.
+	lastFwd int
+	// layers records everything needed to emit the backward pass.
+	layers []layerRecord
+	// miscCounter names the framework filler ops.
+	miscCounter int
+}
+
+// layerKind discriminates layerRecord entries.
+type layerKind int
+
+const (
+	convLayer layerKind = iota
+	fcLayer
+	poolLayer
+	normLayer
+	actLayer
+)
+
+// layerRecord captures one emitted forward layer so the backward pass
+// can be generated in reverse order with correct dependencies.
+type layerRecord struct {
+	kind layerKind
+	name string
+	// forward op IDs
+	fwdMain, fwdBias, fwdAct int
+	// geometry
+	inH, inW, inC    int
+	outH, outW, outC int
+	fh, fw, stride   int
+	window           int
+	transposed       bool
+	actType          OpType // activation op type (OpRelu / OpTanh / "")
+	pooling          OpType // OpMaxPool or OpAvgPool for poolLayer
+	params           float64
+	biasParams       float64
+}
+
+func newBuilder(model string, batch int) *builder {
+	return &builder{
+		g:       &Graph{Model: model, BatchSize: batch},
+		b:       batch,
+		lastFwd: -1,
+	}
+}
+
+// dep returns a dependency list on the current forward head.
+func (bd *builder) dep() []int {
+	if bd.lastFwd < 0 {
+		return nil
+	}
+	return []int{bd.lastFwd}
+}
+
+// elems of a feature map.
+func fmElems(b, h, w, c int) float64 { return float64(b) * float64(h) * float64(w) * float64(c) }
+
+// conv emits the forward ops of a convolution layer (Conv2D + BiasAdd +
+// activation) and records it for the backward pass. transposed marks
+// DCGAN-style fractionally-strided (deconvolution) layers, which cost
+// the same arithmetic as a convolution of the output geometry.
+func (bd *builder) conv(name string, inH, inW, inC, fh, fw, outC, stride int, same bool, act OpType, transposed bool) {
+	outH, outW := convGeom(inH, inW, fh, fw, stride, same)
+	if transposed {
+		// Fractionally-strided convolution upsamples.
+		outH, outW = inH*stride, inW*stride
+	}
+	if outH <= 0 || outW <= 0 {
+		panic(fmt.Sprintf("nn: layer %s degenerate output %dx%d", name, outH, outW))
+	}
+	macs := fmElems(bd.b, outH, outW, outC) * float64(fh*fw*inC)
+	xBytes := fmElems(bd.b, inH, inW, inC) * bytesPerElem
+	yBytes := fmElems(bd.b, outH, outW, outC) * bytesPerElem
+	wBytes := float64(fh*fw*inC*outC) * bytesPerElem
+	granule := 2*fh*fw - 1
+
+	mainOp := bd.g.AddOp(Op{
+		Name: name + "/" + string(OpConv2D), Type: OpConv2D,
+		Muls: macs, Adds: macs, OtherFlops: 0.0003 * macs,
+		Bytes:       trafficConvFwd * (xBytes + wBytes + yBytes),
+		UnitGranule: granule,
+		Inputs:      bd.dep(),
+	})
+	bias := bd.g.AddOp(Op{
+		Name: name + "/" + string(OpBiasAdd), Type: OpBiasAdd,
+		Adds:        fmElems(bd.b, outH, outW, outC),
+		Bytes:       trafficBiasAdd * yBytes,
+		UnitGranule: 1,
+		Inputs:      []int{mainOp.ID},
+	})
+	rec := layerRecord{
+		kind: convLayer, name: name,
+		fwdMain: mainOp.ID, fwdBias: bias.ID, fwdAct: bias.ID,
+		inH: inH, inW: inW, inC: inC,
+		outH: outH, outW: outW, outC: outC,
+		fh: fh, fw: fw, stride: stride,
+		transposed: transposed, actType: act,
+		params:     float64(fh * fw * inC * outC),
+		biasParams: float64(outC),
+	}
+	bd.lastFwd = bias.ID
+	if act != "" {
+		a := bd.g.AddOp(Op{
+			Name:        name + "/" + string(act),
+			Type:        act,
+			OtherFlops:  fmElems(bd.b, outH, outW, outC),
+			Bytes:       trafficRelu * 2 * yBytes,
+			UnitGranule: 1,
+			Inputs:      []int{bias.ID},
+		})
+		rec.fwdAct = a.ID
+		bd.lastFwd = a.ID
+	}
+	bd.layers = append(bd.layers, rec)
+	bd.g.ParamBytes += (rec.params + rec.biasParams) * bytesPerElem
+	bd.g.ActivationBytes += yBytes
+}
+
+// pool emits a pooling layer.
+func (bd *builder) pool(name string, inH, inW, c, window, stride int, kind OpType) {
+	outH := (inH-window)/stride + 1
+	outW := (inW-window)/stride + 1
+	if outH <= 0 || outW <= 0 {
+		panic(fmt.Sprintf("nn: pool %s degenerate output", name))
+	}
+	xBytes := fmElems(bd.b, inH, inW, c) * bytesPerElem
+	yBytes := fmElems(bd.b, outH, outW, c) * bytesPerElem
+	op := bd.g.AddOp(Op{
+		Name:        name + "/" + string(kind),
+		Type:        kind,
+		OtherFlops:  fmElems(bd.b, inH, inW, c),
+		Bytes:       trafficPool * (xBytes + yBytes),
+		UnitGranule: 1,
+		Inputs:      bd.dep(),
+	})
+	if kind == OpAvgPool {
+		op.OtherFlops = 0
+		op.Adds = fmElems(bd.b, inH, inW, c)
+		op.Muls = fmElems(bd.b, outH, outW, c)
+		op.UnitGranule = 2*window*window - 1
+	}
+	bd.layers = append(bd.layers, layerRecord{
+		kind: poolLayer, name: name,
+		fwdMain: op.ID, fwdAct: op.ID,
+		inH: inH, inW: inW, inC: c,
+		outH: outH, outW: outW, outC: c,
+		window: window, stride: stride,
+		pooling: kind,
+	})
+	bd.lastFwd = op.ID
+	bd.g.ActivationBytes += yBytes
+}
+
+// batchNorm emits a fused batch-normalization layer over the current map.
+func (bd *builder) batchNorm(name string, h, w, c int) {
+	elems := fmElems(bd.b, h, w, c)
+	yBytes := elems * bytesPerElem
+	op := bd.g.AddOp(Op{
+		Name: name + "/" + string(OpBatchNorm), Type: OpBatchNorm,
+		// Normalization is multiply/add per element; the rsqrt and
+		// division happen once per channel, not per element.
+		Muls: 2 * elems, Adds: 2 * elems, OtherFlops: 8 * float64(c),
+		Bytes:       trafficBatchNorm * 2 * yBytes,
+		UnitGranule: 7,
+		Inputs:      bd.dep(),
+	})
+	bd.layers = append(bd.layers, layerRecord{
+		kind: normLayer, name: name,
+		fwdMain: op.ID, fwdAct: op.ID,
+		inH: h, inW: w, inC: c, outH: h, outW: w, outC: c,
+		params: 2 * float64(c),
+	})
+	bd.lastFwd = op.ID
+	bd.g.ParamBytes += 2 * float64(c) * bytesPerElem
+}
+
+// fc emits a fully-connected layer (MatMul + BiasAdd + activation).
+func (bd *builder) fc(name string, in, out int, act OpType) {
+	macs := float64(bd.b) * float64(in) * float64(out)
+	aBytes := float64(bd.b*in) * bytesPerElem
+	wBytes := float64(in*out) * bytesPerElem
+	yBytes := float64(bd.b*out) * bytesPerElem
+	granule := 127 // 64-wide multiply tree + 63 adders
+	mm := bd.g.AddOp(Op{
+		Name: name + "/" + string(OpMatMul), Type: OpMatMul,
+		Muls: macs, Adds: macs,
+		Bytes:       trafficMatMul * (aBytes + wBytes + yBytes),
+		UnitGranule: granule,
+		Inputs:      bd.dep(),
+	})
+	bias := bd.g.AddOp(Op{
+		Name: name + "/" + string(OpBiasAdd), Type: OpBiasAdd,
+		Adds:        float64(bd.b * out),
+		Bytes:       trafficBiasAdd * yBytes,
+		UnitGranule: 1,
+		Inputs:      []int{mm.ID},
+	})
+	rec := layerRecord{
+		kind: fcLayer, name: name,
+		fwdMain: mm.ID, fwdBias: bias.ID, fwdAct: bias.ID,
+		inC: in, outC: out, actType: act,
+		params:     float64(in * out),
+		biasParams: float64(out),
+	}
+	bd.lastFwd = bias.ID
+	if act != "" {
+		a := bd.g.AddOp(Op{
+			Name:        name + "/" + string(act),
+			Type:        act,
+			OtherFlops:  float64(bd.b * out),
+			Bytes:       trafficRelu * 2 * yBytes,
+			UnitGranule: 1,
+			Inputs:      []int{bias.ID},
+		})
+		rec.fwdAct = a.ID
+		bd.lastFwd = a.ID
+	}
+	bd.layers = append(bd.layers, rec)
+	bd.g.ParamBytes += (rec.params + rec.biasParams) * bytesPerElem
+	bd.g.ActivationBytes += yBytes
+}
+
+// misc emits one small framework op (Reshape, Sum, Slice...) hanging off
+// the current forward head; these are the "Other N ops" rows of Table I.
+func (bd *builder) misc(t OpType, elems float64) {
+	bd.miscCounter++
+	bd.g.AddOp(Op{
+		Name:        fmt.Sprintf("misc_%d/%s", bd.miscCounter, t),
+		Type:        t,
+		OtherFlops:  elems,
+		Bytes:       trafficElementwise * elems * bytesPerElem,
+		UnitGranule: 1,
+		Inputs:      bd.dep(),
+	})
+}
+
+// loss emits softmax + cross-entropy over `classes` outputs and returns
+// the op ID producing the initial gradient.
+func (bd *builder) loss(classes int) int {
+	elems := float64(bd.b * classes)
+	sm := bd.g.AddOp(Op{
+		Name: "loss/" + string(OpSoftmax), Type: OpSoftmax,
+		OtherFlops:  5 * elems,
+		Bytes:       trafficElementwise * 2 * elems * bytesPerElem,
+		UnitGranule: 1,
+		Inputs:      bd.dep(),
+	})
+	ce := bd.g.AddOp(Op{
+		Name: "loss/" + string(OpCrossEntropy), Type: OpCrossEntropy,
+		OtherFlops:  3 * elems,
+		Bytes:       trafficElementwise * 2 * elems * bytesPerElem,
+		UnitGranule: 1,
+		Inputs:      []int{sm.ID},
+	})
+	bd.lastFwd = ce.ID
+	return ce.ID
+}
+
+// backward walks the recorded layers in reverse, emitting gradient ops
+// and the optimizer updates; gradOp is the op producing dLoss.
+func (bd *builder) backward(gradOp int) {
+	cur := gradOp
+	for i := len(bd.layers) - 1; i >= 0; i-- {
+		rec := bd.layers[i]
+		switch rec.kind {
+		case convLayer:
+			cur = bd.convBackward(rec, cur, i == 0)
+		case fcLayer:
+			cur = bd.fcBackward(rec, cur, i == 0)
+		case poolLayer:
+			cur = bd.poolBackward(rec, cur)
+		case normLayer:
+			cur = bd.normBackward(rec, cur)
+		}
+	}
+}
+
+// adam emits the ApplyAdam update for `params` parameters, gated by the
+// gradient op. The forward op it guards (nextStepGate) picks up a
+// cross-step dependency on the update.
+func (bd *builder) adam(name string, params float64, gradID, nextStepGate int) {
+	op := bd.g.AddOp(Op{
+		Name: name + "/" + string(OpApplyAdam), Type: OpApplyAdam,
+		Muls: 6 * params, Adds: 4 * params, OtherFlops: 2 * params,
+		Bytes:       trafficAdam * params * bytesPerElem,
+		UnitGranule: 16,
+		Params:      true,
+		Inputs:      []int{gradID},
+	})
+	if nextStepGate >= 0 {
+		g := bd.g.Ops[nextStepGate]
+		g.CrossStep = append(g.CrossStep, op.ID)
+	}
+}
+
+func (bd *builder) convBackward(rec layerRecord, dy int, first bool) int {
+	dyElems := fmElems(bd.b, rec.outH, rec.outW, rec.outC)
+	dyBytes := dyElems * bytesPerElem
+	xBytes := fmElems(bd.b, rec.inH, rec.inW, rec.inC) * bytesPerElem
+	wBytes := rec.params * bytesPerElem
+	macs := dyElems * float64(rec.fh*rec.fw*rec.inC)
+	if rec.transposed {
+		macs = fmElems(bd.b, rec.inH, rec.inW, rec.inC) * float64(rec.fh*rec.fw*rec.outC)
+	}
+	granule := 2*rec.fh*rec.fw - 1
+	cur := dy
+	if rec.actType != "" {
+		ag := bd.g.AddOp(Op{
+			Name:        rec.name + "/" + string(rec.actType) + "Grad",
+			Type:        gradOf(rec.actType),
+			OtherFlops:  2 * dyElems,
+			Bytes:       trafficRelu * 2 * dyBytes,
+			UnitGranule: 1,
+			Inputs:      []int{cur, rec.fwdAct},
+		})
+		cur = ag.ID
+	}
+	bag := bd.g.AddOp(Op{
+		Name: rec.name + "/" + string(OpBiasAddGrad), Type: OpBiasAddGrad,
+		Adds:        dyElems,
+		Bytes:       trafficBiasGrad * dyBytes,
+		UnitGranule: 31,
+		Inputs:      []int{cur},
+	})
+	bd.adam(rec.name+"/bias", rec.biasParams, bag.ID, rec.fwdBias)
+	cf := bd.g.AddOp(Op{
+		Name: rec.name + "/" + string(OpConv2DBackpropFilter), Type: OpConv2DBackpropFilter,
+		Muls: macs, Adds: macs, OtherFlops: 0.0005 * macs,
+		Bytes:       trafficConvBwdF*(xBytes+dyBytes) + wBytes,
+		UnitGranule: granule,
+		Inputs:      []int{cur},
+	})
+	bd.adam(rec.name+"/weights", rec.params, cf.ID, rec.fwdMain)
+	if first {
+		return cur
+	}
+	ci := bd.g.AddOp(Op{
+		Name: rec.name + "/" + string(OpConv2DBackpropInput), Type: OpConv2DBackpropInput,
+		Muls: macs, Adds: macs, OtherFlops: 0.0004 * macs,
+		Bytes:       trafficConvBwdI*(dyBytes+xBytes) + wBytes,
+		UnitGranule: granule,
+		Inputs:      []int{cur},
+	})
+	return ci.ID
+}
+
+func (bd *builder) fcBackward(rec layerRecord, dy int, first bool) int {
+	macs := float64(bd.b) * float64(rec.inC) * float64(rec.outC)
+	dyBytes := float64(bd.b*rec.outC) * bytesPerElem
+	xBytes := float64(bd.b*rec.inC) * bytesPerElem
+	wBytes := rec.params * bytesPerElem
+	cur := dy
+	if rec.actType != "" {
+		ag := bd.g.AddOp(Op{
+			Name:        rec.name + "/" + string(rec.actType) + "Grad",
+			Type:        gradOf(rec.actType),
+			OtherFlops:  2 * float64(bd.b*rec.outC),
+			Bytes:       trafficRelu * 2 * dyBytes,
+			UnitGranule: 1,
+			Inputs:      []int{cur, rec.fwdAct},
+		})
+		cur = ag.ID
+	}
+	bag := bd.g.AddOp(Op{
+		Name: rec.name + "/" + string(OpBiasAddGrad), Type: OpBiasAddGrad,
+		Adds:        float64(bd.b * rec.outC),
+		Bytes:       trafficBiasGrad * dyBytes,
+		UnitGranule: 31,
+		Inputs:      []int{cur},
+	})
+	bd.adam(rec.name+"/bias", rec.biasParams, bag.ID, rec.fwdBias)
+	// dW = xᵀ·dy
+	wg := bd.g.AddOp(Op{
+		Name: rec.name + "/MatMul_grad_w", Type: OpMatMul,
+		Muls: macs, Adds: macs,
+		Bytes:       trafficMatMul * (xBytes + dyBytes + wBytes),
+		UnitGranule: 127,
+		Inputs:      []int{cur},
+	})
+	bd.adam(rec.name+"/weights", rec.params, wg.ID, rec.fwdMain)
+	if first {
+		return cur
+	}
+	// dx = dy·wᵀ
+	xg := bd.g.AddOp(Op{
+		Name: rec.name + "/MatMul_grad_x", Type: OpMatMul,
+		Muls: macs, Adds: macs,
+		Bytes:       trafficMatMul * (dyBytes + wBytes + xBytes),
+		UnitGranule: 127,
+		Inputs:      []int{cur},
+	})
+	return xg.ID
+}
+
+func (bd *builder) poolBackward(rec layerRecord, dy int) int {
+	dyBytes := fmElems(bd.b, rec.outH, rec.outW, rec.outC) * bytesPerElem
+	dxBytes := fmElems(bd.b, rec.inH, rec.inW, rec.inC) * bytesPerElem
+	t := OpMaxPoolGrad
+	if rec.pooling == OpAvgPool {
+		t = OpAvgPoolGrad
+	}
+	op := Op{
+		Name:        rec.name + "/" + string(t),
+		Type:        t,
+		Bytes:       trafficPoolGrad * (dyBytes + dxBytes),
+		UnitGranule: 1,
+		Inputs:      []int{dy, rec.fwdMain},
+	}
+	if t == OpAvgPoolGrad {
+		op.Adds = fmElems(bd.b, rec.inH, rec.inW, rec.inC)
+		op.Muls = fmElems(bd.b, rec.outH, rec.outW, rec.outC)
+		op.UnitGranule = 2*rec.window*rec.window - 1
+	} else {
+		op.OtherFlops = fmElems(bd.b, rec.inH, rec.inW, rec.inC)
+	}
+	o := bd.g.AddOp(op)
+	return o.ID
+}
+
+func (bd *builder) normBackward(rec layerRecord, dy int) int {
+	elems := fmElems(bd.b, rec.outH, rec.outW, rec.outC)
+	op := bd.g.AddOp(Op{
+		Name: rec.name + "/" + string(OpBatchNormGrad), Type: OpBatchNormGrad,
+		Muls: 3 * elems, Adds: 3 * elems, OtherFlops: 12 * float64(rec.outC),
+		Bytes:       trafficBatchNorm * 3 * elems * bytesPerElem,
+		UnitGranule: 7,
+		Inputs:      []int{dy, rec.fwdMain},
+	})
+	bd.adam(rec.name+"/scale_offset", rec.params, op.ID, rec.fwdMain)
+	return op.ID
+}
+
+// gradOf maps an activation op to its gradient op type.
+func gradOf(act OpType) OpType {
+	switch act {
+	case OpRelu:
+		return OpReluGrad
+	case OpTanh, OpSigmoid:
+		// Modeled with the same conditional/transcendental profile.
+		return OpReluGrad
+	default:
+		return OpReluGrad
+	}
+}

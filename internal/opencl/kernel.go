@@ -1,0 +1,108 @@
+package opencl
+
+import (
+	"fmt"
+
+	"heteropim/internal/nn"
+)
+
+// Kernel is one OpenCL kernel implementing an NN training operation.
+// The functional Body is optional: simulation-only kernels carry just
+// the op type (which fixes eligibility and decomposability via the nn
+// profile tables).
+type Kernel struct {
+	Name string
+	Op   nn.OpType
+	// Body is the host/programmable-PIM implementation.
+	Body func(ctx *ExecContext) error
+	// FixedBody is the extracted multiply/add inner section that binary
+	// #3 runs on fixed-function PIMs (Fig. 4); called through
+	// ExecContext.CallFixed from recursive kernels.
+	FixedBody func(ctx *ExecContext) error
+}
+
+// BinaryKind enumerates the four binaries of Fig. 4.
+type BinaryKind int
+
+const (
+	// BinCPU (#1) runs the whole kernel on the host CPU.
+	BinCPU BinaryKind = iota
+	// BinFixed (#3) is the set of small kernels extracted from the
+	// multiply/add sections, loadable on fixed-function PIMs.
+	BinFixed
+	// BinProgRecursive (#4) runs on the programmable PIM with the
+	// extracted sections replaced by recursive calls to BinFixed.
+	BinProgRecursive
+	// BinProgFull (#2) runs the whole kernel on the programmable PIM.
+	BinProgFull
+)
+
+// String implements fmt.Stringer with Fig. 4's numbering.
+func (k BinaryKind) String() string {
+	switch k {
+	case BinCPU:
+		return "#1-cpu"
+	case BinFixed:
+		return "#3-fixed"
+	case BinProgRecursive:
+		return "#4-prog-recursive"
+	case BinProgFull:
+		return "#2-prog-full"
+	default:
+		return "unknown"
+	}
+}
+
+// Binary is one compiled artifact for a kernel.
+type Binary struct {
+	Kind   BinaryKind
+	Kernel *Kernel
+	// DecomposableFrac is the share of the kernel's arithmetic this
+	// binary offloads to fixed-function PIMs (BinFixed and
+	// BinProgRecursive only).
+	DecomposableFrac float64
+}
+
+// BinarySet is the result of compiling one kernel: up to four binaries.
+type BinarySet struct {
+	Kernel   *Kernel
+	Binaries map[BinaryKind]*Binary
+}
+
+// Compile lowers a kernel into its binaries following Fig. 4 and the
+// execution-model rules of Section III-B: "if the task includes
+// instructions that cannot be executed on the fixed-function PIM, then
+// the task will not be scheduled ... to run on the fixed-function PIM."
+func Compile(k *Kernel) (*BinarySet, error) {
+	if k == nil || k.Name == "" {
+		return nil, fmt.Errorf("opencl: compiling unnamed kernel")
+	}
+	prof := nn.ProfileFor(k.Op)
+	bs := &BinarySet{Kernel: k, Binaries: map[BinaryKind]*Binary{}}
+	bs.Binaries[BinCPU] = &Binary{Kind: BinCPU, Kernel: k}
+	if prof.ProgEligible {
+		bs.Binaries[BinProgFull] = &Binary{Kind: BinProgFull, Kernel: k}
+	}
+	if prof.FixedEligible && prof.DecomposableFrac > 0 {
+		bs.Binaries[BinFixed] = &Binary{Kind: BinFixed, Kernel: k, DecomposableFrac: prof.DecomposableFrac}
+		if prof.ProgEligible {
+			// Fig. 6: the extracted sections are replaced with recursive
+			// kernel calls and the rest stays on the programmable PIM.
+			bs.Binaries[BinProgRecursive] = &Binary{Kind: BinProgRecursive, Kernel: k, DecomposableFrac: prof.DecomposableFrac}
+		}
+	}
+	return bs, nil
+}
+
+// Has reports whether the set contains a binary kind.
+func (bs *BinarySet) Has(kind BinaryKind) bool {
+	_, ok := bs.Binaries[kind]
+	return ok
+}
+
+// FullyFixed reports whether the op can run entirely on fixed-function
+// PIMs (no residual programmable phases at all).
+func (bs *BinarySet) FullyFixed() bool {
+	b, ok := bs.Binaries[BinFixed]
+	return ok && b.DecomposableFrac >= 1
+}

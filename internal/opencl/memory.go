@@ -1,0 +1,132 @@
+package opencl
+
+import (
+	"fmt"
+	"sync"
+
+	"heteropim/internal/hmc"
+	"heteropim/internal/tensor"
+)
+
+// GlobalMemory is the extended memory model of Table II: a single global
+// memory, physically the 3D stack, shared by the host and all PIMs in a
+// unified address space, with relaxed consistency and explicit
+// synchronization. There is no data-copy overhead before/after kernel
+// calls — buffers carry bank placement instead of device residency.
+type GlobalMemory struct {
+	mu      sync.Mutex
+	stack   *hmc.Stack
+	buffers map[string]*Buffer
+	nextBlk int
+	locks   map[string]*sync.Mutex
+}
+
+// Buffer is one allocation in the shared global memory.
+type Buffer struct {
+	Name string
+	// Data is the functional payload (may be nil for simulation-only
+	// buffers that exist just for placement queries).
+	Data *tensor.Tensor
+	// Bytes is the logical size (Data's size when present).
+	Bytes float64
+	// Banks lists the stack banks the buffer is interleaved over; the
+	// low-level API maps operations to fixed-function PIMs in the same
+	// banks as their input data (Section IV-D).
+	Banks []int
+}
+
+// NewGlobalMemory wraps a stack.
+func NewGlobalMemory(stack *hmc.Stack) *GlobalMemory {
+	return &GlobalMemory{
+		stack:   stack,
+		buffers: map[string]*Buffer{},
+		locks:   map[string]*sync.Mutex{},
+	}
+}
+
+// Stack exposes the underlying memory stack (for traffic accounting).
+func (m *GlobalMemory) Stack() *hmc.Stack { return m.stack }
+
+// Alloc creates a buffer of the given byte size, block-interleaved over
+// the banks. Allocating an existing name fails — the unified address
+// space has one owner per name.
+func (m *GlobalMemory) Alloc(name string, bytes float64, data *tensor.Tensor) (*Buffer, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.buffers[name]; ok {
+		return nil, fmt.Errorf("opencl: buffer %q already allocated", name)
+	}
+	if data != nil {
+		bytes = float64(data.Bytes())
+	}
+	if bytes < 0 {
+		return nil, fmt.Errorf("opencl: buffer %q with negative size", name)
+	}
+	const blockBytes = 256 * 1024
+	blocks := int(bytes/blockBytes) + 1
+	if blocks > m.stack.Banks() {
+		blocks = m.stack.Banks()
+	}
+	banks := make([]int, 0, blocks)
+	seen := map[int]bool{}
+	for i := 0; i < blocks; i++ {
+		b := m.stack.BankForBlock(m.nextBlk)
+		m.nextBlk++
+		if !seen[b] {
+			seen[b] = true
+			banks = append(banks, b)
+		}
+	}
+	buf := &Buffer{Name: name, Data: data, Bytes: bytes, Banks: banks}
+	m.buffers[name] = buf
+	return buf, nil
+}
+
+// Get looks a buffer up.
+func (m *GlobalMemory) Get(name string) (*Buffer, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	b, ok := m.buffers[name]
+	if !ok {
+		return nil, fmt.Errorf("opencl: no buffer %q", name)
+	}
+	return b, nil
+}
+
+// Free releases a buffer.
+func (m *GlobalMemory) Free(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.buffers[name]; !ok {
+		return fmt.Errorf("opencl: freeing unknown buffer %q", name)
+	}
+	delete(m.buffers, name)
+	return nil
+}
+
+// GlobalLock returns the named global lock variable. These model the
+// paper's synchronization "based on global lock variables shared
+// between CPU and PIMs" — programmable-PIM kernels may synchronize
+// mid-kernel through them.
+func (m *GlobalMemory) GlobalLock(name string) *sync.Mutex {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	l, ok := m.locks[name]
+	if !ok {
+		l = &sync.Mutex{}
+		m.locks[name] = l
+	}
+	return l
+}
+
+// Touch records traffic against the buffer's banks via the given path,
+// split evenly across its banks.
+func (m *GlobalMemory) Touch(buf *Buffer, bytes float64, path hmc.AccessPath) {
+	if buf == nil || len(buf.Banks) == 0 || bytes <= 0 {
+		return
+	}
+	per := bytes / float64(len(buf.Banks))
+	for _, b := range buf.Banks {
+		m.stack.Access(b, per, path)
+	}
+}

@@ -1,0 +1,472 @@
+package opencl
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"heteropim/internal/hmc"
+	"heteropim/internal/hw"
+	"heteropim/internal/nn"
+	"heteropim/internal/tensor"
+)
+
+func heteroPlatform(t testing.TB) *Platform {
+	t.Helper()
+	p, err := NewPlatform(hw.PaperConfig(hw.ConfigHeteroPIM))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(p.Close)
+	return p
+}
+
+func TestPlatformMapping(t *testing.T) {
+	p := heteroPlatform(t)
+	if p.Host == nil || p.Host.Kind != HostCPU {
+		t.Fatal("platform must have a host device")
+	}
+	if p.Fixed == nil {
+		t.Fatal("hetero platform must have the fixed-function device")
+	}
+	// All fixed-function PIMs form ONE compute device; banks are its
+	// compute units (Fig. 5b).
+	if p.Fixed.PEs != hw.PaperFixedUnits-hw.ProgPIMAreaInFixedUnits {
+		t.Errorf("fixed device PEs = %d", p.Fixed.PEs)
+	}
+	if p.Fixed.ComputeUnits != hw.PaperBanks {
+		t.Errorf("fixed device compute units = %d, want %d banks", p.Fixed.ComputeUnits, hw.PaperBanks)
+	}
+	// Each programmable PIM processor is its own compute device.
+	if len(p.Prog) != 1 {
+		t.Fatalf("prog devices = %d, want 1", len(p.Prog))
+	}
+	if p.Prog[0].PEs != 4 {
+		t.Errorf("prog device PEs = %d, want 4 cores", p.Prog[0].PEs)
+	}
+	if len(p.Devices()) != 3 {
+		t.Errorf("device count = %d, want 3", len(p.Devices()))
+	}
+}
+
+func TestPlatformCPUOnlyHasNoPIMDevices(t *testing.T) {
+	p, err := NewPlatform(hw.PaperConfig(hw.ConfigCPU))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if p.Fixed != nil || len(p.Prog) != 0 {
+		t.Fatal("CPU platform must expose no PIM devices")
+	}
+}
+
+func TestPlatformRejectsInvalidConfig(t *testing.T) {
+	cfg := hw.PaperConfig(hw.ConfigHeteroPIM)
+	cfg.CPU.Cores = 0
+	if _, err := NewPlatform(cfg); err == nil {
+		t.Fatal("invalid config must be rejected")
+	}
+}
+
+func TestDeviceKindStrings(t *testing.T) {
+	if HostCPU.String() != "host-cpu" || FixedFunctionPIM.String() != "fixed-function-pim" ||
+		ProgrammablePIM.String() != "programmable-pim" || DeviceKind(9).String() != "unknown" {
+		t.Fatal("DeviceKind.String mismatch")
+	}
+}
+
+func TestCompileBinaryGeneration(t *testing.T) {
+	// Conv2DBackpropFilter: partially decomposable -> all four binaries.
+	bs, err := Compile(&Kernel{Name: "cf", Op: nn.OpConv2DBackpropFilter})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range []BinaryKind{BinCPU, BinProgFull, BinFixed, BinProgRecursive} {
+		if !bs.Has(kind) {
+			t.Errorf("Conv2DBackpropFilter missing binary %v", kind)
+		}
+	}
+	if bs.FullyFixed() {
+		t.Error("Conv2DBackpropFilter must not be fully fixed (Fig. 6 phases)")
+	}
+	// Relu: conditional, fixed-ineligible -> no fixed or recursive
+	// binary (execution-model rule of Section III-B).
+	bs, err = Compile(&Kernel{Name: "relu", Op: nn.OpRelu})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bs.Has(BinFixed) || bs.Has(BinProgRecursive) {
+		t.Error("Relu must not get fixed-function binaries")
+	}
+	if !bs.Has(BinCPU) || !bs.Has(BinProgFull) {
+		t.Error("Relu must still get CPU and programmable binaries")
+	}
+	// BiasAdd is pure adds -> fully fixed.
+	bs, err = Compile(&Kernel{Name: "ba", Op: nn.OpBiasAdd})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bs.FullyFixed() {
+		t.Error("BiasAdd should compile to a fully-fixed binary")
+	}
+	if _, err := Compile(nil); err == nil {
+		t.Error("nil kernel must fail to compile")
+	}
+	if _, err := Compile(&Kernel{Op: nn.OpRelu}); err == nil {
+		t.Error("unnamed kernel must fail to compile")
+	}
+}
+
+func TestBinaryKindStrings(t *testing.T) {
+	want := map[BinaryKind]string{
+		BinCPU: "#1-cpu", BinFixed: "#3-fixed",
+		BinProgRecursive: "#4-prog-recursive", BinProgFull: "#2-prog-full",
+		BinaryKind(9): "unknown",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("%d.String() = %q, want %q", int(k), k.String(), s)
+		}
+	}
+}
+
+func TestQueueExecutesInOrder(t *testing.T) {
+	p := heteroPlatform(t)
+	var order []int
+	var mu atomic.Int32
+	k := func(i int) *Kernel {
+		return &Kernel{Name: "k", Op: nn.OpAdd, Body: func(ctx *ExecContext) error {
+			for !mu.CompareAndSwap(0, 1) {
+			}
+			order = append(order, i)
+			mu.Store(0)
+			return nil
+		}}
+	}
+	q := p.Host.Queue()
+	var evs []*Event
+	for i := 0; i < 10; i++ {
+		bs, _ := Compile(k(i))
+		ev, err := q.EnqueueKernel(bs.Binaries[BinCPU], p.Memory, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		evs = append(evs, ev)
+	}
+	for _, ev := range evs {
+		if err := ev.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("in-order queue ran out of order: %v", order)
+		}
+	}
+}
+
+func TestQueueRejectsWrongDevice(t *testing.T) {
+	p := heteroPlatform(t)
+	bs, _ := Compile(&Kernel{Name: "conv", Op: nn.OpConv2D})
+	if _, err := p.Host.Queue().EnqueueKernel(bs.Binaries[BinFixed], p.Memory, nil); err == nil {
+		t.Error("fixed binary on host queue must be rejected")
+	}
+	if _, err := p.Fixed.Queue().EnqueueKernel(bs.Binaries[BinCPU], p.Memory, nil); err == nil {
+		t.Error("CPU binary on fixed queue must be rejected")
+	}
+	if _, err := p.Prog[0].Queue().EnqueueKernel(bs.Binaries[BinFixed], p.Memory, nil); err == nil {
+		t.Error("fixed binary on prog queue must be rejected")
+	}
+	if _, err := p.Host.Queue().EnqueueKernel(nil, p.Memory, nil); err == nil {
+		t.Error("nil binary must be rejected")
+	}
+}
+
+func TestKernelErrorsPropagate(t *testing.T) {
+	p := heteroPlatform(t)
+	boom := errors.New("boom")
+	bs, _ := Compile(&Kernel{Name: "bad", Op: nn.OpAdd, Body: func(ctx *ExecContext) error { return boom }})
+	ev, err := p.Host.Queue().EnqueueKernel(bs.Binaries[BinCPU], p.Memory, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ev.Wait(); !errors.Is(got, boom) {
+		t.Fatalf("event error = %v, want boom", got)
+	}
+	if !ev.Completed() {
+		t.Fatal("event must read completed after Wait")
+	}
+}
+
+func TestRecursiveKernelInvocation(t *testing.T) {
+	p := heteroPlatform(t)
+	var fixedRuns atomic.Int32
+	k := &Kernel{
+		Name: "Conv2DBackpropFilter",
+		Op:   nn.OpConv2DBackpropFilter,
+		Body: func(ctx *ExecContext) error {
+			// Phase 1 ... then offload the convolution to fixed PIMs,
+			// twice, as in Fig. 6.
+			if err := ctx.CallFixed(); err != nil {
+				return err
+			}
+			if err := ctx.CallFixed(); err != nil {
+				return err
+			}
+			if ctx.RecursiveCalls() != 2 {
+				t.Errorf("recursive calls = %d", ctx.RecursiveCalls())
+			}
+			return nil
+		},
+		FixedBody: func(ctx *ExecContext) error {
+			fixedRuns.Add(1)
+			return nil
+		},
+	}
+	bs, err := Compile(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := p.Prog[0].Queue().EnqueueKernel(bs.Binaries[BinProgRecursive], p.Memory, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ev.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if fixedRuns.Load() != 2 {
+		t.Fatalf("fixed body ran %d times, want 2", fixedRuns.Load())
+	}
+}
+
+func TestRecursiveCallRejectedOutsideRecursiveBinary(t *testing.T) {
+	p := heteroPlatform(t)
+	k := &Kernel{
+		Name: "sneaky",
+		Op:   nn.OpConv2D,
+		Body: func(ctx *ExecContext) error { return ctx.CallFixed() },
+	}
+	bs, _ := Compile(k)
+	ev, err := p.Host.Queue().EnqueueKernel(bs.Binaries[BinCPU], p.Memory, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Wait() == nil {
+		t.Fatal("recursive call from a CPU binary must fail")
+	}
+}
+
+func TestFunctionalKernelOnSharedMemory(t *testing.T) {
+	// End to end: allocate shared buffers, run a vector-add through the
+	// fixed-function device, verify the result — no data copies anywhere.
+	p := heteroPlatform(t)
+	a, _ := tensor.FromSlice([]float32{1, 2, 3, 4}, 4)
+	b, _ := tensor.FromSlice([]float32{10, 20, 30, 40}, 4)
+	c := tensor.New(4)
+	for name, tt := range map[string]*tensor.Tensor{"a": a, "b": b, "c": c} {
+		if _, err := p.Memory.Alloc(name, 0, tt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	k := &Kernel{
+		Name: "vadd",
+		Op:   nn.OpAdd,
+		FixedBody: func(ctx *ExecContext) error {
+			ab, _ := ctx.Memory.Get("a")
+			bb, _ := ctx.Memory.Get("b")
+			cb, _ := ctx.Memory.Get("c")
+			sum, err := tensor.Add(ab.Data, bb.Data)
+			if err != nil {
+				return err
+			}
+			copy(cb.Data.Data, sum.Data)
+			ctx.Memory.Touch(cb, float64(cb.Data.Bytes()), hmc.PIMPath)
+			return nil
+		},
+	}
+	bs, err := Compile(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := p.Fixed.Queue().EnqueueKernel(bs.Binaries[BinFixed], p.Memory, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ev.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []float32{11, 22, 33, 44} {
+		if c.Data[i] != want {
+			t.Fatalf("c[%d] = %g, want %g", i, c.Data[i], want)
+		}
+	}
+	if p.Memory.Stack().PIMBytes() == 0 {
+		t.Fatal("PIM-path traffic was not recorded")
+	}
+}
+
+func TestGlobalMemoryAllocFreeLocks(t *testing.T) {
+	p := heteroPlatform(t)
+	buf, err := p.Memory.Alloc("weights", 10e6, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buf.Banks) == 0 {
+		t.Fatal("buffer has no bank placement")
+	}
+	if _, err := p.Memory.Alloc("weights", 1, nil); err == nil {
+		t.Fatal("double alloc must error")
+	}
+	if _, err := p.Memory.Alloc("neg", -5, nil); err == nil {
+		t.Fatal("negative alloc must error")
+	}
+	if _, err := p.Memory.Get("weights"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Memory.Get("nope"); err == nil {
+		t.Fatal("missing buffer must error")
+	}
+	l1 := p.Memory.GlobalLock("sync0")
+	l2 := p.Memory.GlobalLock("sync0")
+	if l1 != l2 {
+		t.Fatal("global locks must be stable by name")
+	}
+	if err := p.Memory.Free("weights"); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Memory.Free("weights"); err == nil {
+		t.Fatal("double free must error")
+	}
+}
+
+func TestLargeBufferSpreadsAcrossBanks(t *testing.T) {
+	p := heteroPlatform(t)
+	buf, err := p.Memory.Alloc("activations", 64e6, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buf.Banks) < 8 {
+		t.Fatalf("64MB buffer placed on only %d banks", len(buf.Banks))
+	}
+}
+
+func TestFinishDrainsAllQueues(t *testing.T) {
+	p := heteroPlatform(t)
+	var ran atomic.Int32
+	bs, _ := Compile(&Kernel{Name: "slow", Op: nn.OpAdd, Body: func(ctx *ExecContext) error {
+		ran.Add(1)
+		return nil
+	}})
+	for i := 0; i < 5; i++ {
+		if _, err := p.Host.Queue().EnqueueKernel(bs.Binaries[BinCPU], p.Memory, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.Finish()
+	if ran.Load() != 5 {
+		t.Fatalf("Finish returned with %d of 5 kernels done", ran.Load())
+	}
+	if ev, err := p.Host.Queue().EnqueueBarrier(); err != nil || ev.Wait() != nil {
+		t.Fatal("barrier after finish failed")
+	}
+}
+
+func TestClosedQueueRejectsWork(t *testing.T) {
+	p, err := NewPlatform(hw.PaperConfig(hw.ConfigHeteroPIM))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Close()
+	bs, _ := Compile(&Kernel{Name: "late", Op: nn.OpAdd})
+	if _, err := p.Host.Queue().EnqueueKernel(bs.Binaries[BinCPU], p.Memory, nil); err == nil {
+		t.Fatal("closed queue must reject kernels")
+	}
+}
+
+func TestEventWaitListOrdersAcrossQueues(t *testing.T) {
+	p := heteroPlatform(t)
+	var order []string
+	var mu sync.Mutex
+	record := func(tag string) func(ctx *ExecContext) error {
+		return func(ctx *ExecContext) error {
+			mu.Lock()
+			order = append(order, tag)
+			mu.Unlock()
+			return nil
+		}
+	}
+	// A fixed-function kernel, then a programmable kernel that waits on
+	// it, then a host kernel that waits on the programmable one.
+	fixedK, _ := Compile(&Kernel{Name: "a", Op: nn.OpConv2D, FixedBody: record("fixed")})
+	progK, _ := Compile(&Kernel{Name: "b", Op: nn.OpRelu, Body: record("prog")})
+	hostK, _ := Compile(&Kernel{Name: "c", Op: nn.OpReshape, Body: record("host")})
+	ev1, err := p.Fixed.Queue().EnqueueKernel(fixedK.Binaries[BinFixed], p.Memory, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev2, err := p.Prog[0].Queue().EnqueueKernelAfter(progK.Binaries[BinProgFull], p.Memory, nil, ev1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev3, err := p.Host.Queue().EnqueueKernelAfter(hostK.Binaries[BinCPU], p.Memory, nil, ev2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ev3.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 3 || order[0] != "fixed" || order[1] != "prog" || order[2] != "host" {
+		t.Fatalf("cross-queue order = %v", order)
+	}
+}
+
+func TestEventWaitListPropagatesFailure(t *testing.T) {
+	p := heteroPlatform(t)
+	boom := errors.New("boom")
+	bad, _ := Compile(&Kernel{Name: "bad", Op: nn.OpAdd, Body: func(ctx *ExecContext) error { return boom }})
+	dependent, _ := Compile(&Kernel{Name: "dep", Op: nn.OpAdd, Body: func(ctx *ExecContext) error { return nil }})
+	ev1, err := p.Host.Queue().EnqueueKernel(bad.Binaries[BinCPU], p.Memory, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev2, err := p.Host.Queue().EnqueueKernelAfter(dependent.Binaries[BinCPU], p.Memory, nil, ev1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ev2.Wait(); got == nil || !errors.Is(got, boom) {
+		t.Fatalf("dependency failure not propagated: %v", got)
+	}
+	if _, err := p.Host.Queue().EnqueueKernelAfter(dependent.Binaries[BinCPU], p.Memory, nil, nil); err == nil {
+		t.Fatal("nil event in wait list must be rejected")
+	}
+}
+
+func TestRegistersTrackPIMKernels(t *testing.T) {
+	// The Fig. 7 registers observe PIM kernel execution: busy during a
+	// kernel, idle after Finish.
+	p := heteroPlatform(t)
+	release := make(chan struct{})
+	started := make(chan struct{})
+	k, _ := Compile(&Kernel{Name: "slow", Op: nn.OpRelu, Body: func(ctx *ExecContext) error {
+		close(started)
+		<-release
+		return nil
+	}})
+	ev, err := p.Prog[0].Queue().EnqueueKernel(k.Binaries[BinProgFull], p.Memory, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	if !p.Regs.IsProcessorBusy(0) {
+		t.Error("processor register not busy during kernel execution")
+	}
+	close(release)
+	if err := ev.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	p.Finish()
+	if p.Regs.IsProcessorBusy(0) {
+		t.Error("processor register still busy after completion")
+	}
+}

@@ -1,0 +1,147 @@
+// Package opencl implements the paper's extension of the OpenCL
+// programming model for heterogeneous PIM (Section III-B, Table II,
+// Fig. 5): a platform of one host plus two kinds of accelerator compute
+// devices (fixed-function PIMs and programmable PIMs), in-order command
+// queues with events, a single shared global memory, explicit
+// host<->PIM synchronization, recursive kernel invocation, and the
+// four-binary compilation flow of Fig. 4.
+//
+// This package provides the *semantics* (what runs where, what may call
+// what, which synchronizations occur); the discrete-event simulator
+// charges the corresponding time and energy, and the functional path
+// executes kernels with real Go bodies on small tensors.
+package opencl
+
+import (
+	"fmt"
+
+	"heteropim/internal/hmc"
+	"heteropim/internal/hw"
+	"heteropim/internal/pim"
+)
+
+// DeviceKind is the paper's platform-model mapping (Fig. 5b): the host
+// CPU, one compute device holding ALL fixed-function PIMs (each bank is
+// a compute unit, each unit pair a PE), and one compute device per
+// programmable PIM processor (each core a PE).
+type DeviceKind int
+
+const (
+	// HostCPU is the OpenCL host (and also a compute device: the
+	// runtime schedules candidate ops back to it when PIMs are busy).
+	HostCPU DeviceKind = iota
+	// FixedFunctionPIM is the single compute device aggregating all
+	// fixed-function PIMs across banks.
+	FixedFunctionPIM
+	// ProgrammablePIM is one ARM-class programmable PIM processor.
+	ProgrammablePIM
+)
+
+// String implements fmt.Stringer.
+func (k DeviceKind) String() string {
+	switch k {
+	case HostCPU:
+		return "host-cpu"
+	case FixedFunctionPIM:
+		return "fixed-function-pim"
+	case ProgrammablePIM:
+		return "programmable-pim"
+	default:
+		return "unknown"
+	}
+}
+
+// Device is one OpenCL compute device.
+type Device struct {
+	Kind DeviceKind
+	// Index distinguishes multiple programmable PIM devices.
+	Index int
+	// ComputeUnits is the number of compute units (banks for the
+	// fixed-function device, 1 for others).
+	ComputeUnits int
+	// PEs is the total processing-element count (fixed units, or cores).
+	PEs int
+
+	queue *CommandQueue
+}
+
+// Queue returns the device's in-order command queue.
+func (d *Device) Queue() *CommandQueue { return d.queue }
+
+// Name renders a human-readable device name.
+func (d *Device) Name() string {
+	if d.Kind == ProgrammablePIM {
+		return fmt.Sprintf("%s[%d]", d.Kind, d.Index)
+	}
+	return d.Kind.String()
+}
+
+// Platform is the full OpenCL platform over a heterogeneous PIM system.
+type Platform struct {
+	Host    *Device
+	Fixed   *Device // nil when the configuration has no fixed-function PIMs
+	Prog    []*Device
+	Memory  *GlobalMemory
+	Regs    *pim.Registers
+	devices []*Device
+}
+
+// NewPlatform maps a hardware configuration onto the OpenCL platform
+// model of Fig. 5(b).
+func NewPlatform(cfg hw.SystemConfig) (*Platform, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	stack, err := hmc.New(cfg.Stack)
+	if err != nil {
+		return nil, err
+	}
+	p := &Platform{
+		Memory: NewGlobalMemory(stack),
+		Regs:   pim.NewRegisters(cfg.Stack.Banks, cfg.ProgPIM.Processors),
+	}
+	p.Host = &Device{Kind: HostCPU, ComputeUnits: 1, PEs: cfg.CPU.Cores}
+	p.Host.queue = newQueue(p.Host, p.Regs)
+	p.devices = append(p.devices, p.Host)
+	if cfg.FixedPIM.Units > 0 {
+		placement, err := pim.ThermalPlacement(stack, cfg.FixedPIM.Units)
+		if err != nil {
+			return nil, err
+		}
+		busyBanks := 0
+		for _, u := range placement.Units {
+			if u > 0 {
+				busyBanks++
+			}
+		}
+		p.Fixed = &Device{Kind: FixedFunctionPIM, ComputeUnits: busyBanks, PEs: cfg.FixedPIM.Units}
+		p.Fixed.queue = newQueue(p.Fixed, p.Regs)
+		p.devices = append(p.devices, p.Fixed)
+	}
+	for i := 0; i < cfg.ProgPIM.Processors; i++ {
+		d := &Device{Kind: ProgrammablePIM, Index: i, ComputeUnits: 1, PEs: cfg.ProgPIM.CoresPerProcessor}
+		d.queue = newQueue(d, p.Regs)
+		p.Prog = append(p.Prog, d)
+		p.devices = append(p.devices, d)
+	}
+	return p, nil
+}
+
+// Devices lists every compute device (host first).
+func (p *Platform) Devices() []*Device { return p.devices }
+
+// Finish drains every queue (clFinish across the platform) — the
+// explicit platform-wide synchronization point of the extended memory
+// model.
+func (p *Platform) Finish() {
+	for _, d := range p.devices {
+		d.queue.Finish()
+	}
+}
+
+// Close shuts down all queues. The platform is unusable afterwards.
+func (p *Platform) Close() {
+	for _, d := range p.devices {
+		d.queue.close()
+	}
+}

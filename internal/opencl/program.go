@@ -1,0 +1,102 @@
+package opencl
+
+import (
+	"fmt"
+
+	"heteropim/internal/nn"
+	"heteropim/internal/pimvm"
+)
+
+// VMKernelConfig builds an executable Kernel whose programmable-PIM
+// body is a real pimvm program operating on a buffer in the shared
+// global memory — the concrete form of binaries #2 and #4 of Fig. 4.
+type VMKernelConfig struct {
+	// Name is the kernel name.
+	Name string
+	// Op fixes eligibility/decomposability via the nn profile tables.
+	Op nn.OpType
+	// Program is the programmable-PIM binary.
+	Program *pimvm.Program
+	// Buffer is the name of the shared-memory buffer the program
+	// addresses (its Data backs the VM memory).
+	Buffer string
+	// Args initializes registers r0..r7 before execution; it runs at
+	// launch time so arguments can depend on the execution context.
+	Args func(ctx *ExecContext) ([8]float64, error)
+	// Fixed maps CALLFIXED ids to fixed-function handlers; with the
+	// recursive binary these model the Fig. 6 sub-kernels.
+	Fixed map[int]pimvm.FixedHandler
+}
+
+// VMKernel assembles the Kernel. The kernel body instantiates a VM over
+// the buffer's tensor storage and runs the program; recursive
+// fixed-function calls are only honored when the kernel executes as the
+// recursive binary (#4) — matching ExecContext.CallFixed's rule.
+func VMKernel(cfg VMKernelConfig) (*Kernel, error) {
+	if cfg.Program == nil {
+		return nil, fmt.Errorf("opencl: VM kernel %q has no program", cfg.Name)
+	}
+	if err := cfg.Program.Validate(); err != nil {
+		return nil, err
+	}
+	body := func(ctx *ExecContext) error {
+		buf, err := ctx.Memory.Get(cfg.Buffer)
+		if err != nil {
+			return err
+		}
+		if buf.Data == nil {
+			return fmt.Errorf("opencl: VM kernel %q: buffer %q has no functional payload", cfg.Name, cfg.Buffer)
+		}
+		vm := pimvm.New(buf.Data.Data)
+		if cfg.Args != nil {
+			args, err := cfg.Args(ctx)
+			if err != nil {
+				return err
+			}
+			copy(vm.Regs[:8], args[:])
+		}
+		for id, h := range cfg.Fixed {
+			h := h
+			id := id
+			vm.RegisterFixed(id, func(mem []float32, args [8]float64) (uint64, error) {
+				// Route through the OpenCL-level recursive-call gate so
+				// binary #1/#2 executions cannot sneak fixed calls in;
+				// the handler itself IS the extracted section, so the
+				// gate only validates and counts.
+				if err := ctx.NoteFixedCall(); err != nil {
+					return 0, err
+				}
+				return h(mem, args)
+			})
+		}
+		return vm.Run(cfg.Program)
+	}
+	k := &Kernel{Name: cfg.Name, Op: cfg.Op, Body: body}
+	// The extracted fixed sections, runnable directly on the
+	// fixed-function device (binary #3): execute every registered
+	// handler once over the buffer.
+	if len(cfg.Fixed) > 0 {
+		k.FixedBody = func(ctx *ExecContext) error {
+			buf, err := ctx.Memory.Get(cfg.Buffer)
+			if err != nil {
+				return err
+			}
+			if buf.Data == nil {
+				return fmt.Errorf("opencl: VM kernel %q: buffer %q has no functional payload", cfg.Name, cfg.Buffer)
+			}
+			var args [8]float64
+			if cfg.Args != nil {
+				if args, err = cfg.Args(ctx); err != nil {
+					return err
+				}
+			}
+			for _, h := range cfg.Fixed {
+				if _, err := h(buf.Data.Data, args); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+	}
+	return k, nil
+}

@@ -1,0 +1,218 @@
+package opencl
+
+import (
+	"testing"
+
+	"heteropim/internal/hw"
+	"heteropim/internal/nn"
+	"heteropim/internal/pimvm"
+	"heteropim/internal/tensor"
+)
+
+// TestVMKernelRunsOnProgrammablePIM executes a real relu program
+// (binary #2) on the programmable-PIM device through the OpenCL layer.
+func TestVMKernelRunsOnProgrammablePIM(t *testing.T) {
+	p := heteroPlatform(t)
+	data, _ := tensor.FromSlice([]float32{-2, -1, 0, 1, 2, 0, 0, 0, 0, 0}, 10)
+	if _, err := p.Memory.Alloc("buf", 0, data); err != nil {
+		t.Fatal(err)
+	}
+	k, err := VMKernel(VMKernelConfig{
+		Name:    "relu_vm",
+		Op:      nn.OpRelu,
+		Program: pimvm.Library()["relu"],
+		Buffer:  "buf",
+		Args: func(ctx *ExecContext) ([8]float64, error) {
+			return [8]float64{0, 5, 5}, nil // x=0, dst=5, n=5
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs, err := Compile(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := p.Prog[0].Queue().EnqueueKernel(bs.Binaries[BinProgFull], p.Memory, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ev.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	want := []float32{0, 0, 0, 1, 2}
+	for i, w := range want {
+		if data.Data[5+i] != w {
+			t.Fatalf("relu[%d] = %g, want %g", i, data.Data[5+i], w)
+		}
+	}
+}
+
+// TestVMKernelRecursiveBinary runs a Fig. 6-style recursive kernel: the
+// programmable program calls a fixed-function handler through the
+// OpenCL recursive-call gate.
+func TestVMKernelRecursiveBinary(t *testing.T) {
+	p := heteroPlatform(t)
+	data := tensor.New(8)
+	if _, err := p.Memory.Alloc("acc", 0, data); err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	k, err := VMKernel(VMKernelConfig{
+		Name:    "Conv2DBackpropFilter_vm",
+		Op:      nn.OpConv2DBackpropFilter,
+		Program: pimvm.Library()["recursive_conv"],
+		Buffer:  "acc",
+		Args: func(ctx *ExecContext) ([8]float64, error) {
+			return [8]float64{0, 8, 0.25}, nil // dst=0, n=8, scale=0.25
+		},
+		Fixed: map[int]pimvm.FixedHandler{
+			0: func(mem []float32, args [8]float64) (uint64, error) {
+				calls++
+				for i := 0; i < 8; i++ {
+					mem[i] += 4
+				}
+				return 500, nil
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs, err := Compile(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bs.Has(BinProgRecursive) {
+		t.Fatal("Conv2DBackpropFilter must compile a recursive binary")
+	}
+	ev, err := p.Prog[0].Queue().EnqueueKernel(bs.Binaries[BinProgRecursive], p.Memory, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ev.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 2 {
+		t.Fatalf("fixed handler called %d times, want 2", calls)
+	}
+	for i := 0; i < 8; i++ {
+		if data.Data[i] != 2 { // (0 +4 +4) * 0.25
+			t.Fatalf("acc[%d] = %g, want 2", i, data.Data[i])
+		}
+	}
+}
+
+// TestVMKernelRecursiveRejectedOnFullBinary: the same kernel run as the
+// plain programmable binary (#2) must fail at the first recursive call
+// (no recursive privileges outside binary #4).
+func TestVMKernelRecursiveRejectedOnFullBinary(t *testing.T) {
+	p := heteroPlatform(t)
+	data := tensor.New(4)
+	if _, err := p.Memory.Alloc("acc2", 0, data); err != nil {
+		t.Fatal(err)
+	}
+	k, err := VMKernel(VMKernelConfig{
+		Name:    "sneaky_vm",
+		Op:      nn.OpConv2DBackpropFilter,
+		Program: pimvm.Library()["recursive_conv"],
+		Buffer:  "acc2",
+		Args: func(ctx *ExecContext) ([8]float64, error) {
+			return [8]float64{0, 4, 1}, nil
+		},
+		Fixed: map[int]pimvm.FixedHandler{
+			0: func(mem []float32, args [8]float64) (uint64, error) { return 0, nil },
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs, _ := Compile(k)
+	ev, err := p.Prog[0].Queue().EnqueueKernel(bs.Binaries[BinProgFull], p.Memory, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Wait() == nil {
+		t.Fatal("recursive call from binary #2 must fail")
+	}
+}
+
+// TestVMKernelFixedBinary runs the extracted sections directly on the
+// fixed-function device (binary #3).
+func TestVMKernelFixedBinary(t *testing.T) {
+	p := heteroPlatform(t)
+	data := tensor.New(4)
+	if _, err := p.Memory.Alloc("acc3", 0, data); err != nil {
+		t.Fatal(err)
+	}
+	k, err := VMKernel(VMKernelConfig{
+		Name:    "fixed_only",
+		Op:      nn.OpConv2D,
+		Program: pimvm.Library()["recursive_conv"],
+		Buffer:  "acc3",
+		Fixed: map[int]pimvm.FixedHandler{
+			0: func(mem []float32, args [8]float64) (uint64, error) {
+				for i := range mem[:4] {
+					mem[i] = 7
+				}
+				return 100, nil
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs, _ := Compile(k)
+	ev, err := p.Fixed.Queue().EnqueueKernel(bs.Binaries[BinFixed], p.Memory, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ev.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if data.Data[0] != 7 {
+		t.Fatal("fixed binary did not execute the extracted section")
+	}
+}
+
+func TestVMKernelErrors(t *testing.T) {
+	if _, err := VMKernel(VMKernelConfig{Name: "noprog"}); err == nil {
+		t.Fatal("missing program must error")
+	}
+	p, err := NewPlatform(hw.PaperConfig(hw.ConfigHeteroPIM))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	k, err := VMKernel(VMKernelConfig{
+		Name:    "nobuf",
+		Op:      nn.OpRelu,
+		Program: pimvm.Library()["relu"],
+		Buffer:  "missing",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs, _ := Compile(k)
+	ev, err := p.Prog[0].Queue().EnqueueKernel(bs.Binaries[BinProgFull], p.Memory, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Wait() == nil {
+		t.Fatal("missing buffer must surface as a kernel error")
+	}
+	// Simulation-only buffer (no tensor payload).
+	if _, err := p.Memory.Alloc("simonly", 64, nil); err != nil {
+		t.Fatal(err)
+	}
+	k2, _ := VMKernel(VMKernelConfig{Name: "nopayload", Op: nn.OpRelu,
+		Program: pimvm.Library()["relu"], Buffer: "simonly"})
+	bs2, _ := Compile(k2)
+	ev2, err := p.Prog[0].Queue().EnqueueKernel(bs2.Binaries[BinProgFull], p.Memory, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev2.Wait() == nil {
+		t.Fatal("payload-less buffer must surface as a kernel error")
+	}
+}

@@ -1,0 +1,254 @@
+package opencl
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"heteropim/internal/pim"
+)
+
+// Event is the completion handle of an enqueued command, as in OpenCL.
+type Event struct {
+	done chan struct{}
+	err  atomic.Value // error
+}
+
+func newEvent() *Event { return &Event{done: make(chan struct{})} }
+
+// Wait blocks until the command finished and returns its error.
+func (e *Event) Wait() error {
+	<-e.done
+	if v := e.err.Load(); v != nil {
+		return v.(error)
+	}
+	return nil
+}
+
+// Completed reports whether the command finished (non-blocking), the
+// queue-side half of pimQueryCompletion.
+func (e *Event) Completed() bool {
+	select {
+	case <-e.done:
+		return true
+	default:
+		return false
+	}
+}
+
+func (e *Event) finish(err error) {
+	if err != nil {
+		e.err.Store(err)
+	}
+	close(e.done)
+}
+
+// ExecContext is what a kernel body receives: the device it runs on,
+// the global memory, and — on programmable PIM devices — the ability to
+// recursively invoke the kernel's fixed-function sections (Fig. 6).
+type ExecContext struct {
+	Device *Device
+	Memory *GlobalMemory
+	// Args carries kernel arguments (buffers, scalars) by name.
+	Args map[string]any
+	// kernel is the kernel being executed.
+	kernel *Kernel
+	// recursiveCalls counts CallFixed invocations (the runtime charges
+	// cheap PIM<->PIM synchronizations for them instead of host syncs).
+	recursiveCalls int
+	// allowRecursive is set when executing binary #4 on a programmable
+	// PIM device.
+	allowRecursive bool
+}
+
+// CallFixed recursively invokes the kernel's extracted fixed-function
+// section. Only programmable-PIM devices executing the recursive binary
+// may do this — the host must instead enqueue BinFixed itself.
+func (c *ExecContext) CallFixed() error {
+	if err := c.NoteFixedCall(); err != nil {
+		return err
+	}
+	if c.kernel.FixedBody != nil {
+		sub := *c
+		sub.allowRecursive = false
+		return c.kernel.FixedBody(&sub)
+	}
+	return nil
+}
+
+// NoteFixedCall validates and records a recursive fixed-function call
+// without executing the kernel's FixedBody — for callers (e.g. pimvm
+// integration) that run the section themselves.
+func (c *ExecContext) NoteFixedCall() error {
+	if !c.allowRecursive {
+		return fmt.Errorf("opencl: kernel %q: recursive fixed-function call outside a programmable-PIM recursive binary", c.kernel.Name)
+	}
+	c.recursiveCalls++
+	return nil
+}
+
+// RecursiveCalls reports how many fixed-function sub-kernels were
+// launched from this execution.
+func (c *ExecContext) RecursiveCalls() int { return c.recursiveCalls }
+
+// command is one queue entry.
+type command struct {
+	run   func() error
+	event *Event
+}
+
+// CommandQueue is an in-order OpenCL command queue attached to a device.
+type CommandQueue struct {
+	device *Device
+	regs   *pim.Registers
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  []command
+	closed bool
+	idle   bool
+}
+
+func newQueue(d *Device, regs *pim.Registers) *CommandQueue {
+	q := &CommandQueue{device: d, regs: regs, idle: true}
+	q.cond = sync.NewCond(&q.mu)
+	go q.loop()
+	return q
+}
+
+func (q *CommandQueue) loop() {
+	for {
+		q.mu.Lock()
+		for len(q.items) == 0 && !q.closed {
+			q.idle = true
+			q.cond.Broadcast()
+			q.cond.Wait()
+		}
+		if q.closed && len(q.items) == 0 {
+			q.idle = true
+			q.cond.Broadcast()
+			q.mu.Unlock()
+			return
+		}
+		cmd := q.items[0]
+		q.items = q.items[1:]
+		q.idle = false
+		q.mu.Unlock()
+		cmd.event.finish(cmd.run())
+	}
+}
+
+// EnqueueKernel submits a binary for execution with the given arguments
+// and returns its event. Launches are asynchronous, so computation on
+// the host can overlap with PIM execution (Section III-B: "PIM kernel
+// calls can be launched asynchronously").
+func (q *CommandQueue) EnqueueKernel(bin *Binary, mem *GlobalMemory, args map[string]any) (*Event, error) {
+	return q.EnqueueKernelAfter(bin, mem, args)
+}
+
+// EnqueueKernelAfter is EnqueueKernel with an OpenCL event wait list:
+// the command blocks until every listed event (possibly from another
+// device's queue) completes — the explicit cross-PIM synchronization of
+// the extended memory model (Table II). A failed dependency fails the
+// dependent command.
+func (q *CommandQueue) EnqueueKernelAfter(bin *Binary, mem *GlobalMemory, args map[string]any, waits ...*Event) (*Event, error) {
+	if bin == nil || bin.Kernel == nil {
+		return nil, fmt.Errorf("opencl: enqueueing nil binary")
+	}
+	switch bin.Kind {
+	case BinCPU:
+		if q.device.Kind != HostCPU {
+			return nil, fmt.Errorf("opencl: binary %v cannot run on %s", bin.Kind, q.device.Name())
+		}
+	case BinFixed:
+		if q.device.Kind != FixedFunctionPIM {
+			return nil, fmt.Errorf("opencl: binary %v cannot run on %s", bin.Kind, q.device.Name())
+		}
+	case BinProgFull, BinProgRecursive:
+		if q.device.Kind != ProgrammablePIM {
+			return nil, fmt.Errorf("opencl: binary %v cannot run on %s", bin.Kind, q.device.Name())
+		}
+	}
+	ctx := &ExecContext{
+		Device:         q.device,
+		Memory:         mem,
+		Args:           args,
+		kernel:         bin.Kernel,
+		allowRecursive: bin.Kind == BinProgRecursive,
+	}
+	body := bin.Kernel.Body
+	if bin.Kind == BinFixed {
+		body = bin.Kernel.FixedBody
+	}
+	for _, ev := range waits {
+		if ev == nil {
+			return nil, fmt.Errorf("opencl: nil event in wait list for kernel %q", bin.Kernel.Name)
+		}
+	}
+	return q.enqueue(func() error {
+		for _, ev := range waits {
+			if err := ev.Wait(); err != nil {
+				return fmt.Errorf("opencl: kernel %q: dependency failed: %w", bin.Kernel.Name, err)
+			}
+		}
+		// Track PIM executions in the Fig. 7 status registers (the
+		// Table III pimOffload/pimQueryCompletion contract).
+		var tok pim.OpToken
+		tracked := false
+		if q.regs != nil {
+			switch q.device.Kind {
+			case FixedFunctionPIM:
+				if t, err := q.regs.Offload(pim.Location{Banks: []int{0}}); err == nil {
+					tok, tracked = t, true
+				}
+			case ProgrammablePIM:
+				if t, err := q.regs.Offload(pim.Location{OnProgrammable: true, Processor: q.device.Index}); err == nil {
+					tok, tracked = t, true
+				}
+			}
+		}
+		defer func() {
+			if tracked {
+				_ = q.regs.Complete(tok)
+			}
+		}()
+		if body == nil {
+			return nil // simulation-only kernel
+		}
+		return body(ctx)
+	})
+}
+
+// EnqueueBarrier inserts a barrier: its event completes when everything
+// enqueued before it has completed (in-order queue semantics make this
+// a marker).
+func (q *CommandQueue) EnqueueBarrier() (*Event, error) {
+	return q.enqueue(func() error { return nil })
+}
+
+func (q *CommandQueue) enqueue(run func() error) (*Event, error) {
+	ev := newEvent()
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return nil, fmt.Errorf("opencl: queue for %s is closed", q.device.Name())
+	}
+	q.items = append(q.items, command{run: run, event: ev})
+	q.cond.Broadcast()
+	return ev, nil
+}
+
+// Finish blocks until the queue drains (clFinish).
+func (q *CommandQueue) Finish() {
+	q.mu.Lock()
+	for len(q.items) > 0 || !q.idle {
+		q.cond.Wait()
+	}
+	q.mu.Unlock()
+}
+
+func (q *CommandQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}

@@ -1,0 +1,313 @@
+package pim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"heteropim/internal/hmc"
+	"heteropim/internal/hw"
+)
+
+func paperStack(t testing.TB) *hmc.Stack {
+	t.Helper()
+	s, err := hmc.New(hw.PaperStack(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestThermalPlacementTotals(t *testing.T) {
+	s := paperStack(t)
+	for _, total := range []int{0, 1, 31, 32, 444, 1000} {
+		p, err := ThermalPlacement(s, total)
+		if err != nil {
+			t.Fatalf("total %d: %v", total, err)
+		}
+		if got := p.Total(); got != total {
+			t.Errorf("total %d: placement sums to %d", total, got)
+		}
+	}
+	if _, err := ThermalPlacement(s, -1); err == nil {
+		t.Error("negative budget: want error")
+	}
+}
+
+func TestThermalPlacementFavorsCornersAndEdges(t *testing.T) {
+	s := paperStack(t)
+	p, err := ThermalPlacement(s, hw.PaperFixedUnits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Verify(s); err != nil {
+		t.Fatal(err)
+	}
+	// Aggregate per class: per-bank average must be strictly ordered.
+	sum := map[hmc.BankClass]float64{}
+	cnt := map[hmc.BankClass]float64{}
+	for i, u := range p.Units {
+		c := s.ClassOf(i)
+		sum[c] += float64(u)
+		cnt[c]++
+	}
+	corner := sum[hmc.Corner] / cnt[hmc.Corner]
+	edge := sum[hmc.Edge] / cnt[hmc.Edge]
+	center := sum[hmc.Center] / cnt[hmc.Center]
+	if !(corner > edge && edge > center) {
+		t.Fatalf("thermal ordering violated: corner=%.2f edge=%.2f center=%.2f", corner, edge, center)
+	}
+}
+
+func TestUniformPlacement(t *testing.T) {
+	s := paperStack(t)
+	p, err := UniformPlacement(s, 444)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Total() != 444 {
+		t.Fatalf("uniform placement sums to %d", p.Total())
+	}
+	min, max := p.Units[0], p.Units[0]
+	for _, u := range p.Units {
+		if u < min {
+			min = u
+		}
+		if u > max {
+			max = u
+		}
+	}
+	if max-min > 1 {
+		t.Fatalf("uniform placement spread %d..%d", min, max)
+	}
+	if _, err := UniformPlacement(s, -3); err == nil {
+		t.Error("negative budget: want error")
+	}
+}
+
+func TestPlacementTotalQuick(t *testing.T) {
+	s := paperStack(t)
+	f := func(n uint16) bool {
+		total := int(n % 2048)
+		pt, err1 := ThermalPlacement(s, total)
+		pu, err2 := UniformPlacement(s, total)
+		return err1 == nil && err2 == nil && pt.Total() == total && pu.Total() == total
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlacementVerifyCatchesBadPlacements(t *testing.T) {
+	s := paperStack(t)
+	p, _ := ThermalPlacement(s, 444)
+	bad := Placement{Units: p.Units[:10]}
+	if err := bad.Verify(s); err == nil {
+		t.Error("short placement: want error")
+	}
+	inverted := Placement{Units: make([]int, s.Banks())}
+	for i := range inverted.Units {
+		if s.ClassOf(i) == hmc.Center {
+			inverted.Units[i] = 20
+		} else {
+			inverted.Units[i] = 1
+		}
+	}
+	if err := inverted.Verify(s); err == nil {
+		t.Error("inverted thermal placement: want error")
+	}
+	neg := Placement{Units: make([]int, s.Banks())}
+	neg.Units[0] = -1
+	if err := neg.Verify(s); err == nil {
+		t.Error("negative units: want error")
+	}
+}
+
+func TestPlacementPeakFlops(t *testing.T) {
+	s := paperStack(t)
+	p, _ := ThermalPlacement(s, 444)
+	spec := hw.PaperFixedPIM(444)
+	got := p.PeakFlops(spec, hw.PaperStack(1))
+	want := 444 * 2 * 312.5e6
+	if math.Abs(got-want) > 1 {
+		t.Fatalf("peak = %g, want %g", got, want)
+	}
+	if got4 := p.PeakFlops(spec, hw.PaperStack(4)); math.Abs(got4-4*want) > 1 {
+		t.Fatalf("4x peak = %g, want %g", got4, 4*want)
+	}
+}
+
+func TestPoolGrantRelease(t *testing.T) {
+	s := paperStack(t)
+	pl, _ := ThermalPlacement(s, 100)
+	pool := NewPool(hw.PaperFixedPIM(100), pl)
+	if pool.Total() != 100 || pool.Available() != 100 {
+		t.Fatal("fresh pool must be fully available")
+	}
+	if got := pool.Grant(60); got != 60 {
+		t.Fatalf("grant = %d, want 60", got)
+	}
+	if got := pool.Grant(60); got != 40 {
+		t.Fatalf("over-grant = %d, want 40 (clamped)", got)
+	}
+	if got := pool.Grant(5); got != 0 {
+		t.Fatalf("empty pool grant = %d, want 0", got)
+	}
+	if pool.Grants() != 2 {
+		t.Fatalf("grants = %d, want 2 (zero grants don't count)", pool.Grants())
+	}
+	if err := pool.Release(100); err != nil {
+		t.Fatal(err)
+	}
+	if err := pool.Release(1); err == nil {
+		t.Fatal("releasing more than busy must error")
+	}
+	if pool.Grant(0) != 0 || pool.Grant(-5) != 0 {
+		t.Fatal("non-positive grant wants must return 0")
+	}
+}
+
+func TestPoolUtilizationIntegral(t *testing.T) {
+	s := paperStack(t)
+	pl, _ := ThermalPlacement(s, 100)
+	pool := NewPool(hw.PaperFixedPIM(100), pl)
+	pool.Grant(50)
+	pool.Advance(1.0) // 50 busy units for 1s
+	if err := pool.Release(50); err != nil {
+		t.Fatal(err)
+	}
+	pool.Advance(2.0) // 0 busy for 1s
+	if got := pool.Utilization(); math.Abs(got-0.25) > 1e-12 {
+		t.Fatalf("utilization = %g, want 0.25", got)
+	}
+	if got := pool.BusyUnitSeconds(); math.Abs(got-50) > 1e-12 {
+		t.Fatalf("busy unit-seconds = %g, want 50", got)
+	}
+	pool.Advance(1.5) // going backwards is a no-op
+	if pool.Now() != 2.0 {
+		t.Fatalf("clock moved backwards to %g", pool.Now())
+	}
+}
+
+func TestPoolUtilizationEmpty(t *testing.T) {
+	pool := NewPool(hw.PaperFixedPIM(10), Placement{Units: []int{10}})
+	if pool.Utilization() != 0 {
+		t.Fatal("utilization before any time passes must be 0")
+	}
+}
+
+func TestRegistersLifecycle(t *testing.T) {
+	r := NewRegisters(32, 2)
+	tok, err := r.Offload(Location{Banks: []int{0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.IsBankBusy(0) || !r.IsBankBusy(1) || r.IsBankBusy(2) {
+		t.Fatal("bank busy bits wrong after offload")
+	}
+	done, err := r.QueryCompletion(tok)
+	if err != nil || done {
+		t.Fatalf("completion before Complete: %v %v", done, err)
+	}
+	loc, err := r.QueryLocation(tok)
+	if err != nil || loc.OnProgrammable || len(loc.Banks) != 2 {
+		t.Fatalf("location = %+v, %v", loc, err)
+	}
+	if err := r.Complete(tok); err != nil {
+		t.Fatal(err)
+	}
+	if r.IsBankBusy(0) || r.IsBankBusy(1) {
+		t.Fatal("banks still busy after completion")
+	}
+	if done, _ := r.QueryCompletion(tok); !done {
+		t.Fatal("op not marked complete")
+	}
+	if err := r.Complete(tok); err == nil {
+		t.Fatal("double completion must error")
+	}
+}
+
+func TestRegistersProgrammable(t *testing.T) {
+	r := NewRegisters(32, 2)
+	if r.IdleProcessor() != 0 {
+		t.Fatal("fresh registers: processor 0 should be idle")
+	}
+	tok, err := r.Offload(Location{OnProgrammable: true, Processor: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.IsProcessorBusy(0) || r.IsProcessorBusy(1) {
+		t.Fatal("processor busy bits wrong")
+	}
+	if r.IdleProcessor() != 1 {
+		t.Fatal("processor 1 should be the idle one")
+	}
+	if err := r.Complete(tok); err != nil {
+		t.Fatal(err)
+	}
+	if r.IsProcessorBusy(0) {
+		t.Fatal("processor 0 still busy after completion")
+	}
+}
+
+func TestRegistersErrors(t *testing.T) {
+	r := NewRegisters(4, 1)
+	if _, err := r.Offload(Location{Banks: []int{7}}); err == nil {
+		t.Error("offload to missing bank: want error")
+	}
+	if _, err := r.Offload(Location{OnProgrammable: true, Processor: 3}); err == nil {
+		t.Error("offload to missing processor: want error")
+	}
+	if err := r.Complete(99); err == nil {
+		t.Error("completing unknown token: want error")
+	}
+	if _, err := r.QueryCompletion(99); err == nil {
+		t.Error("querying unknown token: want error")
+	}
+	if _, err := r.QueryLocation(99); err == nil {
+		t.Error("locating unknown token: want error")
+	}
+	if r.IsBankBusy(-1) || r.IsProcessorBusy(-1) {
+		t.Error("out-of-range queries must read idle")
+	}
+}
+
+func TestProgPIMAcquireRelease(t *testing.T) {
+	p := NewProgPIM(hw.PaperProgPIM(2))
+	i := p.Acquire()
+	j := p.Acquire()
+	if i == j || i < 0 || j < 0 {
+		t.Fatalf("acquired %d,%d", i, j)
+	}
+	if p.Acquire() != -1 {
+		t.Fatal("third acquire should fail")
+	}
+	p.Advance(2.0)
+	if got := p.BusySeconds(); math.Abs(got-4.0) > 1e-12 {
+		t.Fatalf("busy seconds = %g, want 4", got)
+	}
+	if err := p.Release(i); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Release(i); err == nil {
+		t.Fatal("double release must error")
+	}
+	if err := p.Release(99); err == nil {
+		t.Fatal("bogus release must error")
+	}
+	p.Advance(3.0)
+	if got := p.BusySeconds(); math.Abs(got-5.0) > 1e-12 {
+		t.Fatalf("busy seconds = %g, want 5", got)
+	}
+	if p.Kernels() != 2 {
+		t.Fatalf("kernels = %d, want 2", p.Kernels())
+	}
+}
+
+func TestProgPIMPerProcessorFlops(t *testing.T) {
+	p := NewProgPIM(hw.PaperProgPIM(1))
+	want := 4 * 2e9 * 2.0
+	if got := p.PerProcessorFlops(); math.Abs(got-want) > 1 {
+		t.Fatalf("per-processor flops = %g, want %g", got, want)
+	}
+}

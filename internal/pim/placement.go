@@ -1,0 +1,145 @@
+// Package pim models the heterogeneous PIM hardware on the logic die of
+// the 3D memory stack: the pool of fixed-function PIMs (32-bit FP
+// multiplier+adder pairs) with their thermal-aware bank placement, the
+// programmable PIM processors, and the hardware status registers the
+// runtime scheduler queries (paper Sections III-A, IV-D, Fig. 7).
+package pim
+
+import (
+	"fmt"
+	"sort"
+
+	"heteropim/internal/hmc"
+	"heteropim/internal/hw"
+)
+
+// Thermal weights for the placement policy: banks with better heat
+// dissipation paths (corners, then edges) can support higher compute
+// density (Section IV-D).
+const (
+	cornerWeight = 1.5
+	edgeWeight   = 1.25
+	centerWeight = 1.0
+)
+
+// Placement assigns a number of fixed-function units to every bank.
+type Placement struct {
+	// Units[i] is the number of multiplier+adder pairs in bank i.
+	Units []int
+}
+
+// Total returns the summed unit count.
+func (p Placement) Total() int {
+	t := 0
+	for _, u := range p.Units {
+		t += u
+	}
+	return t
+}
+
+// ThermalPlacement distributes total units across the stack's banks in
+// proportion to their thermal weight, using the largest-remainder method
+// so the counts sum exactly to total. This implements the paper's policy
+// of placing more fixed-function PIMs on edge and corner banks.
+func ThermalPlacement(stack *hmc.Stack, total int) (Placement, error) {
+	if total < 0 {
+		return Placement{}, fmt.Errorf("pim: negative unit budget %d", total)
+	}
+	n := stack.Banks()
+	weights := make([]float64, n)
+	var sum float64
+	for i := 0; i < n; i++ {
+		switch stack.ClassOf(i) {
+		case hmc.Corner:
+			weights[i] = cornerWeight
+		case hmc.Edge:
+			weights[i] = edgeWeight
+		default:
+			weights[i] = centerWeight
+		}
+		sum += weights[i]
+	}
+	return apportion(weights, sum, total), nil
+}
+
+// UniformPlacement spreads units as evenly as possible across banks; it
+// exists for the placement ablation study.
+func UniformPlacement(stack *hmc.Stack, total int) (Placement, error) {
+	if total < 0 {
+		return Placement{}, fmt.Errorf("pim: negative unit budget %d", total)
+	}
+	n := stack.Banks()
+	weights := make([]float64, n)
+	for i := range weights {
+		weights[i] = 1
+	}
+	return apportion(weights, float64(n), total), nil
+}
+
+// apportion performs largest-remainder apportionment of total units over
+// the given weights.
+func apportion(weights []float64, weightSum float64, total int) Placement {
+	n := len(weights)
+	units := make([]int, n)
+	type frac struct {
+		idx int
+		rem float64
+	}
+	fracs := make([]frac, 0, n)
+	assigned := 0
+	for i, w := range weights {
+		exact := float64(total) * w / weightSum
+		units[i] = int(exact)
+		assigned += units[i]
+		fracs = append(fracs, frac{i, exact - float64(units[i])})
+	}
+	sort.Slice(fracs, func(a, b int) bool {
+		if fracs[a].rem != fracs[b].rem {
+			return fracs[a].rem > fracs[b].rem
+		}
+		return fracs[a].idx < fracs[b].idx
+	})
+	for i := 0; assigned < total; i++ {
+		units[fracs[i%n].idx]++
+		assigned++
+	}
+	return Placement{Units: units}
+}
+
+// Verify checks a placement against the stack it was built for: the
+// thermal policy must be monotone (corner banks hold at least as many
+// units as edge banks, which hold at least as many as center banks).
+func (p Placement) Verify(stack *hmc.Stack) error {
+	if len(p.Units) != stack.Banks() {
+		return fmt.Errorf("pim: placement covers %d banks, stack has %d", len(p.Units), stack.Banks())
+	}
+	minByClass := map[hmc.BankClass]int{}
+	maxByClass := map[hmc.BankClass]int{}
+	for i, u := range p.Units {
+		if u < 0 {
+			return fmt.Errorf("pim: bank %d has negative units", i)
+		}
+		c := stack.ClassOf(i)
+		if cur, ok := minByClass[c]; !ok || u < cur {
+			minByClass[c] = u
+		}
+		if cur, ok := maxByClass[c]; !ok || u > cur {
+			maxByClass[c] = u
+		}
+	}
+	if minByClass[hmc.Corner] < maxByClass[hmc.Edge]-1 {
+		return fmt.Errorf("pim: corner banks (%d min) hold fewer units than edge banks (%d max)",
+			minByClass[hmc.Corner], maxByClass[hmc.Edge])
+	}
+	if minByClass[hmc.Edge] < maxByClass[hmc.Center]-1 {
+		return fmt.Errorf("pim: edge banks (%d min) hold fewer units than center banks (%d max)",
+			minByClass[hmc.Edge], maxByClass[hmc.Center])
+	}
+	return nil
+}
+
+// PeakFlops returns the aggregate FP32 throughput of the placed units at
+// the stack's effective frequency.
+func (p Placement) PeakFlops(spec hw.FixedPIMSpec, stack hw.StackSpec) hw.FlopsPerSec {
+	return float64(p.Total()) * spec.FlopsPerUnitCycle * stack.EffectiveFreq()
+}

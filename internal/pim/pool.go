@@ -1,0 +1,100 @@
+package pim
+
+import (
+	"fmt"
+
+	"heteropim/internal/hw"
+)
+
+// Pool is the runtime-visible state of the fixed-function PIM complement:
+// how many units exist, how many are granted to in-flight kernels, and
+// the integral of busy units over time (for the Fig. 15 utilization
+// study). The pool is the hardware side of the paper's "registers that
+// indicate the idling of a bank of fixed-function PIMs" (Fig. 7); the
+// discrete-event simulator advances its clock.
+type Pool struct {
+	Spec      hw.FixedPIMSpec
+	Placement Placement
+
+	total int
+	busy  int
+
+	lastAdvance   hw.Seconds
+	busyUnitTime  float64 // integral of busy units dt
+	totalUnitTime float64 // integral of total units dt
+	grants        int     // number of Grant calls (kernel spawns served)
+}
+
+// NewPool builds a pool over a placement.
+func NewPool(spec hw.FixedPIMSpec, placement Placement) *Pool {
+	return &Pool{Spec: spec, Placement: placement, total: placement.Total()}
+}
+
+// Total returns the unit budget.
+func (p *Pool) Total() int { return p.total }
+
+// Busy returns the units currently granted.
+func (p *Pool) Busy() int { return p.busy }
+
+// Available returns the units currently idle.
+func (p *Pool) Available() int { return p.total - p.busy }
+
+// Advance moves the pool clock to now, integrating utilization. Calls
+// with a timestamp in the past are ignored (events at identical times).
+func (p *Pool) Advance(now hw.Seconds) {
+	dt := now - p.lastAdvance
+	if dt <= 0 {
+		return
+	}
+	p.busyUnitTime += float64(p.busy) * dt
+	p.totalUnitTime += float64(p.total) * dt
+	p.lastAdvance = now
+}
+
+// Grant allocates up to want units (but no more than available) and
+// returns the granted count. A zero grant is legal and means the caller
+// must wait for a release. Grant does not advance time; callers advance
+// the clock first.
+func (p *Pool) Grant(want int) int {
+	if want <= 0 {
+		return 0
+	}
+	got := want
+	if avail := p.Available(); got > avail {
+		got = avail
+	}
+	p.busy += got
+	if got > 0 {
+		p.grants++
+	}
+	return got
+}
+
+// Release returns units to the pool.
+func (p *Pool) Release(n int) error {
+	if n < 0 || n > p.busy {
+		return fmt.Errorf("pim: release %d with %d busy", n, p.busy)
+	}
+	p.busy -= n
+	return nil
+}
+
+// Utilization returns busy-unit-time / total-unit-time over the advanced
+// interval; 0 if no time has passed.
+func (p *Pool) Utilization() float64 {
+	if p.totalUnitTime == 0 {
+		return 0
+	}
+	return p.busyUnitTime / p.totalUnitTime
+}
+
+// BusyUnitSeconds returns the utilization integral itself; the energy
+// model multiplies it by per-unit power.
+func (p *Pool) BusyUnitSeconds() float64 { return p.busyUnitTime }
+
+// Grants returns how many non-empty grants were served (a proxy for
+// kernel spawns onto the fixed-function PIMs).
+func (p *Pool) Grants() int { return p.grants }
+
+// Now returns the pool's clock.
+func (p *Pool) Now() hw.Seconds { return p.lastAdvance }

@@ -1,0 +1,283 @@
+package pimvm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Assemble parses the textual assembly of a programmable-PIM kernel
+// into a Program.
+//
+// Syntax, one instruction per line:
+//
+//	; comment                         (also # and // comments)
+//	label:
+//	  li    r1, 3.5
+//	  ld    r2, r0, 4                 ; r2 = mem[int(r0)+4]
+//	  st    r2, r0, 8                 ; mem[int(r0)+8] = r2
+//	  add   r3, r1, r2
+//	  addi  r0, r0, 1
+//	  blt   r0, r4, label
+//	  callfixed 2                     ; invoke fixed-function kernel 2
+//	  halt
+func Assemble(name, src string) (*Program, error) {
+	type pending struct {
+		instr int
+		label string
+		line  int
+	}
+	p := &Program{Name: name, Labels: map[string]int{}}
+	var fixups []pending
+
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := stripComment(raw)
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		// Labels (possibly followed by an instruction on the same line).
+		for {
+			if i := strings.Index(line, ":"); i >= 0 && isIdent(strings.TrimSpace(line[:i])) {
+				label := strings.TrimSpace(line[:i])
+				if _, dup := p.Labels[label]; dup {
+					return nil, fmt.Errorf("pimvm: %s:%d: duplicate label %q", name, lineNo+1, label)
+				}
+				p.Labels[label] = len(p.Instrs)
+				line = strings.TrimSpace(line[i+1:])
+				continue
+			}
+			break
+		}
+		if line == "" {
+			continue
+		}
+		fields := strings.FieldsFunc(line, func(r rune) bool { return r == ' ' || r == '\t' || r == ',' })
+		if len(fields) == 0 {
+			// Stray separators with no instruction (e.g. ",," after
+			// comment stripping) — found by the fuzzer.
+			continue
+		}
+		mnemonic := strings.ToLower(fields[0])
+		args := fields[1:]
+		ins, labelRef, err := parseInstr(mnemonic, args)
+		if err != nil {
+			return nil, fmt.Errorf("pimvm: %s:%d: %v", name, lineNo+1, err)
+		}
+		if labelRef != "" {
+			fixups = append(fixups, pending{instr: len(p.Instrs), label: labelRef, line: lineNo + 1})
+		}
+		p.Instrs = append(p.Instrs, ins)
+	}
+	for _, f := range fixups {
+		target, ok := p.Labels[f.label]
+		if !ok {
+			return nil, fmt.Errorf("pimvm: %s:%d: undefined label %q", name, f.line, f.label)
+		}
+		p.Instrs[f.instr].Off = target
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// MustAssemble panics on assembly errors; for the built-in kernel
+// library whose sources are compile-time constants.
+func MustAssemble(name, src string) *Program {
+	p, err := Assemble(name, src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func stripComment(s string) string {
+	for _, marker := range []string{";", "#", "//"} {
+		if i := strings.Index(s, marker); i >= 0 {
+			s = s[:i]
+		}
+	}
+	return s
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func parseReg(s string) (uint8, error) {
+	if len(s) < 2 || (s[0] != 'r' && s[0] != 'R') {
+		return 0, fmt.Errorf("expected register, got %q", s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 || n >= NumRegs {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	return uint8(n), nil
+}
+
+func parseImm(s string) (float64, error) {
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad immediate %q", s)
+	}
+	return v, nil
+}
+
+func parseInt(s string) (int, error) {
+	v, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, fmt.Errorf("bad offset %q", s)
+	}
+	return v, nil
+}
+
+// parseInstr decodes one mnemonic + operands; returns a label reference
+// for branch fixups when needed.
+func parseInstr(m string, args []string) (Instr, string, error) {
+	need := func(n int) error {
+		if len(args) != n {
+			return fmt.Errorf("%s wants %d operands, got %d", m, n, len(args))
+		}
+		return nil
+	}
+	switch m {
+	case "nop":
+		return Instr{Op: Nop}, "", need(0)
+	case "halt":
+		return Instr{Op: Halt}, "", need(0)
+	case "li":
+		if err := need(2); err != nil {
+			return Instr{}, "", err
+		}
+		d, err := parseReg(args[0])
+		if err != nil {
+			return Instr{}, "", err
+		}
+		imm, err := parseImm(args[1])
+		if err != nil {
+			return Instr{}, "", err
+		}
+		return Instr{Op: Li, Dst: d, Imm: imm}, "", nil
+	case "mov", "sqrt":
+		if err := need(2); err != nil {
+			return Instr{}, "", err
+		}
+		d, err := parseReg(args[0])
+		if err != nil {
+			return Instr{}, "", err
+		}
+		a, err := parseReg(args[1])
+		if err != nil {
+			return Instr{}, "", err
+		}
+		op := Mov
+		if m == "sqrt" {
+			op = Sqrt
+		}
+		return Instr{Op: op, Dst: d, A: a}, "", nil
+	case "ld", "st":
+		if err := need(3); err != nil {
+			return Instr{}, "", err
+		}
+		r1, err := parseReg(args[0])
+		if err != nil {
+			return Instr{}, "", err
+		}
+		r2, err := parseReg(args[1])
+		if err != nil {
+			return Instr{}, "", err
+		}
+		off, err := parseInt(args[2])
+		if err != nil {
+			return Instr{}, "", err
+		}
+		if m == "ld" {
+			return Instr{Op: Ld, Dst: r1, A: r2, Off: off}, "", nil
+		}
+		return Instr{Op: St, A: r1, B: r2, Off: off}, "", nil
+	case "add", "sub", "mul", "div", "max", "min":
+		if err := need(3); err != nil {
+			return Instr{}, "", err
+		}
+		d, err := parseReg(args[0])
+		if err != nil {
+			return Instr{}, "", err
+		}
+		a, err := parseReg(args[1])
+		if err != nil {
+			return Instr{}, "", err
+		}
+		b, err := parseReg(args[2])
+		if err != nil {
+			return Instr{}, "", err
+		}
+		ops := map[string]Opcode{"add": Add, "sub": Sub, "mul": Mul, "div": Div, "max": Max, "min": Min}
+		return Instr{Op: ops[m], Dst: d, A: a, B: b}, "", nil
+	case "addi", "muli":
+		if err := need(3); err != nil {
+			return Instr{}, "", err
+		}
+		d, err := parseReg(args[0])
+		if err != nil {
+			return Instr{}, "", err
+		}
+		a, err := parseReg(args[1])
+		if err != nil {
+			return Instr{}, "", err
+		}
+		imm, err := parseImm(args[2])
+		if err != nil {
+			return Instr{}, "", err
+		}
+		op := Addi
+		if m == "muli" {
+			op = Muli
+		}
+		return Instr{Op: op, Dst: d, A: a, Imm: imm}, "", nil
+	case "beq", "bne", "blt", "bge":
+		if err := need(3); err != nil {
+			return Instr{}, "", err
+		}
+		a, err := parseReg(args[0])
+		if err != nil {
+			return Instr{}, "", err
+		}
+		b, err := parseReg(args[1])
+		if err != nil {
+			return Instr{}, "", err
+		}
+		ops := map[string]Opcode{"beq": Beq, "bne": Bne, "blt": Blt, "bge": Bge}
+		return Instr{Op: ops[m], A: a, B: b}, args[2], nil
+	case "jmp":
+		if err := need(1); err != nil {
+			return Instr{}, "", err
+		}
+		return Instr{Op: Jmp}, args[0], nil
+	case "callfixed":
+		if err := need(1); err != nil {
+			return Instr{}, "", err
+		}
+		imm, err := parseImm(args[0])
+		if err != nil {
+			return Instr{}, "", err
+		}
+		return Instr{Op: CallFixed, Imm: imm}, "", nil
+	default:
+		return Instr{}, "", fmt.Errorf("unknown mnemonic %q", m)
+	}
+}

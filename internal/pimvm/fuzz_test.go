@@ -1,0 +1,57 @@
+package pimvm
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzAssemble throws arbitrary text at the assembler: it must either
+// return an error or produce a validated program whose execution (on a
+// small memory, with a tight budget) never panics.
+func FuzzAssemble(f *testing.F) {
+	f.Add(VAddSrc)
+	f.Add(ReluSrc)
+	f.Add(AdamSrc)
+	f.Add(Conv2DSrc)
+	f.Add("li r1, 1\nhalt")
+	f.Add("loop: jmp loop")
+	f.Add("ld r0, r0, -3")
+	f.Add("callfixed 0\nhalt")
+	f.Add("a:b:c: nop")
+	f.Add("; only a comment")
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Assemble("fuzz", src)
+		if err != nil {
+			return
+		}
+		if verr := p.Validate(); verr != nil {
+			t.Fatalf("Assemble returned an invalid program: %v", verr)
+		}
+		vm := New(make([]float32, 64))
+		vm.MaxInstructions = 10_000
+		vm.RegisterFixed(0, func(mem []float32, args [8]float64) (uint64, error) { return 1, nil })
+		// Execution may fail (OOB access, budget, unregistered fixed
+		// kernels) but must never panic.
+		_ = vm.Run(p)
+	})
+}
+
+// FuzzStraightLine checks that any successfully assembled branch-free
+// program terminates within its instruction count.
+func FuzzStraightLine(f *testing.F) {
+	f.Add("li r1, 2\nmul r2, r1, r1\nsqrt r3, r2\nst r3, r0, 1\nhalt")
+	f.Fuzz(func(t *testing.T, src string) {
+		if strings.Contains(src, "jmp") || strings.Contains(src, "b") {
+			return // only straight-line programs in this harness
+		}
+		p, err := Assemble("fuzz", src)
+		if err != nil {
+			return
+		}
+		vm := New(make([]float32, 16))
+		vm.MaxInstructions = uint64(len(p.Instrs) + 1)
+		if err := vm.Run(p); err != nil && strings.Contains(err.Error(), "budget") {
+			t.Fatalf("straight-line program hit the budget: %v", err)
+		}
+	})
+}

@@ -1,0 +1,198 @@
+// Package pimvm is an executable model of the programmable PIM: a small
+// in-order RISC-style virtual machine with an assembler, cycle
+// accounting at the ARM core's 2 GHz clock, and — the paper's Fig. 6
+// mechanism — a CALLFIXED instruction that recursively invokes
+// fixed-function PIM kernels from inside a programmable kernel.
+//
+// The trace-driven simulator models programmable-PIM timing
+// analytically; this package exists to make binaries #2 and #4 of the
+// Fig. 4 compilation flow *concrete*: a kernel is a real program that
+// loads from the shared global memory, computes, stores back, and may
+// hand its multiply/add inner sections to the fixed-function units.
+package pimvm
+
+import "fmt"
+
+// Opcode enumerates the instruction set.
+type Opcode uint8
+
+// The ISA. Operands are registers r0..r31 holding float64 values;
+// memory addresses are register values truncated to int.
+const (
+	// Nop does nothing (1 cycle).
+	Nop Opcode = iota
+	// Li loads an immediate: rD = imm.
+	Li
+	// Mov copies: rD = rA.
+	Mov
+	// Ld loads from shared memory: rD = mem[int(rA)+off].
+	Ld
+	// St stores to shared memory: mem[int(rB)+off] = rA.
+	St
+	// Add computes rD = rA + rB.
+	Add
+	// Sub computes rD = rA - rB.
+	Sub
+	// Mul computes rD = rA * rB.
+	Mul
+	// Div computes rD = rA / rB.
+	Div
+	// Max computes rD = max(rA, rB).
+	Max
+	// Min computes rD = min(rA, rB).
+	Min
+	// Sqrt computes rD = sqrt(rA).
+	Sqrt
+	// Addi computes rD = rA + imm.
+	Addi
+	// Muli computes rD = rA * imm.
+	Muli
+	// Beq branches to Off when rA == rB.
+	Beq
+	// Bne branches to Off when rA != rB.
+	Bne
+	// Blt branches to Off when rA < rB.
+	Blt
+	// Bge branches to Off when rA >= rB.
+	Bge
+	// Jmp branches unconditionally.
+	Jmp
+	// CallFixed invokes the registered fixed-function kernel imm
+	// (truncated): the Fig. 6 recursive PIM kernel call. Costs the
+	// handler's cycles plus the in-stack synchronization.
+	CallFixed
+	// Halt stops execution.
+	Halt
+)
+
+// String implements fmt.Stringer.
+func (o Opcode) String() string {
+	names := [...]string{"nop", "li", "mov", "ld", "st", "add", "sub", "mul",
+		"div", "max", "min", "sqrt", "addi", "muli", "beq", "bne", "blt",
+		"bge", "jmp", "callfixed", "halt"}
+	if int(o) < len(names) {
+		return names[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// NumRegs is the architectural register count.
+const NumRegs = 32
+
+// Instr is one decoded instruction.
+type Instr struct {
+	Op        Opcode
+	Dst, A, B uint8
+	Imm       float64
+	// Off is the branch target (instruction index, resolved by the
+	// assembler) or the load/store displacement.
+	Off int
+}
+
+// cycles returns the issue cost of an instruction on the in-order core.
+// Memory operations hit the near-bank buffers (Section IV-D), branches
+// pay the short pipeline, divide/sqrt iterate.
+func (i Instr) cycles() uint64 {
+	switch i.Op {
+	case Ld, St:
+		return 4
+	case Mul, Muli:
+		return 2
+	case Div:
+		return 10
+	case Sqrt:
+		return 15
+	case Beq, Bne, Blt, Bge, Jmp:
+		return 2
+	case CallFixed:
+		return 0 // charged by the handler + sync cost
+	default:
+		return 1
+	}
+}
+
+// Program is an assembled kernel binary.
+type Program struct {
+	Name   string
+	Instrs []Instr
+	// Labels maps label names to instruction indices (for disassembly
+	// and tests).
+	Labels map[string]int
+}
+
+// Validate checks branch targets and register indices.
+func (p *Program) Validate() error {
+	n := len(p.Instrs)
+	for idx, ins := range p.Instrs {
+		if ins.Dst >= NumRegs || ins.A >= NumRegs || ins.B >= NumRegs {
+			return fmt.Errorf("pimvm: %s: instr %d: register out of range", p.Name, idx)
+		}
+		switch ins.Op {
+		case Beq, Bne, Blt, Bge, Jmp:
+			if ins.Off < 0 || ins.Off >= n {
+				return fmt.Errorf("pimvm: %s: instr %d: branch target %d out of range", p.Name, idx, ins.Off)
+			}
+		}
+	}
+	return nil
+}
+
+// Disassemble renders one instruction in assembler syntax.
+func (i Instr) Disassemble() string {
+	r := func(n uint8) string { return "r" + itoa(int(n)) }
+	switch i.Op {
+	case Nop, Halt:
+		return i.Op.String()
+	case Li:
+		return fmt.Sprintf("li   %s, %g", r(i.Dst), i.Imm)
+	case Mov, Sqrt:
+		return fmt.Sprintf("%-4s %s, %s", i.Op, r(i.Dst), r(i.A))
+	case Ld:
+		return fmt.Sprintf("ld   %s, %s, %d", r(i.Dst), r(i.A), i.Off)
+	case St:
+		return fmt.Sprintf("st   %s, %s, %d", r(i.A), r(i.B), i.Off)
+	case Add, Sub, Mul, Div, Max, Min:
+		return fmt.Sprintf("%-4s %s, %s, %s", i.Op, r(i.Dst), r(i.A), r(i.B))
+	case Addi, Muli:
+		return fmt.Sprintf("%-4s %s, %s, %g", i.Op, r(i.Dst), r(i.A), i.Imm)
+	case Beq, Bne, Blt, Bge:
+		return fmt.Sprintf("%-4s %s, %s, @%d", i.Op, r(i.A), r(i.B), i.Off)
+	case Jmp:
+		return fmt.Sprintf("jmp  @%d", i.Off)
+	case CallFixed:
+		return fmt.Sprintf("callfixed %d", int(i.Imm))
+	default:
+		return i.Op.String()
+	}
+}
+
+// String renders the whole program with instruction indices and labels.
+func (p *Program) String() string {
+	labelAt := map[int][]string{}
+	for name, idx := range p.Labels {
+		labelAt[idx] = append(labelAt[idx], name)
+	}
+	var sb []byte
+	for idx, ins := range p.Instrs {
+		for _, l := range labelAt[idx] {
+			sb = append(sb, (l + ":\n")...)
+		}
+		sb = append(sb, fmt.Sprintf("%4d  %s\n", idx, ins.Disassemble())...)
+	}
+	return string(sb)
+}
+
+// itoa avoids strconv for tiny register numbers.
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

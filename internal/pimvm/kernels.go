@@ -1,0 +1,216 @@
+package pimvm
+
+// The built-in kernel library: the programmable-PIM side of the
+// operations the paper assigns to the ARM cores (Relu, MaxPool-style
+// reductions, ApplyAdam), plus the recursive-kernel skeleton of Fig. 6.
+//
+// Calling convention: arguments arrive in r0..r7 (set by the host
+// before Run); r0-r2 are usually base addresses into the shared memory
+// and r3 an element count. Registers r8+ are scratch.
+
+// VAddSrc adds two vectors: dst[i] = a[i] + b[i].
+// Args: r0=a, r1=b, r2=dst, r3=n.
+const VAddSrc = `
+        li   r4, 0          ; i = 0
+loop:   bge  r4, r3, done
+        add  r5, r0, r4
+        ld   r6, r5, 0      ; a[i]
+        add  r5, r1, r4
+        ld   r7, r5, 0      ; b[i]
+        add  r6, r6, r7
+        add  r5, r2, r4
+        st   r6, r5, 0      ; dst[i]
+        addi r4, r4, 1
+        jmp  loop
+done:   halt
+`
+
+// VMulSrc multiplies two vectors elementwise.
+// Args: r0=a, r1=b, r2=dst, r3=n.
+const VMulSrc = `
+        li   r4, 0
+loop:   bge  r4, r3, done
+        add  r5, r0, r4
+        ld   r6, r5, 0
+        add  r5, r1, r4
+        ld   r7, r5, 0
+        mul  r6, r6, r7
+        add  r5, r2, r4
+        st   r6, r5, 0
+        addi r4, r4, 1
+        jmp  loop
+done:   halt
+`
+
+// ReluSrc applies dst[i] = max(0, x[i]) — the conditional operation the
+// fixed-function PIMs cannot execute (Section II-A).
+// Args: r0=x, r1=dst, r2=n.
+const ReluSrc = `
+        li   r3, 0
+        li   r8, 0          ; the zero constant
+loop:   bge  r3, r2, done
+        add  r5, r0, r3
+        ld   r6, r5, 0
+        max  r6, r6, r8
+        add  r5, r1, r3
+        st   r6, r5, 0
+        addi r3, r3, 1
+        jmp  loop
+done:   halt
+`
+
+// DotSrc computes mem[int(r2)] = sum_i a[i]*b[i].
+// Args: r0=a, r1=b, r2=dst (single element), r3=n.
+const DotSrc = `
+        li   r4, 0
+        li   r9, 0          ; acc
+loop:   bge  r4, r3, done
+        add  r5, r0, r4
+        ld   r6, r5, 0
+        add  r5, r1, r4
+        ld   r7, r5, 0
+        mul  r6, r6, r7
+        add  r9, r9, r6
+        addi r4, r4, 1
+        jmp  loop
+done:   st   r9, r2, 0
+        halt
+`
+
+// AdamSrc performs one bias-uncorrected Adam update over a parameter
+// vector — the ApplyAdam op the paper offloads to the programmable PIM
+// (it needs sqrt and division):
+//
+//	m[i] = b1*m[i] + (1-b1)*g[i]
+//	v[i] = b2*v[i] + (1-b2)*g[i]^2
+//	w[i] -= lr * m[i] / (sqrt(v[i]) + eps)
+//
+// Args: r0=w, r1=g, r2=m, r3=v, r4=n, r5=lr, r6=b1, r7=b2.
+// (epsilon fixed at 1e-8.)
+const AdamSrc = `
+        li   r8, 0           ; i
+        li   r9, 1
+        sub  r10, r9, r6     ; 1-b1
+        sub  r11, r9, r7     ; 1-b2
+        li   r12, 1e-8       ; eps
+loop:   bge  r8, r4, done
+        add  r13, r1, r8
+        ld   r14, r13, 0     ; g
+        add  r13, r2, r8
+        ld   r15, r13, 0     ; m
+        mul  r15, r15, r6
+        mul  r16, r14, r10
+        add  r15, r15, r16   ; m'
+        st   r15, r13, 0
+        add  r13, r3, r8
+        ld   r17, r13, 0     ; v
+        mul  r17, r17, r7
+        mul  r16, r14, r14
+        mul  r16, r16, r11
+        add  r17, r17, r16   ; v'
+        st   r17, r13, 0
+        sqrt r18, r17
+        add  r18, r18, r12
+        mul  r19, r15, r5    ; lr*m
+        div  r19, r19, r18
+        add  r13, r0, r8
+        ld   r20, r13, 0     ; w
+        sub  r20, r20, r19
+        st   r20, r13, 0
+        addi r8, r8, 1
+        jmp  loop
+done:   halt
+`
+
+// RecursiveConvSrc is the Fig. 6 skeleton: a Conv2DBackpropFilter-style
+// kernel whose programmable phases bracket recursive calls to the
+// fixed-function convolution kernel (id 0). Phase 1 zeroes the output
+// slice, then the convolution runs on the fixed units, then phase 2
+// scales the result (e.g. by 1/batch).
+//
+// Args: r0=dst base, r1=n (output elements), r2=scale.
+const RecursiveConvSrc = `
+        ; phase 1: clear the accumulator slice (programmable work)
+        li   r4, 0
+        li   r8, 0
+p1:     bge  r4, r1, conv
+        add  r5, r0, r4
+        st   r8, r5, 0
+        addi r4, r4, 1
+        jmp  p1
+conv:   callfixed 0         ; offload the convolution to fixed PIMs
+        callfixed 0         ; second tile
+        ; phase 2: scale the accumulated output (programmable work)
+        li   r4, 0
+p2:     bge  r4, r1, done
+        add  r5, r0, r4
+        ld   r6, r5, 0
+        mul  r6, r6, r2
+        st   r6, r5, 0
+        addi r4, r4, 1
+        jmp  p2
+done:   halt
+`
+
+// Library returns the built-in kernels, freshly assembled.
+func Library() map[string]*Program {
+	return map[string]*Program{
+		"vadd":           MustAssemble("vadd", VAddSrc),
+		"vmul":           MustAssemble("vmul", VMulSrc),
+		"relu":           MustAssemble("relu", ReluSrc),
+		"dot":            MustAssemble("dot", DotSrc),
+		"adam":           MustAssemble("adam", AdamSrc),
+		"recursive_conv": MustAssemble("recursive_conv", RecursiveConvSrc),
+		"conv2d":         MustAssemble("conv2d", Conv2DSrc),
+	}
+}
+
+// Conv2DSrc is a complete single-channel, stride-1, VALID 2D
+// convolution in PIM assembly — the proof that the ISA suffices for the
+// paper's headline operation when run as binary #2 (no fixed-function
+// help).
+//
+// Args: r0=x base (HxW), r1=w base (FHxFW), r2=y base, r3=H, r4=W,
+// r5=FH, r6=FW.
+const Conv2DSrc = `
+        sub  r13, r3, r5
+        addi r13, r13, 1     ; OH = H-FH+1
+        sub  r14, r4, r6
+        addi r14, r14, 1     ; OW = W-FW+1
+        li   r8, 0           ; oh
+oh:     bge  r8, r13, done
+        li   r9, 0           ; ow
+ow:     bge  r9, r14, ohnext
+        li   r12, 0          ; acc
+        li   r10, 0          ; fh
+fh:     bge  r10, r5, store
+        li   r11, 0          ; fw
+fw:     bge  r11, r6, fhnext
+        add  r15, r8, r10    ; ih
+        mul  r15, r15, r4    ; ih*W
+        add  r16, r9, r11    ; iw
+        add  r15, r15, r16
+        add  r15, r15, r0
+        ld   r17, r15, 0     ; x[ih*W+iw]
+        mov  r18, r10
+        mul  r18, r18, r6
+        add  r18, r18, r11
+        add  r18, r18, r1
+        ld   r19, r18, 0     ; w[fh*FW+fw]
+        mul  r17, r17, r19
+        add  r12, r12, r17
+        addi r11, r11, 1
+        jmp  fw
+fhnext: addi r10, r10, 1
+        jmp  fh
+store:  mov  r15, r8
+        mul  r15, r15, r14
+        add  r15, r15, r9
+        add  r15, r15, r2
+        st   r12, r15, 0
+        addi r9, r9, 1
+        jmp  ow
+ohnext: addi r8, r8, 1
+        jmp  oh
+done:   halt
+`

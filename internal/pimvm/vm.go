@@ -1,0 +1,172 @@
+package pimvm
+
+import (
+	"fmt"
+	"math"
+
+	"heteropim/internal/hw"
+)
+
+// FixedHandler implements one registered fixed-function kernel that a
+// programmable kernel may invoke recursively (Fig. 6). It operates on
+// the same shared memory and reports how many fixed-function unit
+// cycles it consumed.
+type FixedHandler func(mem []float32, args [8]float64) (unitCycles uint64, err error)
+
+// VM executes programmable-PIM kernel binaries against the shared
+// global memory.
+type VM struct {
+	// Mem is the (slice of) shared global memory the kernel addresses.
+	Mem []float32
+	// Regs are the architectural registers.
+	Regs [NumRegs]float64
+	// Freq is the core clock (the paper's 2 GHz ARM cores).
+	Freq hw.Hz
+	// SyncCyclesPerCall is the in-stack PIM<->PIM synchronization cost
+	// of one recursive fixed-function call, in core cycles.
+	SyncCyclesPerCall uint64
+	// MaxInstructions guards against runaway kernels (0 = default).
+	MaxInstructions uint64
+
+	fixed map[int]FixedHandler
+
+	// Statistics.
+	Cycles          uint64
+	Executed        uint64
+	FixedCalls      int
+	FixedUnitCycles uint64
+}
+
+// DefaultMaxInstructions bounds one Run.
+const DefaultMaxInstructions = 50_000_000
+
+// New creates a VM over a shared memory slice.
+func New(mem []float32) *VM {
+	return &VM{
+		Mem:               mem,
+		Freq:              2 * hw.GHz,
+		SyncCyclesPerCall: 600, // 0.3us at 2 GHz — the PIM-PIM sync cost
+		fixed:             map[int]FixedHandler{},
+	}
+}
+
+// RegisterFixed installs the fixed-function kernel with the given id.
+func (vm *VM) RegisterFixed(id int, h FixedHandler) {
+	vm.fixed[id] = h
+}
+
+// Reset clears registers and statistics (memory is preserved).
+func (vm *VM) Reset() {
+	vm.Regs = [NumRegs]float64{}
+	vm.Cycles, vm.Executed = 0, 0
+	vm.FixedCalls, vm.FixedUnitCycles = 0, 0
+}
+
+// Run executes a program to completion (Halt or falling off the end).
+func (vm *VM) Run(p *Program) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	max := vm.MaxInstructions
+	if max == 0 {
+		max = DefaultMaxInstructions
+	}
+	pc := 0
+	for pc < len(p.Instrs) {
+		if vm.Executed >= max {
+			return fmt.Errorf("pimvm: %s: instruction budget (%d) exhausted at pc=%d", p.Name, max, pc)
+		}
+		ins := p.Instrs[pc]
+		vm.Executed++
+		vm.Cycles += ins.cycles()
+		switch ins.Op {
+		case Nop:
+		case Li:
+			vm.Regs[ins.Dst] = ins.Imm
+		case Mov:
+			vm.Regs[ins.Dst] = vm.Regs[ins.A]
+		case Ld:
+			addr := int(vm.Regs[ins.A]) + ins.Off
+			if addr < 0 || addr >= len(vm.Mem) {
+				return fmt.Errorf("pimvm: %s: pc=%d: load address %d out of range [0,%d)", p.Name, pc, addr, len(vm.Mem))
+			}
+			vm.Regs[ins.Dst] = float64(vm.Mem[addr])
+		case St:
+			addr := int(vm.Regs[ins.B]) + ins.Off
+			if addr < 0 || addr >= len(vm.Mem) {
+				return fmt.Errorf("pimvm: %s: pc=%d: store address %d out of range [0,%d)", p.Name, pc, addr, len(vm.Mem))
+			}
+			vm.Mem[addr] = float32(vm.Regs[ins.A])
+		case Add:
+			vm.Regs[ins.Dst] = vm.Regs[ins.A] + vm.Regs[ins.B]
+		case Sub:
+			vm.Regs[ins.Dst] = vm.Regs[ins.A] - vm.Regs[ins.B]
+		case Mul:
+			vm.Regs[ins.Dst] = vm.Regs[ins.A] * vm.Regs[ins.B]
+		case Div:
+			vm.Regs[ins.Dst] = vm.Regs[ins.A] / vm.Regs[ins.B]
+		case Max:
+			vm.Regs[ins.Dst] = math.Max(vm.Regs[ins.A], vm.Regs[ins.B])
+		case Min:
+			vm.Regs[ins.Dst] = math.Min(vm.Regs[ins.A], vm.Regs[ins.B])
+		case Sqrt:
+			vm.Regs[ins.Dst] = math.Sqrt(vm.Regs[ins.A])
+		case Addi:
+			vm.Regs[ins.Dst] = vm.Regs[ins.A] + ins.Imm
+		case Muli:
+			vm.Regs[ins.Dst] = vm.Regs[ins.A] * ins.Imm
+		case Beq:
+			if vm.Regs[ins.A] == vm.Regs[ins.B] {
+				pc = ins.Off
+				continue
+			}
+		case Bne:
+			if vm.Regs[ins.A] != vm.Regs[ins.B] {
+				pc = ins.Off
+				continue
+			}
+		case Blt:
+			if vm.Regs[ins.A] < vm.Regs[ins.B] {
+				pc = ins.Off
+				continue
+			}
+		case Bge:
+			if vm.Regs[ins.A] >= vm.Regs[ins.B] {
+				pc = ins.Off
+				continue
+			}
+		case Jmp:
+			pc = ins.Off
+			continue
+		case CallFixed:
+			id := int(ins.Imm)
+			h, ok := vm.fixed[id]
+			if !ok {
+				return fmt.Errorf("pimvm: %s: pc=%d: no fixed-function kernel %d registered", p.Name, pc, id)
+			}
+			var args [8]float64
+			copy(args[:], vm.Regs[:8])
+			unitCycles, err := h(vm.Mem, args)
+			if err != nil {
+				return fmt.Errorf("pimvm: %s: fixed kernel %d: %w", p.Name, id, err)
+			}
+			vm.FixedCalls++
+			vm.FixedUnitCycles += unitCycles
+			vm.Cycles += vm.SyncCyclesPerCall
+		case Halt:
+			return nil
+		default:
+			return fmt.Errorf("pimvm: %s: pc=%d: bad opcode %v", p.Name, pc, ins.Op)
+		}
+		pc++
+	}
+	return nil
+}
+
+// Time converts the consumed core cycles to seconds at the core clock.
+func (vm *VM) Time() hw.Seconds {
+	if vm.Freq <= 0 {
+		return 0
+	}
+	return float64(vm.Cycles) / vm.Freq
+}

@@ -1,0 +1,164 @@
+// Package report renders experiment results as fixed-width text tables
+// — the rows/series the paper's tables and figures report, printed by
+// the benchmark harness and the CLIs.
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a titled grid of cells.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+	// Notes are free-form footnotes (paper-vs-measured commentary).
+	Notes []string
+}
+
+// AddRow appends a row, padding or truncating to the column count.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.Columns))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// AddRowVals appends a row, formatting each value with fmt.Sprint.
+func (t *Table) AddRowVals(cells ...any) {
+	parts := make([]string, len(cells))
+	for i, c := range cells {
+		parts[i] = fmt.Sprint(c)
+	}
+	t.AddRow(parts...)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	var sb strings.Builder
+	if t.Title != "" {
+		sb.WriteString(t.Title)
+		sb.WriteByte('\n')
+		sb.WriteString(strings.Repeat("=", len(t.Title)))
+		sb.WriteByte('\n')
+	}
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(pad(cell, widths[i]))
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	if total > 2 {
+		total -= 2
+	}
+	sb.WriteString(strings.Repeat("-", total))
+	sb.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		sb.WriteString("note: ")
+		sb.WriteString(n)
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// pad left-justifies the first column style (strings) and right-
+// justifies numeric-looking cells.
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	if looksNumeric(s) {
+		return strings.Repeat(" ", w-len(s)) + s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+func looksNumeric(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, r := range s {
+		switch {
+		case r >= '0' && r <= '9':
+		case r == '.' || r == '-' || r == '+' || r == '%' || r == 'e' ||
+			r == 'x' || r == 's' || r == 'J' || r == 'W':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Seconds formats a duration compactly.
+func Seconds(v float64) string {
+	switch {
+	case v >= 1:
+		return fmt.Sprintf("%.3fs", v)
+	case v >= 1e-3:
+		return fmt.Sprintf("%.3fms", v*1e3)
+	default:
+		return fmt.Sprintf("%.3fus", v*1e6)
+	}
+}
+
+// Ratio formats a speedup/factor.
+func Ratio(v float64) string { return fmt.Sprintf("%.2fx", v) }
+
+// Percent formats a fraction as a percentage.
+func Percent(v float64) string { return fmt.Sprintf("%.1f%%", v*100) }
+
+// Joules formats an energy.
+func Joules(v float64) string {
+	switch {
+	case v >= 1:
+		return fmt.Sprintf("%.1fJ", v)
+	default:
+		return fmt.Sprintf("%.1fmJ", v*1e3)
+	}
+}
+
+// Watts formats a power.
+func Watts(v float64) string { return fmt.Sprintf("%.1fW", v) }
+
+// WriteCSV emits the table as CSV (header + rows); notes are skipped.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Columns); err != nil {
+		return fmt.Errorf("report: csv header: %w", err)
+	}
+	for i, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("report: csv row %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

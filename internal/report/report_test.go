@@ -1,0 +1,99 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{
+		Title:   "Demo",
+		Columns: []string{"Name", "Value"},
+	}
+	tab.AddRow("alpha", "1.00x")
+	tab.AddRow("beta-very-long-name", "2")
+	tab.AddRow("short") // padded
+	tab.Notes = append(tab.Notes, "a footnote")
+	out := tab.String()
+	for _, want := range []string{"Demo", "Name", "alpha", "beta-very-long-name", "note: a footnote"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Title, underline, header, separator, 3 rows, note.
+	if len(lines) != 8 {
+		t.Fatalf("unexpected line count %d:\n%s", len(lines), out)
+	}
+}
+
+func TestAddRowTruncatesExtraCells(t *testing.T) {
+	tab := &Table{Columns: []string{"A"}}
+	tab.AddRow("x", "overflow")
+	if len(tab.Rows[0]) != 1 {
+		t.Fatal("extra cells must be dropped")
+	}
+}
+
+func TestAddRowVals(t *testing.T) {
+	tab := &Table{Columns: []string{"A", "B"}}
+	tab.AddRowVals(42, 3.5)
+	if tab.Rows[0][0] != "42" || tab.Rows[0][1] != "3.5" {
+		t.Fatalf("row = %v", tab.Rows[0])
+	}
+}
+
+func TestNumericCellsRightJustified(t *testing.T) {
+	tab := &Table{Columns: []string{"Name", "Value"}}
+	tab.AddRow("something-long", "1.5x")
+	out := tab.String()
+	if !strings.Contains(out, "           1.5x") && !strings.Contains(out, " 1.5x") {
+		t.Fatalf("numeric cell not right-justified:\n%s", out)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	cases := map[string]string{
+		Seconds(2.5):    "2.500s",
+		Seconds(0.0025): "2.500ms",
+		Seconds(25e-6):  "25.000us",
+		Ratio(1.5):      "1.50x",
+		Percent(0.42):   "42.0%",
+		Joules(3.25):    "3.2J",
+		Joules(0.004):   "4.0mJ",
+		Watts(68):       "68.0W",
+	}
+	for got, want := range cases {
+		if got != want {
+			t.Errorf("formatter produced %q, want %q", got, want)
+		}
+	}
+}
+
+func TestLooksNumeric(t *testing.T) {
+	for _, s := range []string{"1.50x", "42.0%", "3.2J", "68.0W", "-5", "2.500s"} {
+		if !looksNumeric(s) {
+			t.Errorf("%q should look numeric", s)
+		}
+	}
+	for _, s := range []string{"", "VGG-19", "Hetero PIM"} {
+		if looksNumeric(s) {
+			t.Errorf("%q should not look numeric", s)
+		}
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	tab := &Table{Columns: []string{"A", "B"}}
+	tab.AddRow("x", "1")
+	tab.AddRow("y, z", "2") // needs quoting
+	var buf bytes.Buffer
+	if err := tab.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "A,B\n") || !strings.Contains(out, `"y, z",2`) {
+		t.Fatalf("csv output:\n%s", out)
+	}
+}

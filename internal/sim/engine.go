@@ -1,0 +1,110 @@
+// Package sim is a small deterministic discrete-event simulation engine:
+// an event heap ordered by (time, sequence), a clock, and run control.
+// It is the substrate under the trace-driven executors in internal/core,
+// playing the role of the paper's Python simulation framework
+// (Section V-A).
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"heteropim/internal/hw"
+)
+
+// Event is a scheduled callback.
+type event struct {
+	at  hw.Seconds
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// Engine is the simulation core. The zero value is NOT usable; call New.
+type Engine struct {
+	now    hw.Seconds
+	seq    uint64
+	events eventHeap
+	// processed counts executed events (for runaway detection).
+	processed uint64
+	// MaxEvents guards against schedule loops; 0 means the default.
+	MaxEvents uint64
+}
+
+// DefaultMaxEvents bounds a single Run; generous for every workload here.
+const DefaultMaxEvents = 200_000_000
+
+// New creates an engine at time zero.
+func New() *Engine {
+	e := &Engine{}
+	heap.Init(&e.events)
+	return e
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() hw.Seconds { return e.now }
+
+// Processed returns how many events have executed.
+func (e *Engine) Processed() uint64 { return e.processed }
+
+// At schedules fn at an absolute time, which must not be in the past.
+func (e *Engine) At(t hw.Seconds, fn func()) error {
+	if math.IsNaN(t) || math.IsInf(t, 0) {
+		return fmt.Errorf("sim: scheduling at non-finite time %v", t)
+	}
+	if t < e.now {
+		return fmt.Errorf("sim: scheduling at %.9g, before now %.9g", t, e.now)
+	}
+	e.seq++
+	heap.Push(&e.events, event{at: t, seq: e.seq, fn: fn})
+	return nil
+}
+
+// After schedules fn delay seconds from now.
+func (e *Engine) After(delay hw.Seconds, fn func()) error {
+	if delay < 0 {
+		return fmt.Errorf("sim: negative delay %.9g", delay)
+	}
+	return e.At(e.now+delay, fn)
+}
+
+// Run executes events until the queue drains. It returns an error if the
+// event budget is exhausted (a scheduling loop).
+func (e *Engine) Run() error {
+	max := e.MaxEvents
+	if max == 0 {
+		max = DefaultMaxEvents
+	}
+	for len(e.events) > 0 {
+		if e.processed >= max {
+			return fmt.Errorf("sim: event budget (%d) exhausted at t=%.9g — scheduling loop?", max, e.now)
+		}
+		ev := heap.Pop(&e.events).(event)
+		e.now = ev.at
+		e.processed++
+		ev.fn()
+	}
+	return nil
+}
+
+// Pending returns the number of queued events.
+func (e *Engine) Pending() int { return len(e.events) }

@@ -1,0 +1,163 @@
+package sim
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEventsRunInTimeOrder(t *testing.T) {
+	e := New()
+	var got []float64
+	times := []float64{5, 1, 3, 2, 4}
+	for _, at := range times {
+		at := at
+		if err := e.At(at, func() { got = append(got, at) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !sort.Float64sAreSorted(got) {
+		t.Fatalf("events out of order: %v", got)
+	}
+	if e.Now() != 5 {
+		t.Fatalf("clock = %g, want 5", e.Now())
+	}
+	if e.Processed() != 5 {
+		t.Fatalf("processed = %d", e.Processed())
+	}
+}
+
+func TestTiesBreakBySequence(t *testing.T) {
+	e := New()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		if err := e.At(1.0, func() { got = append(got, i) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-time events reordered: %v", got)
+		}
+	}
+}
+
+func TestAfterAndNestedScheduling(t *testing.T) {
+	e := New()
+	var trail []float64
+	if err := e.After(1, func() {
+		trail = append(trail, e.Now())
+		if err := e.After(2, func() { trail = append(trail, e.Now()) }); err != nil {
+			t.Error(err)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(trail) != 2 || trail[0] != 1 || trail[1] != 3 {
+		t.Fatalf("trail = %v, want [1 3]", trail)
+	}
+}
+
+func TestRejectsPastAndBogusTimes(t *testing.T) {
+	e := New()
+	if err := e.At(5, func() {}); err != nil {
+		t.Fatal(err)
+	}
+	_ = e.Run()
+	if err := e.At(1, func() {}); err == nil {
+		t.Error("scheduling in the past must error")
+	}
+	if err := e.After(-1, func() {}); err == nil {
+		t.Error("negative delay must error")
+	}
+	var nan float64
+	nan = nan / nan * 0 // keep vet quiet; produce NaN below
+	_ = nan
+	if err := e.At(nanValue(), func() {}); err == nil {
+		t.Error("NaN time must error")
+	}
+}
+
+func nanValue() float64 {
+	z := 0.0
+	return z / z
+}
+
+func TestEventBudgetStopsLoops(t *testing.T) {
+	e := New()
+	e.MaxEvents = 100
+	var loop func()
+	loop = func() {
+		_ = e.After(1, loop)
+	}
+	_ = e.After(0, loop)
+	if err := e.Run(); err == nil {
+		t.Fatal("runaway schedule must be detected")
+	}
+}
+
+func TestPending(t *testing.T) {
+	e := New()
+	_ = e.At(1, func() {})
+	_ = e.At(2, func() {})
+	if e.Pending() != 2 {
+		t.Fatalf("pending = %d", e.Pending())
+	}
+	_ = e.Run()
+	if e.Pending() != 0 {
+		t.Fatalf("pending after run = %d", e.Pending())
+	}
+}
+
+func TestClockMonotoneQuick(t *testing.T) {
+	f := func(delays []uint16) bool {
+		e := New()
+		prev := -1.0
+		ok := true
+		for _, d := range delays {
+			at := float64(d) / 100
+			_ = e.At(at, func() {
+				if e.Now() < prev {
+					ok = false
+				}
+				prev = e.Now()
+			})
+		}
+		if err := e.Run(); err != nil {
+			return false
+		}
+		return ok
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkEngineThroughput(b *testing.B) {
+	// Raw event throughput of the DES core.
+	e := New()
+	e.MaxEvents = uint64(b.N) + 10
+	var fire func()
+	count := 0
+	fire = func() {
+		count++
+		if count < b.N {
+			_ = e.After(1e-9, fire)
+		}
+	}
+	_ = e.After(0, fire)
+	b.ResetTimer()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}

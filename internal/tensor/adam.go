@@ -1,0 +1,52 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// AdamState carries the first/second moment estimates for one parameter
+// tensor, mirroring TensorFlow's ApplyAdam op — the first-order
+// gradient-based optimization of stochastic objective functions the
+// paper singles out as a programmable-PIM operation.
+type AdamState struct {
+	M, V *Tensor
+	Step int
+}
+
+// AdamConfig holds the optimizer hyperparameters.
+type AdamConfig struct {
+	LR, Beta1, Beta2, Epsilon float64
+}
+
+// DefaultAdam returns the TensorFlow default hyperparameters.
+func DefaultAdam() AdamConfig {
+	return AdamConfig{LR: 1e-3, Beta1: 0.9, Beta2: 0.999, Epsilon: 1e-8}
+}
+
+// NewAdamState allocates moment buffers matching param.
+func NewAdamState(param *Tensor) *AdamState {
+	return &AdamState{M: New(param.Shape...), V: New(param.Shape...)}
+}
+
+// ApplyAdam performs one in-place Adam update of param given grad.
+func ApplyAdam(param, grad *Tensor, st *AdamState, cfg AdamConfig) error {
+	if !param.SameShape(grad) || !param.SameShape(st.M) || !param.SameShape(st.V) {
+		return fmt.Errorf("tensor: ApplyAdam shape mismatch param=%v grad=%v", param.Shape, grad.Shape)
+	}
+	st.Step++
+	b1 := cfg.Beta1
+	b2 := cfg.Beta2
+	correction1 := 1 - math.Pow(b1, float64(st.Step))
+	correction2 := 1 - math.Pow(b2, float64(st.Step))
+	lr := cfg.LR * math.Sqrt(correction2) / correction1
+	for i := range param.Data {
+		g := float64(grad.Data[i])
+		m := b1*float64(st.M.Data[i]) + (1-b1)*g
+		v := b2*float64(st.V.Data[i]) + (1-b2)*g*g
+		st.M.Data[i] = float32(m)
+		st.V.Data[i] = float32(v)
+		param.Data[i] -= float32(lr * m / (math.Sqrt(v) + cfg.Epsilon))
+	}
+	return nil
+}

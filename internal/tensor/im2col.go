@@ -1,0 +1,68 @@
+package tensor
+
+import "fmt"
+
+// Im2col unrolls conv windows into a (N*OH*OW, FH*FW*C) matrix so a
+// convolution becomes one GEMM — the classic TensorFlow CPU strategy
+// whose cache behaviour is exactly why forward Conv2D barely touches
+// main memory in Table I while the backward passes thrash it.
+func Im2col(x *Tensor, fh, fw int, spec ConvSpec) (*Tensor, int, int, error) {
+	checkRank("Im2col", x, 4)
+	N, H, W, C := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	if fh <= 0 || fw <= 0 || spec.StrideH <= 0 || spec.StrideW <= 0 {
+		return nil, 0, 0, fmt.Errorf("tensor: Im2col bad geometry fh=%d fw=%d", fh, fw)
+	}
+	oh, padH := spec.outDim(H, fh, spec.StrideH)
+	ow, padW := spec.outDim(W, fw, spec.StrideW)
+	if oh <= 0 || ow <= 0 {
+		return nil, 0, 0, fmt.Errorf("tensor: Im2col degenerate output %dx%d", oh, ow)
+	}
+	cols := New(N*oh*ow, fh*fw*C)
+	row := 0
+	for n := 0; n < N; n++ {
+		for y := 0; y < oh; y++ {
+			for xw := 0; xw < ow; xw++ {
+				base := row * fh * fw * C
+				for ky := 0; ky < fh; ky++ {
+					iy := y*spec.StrideH + ky - padH
+					for kx := 0; kx < fw; kx++ {
+						ix := xw*spec.StrideW + kx - padW
+						off := base + (ky*fw+kx)*C
+						if iy < 0 || iy >= H || ix < 0 || ix >= W {
+							continue // zero padding
+						}
+						src := ((n*H+iy)*W + ix) * C
+						copy(cols.Data[off:off+C], x.Data[src:src+C])
+					}
+				}
+				row++
+			}
+		}
+	}
+	return cols, oh, ow, nil
+}
+
+// Conv2DGEMM computes the same result as Conv2D via im2col + MatMul.
+// It is the throughput path for the functional examples; the naive
+// Conv2D remains the reference implementation.
+func Conv2DGEMM(x, w *Tensor, spec ConvSpec) (*Tensor, error) {
+	checkRank("Conv2DGEMM input", x, 4)
+	checkRank("Conv2DGEMM filter", w, 4)
+	if x.Shape[3] != w.Shape[2] {
+		return nil, fmt.Errorf("tensor: Conv2DGEMM channels %d vs filter %d", x.Shape[3], w.Shape[2])
+	}
+	fh, fw, fc, k := w.Shape[0], w.Shape[1], w.Shape[2], w.Shape[3]
+	cols, oh, ow, err := Im2col(x, fh, fw, spec)
+	if err != nil {
+		return nil, err
+	}
+	wm, err := FromSlice(w.Data, fh*fw*fc, k)
+	if err != nil {
+		return nil, err
+	}
+	y, err := MatMul(cols, wm)
+	if err != nil {
+		return nil, err
+	}
+	return FromSlice(y.Data, x.Shape[0], oh, ow, k)
+}

@@ -1,0 +1,456 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// MatMul computes C = A x B for rank-2 tensors.
+func MatMul(a, b *Tensor) (*Tensor, error) {
+	checkRank("MatMul a", a, 2)
+	checkRank("MatMul b", b, 2)
+	m, k := a.Shape[0], a.Shape[1]
+	k2, n := b.Shape[0], b.Shape[1]
+	if k != k2 {
+		return nil, fmt.Errorf("tensor: MatMul inner dims %d vs %d", k, k2)
+	}
+	c := New(m, n)
+	for i := 0; i < m; i++ {
+		arow := a.Data[i*k : (i+1)*k]
+		crow := c.Data[i*n : (i+1)*n]
+		for p := 0; p < k; p++ {
+			av := arow[p]
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[p*n : (p+1)*n]
+			for j := 0; j < n; j++ {
+				crow[j] += av * brow[j]
+			}
+		}
+	}
+	return c, nil
+}
+
+// MatMulTransA computes C = Aᵀ x B.
+func MatMulTransA(a, b *Tensor) (*Tensor, error) {
+	checkRank("MatMulTransA a", a, 2)
+	checkRank("MatMulTransA b", b, 2)
+	k, m := a.Shape[0], a.Shape[1]
+	if k != b.Shape[0] {
+		return nil, fmt.Errorf("tensor: MatMulTransA inner dims %d vs %d", k, b.Shape[0])
+	}
+	n := b.Shape[1]
+	c := New(m, n)
+	for p := 0; p < k; p++ {
+		arow := a.Data[p*m : (p+1)*m]
+		brow := b.Data[p*n : (p+1)*n]
+		for i := 0; i < m; i++ {
+			av := arow[i]
+			if av == 0 {
+				continue
+			}
+			crow := c.Data[i*n : (i+1)*n]
+			for j := 0; j < n; j++ {
+				crow[j] += av * brow[j]
+			}
+		}
+	}
+	return c, nil
+}
+
+// MatMulTransB computes C = A x Bᵀ.
+func MatMulTransB(a, b *Tensor) (*Tensor, error) {
+	checkRank("MatMulTransB a", a, 2)
+	checkRank("MatMulTransB b", b, 2)
+	m, k := a.Shape[0], a.Shape[1]
+	n := b.Shape[0]
+	if k != b.Shape[1] {
+		return nil, fmt.Errorf("tensor: MatMulTransB inner dims %d vs %d", k, b.Shape[1])
+	}
+	c := New(m, n)
+	for i := 0; i < m; i++ {
+		arow := a.Data[i*k : (i+1)*k]
+		crow := c.Data[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			brow := b.Data[j*k : (j+1)*k]
+			var s float32
+			for p := 0; p < k; p++ {
+				s += arow[p] * brow[p]
+			}
+			crow[j] = s
+		}
+	}
+	return c, nil
+}
+
+// ConvSpec fixes the geometry of a 2D convolution: stride and SAME/VALID
+// padding (TensorFlow semantics).
+type ConvSpec struct {
+	StrideH, StrideW int
+	SamePadding      bool
+}
+
+// outDim computes the output extent for one spatial dimension.
+func (s ConvSpec) outDim(in, filter, stride int) (out, padBefore int) {
+	if s.SamePadding {
+		out = (in + stride - 1) / stride
+		padTotal := (out-1)*stride + filter - in
+		if padTotal < 0 {
+			padTotal = 0
+		}
+		return out, padTotal / 2
+	}
+	return (in-filter)/stride + 1, 0
+}
+
+// Conv2D computes a 2D convolution of NHWC input x with HWIO filter w.
+func Conv2D(x, w *Tensor, spec ConvSpec) (*Tensor, error) {
+	checkRank("Conv2D input", x, 4)
+	checkRank("Conv2D filter", w, 4)
+	N, H, W, C := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	FH, FW, FC, K := w.Shape[0], w.Shape[1], w.Shape[2], w.Shape[3]
+	if C != FC {
+		return nil, fmt.Errorf("tensor: Conv2D channels %d vs filter %d", C, FC)
+	}
+	OH, padH := spec.outDim(H, FH, spec.StrideH)
+	OW, padW := spec.outDim(W, FW, spec.StrideW)
+	if OH <= 0 || OW <= 0 {
+		return nil, fmt.Errorf("tensor: Conv2D degenerate output %dx%d", OH, OW)
+	}
+	y := New(N, OH, OW, K)
+	for n := 0; n < N; n++ {
+		for oh := 0; oh < OH; oh++ {
+			for ow := 0; ow < OW; ow++ {
+				for fh := 0; fh < FH; fh++ {
+					ih := oh*spec.StrideH + fh - padH
+					if ih < 0 || ih >= H {
+						continue
+					}
+					for fw := 0; fw < FW; fw++ {
+						iw := ow*spec.StrideW + fw - padW
+						if iw < 0 || iw >= W {
+							continue
+						}
+						for c := 0; c < C; c++ {
+							xv := x.At4(n, ih, iw, c)
+							if xv == 0 {
+								continue
+							}
+							base := ((fh*FW+fw)*FC + c) * K
+							for k := 0; k < K; k++ {
+								y.Add4(n, oh, ow, k, xv*w.Data[base+k])
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return y, nil
+}
+
+// Conv2DBackpropInput computes the gradient of a Conv2D with respect to
+// its input, given dy of shape (N,OH,OW,K).
+func Conv2DBackpropInput(inShape []int, w, dy *Tensor, spec ConvSpec) (*Tensor, error) {
+	checkRank("Conv2DBackpropInput filter", w, 4)
+	checkRank("Conv2DBackpropInput dy", dy, 4)
+	if len(inShape) != 4 {
+		return nil, fmt.Errorf("tensor: Conv2DBackpropInput wants rank-4 input shape, got %v", inShape)
+	}
+	N, H, W, C := inShape[0], inShape[1], inShape[2], inShape[3]
+	FH, FW, FC, K := w.Shape[0], w.Shape[1], w.Shape[2], w.Shape[3]
+	if C != FC || K != dy.Shape[3] || N != dy.Shape[0] {
+		return nil, fmt.Errorf("tensor: Conv2DBackpropInput shape mismatch in=%v filter=%v dy=%v", inShape, w.Shape, dy.Shape)
+	}
+	OH, OW := dy.Shape[1], dy.Shape[2]
+	_, padH := spec.outDim(H, FH, spec.StrideH)
+	_, padW := spec.outDim(W, FW, spec.StrideW)
+	dx := New(N, H, W, C)
+	for n := 0; n < N; n++ {
+		for oh := 0; oh < OH; oh++ {
+			for ow := 0; ow < OW; ow++ {
+				for fh := 0; fh < FH; fh++ {
+					ih := oh*spec.StrideH + fh - padH
+					if ih < 0 || ih >= H {
+						continue
+					}
+					for fw := 0; fw < FW; fw++ {
+						iw := ow*spec.StrideW + fw - padW
+						if iw < 0 || iw >= W {
+							continue
+						}
+						for k := 0; k < K; k++ {
+							g := dy.At4(n, oh, ow, k)
+							if g == 0 {
+								continue
+							}
+							for c := 0; c < C; c++ {
+								dx.Add4(n, ih, iw, c, g*w.Data[((fh*FW+fw)*FC+c)*K+k])
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return dx, nil
+}
+
+// Conv2DBackpropFilter computes the gradient of a Conv2D with respect to
+// its filter.
+func Conv2DBackpropFilter(x *Tensor, filterShape []int, dy *Tensor, spec ConvSpec) (*Tensor, error) {
+	checkRank("Conv2DBackpropFilter input", x, 4)
+	checkRank("Conv2DBackpropFilter dy", dy, 4)
+	if len(filterShape) != 4 {
+		return nil, fmt.Errorf("tensor: Conv2DBackpropFilter wants rank-4 filter shape, got %v", filterShape)
+	}
+	N, H, W, C := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	FH, FW, FC, K := filterShape[0], filterShape[1], filterShape[2], filterShape[3]
+	if C != FC || K != dy.Shape[3] || N != dy.Shape[0] {
+		return nil, fmt.Errorf("tensor: Conv2DBackpropFilter shape mismatch x=%v filter=%v dy=%v", x.Shape, filterShape, dy.Shape)
+	}
+	OH, OW := dy.Shape[1], dy.Shape[2]
+	_, padH := spec.outDim(H, FH, spec.StrideH)
+	_, padW := spec.outDim(W, FW, spec.StrideW)
+	dw := New(FH, FW, FC, K)
+	for n := 0; n < N; n++ {
+		for oh := 0; oh < OH; oh++ {
+			for ow := 0; ow < OW; ow++ {
+				for fh := 0; fh < FH; fh++ {
+					ih := oh*spec.StrideH + fh - padH
+					if ih < 0 || ih >= H {
+						continue
+					}
+					for fw := 0; fw < FW; fw++ {
+						iw := ow*spec.StrideW + fw - padW
+						if iw < 0 || iw >= W {
+							continue
+						}
+						for k := 0; k < K; k++ {
+							g := dy.At4(n, oh, ow, k)
+							if g == 0 {
+								continue
+							}
+							for c := 0; c < C; c++ {
+								dw.Data[((fh*FW+fw)*FC+c)*K+k] += g * x.At4(n, ih, iw, c)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return dw, nil
+}
+
+// BiasAdd adds a per-channel bias (last dimension) to x.
+func BiasAdd(x, b *Tensor) (*Tensor, error) {
+	c := x.Shape[len(x.Shape)-1]
+	if len(b.Shape) != 1 || b.Shape[0] != c {
+		return nil, fmt.Errorf("tensor: BiasAdd bias shape %v vs channels %d", b.Shape, c)
+	}
+	y := x.Clone()
+	for i := range y.Data {
+		y.Data[i] += b.Data[i%c]
+	}
+	return y, nil
+}
+
+// BiasAddGrad reduces dy over all but the channel dimension.
+func BiasAddGrad(dy *Tensor) *Tensor {
+	c := dy.Shape[len(dy.Shape)-1]
+	db := New(c)
+	for i, v := range dy.Data {
+		db.Data[i%c] += v
+	}
+	return db
+}
+
+// Relu applies max(0, x).
+func Relu(x *Tensor) *Tensor {
+	y := x.Clone()
+	for i, v := range y.Data {
+		if v < 0 {
+			y.Data[i] = 0
+		}
+	}
+	return y
+}
+
+// ReluGrad masks dy by the sign of the forward input.
+func ReluGrad(x, dy *Tensor) (*Tensor, error) {
+	if !x.SameShape(dy) {
+		return nil, fmt.Errorf("tensor: ReluGrad shapes %v vs %v", x.Shape, dy.Shape)
+	}
+	dx := dy.Clone()
+	for i, v := range x.Data {
+		if v <= 0 {
+			dx.Data[i] = 0
+		}
+	}
+	return dx, nil
+}
+
+// MaxPool performs 2D max pooling with the given window and stride
+// (VALID padding), returning the pooled tensor and the argmax indices
+// needed by the backward pass.
+func MaxPool(x *Tensor, window, stride int) (*Tensor, []int, error) {
+	checkRank("MaxPool", x, 4)
+	N, H, W, C := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	if window <= 0 || stride <= 0 {
+		return nil, nil, fmt.Errorf("tensor: MaxPool window=%d stride=%d", window, stride)
+	}
+	OH := (H-window)/stride + 1
+	OW := (W-window)/stride + 1
+	if OH <= 0 || OW <= 0 {
+		return nil, nil, fmt.Errorf("tensor: MaxPool degenerate output %dx%d", OH, OW)
+	}
+	y := New(N, OH, OW, C)
+	arg := make([]int, y.Size())
+	idx := 0
+	for n := 0; n < N; n++ {
+		for oh := 0; oh < OH; oh++ {
+			for ow := 0; ow < OW; ow++ {
+				for c := 0; c < C; c++ {
+					best := float32(math.Inf(-1))
+					bestAt := -1
+					for fh := 0; fh < window; fh++ {
+						for fw := 0; fw < window; fw++ {
+							ih, iw := oh*stride+fh, ow*stride+fw
+							v := x.At4(n, ih, iw, c)
+							if v > best {
+								best = v
+								bestAt = ((n*H+ih)*W+iw)*C + c
+							}
+						}
+					}
+					y.Data[idx] = best
+					arg[idx] = bestAt
+					idx++
+				}
+			}
+		}
+	}
+	return y, arg, nil
+}
+
+// MaxPoolGrad routes dy back to the argmax positions.
+func MaxPoolGrad(xShape []int, dy *Tensor, arg []int) (*Tensor, error) {
+	if len(arg) != dy.Size() {
+		return nil, fmt.Errorf("tensor: MaxPoolGrad argmax len %d vs dy %d", len(arg), dy.Size())
+	}
+	dx := New(xShape...)
+	for i, a := range arg {
+		if a < 0 || a >= dx.Size() {
+			return nil, fmt.Errorf("tensor: MaxPoolGrad argmax %d out of range", a)
+		}
+		dx.Data[a] += dy.Data[i]
+	}
+	return dx, nil
+}
+
+// Softmax applies a row-wise softmax to a rank-2 tensor.
+func Softmax(x *Tensor) *Tensor {
+	checkRank("Softmax", x, 2)
+	y := New(x.Shape...)
+	n, c := x.Shape[0], x.Shape[1]
+	for i := 0; i < n; i++ {
+		row := x.Data[i*c : (i+1)*c]
+		out := y.Data[i*c : (i+1)*c]
+		max := row[0]
+		for _, v := range row {
+			if v > max {
+				max = v
+			}
+		}
+		var sum float64
+		for j, v := range row {
+			e := math.Exp(float64(v - max))
+			out[j] = float32(e)
+			sum += e
+		}
+		for j := range out {
+			out[j] = float32(float64(out[j]) / sum)
+		}
+	}
+	return y
+}
+
+// CrossEntropyWithSoftmax returns the mean cross-entropy loss of logits
+// against integer labels, plus the gradient w.r.t. the logits.
+func CrossEntropyWithSoftmax(logits *Tensor, labels []int) (float64, *Tensor, error) {
+	checkRank("CrossEntropyWithSoftmax", logits, 2)
+	n, c := logits.Shape[0], logits.Shape[1]
+	if len(labels) != n {
+		return 0, nil, fmt.Errorf("tensor: %d labels for batch %d", len(labels), n)
+	}
+	p := Softmax(logits)
+	grad := p.Clone()
+	var loss float64
+	for i := 0; i < n; i++ {
+		l := labels[i]
+		if l < 0 || l >= c {
+			return 0, nil, fmt.Errorf("tensor: label %d out of range [0,%d)", l, c)
+		}
+		pi := float64(p.Data[i*c+l])
+		if pi < 1e-12 {
+			pi = 1e-12
+		}
+		loss -= math.Log(pi)
+		grad.Data[i*c+l] -= 1
+	}
+	inv := float32(1.0 / float64(n))
+	for i := range grad.Data {
+		grad.Data[i] *= inv
+	}
+	return loss / float64(n), grad, nil
+}
+
+// Mul returns the elementwise product.
+func Mul(a, b *Tensor) (*Tensor, error) {
+	if !a.SameShape(b) {
+		return nil, fmt.Errorf("tensor: Mul shapes %v vs %v", a.Shape, b.Shape)
+	}
+	c := a.Clone()
+	for i := range c.Data {
+		c.Data[i] *= b.Data[i]
+	}
+	return c, nil
+}
+
+// Add returns the elementwise sum.
+func Add(a, b *Tensor) (*Tensor, error) {
+	if !a.SameShape(b) {
+		return nil, fmt.Errorf("tensor: Add shapes %v vs %v", a.Shape, b.Shape)
+	}
+	c := a.Clone()
+	for i := range c.Data {
+		c.Data[i] += b.Data[i]
+	}
+	return c, nil
+}
+
+// Scale multiplies in place by a scalar and returns the tensor.
+func Scale(a *Tensor, s float32) *Tensor {
+	for i := range a.Data {
+		a.Data[i] *= s
+	}
+	return a
+}
+
+// Slice extracts rows [lo,hi) of the leading dimension.
+func Slice(x *Tensor, lo, hi int) (*Tensor, error) {
+	if len(x.Shape) == 0 {
+		return nil, fmt.Errorf("tensor: Slice of scalar")
+	}
+	n := x.Shape[0]
+	if lo < 0 || hi > n || lo >= hi {
+		return nil, fmt.Errorf("tensor: Slice [%d,%d) of leading dim %d", lo, hi, n)
+	}
+	inner := x.Size() / n
+	shape := append([]int{hi - lo}, x.Shape[1:]...)
+	out := New(shape...)
+	copy(out.Data, x.Data[lo*inner:hi*inner])
+	return out, nil
+}

@@ -1,0 +1,272 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// AvgPool performs 2D average pooling with the given window and stride
+// (VALID padding).
+func AvgPool(x *Tensor, window, stride int) (*Tensor, error) {
+	checkRank("AvgPool", x, 4)
+	N, H, W, C := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	if window <= 0 || stride <= 0 {
+		return nil, fmt.Errorf("tensor: AvgPool window=%d stride=%d", window, stride)
+	}
+	OH := (H-window)/stride + 1
+	OW := (W-window)/stride + 1
+	if OH <= 0 || OW <= 0 {
+		return nil, fmt.Errorf("tensor: AvgPool degenerate output %dx%d", OH, OW)
+	}
+	y := New(N, OH, OW, C)
+	inv := float32(1.0 / float64(window*window))
+	for n := 0; n < N; n++ {
+		for oh := 0; oh < OH; oh++ {
+			for ow := 0; ow < OW; ow++ {
+				for c := 0; c < C; c++ {
+					var s float32
+					for fh := 0; fh < window; fh++ {
+						for fw := 0; fw < window; fw++ {
+							s += x.At4(n, oh*stride+fh, ow*stride+fw, c)
+						}
+					}
+					y.Set4(n, oh, ow, c, s*inv)
+				}
+			}
+		}
+	}
+	return y, nil
+}
+
+// AvgPoolGrad distributes dy uniformly back over each pooling window.
+func AvgPoolGrad(xShape []int, dy *Tensor, window, stride int) (*Tensor, error) {
+	checkRank("AvgPoolGrad", dy, 4)
+	if len(xShape) != 4 {
+		return nil, fmt.Errorf("tensor: AvgPoolGrad wants rank-4 input shape")
+	}
+	dx := New(xShape...)
+	N, OH, OW, C := dy.Shape[0], dy.Shape[1], dy.Shape[2], dy.Shape[3]
+	inv := float32(1.0 / float64(window*window))
+	for n := 0; n < N; n++ {
+		for oh := 0; oh < OH; oh++ {
+			for ow := 0; ow < OW; ow++ {
+				for c := 0; c < C; c++ {
+					g := dy.At4(n, oh, ow, c) * inv
+					for fh := 0; fh < window; fh++ {
+						for fw := 0; fw < window; fw++ {
+							ih, iw := oh*stride+fh, ow*stride+fw
+							if ih < xShape[1] && iw < xShape[2] {
+								dx.Add4(n, ih, iw, c, g)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return dx, nil
+}
+
+// BatchNormState carries the per-channel statistics of one forward pass
+// needed by the backward pass.
+type BatchNormState struct {
+	Mean, Var *Tensor
+	// XHat is the normalized input, cached for the backward pass.
+	XHat *Tensor
+}
+
+// BatchNorm normalizes NHWC input per channel and applies scale gamma
+// and shift beta: y = gamma * (x - mean)/sqrt(var + eps) + beta.
+func BatchNorm(x, gamma, beta *Tensor, eps float64) (*Tensor, *BatchNormState, error) {
+	checkRank("BatchNorm", x, 4)
+	C := x.Shape[3]
+	if len(gamma.Shape) != 1 || gamma.Shape[0] != C || len(beta.Shape) != 1 || beta.Shape[0] != C {
+		return nil, nil, fmt.Errorf("tensor: BatchNorm gamma/beta must be [%d]", C)
+	}
+	n := float64(x.Size() / C)
+	mean := New(C)
+	variance := New(C)
+	for i, v := range x.Data {
+		mean.Data[i%C] += v
+	}
+	for c := 0; c < C; c++ {
+		mean.Data[c] = float32(float64(mean.Data[c]) / n)
+	}
+	for i, v := range x.Data {
+		d := float64(v - mean.Data[i%C])
+		variance.Data[i%C] += float32(d * d / n)
+	}
+	y := New(x.Shape...)
+	xhat := New(x.Shape...)
+	for i, v := range x.Data {
+		c := i % C
+		h := float64(v-mean.Data[c]) / math.Sqrt(float64(variance.Data[c])+eps)
+		xhat.Data[i] = float32(h)
+		y.Data[i] = gamma.Data[c]*float32(h) + beta.Data[c]
+	}
+	return y, &BatchNormState{Mean: mean, Var: variance, XHat: xhat}, nil
+}
+
+// BatchNormGrad computes gradients for input, gamma and beta given the
+// cached forward state.
+func BatchNormGrad(dy, gamma *Tensor, st *BatchNormState, eps float64) (dx, dGamma, dBeta *Tensor, err error) {
+	checkRank("BatchNormGrad", dy, 4)
+	C := dy.Shape[3]
+	if st == nil || st.XHat == nil || !st.XHat.SameShape(dy) {
+		return nil, nil, nil, fmt.Errorf("tensor: BatchNormGrad state mismatch")
+	}
+	n := float64(dy.Size() / C)
+	dGamma = New(C)
+	dBeta = New(C)
+	for i, g := range dy.Data {
+		c := i % C
+		dGamma.Data[c] += g * st.XHat.Data[i]
+		dBeta.Data[c] += g
+	}
+	dx = New(dy.Shape...)
+	for i, g := range dy.Data {
+		c := i % C
+		istd := 1 / math.Sqrt(float64(st.Var.Data[c])+eps)
+		term := n*float64(g) - float64(dBeta.Data[c]) - float64(st.XHat.Data[i])*float64(dGamma.Data[c])
+		dx.Data[i] = float32(float64(gamma.Data[c]) * istd / n * term)
+	}
+	return dx, dGamma, dBeta, nil
+}
+
+// Tanh applies the elementwise hyperbolic tangent.
+func Tanh(x *Tensor) *Tensor {
+	y := New(x.Shape...)
+	for i, v := range x.Data {
+		y.Data[i] = float32(math.Tanh(float64(v)))
+	}
+	return y
+}
+
+// TanhGrad computes dx = dy * (1 - tanh(x)^2) given the forward OUTPUT y.
+func TanhGrad(y, dy *Tensor) (*Tensor, error) {
+	if !y.SameShape(dy) {
+		return nil, fmt.Errorf("tensor: TanhGrad shapes %v vs %v", y.Shape, dy.Shape)
+	}
+	dx := New(y.Shape...)
+	for i := range dx.Data {
+		dx.Data[i] = dy.Data[i] * (1 - y.Data[i]*y.Data[i])
+	}
+	return dx, nil
+}
+
+// Sigmoid applies the elementwise logistic function.
+func Sigmoid(x *Tensor) *Tensor {
+	y := New(x.Shape...)
+	for i, v := range x.Data {
+		y.Data[i] = float32(1 / (1 + math.Exp(-float64(v))))
+	}
+	return y
+}
+
+// SigmoidGrad computes dx = dy * y * (1-y) given the forward OUTPUT y.
+func SigmoidGrad(y, dy *Tensor) (*Tensor, error) {
+	if !y.SameShape(dy) {
+		return nil, fmt.Errorf("tensor: SigmoidGrad shapes %v vs %v", y.Shape, dy.Shape)
+	}
+	dx := New(y.Shape...)
+	for i := range dx.Data {
+		dx.Data[i] = dy.Data[i] * y.Data[i] * (1 - y.Data[i])
+	}
+	return dx, nil
+}
+
+// Dropout zeroes each element with probability p (seeded rng) and
+// scales survivors by 1/(1-p); it returns the mask for the backward
+// pass.
+func Dropout(x *Tensor, p float64, rng *rand.Rand) (*Tensor, *Tensor, error) {
+	if p < 0 || p >= 1 {
+		return nil, nil, fmt.Errorf("tensor: Dropout p=%g out of [0,1)", p)
+	}
+	y := New(x.Shape...)
+	mask := New(x.Shape...)
+	scale := float32(1 / (1 - p))
+	for i, v := range x.Data {
+		if rng.Float64() >= p {
+			mask.Data[i] = scale
+			y.Data[i] = v * scale
+		}
+	}
+	return y, mask, nil
+}
+
+// DropoutGrad masks dy with the forward mask.
+func DropoutGrad(mask, dy *Tensor) (*Tensor, error) {
+	return Mul(mask, dy)
+}
+
+// Pad zero-pads the two spatial dimensions of an NHWC tensor.
+func Pad(x *Tensor, top, bottom, left, right int) (*Tensor, error) {
+	checkRank("Pad", x, 4)
+	if top < 0 || bottom < 0 || left < 0 || right < 0 {
+		return nil, fmt.Errorf("tensor: negative padding")
+	}
+	N, H, W, C := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	y := New(N, H+top+bottom, W+left+right, C)
+	for n := 0; n < N; n++ {
+		for h := 0; h < H; h++ {
+			for w := 0; w < W; w++ {
+				for c := 0; c < C; c++ {
+					y.Set4(n, h+top, w+left, c, x.At4(n, h, w, c))
+				}
+			}
+		}
+	}
+	return y, nil
+}
+
+// Concat concatenates NHWC tensors along the channel axis.
+func Concat(parts ...*Tensor) (*Tensor, error) {
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("tensor: Concat of nothing")
+	}
+	first := parts[0]
+	checkRank("Concat", first, 4)
+	N, H, W := first.Shape[0], first.Shape[1], first.Shape[2]
+	totalC := 0
+	for _, p := range parts {
+		checkRank("Concat", p, 4)
+		if p.Shape[0] != N || p.Shape[1] != H || p.Shape[2] != W {
+			return nil, fmt.Errorf("tensor: Concat spatial mismatch %v vs %v", p.Shape, first.Shape)
+		}
+		totalC += p.Shape[3]
+	}
+	y := New(N, H, W, totalC)
+	base := 0
+	for _, p := range parts {
+		C := p.Shape[3]
+		for n := 0; n < N; n++ {
+			for h := 0; h < H; h++ {
+				for w := 0; w < W; w++ {
+					for c := 0; c < C; c++ {
+						y.Set4(n, h, w, base+c, p.At4(n, h, w, c))
+					}
+				}
+			}
+		}
+		base += C
+	}
+	return y, nil
+}
+
+// Sum reduces a tensor to the scalar sum of its elements.
+func Sum(x *Tensor) float64 {
+	var s float64
+	for _, v := range x.Data {
+		s += float64(v)
+	}
+	return s
+}
+
+// Mean reduces a tensor to the mean of its elements.
+func Mean(x *Tensor) float64 {
+	if x.Size() == 0 {
+		return 0
+	}
+	return Sum(x) / float64(x.Size())
+}

@@ -1,0 +1,366 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestAvgPoolKnown(t *testing.T) {
+	x, _ := FromSlice([]float32{
+		1, 2, 3, 4,
+		5, 6, 7, 8,
+		9, 10, 11, 12,
+		13, 14, 15, 16,
+	}, 1, 4, 4, 1)
+	y, err := AvgPool(x, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float32{3.5, 5.5, 11.5, 13.5}
+	for i, w := range want {
+		if y.Data[i] != w {
+			t.Fatalf("avg[%d]=%g want %g", i, y.Data[i], w)
+		}
+	}
+	if _, err := AvgPool(x, 0, 1); err == nil {
+		t.Fatal("bad window must error")
+	}
+	if _, err := AvgPool(x, 5, 1); err == nil {
+		t.Fatal("oversized window must error")
+	}
+}
+
+func TestAvgPoolGradConservesMass(t *testing.T) {
+	dy, _ := FromSlice([]float32{4, 8, 12, 16}, 1, 2, 2, 1)
+	dx, err := AvgPoolGrad([]int{1, 4, 4, 1}, dy, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float32
+	for _, v := range dx.Data {
+		sum += v
+	}
+	if sum != 40 {
+		t.Fatalf("mass = %g, want 40", sum)
+	}
+	// Each window member gets dy/4.
+	if dx.Data[0] != 1 || dx.Data[1] != 1 {
+		t.Fatalf("grad = %v", dx.Data[:4])
+	}
+	if _, err := AvgPoolGrad([]int{4, 4}, dy, 2, 2); err == nil {
+		t.Fatal("bad shape must error")
+	}
+}
+
+func TestBatchNormNormalizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x := Randn(rng, 3, 4, 5, 5, 2)
+	for i := range x.Data {
+		x.Data[i] += 7 // strong offset the norm must remove
+	}
+	gamma, _ := FromSlice([]float32{1, 1}, 2)
+	beta, _ := FromSlice([]float32{0, 0}, 2)
+	y, st, err := BatchNorm(x, gamma, beta, 1e-5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per-channel mean ~0, variance ~1.
+	C := 2
+	n := float64(y.Size() / C)
+	for c := 0; c < C; c++ {
+		var mean, varr float64
+		for i := c; i < y.Size(); i += C {
+			mean += float64(y.Data[i])
+		}
+		mean /= n
+		for i := c; i < y.Size(); i += C {
+			d := float64(y.Data[i]) - mean
+			varr += d * d
+		}
+		varr /= n
+		if math.Abs(mean) > 1e-3 || math.Abs(varr-1) > 1e-2 {
+			t.Fatalf("channel %d: mean=%g var=%g", c, mean, varr)
+		}
+	}
+	if st.Mean == nil || st.XHat == nil {
+		t.Fatal("state missing")
+	}
+	// gamma/beta applied.
+	g2, _ := FromSlice([]float32{2, 2}, 2)
+	b2, _ := FromSlice([]float32{5, 5}, 2)
+	y2, _, err := BatchNorm(x, g2, b2, 1e-5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(y2.Data[0])-(2*float64(y.Data[0])+5)) > 1e-4 {
+		t.Fatal("gamma/beta not applied")
+	}
+	if _, _, err := BatchNorm(x, New(3), beta, 1e-5); err == nil {
+		t.Fatal("bad gamma must error")
+	}
+}
+
+func TestBatchNormGradMatchesNumerical(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	x := Randn(rng, 1, 2, 3, 3, 2)
+	gamma, _ := FromSlice([]float32{1.5, 0.8}, 2)
+	beta, _ := FromSlice([]float32{0.1, -0.2}, 2)
+	const eps = 1e-5
+	y, st, err := BatchNorm(x, gamma, beta, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dy := Randn(rng, 1, y.Shape...)
+	dx, dGamma, dBeta, err := BatchNormGrad(dy, gamma, st, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loss := func() float64 {
+		out, _, err := BatchNorm(x, gamma, beta, eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var l float64
+		for i := range out.Data {
+			l += float64(out.Data[i] * dy.Data[i])
+		}
+		return l
+	}
+	const h = 1e-2
+	// Check input gradient at a few positions.
+	for _, i := range []int{0, 7, 17} {
+		orig := x.Data[i]
+		x.Data[i] = orig + h
+		lp := loss()
+		x.Data[i] = orig - h
+		lm := loss()
+		x.Data[i] = orig
+		want := (lp - lm) / (2 * h)
+		if got := float64(dx.Data[i]); math.Abs(got-want) > 5e-2 {
+			t.Errorf("dx[%d] = %g, numerical %g", i, got, want)
+		}
+	}
+	// Check gamma and beta gradients.
+	for c := 0; c < 2; c++ {
+		orig := gamma.Data[c]
+		gamma.Data[c] = orig + h
+		lp := loss()
+		gamma.Data[c] = orig - h
+		lm := loss()
+		gamma.Data[c] = orig
+		want := (lp - lm) / (2 * h)
+		if got := float64(dGamma.Data[c]); math.Abs(got-want) > 5e-2 {
+			t.Errorf("dGamma[%d] = %g, numerical %g", c, got, want)
+		}
+		origB := beta.Data[c]
+		beta.Data[c] = origB + h
+		lp = loss()
+		beta.Data[c] = origB - h
+		lm = loss()
+		beta.Data[c] = origB
+		want = (lp - lm) / (2 * h)
+		if got := float64(dBeta.Data[c]); math.Abs(got-want) > 5e-2 {
+			t.Errorf("dBeta[%d] = %g, numerical %g", c, got, want)
+		}
+	}
+	if _, _, _, err := BatchNormGrad(dy, gamma, nil, eps); err == nil {
+		t.Fatal("nil state must error")
+	}
+}
+
+func TestTanhAndGrad(t *testing.T) {
+	x, _ := FromSlice([]float32{-1, 0, 1}, 3)
+	y := Tanh(x)
+	if math.Abs(float64(y.Data[1])) > 1e-7 || y.Data[2] <= 0.76 || y.Data[2] >= 0.77 {
+		t.Fatalf("tanh = %v", y.Data)
+	}
+	dy, _ := FromSlice([]float32{1, 1, 1}, 3)
+	dx, err := TanhGrad(y, dy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// d/dx tanh at 0 is 1.
+	if math.Abs(float64(dx.Data[1])-1) > 1e-6 {
+		t.Fatalf("tanh'(0) = %g", dx.Data[1])
+	}
+	if _, err := TanhGrad(y, New(4)); err == nil {
+		t.Fatal("shape mismatch must error")
+	}
+}
+
+func TestSigmoidAndGrad(t *testing.T) {
+	x, _ := FromSlice([]float32{0}, 1)
+	y := Sigmoid(x)
+	if math.Abs(float64(y.Data[0])-0.5) > 1e-7 {
+		t.Fatalf("sigmoid(0) = %g", y.Data[0])
+	}
+	dy, _ := FromSlice([]float32{1}, 1)
+	dx, err := SigmoidGrad(y, dy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(dx.Data[0])-0.25) > 1e-7 {
+		t.Fatalf("sigmoid'(0) = %g", dx.Data[0])
+	}
+	if _, err := SigmoidGrad(y, New(2)); err == nil {
+		t.Fatal("shape mismatch must error")
+	}
+}
+
+func TestDropout(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	x := Randn(rng, 1, 1000)
+	y, mask, err := Dropout(x, 0.4, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zeros := 0
+	for i := range y.Data {
+		if mask.Data[i] == 0 {
+			if y.Data[i] != 0 {
+				t.Fatal("masked element not zeroed")
+			}
+			zeros++
+		} else if math.Abs(float64(y.Data[i]-x.Data[i]*mask.Data[i])) > 1e-6 {
+			t.Fatal("survivor not scaled by mask")
+		}
+	}
+	if zeros < 300 || zeros > 500 {
+		t.Fatalf("dropped %d of 1000 at p=0.4", zeros)
+	}
+	dy := Randn(rng, 1, 1000)
+	dx, err := DropoutGrad(mask, dy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range dx.Data {
+		if mask.Data[i] == 0 && dx.Data[i] != 0 {
+			t.Fatal("gradient leaked through dropped element")
+		}
+	}
+	if _, _, err := Dropout(x, 1.0, rng); err == nil {
+		t.Fatal("p=1 must error")
+	}
+	if _, _, err := Dropout(x, -0.1, rng); err == nil {
+		t.Fatal("p<0 must error")
+	}
+}
+
+func TestPad(t *testing.T) {
+	x, _ := FromSlice([]float32{1, 2, 3, 4}, 1, 2, 2, 1)
+	y, err := Pad(x, 1, 0, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y.Shape[1] != 3 || y.Shape[2] != 3 {
+		t.Fatalf("padded shape %v", y.Shape)
+	}
+	if y.At4(0, 0, 0, 0) != 0 || y.At4(0, 1, 0, 0) != 1 || y.At4(0, 2, 1, 0) != 4 || y.At4(0, 1, 2, 0) != 0 {
+		t.Fatalf("pad wrong: %v", y.Data)
+	}
+	if _, err := Pad(x, -1, 0, 0, 0); err == nil {
+		t.Fatal("negative pad must error")
+	}
+}
+
+func TestConcat(t *testing.T) {
+	a, _ := FromSlice([]float32{1, 2, 3, 4}, 1, 2, 2, 1)
+	b, _ := FromSlice([]float32{5, 6, 7, 8}, 1, 2, 2, 1)
+	y, err := Concat(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y.Shape[3] != 2 {
+		t.Fatalf("concat channels = %d", y.Shape[3])
+	}
+	if y.At4(0, 0, 0, 0) != 1 || y.At4(0, 0, 0, 1) != 5 || y.At4(0, 1, 1, 1) != 8 {
+		t.Fatalf("concat data wrong: %v", y.Data)
+	}
+	if _, err := Concat(); err == nil {
+		t.Fatal("empty concat must error")
+	}
+	c, _ := FromSlice([]float32{1, 2}, 1, 1, 2, 1)
+	if _, err := Concat(a, c); err == nil {
+		t.Fatal("spatial mismatch must error")
+	}
+}
+
+func TestSumMean(t *testing.T) {
+	x, _ := FromSlice([]float32{1, 2, 3, 4}, 4)
+	if Sum(x) != 10 || Mean(x) != 2.5 {
+		t.Fatalf("sum=%g mean=%g", Sum(x), Mean(x))
+	}
+	if Mean(&Tensor{}) != 0 {
+		t.Fatal("empty mean must be 0")
+	}
+}
+
+func TestConv2DGEMMEquivalentToNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	for _, cfg := range []struct {
+		spec ConvSpec
+		name string
+	}{
+		{ConvSpec{StrideH: 1, StrideW: 1, SamePadding: true}, "same-s1"},
+		{ConvSpec{StrideH: 2, StrideW: 2, SamePadding: true}, "same-s2"},
+		{ConvSpec{StrideH: 1, StrideW: 1}, "valid-s1"},
+		{ConvSpec{StrideH: 2, StrideW: 1}, "valid-s2x1"},
+	} {
+		x := Randn(rng, 1, 2, 9, 8, 3)
+		w := Randn(rng, 1, 3, 3, 3, 5)
+		want, err := Conv2D(x, w, cfg.spec)
+		if err != nil {
+			t.Fatalf("%s: %v", cfg.name, err)
+		}
+		got, err := Conv2DGEMM(x, w, cfg.spec)
+		if err != nil {
+			t.Fatalf("%s: %v", cfg.name, err)
+		}
+		if !want.SameShape(got) {
+			t.Fatalf("%s: shapes %v vs %v", cfg.name, want.Shape, got.Shape)
+		}
+		if d := MaxAbsDiff(want, got); d > 1e-4 {
+			t.Fatalf("%s: GEMM conv differs by %g", cfg.name, d)
+		}
+	}
+}
+
+func TestIm2colErrors(t *testing.T) {
+	x := Randn(rand.New(rand.NewSource(1)), 1, 1, 4, 4, 1)
+	if _, _, _, err := Im2col(x, 0, 3, ConvSpec{StrideH: 1, StrideW: 1}); err == nil {
+		t.Fatal("bad filter must error")
+	}
+	if _, _, _, err := Im2col(x, 5, 5, ConvSpec{StrideH: 1, StrideW: 1}); err == nil {
+		t.Fatal("oversized filter without padding must error")
+	}
+	if _, err := Conv2DGEMM(x, New(3, 3, 2, 4), ConvSpec{StrideH: 1, StrideW: 1}); err == nil {
+		t.Fatal("channel mismatch must error")
+	}
+}
+
+func BenchmarkConv2DNaive(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := Randn(rng, 1, 4, 16, 16, 8)
+	w := Randn(rng, 1, 3, 3, 8, 16)
+	spec := ConvSpec{StrideH: 1, StrideW: 1, SamePadding: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Conv2D(x, w, spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkConv2DGEMM(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := Randn(rng, 1, 4, 16, 16, 8)
+	w := Randn(rng, 1, 3, 3, 8, 16)
+	spec := ConvSpec{StrideH: 1, StrideW: 1, SamePadding: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Conv2DGEMM(x, w, spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,139 @@
+// Package tensor is a small dense FP32 tensor library implementing the
+// NN training operations the paper profiles (Table I): MatMul, Conv2D
+// and its two backprop operations, BiasAdd/BiasAddGrad, Relu/ReluGrad,
+// MaxPool/MaxPoolGrad, Softmax + cross-entropy, elementwise Mul/Add,
+// Slice, and the ApplyAdam optimizer update.
+//
+// The simulator proper works from analytic operation descriptors; this
+// package exists so the examples and tests can run genuine training math
+// end to end on small tensors (the functional path of DESIGN.md §2) and
+// so kernel implementations offloaded through the OpenCL layer have real
+// work to do.
+//
+// Layout: activations are NHWC, convolution filters are HWIO
+// (height, width, in-channels, out-channels), matching TensorFlow's CPU
+// defaults — the framework the paper instruments.
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Tensor is a dense FP32 tensor.
+type Tensor struct {
+	Shape []int
+	Data  []float32
+}
+
+// New allocates a zero tensor with the given shape.
+func New(shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		if d < 0 {
+			panic(fmt.Sprintf("tensor: negative dimension in shape %v", shape))
+		}
+		n *= d
+	}
+	return &Tensor{Shape: append([]int(nil), shape...), Data: make([]float32, n)}
+}
+
+// FromSlice wraps data in a tensor of the given shape (no copy).
+func FromSlice(data []float32, shape ...int) (*Tensor, error) {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	if n != len(data) {
+		return nil, fmt.Errorf("tensor: shape %v needs %d elements, got %d", shape, n, len(data))
+	}
+	return &Tensor{Shape: append([]int(nil), shape...), Data: data}, nil
+}
+
+// Randn fills a new tensor with pseudo-normal values (seeded, so tests
+// and examples are deterministic).
+func Randn(rng *rand.Rand, scale float64, shape ...int) *Tensor {
+	t := New(shape...)
+	for i := range t.Data {
+		t.Data[i] = float32(rng.NormFloat64() * scale)
+	}
+	return t
+}
+
+// Size returns the element count.
+func (t *Tensor) Size() int { return len(t.Data) }
+
+// Bytes returns the storage footprint in bytes (FP32).
+func (t *Tensor) Bytes() int { return 4 * len(t.Data) }
+
+// Clone deep-copies the tensor.
+func (t *Tensor) Clone() *Tensor {
+	c := New(t.Shape...)
+	copy(c.Data, t.Data)
+	return c
+}
+
+// SameShape reports whether two tensors have identical shapes.
+func (t *Tensor) SameShape(o *Tensor) bool {
+	if len(t.Shape) != len(o.Shape) {
+		return false
+	}
+	for i := range t.Shape {
+		if t.Shape[i] != o.Shape[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Dim returns dimension i, treating missing leading dims as 1.
+func (t *Tensor) Dim(i int) int {
+	if i < 0 || i >= len(t.Shape) {
+		return 1
+	}
+	return t.Shape[i]
+}
+
+// At4 indexes an NHWC tensor.
+func (t *Tensor) At4(n, h, w, c int) float32 {
+	_, H, W, C := t.Shape[0], t.Shape[1], t.Shape[2], t.Shape[3]
+	return t.Data[((n*H+h)*W+w)*C+c]
+}
+
+// Set4 writes an NHWC element.
+func (t *Tensor) Set4(n, h, w, c int, v float32) {
+	_, H, W, C := t.Shape[0], t.Shape[1], t.Shape[2], t.Shape[3]
+	t.Data[((n*H+h)*W+w)*C+c] = v
+}
+
+// Add4 accumulates into an NHWC element.
+func (t *Tensor) Add4(n, h, w, c int, v float32) {
+	_, H, W, C := t.Shape[0], t.Shape[1], t.Shape[2], t.Shape[3]
+	t.Data[((n*H+h)*W+w)*C+c] += v
+}
+
+// MaxAbsDiff returns the largest absolute element difference; it is the
+// workhorse of the numerical tests.
+func MaxAbsDiff(a, b *Tensor) float64 {
+	if !a.SameShape(b) {
+		return math.Inf(1)
+	}
+	var m float64
+	for i := range a.Data {
+		d := math.Abs(float64(a.Data[i] - b.Data[i]))
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// checkShape panics with a descriptive message on rank mismatch; the
+// functional kernels are internal, so programming errors here are bugs,
+// not user input.
+func checkRank(name string, t *Tensor, rank int) {
+	if len(t.Shape) != rank {
+		panic(fmt.Sprintf("tensor: %s wants rank-%d input, got shape %v", name, rank, t.Shape))
+	}
+}

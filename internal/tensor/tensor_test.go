@@ -1,0 +1,498 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAndFromSlice(t *testing.T) {
+	x := New(2, 3)
+	if x.Size() != 6 || x.Bytes() != 24 {
+		t.Fatalf("size=%d bytes=%d", x.Size(), x.Bytes())
+	}
+	y, err := FromSlice([]float32{1, 2, 3, 4, 5, 6}, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y.Data[5] != 6 {
+		t.Fatal("FromSlice data not wired")
+	}
+	if _, err := FromSlice([]float32{1, 2}, 2, 3); err == nil {
+		t.Fatal("mismatched FromSlice must error")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	x, _ := FromSlice([]float32{1, 2, 3, 4}, 2, 2)
+	c := x.Clone()
+	c.Data[0] = 99
+	if x.Data[0] != 1 {
+		t.Fatal("Clone shares storage")
+	}
+}
+
+func TestDimAndSameShape(t *testing.T) {
+	x := New(2, 3, 4)
+	if x.Dim(0) != 2 || x.Dim(2) != 4 || x.Dim(5) != 1 || x.Dim(-1) != 1 {
+		t.Fatal("Dim wrong")
+	}
+	if !x.SameShape(New(2, 3, 4)) || x.SameShape(New(2, 3)) || x.SameShape(New(2, 3, 5)) {
+		t.Fatal("SameShape wrong")
+	}
+}
+
+func TestMatMulKnown(t *testing.T) {
+	a, _ := FromSlice([]float32{1, 2, 3, 4, 5, 6}, 2, 3)
+	b, _ := FromSlice([]float32{7, 8, 9, 10, 11, 12}, 3, 2)
+	c, err := MatMul(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float32{58, 64, 139, 154}
+	for i, v := range want {
+		if c.Data[i] != v {
+			t.Fatalf("c[%d]=%g want %g", i, c.Data[i], v)
+		}
+	}
+	if _, err := MatMul(a, New(2, 2)); err == nil {
+		t.Fatal("inner-dim mismatch must error")
+	}
+}
+
+func TestMatMulTransposedVariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := Randn(rng, 1, 4, 3)
+	b := Randn(rng, 1, 4, 5)
+	// Aᵀ x B via the explicit transpose.
+	at := New(3, 4)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 3; j++ {
+			at.Data[j*4+i] = a.Data[i*3+j]
+		}
+	}
+	want, _ := MatMul(at, b)
+	got, err := MatMulTransA(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := MaxAbsDiff(want, got); d > 1e-5 {
+		t.Fatalf("MatMulTransA differs by %g", d)
+	}
+	// A x Bᵀ.
+	c := Randn(rng, 1, 5, 3)
+	ct := New(3, 5)
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 3; j++ {
+			ct.Data[j*5+i] = c.Data[i*3+j]
+		}
+	}
+	want2, _ := MatMul(at, ct) // (3,4)x... wrong dims; build fresh
+	_ = want2
+	x := Randn(rng, 1, 2, 3)
+	want3, _ := MatMul(x, ct)
+	got3, err := MatMulTransB(x, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := MaxAbsDiff(want3, got3); d > 1e-5 {
+		t.Fatalf("MatMulTransB differs by %g", d)
+	}
+	if _, err := MatMulTransA(New(4, 3), New(5, 2)); err == nil {
+		t.Fatal("TransA mismatch must error")
+	}
+	if _, err := MatMulTransB(New(4, 3), New(5, 2)); err == nil {
+		t.Fatal("TransB mismatch must error")
+	}
+}
+
+func TestConv2DIdentityFilter(t *testing.T) {
+	// 1x1 identity filter reproduces the input.
+	rng := rand.New(rand.NewSource(2))
+	x := Randn(rng, 1, 2, 5, 5, 3)
+	w := New(1, 1, 3, 3)
+	for c := 0; c < 3; c++ {
+		w.Data[c*3+c] = 1
+	}
+	y, err := Conv2D(x, w, ConvSpec{StrideH: 1, StrideW: 1, SamePadding: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := MaxAbsDiff(x, y); d > 1e-6 {
+		t.Fatalf("identity conv differs by %g", d)
+	}
+}
+
+func TestConv2DKnownValues(t *testing.T) {
+	// 3x3 input, 2x2 ones filter, VALID: each output is the window sum.
+	x, _ := FromSlice([]float32{1, 2, 3, 4, 5, 6, 7, 8, 9}, 1, 3, 3, 1)
+	w, _ := FromSlice([]float32{1, 1, 1, 1}, 2, 2, 1, 1)
+	y, err := Conv2D(x, w, ConvSpec{StrideH: 1, StrideW: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float32{12, 16, 24, 28}
+	for i, v := range want {
+		if y.Data[i] != v {
+			t.Fatalf("y[%d]=%g want %g", i, y.Data[i], v)
+		}
+	}
+}
+
+func TestConv2DShapeErrors(t *testing.T) {
+	if _, err := Conv2D(New(1, 4, 4, 3), New(2, 2, 5, 8), ConvSpec{StrideH: 1, StrideW: 1}); err == nil {
+		t.Fatal("channel mismatch must error")
+	}
+	if _, err := Conv2D(New(1, 2, 2, 1), New(3, 3, 1, 1), ConvSpec{StrideH: 1, StrideW: 1}); err == nil {
+		t.Fatal("filter bigger than input without padding must error")
+	}
+}
+
+// numericalGrad estimates dLoss/dx[i] where loss = sum(f(x) * mask).
+func numericalGrad(f func(*Tensor) *Tensor, x *Tensor, mask *Tensor, i int) float64 {
+	const eps = 1e-2
+	orig := x.Data[i]
+	x.Data[i] = orig + eps
+	plus := f(x)
+	x.Data[i] = orig - eps
+	minus := f(x)
+	x.Data[i] = orig
+	var lp, lm float64
+	for j := range plus.Data {
+		lp += float64(plus.Data[j] * mask.Data[j])
+		lm += float64(minus.Data[j] * mask.Data[j])
+	}
+	return (lp - lm) / (2 * eps)
+}
+
+func TestConv2DBackpropInputMatchesNumerical(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	spec := ConvSpec{StrideH: 2, StrideW: 2, SamePadding: true}
+	x := Randn(rng, 0.5, 1, 5, 5, 2)
+	w := Randn(rng, 0.5, 3, 3, 2, 3)
+	y, err := Conv2D(x, w, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dy := Randn(rng, 0.5, y.Shape...)
+	dx, err := Conv2DBackpropInput(x.Shape, w, dy, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(in *Tensor) *Tensor {
+		out, err := Conv2D(in, w, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	for _, i := range []int{0, 7, 23, x.Size() - 1} {
+		want := numericalGrad(f, x, dy, i)
+		if got := float64(dx.Data[i]); math.Abs(got-want) > 2e-2 {
+			t.Errorf("dx[%d] = %g, numerical %g", i, got, want)
+		}
+	}
+}
+
+func TestConv2DBackpropFilterMatchesNumerical(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	spec := ConvSpec{StrideH: 1, StrideW: 1, SamePadding: true}
+	x := Randn(rng, 0.5, 2, 4, 4, 2)
+	w := Randn(rng, 0.5, 3, 3, 2, 2)
+	y, err := Conv2D(x, w, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dy := Randn(rng, 0.5, y.Shape...)
+	dw, err := Conv2DBackpropFilter(x, w.Shape, dy, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(filter *Tensor) *Tensor {
+		out, err := Conv2D(x, filter, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	for _, i := range []int{0, 5, 17, w.Size() - 1} {
+		want := numericalGrad(f, w, dy, i)
+		if got := float64(dw.Data[i]); math.Abs(got-want) > 2e-2 {
+			t.Errorf("dw[%d] = %g, numerical %g", i, got, want)
+		}
+	}
+}
+
+func TestBackpropShapeErrors(t *testing.T) {
+	spec := ConvSpec{StrideH: 1, StrideW: 1}
+	if _, err := Conv2DBackpropInput([]int{1, 4, 4, 9}, New(2, 2, 3, 1), New(1, 3, 3, 1), spec); err == nil {
+		t.Fatal("channel mismatch must error")
+	}
+	if _, err := Conv2DBackpropFilter(New(1, 4, 4, 3), []int{2, 2, 3, 1}, New(2, 3, 3, 1), spec); err == nil {
+		t.Fatal("batch mismatch must error")
+	}
+	if _, err := Conv2DBackpropInput([]int{4, 4}, New(2, 2, 3, 1), New(1, 3, 3, 1), spec); err == nil {
+		t.Fatal("bad input shape must error")
+	}
+	if _, err := Conv2DBackpropFilter(New(1, 4, 4, 3), []int{2, 2}, New(1, 3, 3, 1), spec); err == nil {
+		t.Fatal("bad filter shape must error")
+	}
+}
+
+func TestBiasAddAndGrad(t *testing.T) {
+	x, _ := FromSlice([]float32{1, 2, 3, 4, 5, 6}, 2, 3)
+	b, _ := FromSlice([]float32{10, 20, 30}, 3)
+	y, err := BiasAdd(x, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float32{11, 22, 33, 14, 25, 36}
+	for i, v := range want {
+		if y.Data[i] != v {
+			t.Fatalf("y[%d]=%g want %g", i, y.Data[i], v)
+		}
+	}
+	db := BiasAddGrad(x)
+	if db.Data[0] != 5 || db.Data[1] != 7 || db.Data[2] != 9 {
+		t.Fatalf("db = %v", db.Data)
+	}
+	if _, err := BiasAdd(x, New(4)); err == nil {
+		t.Fatal("bias size mismatch must error")
+	}
+}
+
+func TestReluAndGrad(t *testing.T) {
+	x, _ := FromSlice([]float32{-1, 0, 2}, 3)
+	y := Relu(x)
+	if y.Data[0] != 0 || y.Data[1] != 0 || y.Data[2] != 2 {
+		t.Fatalf("relu = %v", y.Data)
+	}
+	dy, _ := FromSlice([]float32{5, 6, 7}, 3)
+	dx, err := ReluGrad(x, dy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dx.Data[0] != 0 || dx.Data[1] != 0 || dx.Data[2] != 7 {
+		t.Fatalf("relu grad = %v", dx.Data)
+	}
+	if _, err := ReluGrad(x, New(4)); err == nil {
+		t.Fatal("shape mismatch must error")
+	}
+}
+
+func TestMaxPoolAndGrad(t *testing.T) {
+	x, _ := FromSlice([]float32{
+		1, 3, 2, 4,
+		5, 6, 8, 7,
+		9, 2, 1, 0,
+		3, 4, 5, 6,
+	}, 1, 4, 4, 1)
+	y, arg, err := MaxPool(x, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float32{6, 8, 9, 6}
+	for i, v := range want {
+		if y.Data[i] != v {
+			t.Fatalf("pool[%d]=%g want %g", i, y.Data[i], v)
+		}
+	}
+	dy, _ := FromSlice([]float32{10, 20, 30, 40}, 1, 2, 2, 1)
+	dx, err := MaxPoolGrad(x.Shape, dy, arg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Gradient lands exactly where the maxima were.
+	if dx.Data[5] != 10 || dx.Data[6] != 20 || dx.Data[8] != 30 || dx.Data[15] != 40 {
+		t.Fatalf("pool grad = %v", dx.Data)
+	}
+	var sum float32
+	for _, v := range dx.Data {
+		sum += v
+	}
+	if sum != 100 {
+		t.Fatalf("pool grad should conserve mass, sum=%g", sum)
+	}
+	if _, _, err := MaxPool(x, 0, 1); err == nil {
+		t.Fatal("bad window must error")
+	}
+	if _, err := MaxPoolGrad(x.Shape, dy, arg[:2]); err == nil {
+		t.Fatal("short argmax must error")
+	}
+}
+
+func TestSoftmaxRowsSumToOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	x := Randn(rng, 3, 4, 7)
+	y := Softmax(x)
+	for i := 0; i < 4; i++ {
+		var s float64
+		for j := 0; j < 7; j++ {
+			v := float64(y.Data[i*7+j])
+			if v < 0 || v > 1 {
+				t.Fatalf("softmax out of range: %g", v)
+			}
+			s += v
+		}
+		if math.Abs(s-1) > 1e-5 {
+			t.Fatalf("row %d sums to %g", i, s)
+		}
+	}
+}
+
+func TestCrossEntropyGradientMatchesNumerical(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	logits := Randn(rng, 1, 3, 5)
+	labels := []int{1, 4, 0}
+	_, grad, err := CrossEntropyWithSoftmax(logits, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const eps = 1e-3
+	for _, i := range []int{0, 7, 14} {
+		orig := logits.Data[i]
+		logits.Data[i] = orig + eps
+		lp, _, _ := CrossEntropyWithSoftmax(logits, labels)
+		logits.Data[i] = orig - eps
+		lm, _, _ := CrossEntropyWithSoftmax(logits, labels)
+		logits.Data[i] = orig
+		want := (lp - lm) / (2 * eps)
+		if got := float64(grad.Data[i]); math.Abs(got-want) > 1e-3 {
+			t.Errorf("dlogits[%d] = %g, numerical %g", i, got, want)
+		}
+	}
+	if _, _, err := CrossEntropyWithSoftmax(logits, []int{0}); err == nil {
+		t.Error("label count mismatch must error")
+	}
+	if _, _, err := CrossEntropyWithSoftmax(logits, []int{0, 9, 0}); err == nil {
+		t.Error("label out of range must error")
+	}
+}
+
+func TestElementwiseOps(t *testing.T) {
+	a, _ := FromSlice([]float32{1, 2, 3}, 3)
+	b, _ := FromSlice([]float32{4, 5, 6}, 3)
+	m, err := Mul(a, b)
+	if err != nil || m.Data[0] != 4 || m.Data[2] != 18 {
+		t.Fatalf("mul = %v (%v)", m.Data, err)
+	}
+	s, err := Add(a, b)
+	if err != nil || s.Data[0] != 5 || s.Data[2] != 9 {
+		t.Fatalf("add = %v (%v)", s.Data, err)
+	}
+	if _, err := Mul(a, New(4)); err == nil {
+		t.Fatal("mul shape mismatch must error")
+	}
+	if _, err := Add(a, New(4)); err == nil {
+		t.Fatal("add shape mismatch must error")
+	}
+	Scale(a, 2)
+	if a.Data[2] != 6 {
+		t.Fatal("scale failed")
+	}
+}
+
+func TestSlice(t *testing.T) {
+	x, _ := FromSlice([]float32{1, 2, 3, 4, 5, 6}, 3, 2)
+	s, err := Slice(x, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Shape[0] != 2 || s.Data[0] != 3 || s.Data[3] != 6 {
+		t.Fatalf("slice = %+v", s)
+	}
+	if _, err := Slice(x, 2, 2); err == nil {
+		t.Fatal("empty slice must error")
+	}
+	if _, err := Slice(x, -1, 2); err == nil {
+		t.Fatal("negative lo must error")
+	}
+	if _, err := Slice(&Tensor{}, 0, 1); err == nil {
+		t.Fatal("slicing scalar must error")
+	}
+}
+
+func TestApplyAdamConverges(t *testing.T) {
+	// Minimize (p-3)^2 elementwise; Adam should drive p to 3.
+	p, _ := FromSlice([]float32{0, 10}, 2)
+	st := NewAdamState(p)
+	cfg := DefaultAdam()
+	cfg.LR = 0.1
+	for i := 0; i < 2000; i++ {
+		g := New(2)
+		for j := range g.Data {
+			g.Data[j] = 2 * (p.Data[j] - 3)
+		}
+		if err := ApplyAdam(p, g, st, cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for j, v := range p.Data {
+		if math.Abs(float64(v)-3) > 0.05 {
+			t.Errorf("p[%d] = %g, want ~3", j, v)
+		}
+	}
+	if err := ApplyAdam(p, New(3), st, cfg); err == nil {
+		t.Error("grad shape mismatch must error")
+	}
+}
+
+func TestAdamBiasCorrectionFirstStep(t *testing.T) {
+	// On the very first step Adam's bias-corrected update equals
+	// lr * sign(g) (approximately, for epsilon << |g|).
+	p, _ := FromSlice([]float32{0}, 1)
+	g, _ := FromSlice([]float32{0.5}, 1)
+	st := NewAdamState(p)
+	cfg := DefaultAdam()
+	if err := ApplyAdam(p, g, st, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(p.Data[0])+cfg.LR) > 1e-6 {
+		t.Fatalf("first Adam step = %g, want ~%g", p.Data[0], -cfg.LR)
+	}
+}
+
+func TestConvLinearityQuick(t *testing.T) {
+	// Property: convolution is linear in the input.
+	spec := ConvSpec{StrideH: 1, StrideW: 1, SamePadding: true}
+	rng := rand.New(rand.NewSource(7))
+	w := Randn(rng, 1, 3, 3, 1, 1)
+	f := func(seed int64, alpha float32) bool {
+		if alpha > 1e3 || alpha < -1e3 {
+			return true
+		}
+		r := rand.New(rand.NewSource(seed))
+		x := Randn(r, 1, 1, 4, 4, 1)
+		ax := x.Clone()
+		Scale(ax, alpha)
+		y1, err1 := Conv2D(ax, w, spec)
+		y2, err2 := Conv2D(x, w, spec)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		Scale(y2, alpha)
+		return MaxAbsDiff(y1, y2) < 1e-2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReluIdempotentQuick(t *testing.T) {
+	f := func(vals []float32) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		x, err := FromSlice(vals, len(vals))
+		if err != nil {
+			return false
+		}
+		once := Relu(x)
+		twice := Relu(once)
+		return MaxAbsDiff(once, twice) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

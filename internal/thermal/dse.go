@@ -1,0 +1,70 @@
+package thermal
+
+import (
+	"fmt"
+
+	"heteropim/internal/hmc"
+	"heteropim/internal/hw"
+	"heteropim/internal/pim"
+)
+
+// DRAMThermalCap is the JEDEC-class die temperature limit that bounds
+// logic-layer compute density (85C; beyond it the DRAM retention window
+// collapses and refresh must double).
+const DRAMThermalCap = 85.0
+
+// MaxUnitsUnderCap reproduces the Section IV-D design-space
+// exploration: the largest fixed-function unit budget whose
+// thermal-aware placement keeps the hottest bank under the temperature
+// cap. The paper's McPAT/HotSpot flow produced 444 for the baseline
+// stack; this function derives the same class of answer from the
+// thermal model.
+func MaxUnitsUnderCap(stack *hmc.Stack, cap float64, freqScale float64) (int, error) {
+	if cap <= DefaultGrid(stack.Spec.Rows, stack.Spec.Cols).Ambient {
+		return 0, fmt.Errorf("thermal: cap %gC at or below ambient", cap)
+	}
+	fits := func(units int) (bool, error) {
+		if units == 0 {
+			return true, nil
+		}
+		placement, err := pim.ThermalPlacement(stack, units)
+		if err != nil {
+			return false, err
+		}
+		spec := hw.PaperFixedPIM(units)
+		maxT, err := PlacementMaxTemp(stack, placement, spec, freqScale)
+		if err != nil {
+			return false, err
+		}
+		return maxT <= cap, nil
+	}
+	// Exponential probe then binary search.
+	lo, hi := 0, 64
+	for {
+		ok, err := fits(hi)
+		if err != nil {
+			return 0, err
+		}
+		if !ok {
+			break
+		}
+		lo = hi
+		hi *= 2
+		if hi > 1<<20 {
+			return 0, fmt.Errorf("thermal: cap %gC never binds below %d units", cap, hi)
+		}
+	}
+	for lo+1 < hi {
+		mid := (lo + hi) / 2
+		ok, err := fits(mid)
+		if err != nil {
+			return 0, err
+		}
+		if ok {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo, nil
+}

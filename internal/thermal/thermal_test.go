@@ -1,0 +1,211 @@
+package thermal
+
+import (
+	"math"
+	"testing"
+
+	"heteropim/internal/hmc"
+	"heteropim/internal/hw"
+	"heteropim/internal/pim"
+)
+
+func TestZeroPowerSitsAtAmbient(t *testing.T) {
+	g := DefaultGrid(4, 8)
+	temps, err := g.Solve(make([]float64, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, temp := range temps {
+		if math.Abs(temp-g.Ambient) > 1e-6 {
+			t.Fatalf("cell %d at %g with zero power (ambient %g)", i, temp, g.Ambient)
+		}
+	}
+}
+
+func TestExtraPowerIsCheaperOnACorner(t *testing.T) {
+	// The paper's premise, in the regime that matters: on a die whose
+	// banks are all active, adding extra compute to a corner bank heats
+	// the die less than adding it to a central bank — corner banks "can
+	// support higher computation density" (Section IV-D).
+	g := DefaultGrid(4, 8)
+	baseline := make([]float64, 32)
+	for i := range baseline {
+		baseline[i] = 0.2
+	}
+	centerPow := append([]float64(nil), baseline...)
+	centerPow[1*8+3] += 1 // (1,3): interior
+	cornerPow := append([]float64(nil), baseline...)
+	cornerPow[0] += 1 // (0,0): corner
+	tc, err := g.Solve(centerPow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tk, err := g.Solve(cornerPow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if MaxTemp(tc) <= MaxTemp(tk) {
+		t.Fatalf("center hot spot %g <= corner hot spot %g — dissipation paths inverted",
+			MaxTemp(tc), MaxTemp(tk))
+	}
+}
+
+func TestEnergyBalance(t *testing.T) {
+	// At steady state, injected power equals heat flowing to the sink
+	// and out the edges.
+	g := DefaultGrid(4, 8)
+	power := make([]float64, 32)
+	var total float64
+	for i := range power {
+		power[i] = 0.1 * float64(i%5)
+		total += power[i]
+	}
+	temps, err := g.Solve(power)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out float64
+	for r := 0; r < g.Rows; r++ {
+		for c := 0; c < g.Cols; c++ {
+			i := r*g.Cols + c
+			exposed := 0
+			if r == 0 {
+				exposed++
+			}
+			if r == g.Rows-1 {
+				exposed++
+			}
+			if c == 0 {
+				exposed++
+			}
+			if c == g.Cols-1 {
+				exposed++
+			}
+			gOut := g.GSink + g.GEdgeExtra*float64(exposed)
+			out += gOut * (temps[i] - g.Ambient)
+		}
+	}
+	if math.Abs(out-total) > 1e-5*total {
+		t.Fatalf("energy balance violated: in=%g out=%g", total, out)
+	}
+}
+
+func TestThermalPlacementCoolerThanUniform(t *testing.T) {
+	// The policy test: at the full 444-unit budget, the paper's
+	// edge/corner-weighted placement yields a lower peak die
+	// temperature than uniform placement — the justification for both
+	// the policy and the executor's uniform-placement derate.
+	stack, err := hmc.New(hw.PaperStack(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := hw.PaperFixedPIM(hw.PaperFixedUnits)
+	thermalPl, err := pim.ThermalPlacement(stack, hw.PaperFixedUnits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uniformPl, err := pim.UniformPlacement(stack, hw.PaperFixedUnits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tThermal, err := PlacementMaxTemp(stack, thermalPl, spec, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tUniform, err := PlacementMaxTemp(stack, uniformPl, spec, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tThermal >= tUniform {
+		t.Fatalf("thermal placement peak %gC >= uniform %gC — the policy buys nothing", tThermal, tUniform)
+	}
+}
+
+func TestHigherFrequencyRunsHotter(t *testing.T) {
+	stack, _ := hmc.New(hw.PaperStack(1))
+	spec := hw.PaperFixedPIM(hw.PaperFixedUnits)
+	pl, _ := pim.ThermalPlacement(stack, hw.PaperFixedUnits)
+	t1, err := PlacementMaxTemp(stack, pl, spec, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t4, err := PlacementMaxTemp(stack, pl, spec, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t4 <= t1 {
+		t.Fatalf("4x clock (%gC) must run hotter than 1x (%gC)", t4, t1)
+	}
+}
+
+func TestSolveErrors(t *testing.T) {
+	g := DefaultGrid(2, 2)
+	if _, err := g.Solve(make([]float64, 3)); err == nil {
+		t.Fatal("wrong power length must error")
+	}
+	if _, err := g.Solve([]float64{1, -1, 0, 0}); err == nil {
+		t.Fatal("negative power must error")
+	}
+	bad := g
+	bad.GSink = 0
+	if _, err := bad.Solve(make([]float64, 4)); err == nil {
+		t.Fatal("zero sink conductance must error")
+	}
+}
+
+func TestPlacementPower(t *testing.T) {
+	pl := pim.Placement{Units: []int{10, 0, 5}}
+	spec := hw.PaperFixedPIM(15)
+	p := PlacementPower(pl, spec, 2, 0.1)
+	if math.Abs(p[0]-(10*spec.DynamicPowerPerUnit*2+0.1)) > 1e-12 {
+		t.Fatalf("power[0] = %g", p[0])
+	}
+	if math.Abs(p[1]-0.1) > 1e-12 {
+		t.Fatalf("power[1] = %g", p[1])
+	}
+	// Zero scale clamps to 1.
+	p0 := PlacementPower(pl, spec, 0, 0)
+	if math.Abs(p0[2]-5*spec.DynamicPowerPerUnit) > 1e-12 {
+		t.Fatalf("power at clamped scale = %g", p0[2])
+	}
+}
+
+func TestDesignSpaceExplorationRediscoversThePaperBudget(t *testing.T) {
+	// The closed loop of Section IV-D: pushing units onto the die until
+	// the hottest bank hits the DRAM cap lands near the paper's 444.
+	stack, err := hmc.New(hw.PaperStack(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	units, err := MaxUnitsUnderCap(stack, DRAMThermalCap, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if units < 380 || units > 520 {
+		t.Fatalf("thermal DSE yields %d units, want ~444", units)
+	}
+}
+
+func TestDesignSpaceShrinksAtHigherFrequency(t *testing.T) {
+	// At 4x the PLL, per-unit dynamic power quadruples: far fewer units
+	// fit under the cap — the thermal cost of the Fig. 17 sweet spot.
+	stack, _ := hmc.New(hw.PaperStack(1))
+	u1, err := MaxUnitsUnderCap(stack, DRAMThermalCap, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u4, err := MaxUnitsUnderCap(stack, DRAMThermalCap, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u4 >= u1/2 {
+		t.Fatalf("4x budget (%d) should be far below 1x (%d)", u4, u1)
+	}
+}
+
+func TestMaxUnitsUnderCapErrors(t *testing.T) {
+	stack, _ := hmc.New(hw.PaperStack(1))
+	if _, err := MaxUnitsUnderCap(stack, 20, 1); err == nil {
+		t.Fatal("cap below ambient must error")
+	}
+}

@@ -1,0 +1,72 @@
+package trace
+
+import (
+	"fmt"
+
+	"heteropim/internal/nn"
+)
+
+// ToGraph reconstructs a training-step graph from a trace — the other
+// half of the paper's flow: the Pin trace is what the Python simulator
+// consumed, so a trace written with Write/Generate must replay into the
+// simulator and produce the same schedule. Dependencies are rebuilt
+// from the Deps name lists; costs from the instruction mix.
+func ToGraph(model string, recs []Record) (*nn.Graph, error) {
+	if len(recs) == 0 {
+		return nil, fmt.Errorf("trace: empty trace")
+	}
+	g := &nn.Graph{Model: model, BatchSize: 1}
+	idByName := make(map[string]int, len(recs))
+	for i, r := range recs {
+		if r.Op == "" {
+			return nil, fmt.Errorf("trace: record %d has no op name", i)
+		}
+		if _, dup := idByName[r.Op]; dup {
+			return nil, fmt.Errorf("trace: duplicate op name %q", r.Op)
+		}
+		op := nn.Op{
+			Name:        r.Op,
+			Type:        r.Type,
+			Muls:        r.Muls,
+			Adds:        r.Adds,
+			OtherFlops:  r.OtherALU,
+			Bytes:       (r.Loads + r.Stores) * cacheLine,
+			UnitGranule: granuleFor(r.Type),
+		}
+		added := g.AddOp(op)
+		idByName[r.Op] = added.ID
+	}
+	for i, r := range recs {
+		for _, dep := range r.Deps {
+			src, ok := idByName[dep]
+			if !ok {
+				return nil, fmt.Errorf("trace: record %d depends on unknown op %q", i, dep)
+			}
+			g.Ops[i].Inputs = append(g.Ops[i].Inputs, src)
+		}
+	}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("trace: replayed graph: %w", err)
+	}
+	return g, nil
+}
+
+// granuleFor recovers a plausible fixed-function granule for a replayed
+// op type (the trace format does not carry filter geometry; the default
+// granules match the op catalog's common shapes).
+func granuleFor(t nn.OpType) int {
+	switch t {
+	case nn.OpConv2D, nn.OpConv2DBackpropFilter, nn.OpConv2DBackpropInput:
+		return 17 // 3x3 dot-product tree
+	case nn.OpMatMul, nn.OpLSTMCell, nn.OpLSTMCellGrad, nn.OpNCELoss:
+		return 127
+	case nn.OpBiasAddGrad:
+		return 31
+	case nn.OpApplyAdam:
+		return 16
+	case nn.OpBatchNorm, nn.OpBatchNormGrad:
+		return 7
+	default:
+		return 1
+	}
+}

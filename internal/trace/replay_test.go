@@ -1,0 +1,77 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"heteropim/internal/nn"
+)
+
+func TestToGraphRoundTripPreservesCosts(t *testing.T) {
+	src := nn.AlexNet()
+	recs := Generate(src, 0)
+	g, err := ToGraph("AlexNet-replayed", recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Ops) != len(src.Ops) {
+		t.Fatalf("replay op count %d vs %d", len(g.Ops), len(src.Ops))
+	}
+	srcFlops, srcBytes := src.Totals()
+	gotFlops, gotBytes := g.Totals()
+	if math.Abs(srcFlops-gotFlops) > 1e-6*srcFlops {
+		t.Fatalf("replay flops %g vs %g", gotFlops, srcFlops)
+	}
+	if math.Abs(srcBytes-gotBytes) > 1e-6*srcBytes {
+		t.Fatalf("replay bytes %g vs %g", gotBytes, srcBytes)
+	}
+	// Dependency structure survives.
+	for i, op := range src.Ops {
+		if len(g.Ops[i].Inputs) != len(op.Inputs) {
+			t.Fatalf("op %d deps %d vs %d", i, len(g.Ops[i].Inputs), len(op.Inputs))
+		}
+	}
+}
+
+func TestToGraphRoundTripThroughSerialization(t *testing.T) {
+	src := nn.DCGAN()
+	var buf bytes.Buffer
+	if err := Write(&buf, Generate(src, 0)); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := ToGraph("DCGAN-replayed", recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestToGraphErrors(t *testing.T) {
+	if _, err := ToGraph("m", nil); err == nil {
+		t.Fatal("empty trace must error")
+	}
+	if _, err := ToGraph("m", []Record{{Op: ""}}); err == nil {
+		t.Fatal("nameless record must error")
+	}
+	if _, err := ToGraph("m", []Record{{Op: "a"}, {Op: "a"}}); err == nil {
+		t.Fatal("duplicate names must error")
+	}
+	if _, err := ToGraph("m", []Record{{Op: "a", Deps: []string{"ghost"}}}); err == nil {
+		t.Fatal("unknown dependency must error")
+	}
+}
+
+func TestGranuleForCoversCatalog(t *testing.T) {
+	for _, tp := range nn.KnownOpTypes() {
+		if granuleFor(tp) < 1 {
+			t.Errorf("%s: granule < 1", tp)
+		}
+	}
+}

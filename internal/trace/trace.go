@@ -1,0 +1,138 @@
+// Package trace is the Pin substitute of the simulation framework
+// (paper Section V-A: "we employ a trace generator developed on Pin to
+// collect instruction trace, when running our OpenCL kernel binaries on
+// CPU"). It lowers a training-step graph into per-operation instruction
+// mix records — the features the Python trace-driven simulator consumed
+// — and can serialize them as JSON lines for external tooling.
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"heteropim/internal/nn"
+)
+
+// Record is the instruction-mix summary of one operation invocation.
+type Record struct {
+	Op       string    `json:"op"`
+	Type     nn.OpType `json:"type"`
+	Step     int       `json:"step"`
+	Muls     float64   `json:"muls"`
+	Adds     float64   `json:"adds"`
+	OtherALU float64   `json:"other_alu"`
+	// Loads and Stores are main-memory access counts (64-byte lines).
+	Loads  float64 `json:"loads"`
+	Stores float64 `json:"stores"`
+	// Branches approximates control-flow density; fixed-function PIMs
+	// cannot execute branchy regions, which is what makes an op only
+	// partially decomposable.
+	Branches float64 `json:"branches"`
+	// Deps lists the in-step dependency op names.
+	Deps []string `json:"deps,omitempty"`
+}
+
+const cacheLine = 64
+
+// loadStoreSplit apportions an op's main-memory traffic between loads
+// and stores: reductions mostly read, scatter ops mostly write,
+// everything else streams roughly 2:1.
+func loadStoreSplit(t nn.OpType) (loadFrac float64) {
+	switch t {
+	case nn.OpBiasAddGrad, nn.OpSum, nn.OpMean, nn.OpSoftmax, nn.OpCrossEntropy:
+		return 0.9
+	case nn.OpEmbeddingGrad, nn.OpMaxPoolGrad, nn.OpAvgPoolGrad:
+		return 0.45
+	default:
+		return 0.67
+	}
+}
+
+// branchDensity estimates branches per ALU op for an op type from its
+// non-decomposable fraction.
+func branchDensity(t nn.OpType) float64 {
+	p := nn.ProfileFor(t)
+	return 0.02 + 0.3*(1-p.DecomposableFrac)
+}
+
+// Generate lowers one training step into trace records.
+func Generate(g *nn.Graph, step int) []Record {
+	out := make([]Record, 0, len(g.Ops))
+	for _, op := range g.Ops {
+		lines := op.Bytes / cacheLine
+		lf := loadStoreSplit(op.Type)
+		deps := make([]string, 0, len(op.Inputs))
+		for _, in := range op.Inputs {
+			deps = append(deps, g.Ops[in].Name)
+		}
+		out = append(out, Record{
+			Op:       op.Name,
+			Type:     op.Type,
+			Step:     step,
+			Muls:     op.Muls,
+			Adds:     op.Adds,
+			OtherALU: op.OtherFlops,
+			Loads:    lines * lf,
+			Stores:   lines * (1 - lf),
+			Branches: (op.Muls + op.Adds + op.OtherFlops) * branchDensity(op.Type),
+			Deps:     deps,
+		})
+	}
+	return out
+}
+
+// Write serializes records as JSON lines.
+func Write(w io.Writer, recs []Record) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range recs {
+		if err := enc.Encode(&recs[i]); err != nil {
+			return fmt.Errorf("trace: encoding record %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses JSON-line records back.
+func Read(r io.Reader) ([]Record, error) {
+	dec := json.NewDecoder(r)
+	var out []Record
+	for {
+		var rec Record
+		if err := dec.Decode(&rec); err == io.EOF {
+			return out, nil
+		} else if err != nil {
+			return nil, fmt.Errorf("trace: decoding record %d: %w", len(out), err)
+		}
+		out = append(out, rec)
+	}
+}
+
+// Summary aggregates a trace.
+type Summary struct {
+	Records     int
+	TotalFlops  float64
+	TotalLoads  float64
+	TotalStores float64
+	TotalBytes  float64
+	BranchyOps  int // ops with branch density above 10%
+}
+
+// Summarize reduces a trace to totals.
+func Summarize(recs []Record) Summary {
+	var s Summary
+	s.Records = len(recs)
+	for _, r := range recs {
+		alu := r.Muls + r.Adds + r.OtherALU
+		s.TotalFlops += alu
+		s.TotalLoads += r.Loads
+		s.TotalStores += r.Stores
+		s.TotalBytes += (r.Loads + r.Stores) * cacheLine
+		if alu > 0 && r.Branches/alu > 0.1 {
+			s.BranchyOps++
+		}
+	}
+	return s
+}

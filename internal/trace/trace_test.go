@@ -1,0 +1,102 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"heteropim/internal/nn"
+)
+
+func TestGenerateCoversAllOps(t *testing.T) {
+	g := nn.AlexNet()
+	recs := Generate(g, 3)
+	if len(recs) != len(g.Ops) {
+		t.Fatalf("%d records for %d ops", len(recs), len(g.Ops))
+	}
+	for i, r := range recs {
+		if r.Step != 3 {
+			t.Fatalf("record %d step = %d", i, r.Step)
+		}
+		if r.Loads < 0 || r.Stores < 0 {
+			t.Fatalf("record %d has negative memory counts", i)
+		}
+		op := g.Ops[i]
+		wantLines := op.Bytes / cacheLine
+		if math.Abs((r.Loads+r.Stores)-wantLines) > 1e-6*wantLines+1e-9 {
+			t.Fatalf("record %d lines = %g, want %g", i, r.Loads+r.Stores, wantLines)
+		}
+		if len(r.Deps) != len(op.Inputs) {
+			t.Fatalf("record %d deps = %d, want %d", i, len(r.Deps), len(op.Inputs))
+		}
+	}
+}
+
+func TestReductionsAreLoadHeavy(t *testing.T) {
+	g := nn.VGG19()
+	recs := Generate(g, 0)
+	for _, r := range recs {
+		if r.Type == nn.OpBiasAddGrad && r.Loads+r.Stores > 0 {
+			if frac := r.Loads / (r.Loads + r.Stores); frac < 0.8 {
+				t.Fatalf("BiasAddGrad load fraction %g, want >= 0.8", frac)
+			}
+			return
+		}
+	}
+	t.Fatal("no BiasAddGrad record found")
+}
+
+func TestBranchDensityTracksDecomposability(t *testing.T) {
+	// Relu (conditional, not decomposable) must be branchier than
+	// Conv2D (pure multiply-add).
+	if branchDensity(nn.OpRelu) <= branchDensity(nn.OpConv2D) {
+		t.Fatal("Relu should be branchier than Conv2D")
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	g := nn.DCGAN()
+	recs := Generate(g, 1)
+	var buf bytes.Buffer
+	if err := Write(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("round trip lost records: %d vs %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if got[i].Op != recs[i].Op || got[i].Muls != recs[i].Muls || got[i].Loads != recs[i].Loads {
+			t.Fatalf("record %d mutated in round trip", i)
+		}
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(strings.NewReader("{not json")); err == nil {
+		t.Fatal("garbage input must error")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	g := nn.AlexNet()
+	recs := Generate(g, 0)
+	s := Summarize(recs)
+	if s.Records != len(recs) {
+		t.Fatalf("summary records = %d", s.Records)
+	}
+	flops, bytesTotal := g.Totals()
+	if math.Abs(s.TotalFlops-flops) > 1e-6*flops {
+		t.Fatalf("summary flops = %g, graph says %g", s.TotalFlops, flops)
+	}
+	if math.Abs(s.TotalBytes-bytesTotal) > 1e-6*bytesTotal {
+		t.Fatalf("summary bytes = %g, graph says %g", s.TotalBytes, bytesTotal)
+	}
+	if s.BranchyOps == 0 {
+		t.Fatal("expected some branchy ops (Relu, MaxPool...)")
+	}
+}
