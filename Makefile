@@ -1,0 +1,35 @@
+GO ?= go
+
+.PHONY: verify vet build test race bench benchjson clean
+
+# verify is the default CI gate: static checks, a full build, the test
+# suite, and the race-detector pass (the parallel experiment runner
+# makes the race pass load-bearing, not optional).
+verify: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# bench runs the reproduction benchmarks at 1 and 4 logical CPUs so the
+# parallel-sweep speedup metric is visible. benchtime must exceed 1x:
+# at 1x the printed result is the b.N=1 discovery run, which executes
+# before the per-variant GOMAXPROCS takes effect.
+bench:
+	$(GO) test -bench=. -benchtime=3x -cpu=1,4 -run='^$$' .
+
+# benchjson regenerates BENCH_parallel.json (sequential vs parallel
+# wall clock per experiment).
+benchjson:
+	$(GO) run ./cmd/pimbench -benchjson BENCH_parallel.json
+
+clean:
+	$(GO) clean ./...

@@ -8,6 +8,7 @@ package heteropim
 
 import (
 	"testing"
+	"time"
 
 	"heteropim/internal/core"
 	"heteropim/internal/hw"
@@ -64,6 +65,38 @@ func BenchmarkFig16Mixed(b *testing.B) { benchExperiment(b, Fig16Mixed) }
 
 // BenchmarkFig17EDP regenerates the EDP/power study.
 func BenchmarkFig17EDP(b *testing.B) { benchExperiment(b, Fig17EDP) }
+
+// BenchmarkParallelSweep measures the parallel experiment runner on the
+// 5x5 execution-time matrix (Fig. 8). Run with -cpu 1,4 to compare
+// worker widths: the pool sizes itself from GOMAXPROCS, which -cpu
+// sets. speedup-x is wall clock relative to a one-worker baseline
+// measured in the same process; every timed run starts with a cold
+// profile cache so the comparison isolates the worker pool.
+func BenchmarkParallelSweep(b *testing.B) {
+	prev := SetParallelism(1)
+	defer SetParallelism(prev)
+	core.ResetProfileCache()
+	start := time.Now()
+	if _, err := Fig8ExecTime(); err != nil {
+		b.Fatal(err)
+	}
+	seq := time.Since(start).Seconds()
+
+	SetParallelism(0) // follow GOMAXPROCS so -cpu variants change the width
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.ResetProfileCache()
+		if _, err := Fig8ExecTime(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	par := b.Elapsed().Seconds() / float64(b.N)
+	if par > 0 {
+		b.ReportMetric(seq/par, "speedup-x")
+	}
+	b.ReportMetric(float64(Parallelism()), "workers")
+}
 
 // BenchmarkHeteroStep measures the simulator itself: one steady-state
 // Hetero PIM run per CNN model, reporting the simulated step time.

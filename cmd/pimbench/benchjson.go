@@ -1,0 +1,91 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"heteropim"
+	"heteropim/internal/core"
+)
+
+// benchEntry is one experiment's sequential-vs-parallel timing.
+type benchEntry struct {
+	ID          string  `json:"id"`
+	Title       string  `json:"title"`
+	SequentialS float64 `json:"sequential_s"`
+	ParallelS   float64 `json:"parallel_s"`
+	Speedup     float64 `json:"speedup"`
+}
+
+// benchReport is the BENCH_parallel.json shape. Wall-clock speedup is
+// bounded by NumCPU: on a single-core host the pool degrades to ~1x
+// regardless of the worker count.
+type benchReport struct {
+	GOMAXPROCS  int          `json:"gomaxprocs"`
+	NumCPU      int          `json:"num_cpu"`
+	Workers     int          `json:"workers"`
+	Experiments []benchEntry `json:"experiments"`
+	// Aggregate compares the summed sequential wall clock against the
+	// summed parallel wall clock across all timed experiments.
+	AggregateSequentialS float64 `json:"aggregate_sequential_s"`
+	AggregateParallelS   float64 `json:"aggregate_parallel_s"`
+	AggregateSpeedup     float64 `json:"aggregate_speedup"`
+}
+
+// timeExperiment runs e once at the given parallelism and reports the
+// wall clock. The profile cache is cleared first so both modes pay the
+// same profiling cost and the comparison isolates the worker pool.
+func timeExperiment(e heteropim.Experiment, parallelism int) (float64, error) {
+	prev := heteropim.SetParallelism(parallelism)
+	defer heteropim.SetParallelism(prev)
+	core.ResetProfileCache()
+	start := time.Now()
+	if _, err := e.Run(); err != nil {
+		return 0, err
+	}
+	return time.Since(start).Seconds(), nil
+}
+
+// writeBenchJSON times every selected experiment sequentially
+// (parallelism 1) and in parallel (the -workers setting), then writes
+// the comparison to path.
+func writeBenchJSON(path string, experiments []heteropim.Experiment, want map[string]bool, workers int) error {
+	rep := benchReport{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Workers:    heteropim.Parallelism(),
+	}
+	for _, e := range experiments {
+		if len(want) > 0 && !want[e.ID] {
+			continue
+		}
+		seq, err := timeExperiment(e, 1)
+		if err != nil {
+			return fmt.Errorf("%s (sequential): %w", e.ID, err)
+		}
+		par, err := timeExperiment(e, workers)
+		if err != nil {
+			return fmt.Errorf("%s (parallel): %w", e.ID, err)
+		}
+		entry := benchEntry{ID: e.ID, Title: e.Title, SequentialS: seq, ParallelS: par}
+		if par > 0 {
+			entry.Speedup = seq / par
+		}
+		rep.Experiments = append(rep.Experiments, entry)
+		rep.AggregateSequentialS += seq
+		rep.AggregateParallelS += par
+		fmt.Fprintf(os.Stderr, "pimbench: %-4s seq=%.3fs par=%.3fs speedup=%.2fx\n",
+			e.ID, seq, par, entry.Speedup)
+	}
+	if rep.AggregateParallelS > 0 {
+		rep.AggregateSpeedup = rep.AggregateSequentialS / rep.AggregateParallelS
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

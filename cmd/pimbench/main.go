@@ -6,6 +6,7 @@
 //
 //	pimbench              # everything
 //	pimbench -only F8,F9  # just those artifacts
+//	pimbench -benchjson BENCH_parallel.json  # sequential-vs-parallel timing
 //	pimbench -list
 package main
 
@@ -23,8 +24,12 @@ func main() {
 	only := flag.String("only", "", "comma-separated experiment ids (e.g. T1,F8)")
 	ext := flag.Bool("ext", false, "include the extension studies (E1, E2, E3)")
 	asCSV := flag.Bool("csv", false, "emit tables as CSV instead of text")
+	workers := flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
+	benchJSON := flag.String("benchjson", "", "time every experiment sequentially and in parallel, write the comparison to this JSON file")
 	list := flag.Bool("list", false, "list experiment ids")
 	flag.Parse()
+
+	heteropim.SetParallelism(*workers)
 
 	experiments := heteropim.Experiments()
 	if *ext || *only != "" {
@@ -42,6 +47,14 @@ func main() {
 		for _, id := range strings.Split(*only, ",") {
 			want[strings.ToUpper(strings.TrimSpace(id))] = true
 		}
+	}
+
+	if *benchJSON != "" {
+		if err := writeBenchJSON(*benchJSON, experiments, want, *workers); err != nil {
+			fmt.Fprintf(os.Stderr, "pimbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	failed := false

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -20,6 +21,7 @@ import (
 	"heteropim/internal/hw"
 	"heteropim/internal/pim"
 	"heteropim/internal/report"
+	"heteropim/internal/runner"
 	"heteropim/internal/thermal"
 )
 
@@ -89,15 +91,20 @@ func main() {
 		Columns: []string{"Units", "Step", "Energy", "EDP", "Util"},
 	}
 	base := heteropim.DefaultHardware(heteropim.ConfigHeteroPIM)
-	for _, units := range []int{111, 222, 444, 888} {
-		hc, err := base.WithFixedUnits(units)
-		if err != nil {
-			fail(err)
-		}
-		r, err := heteropim.RunOnHardware(hc, heteropim.Model(*model))
-		if err != nil {
-			fail(err)
-		}
+	budgets := []int{111, 222, 444, 888}
+	results, err := runner.Map(context.Background(), len(budgets), 0,
+		func(_ context.Context, i int) (heteropim.Result, error) {
+			hc, err := base.WithFixedUnits(budgets[i])
+			if err != nil {
+				return heteropim.Result{}, err
+			}
+			return heteropim.RunOnHardware(hc, heteropim.Model(*model))
+		})
+	if err != nil {
+		fail(err)
+	}
+	for i, units := range budgets {
+		r := results[i]
 		st.AddRow(fmt.Sprintf("%d", units),
 			report.Seconds(r.StepTime), report.Joules(r.Energy),
 			fmt.Sprintf("%.3g", r.EDP), report.Percent(r.FixedUtilization))

@@ -3,15 +3,21 @@
 // sweep (Figs. 11/17), the RC/OP variant matrix (Figs. 13-15), and the
 // batch-size extension sweep.
 //
+// Independent sweep cells run concurrently on the shared worker pool;
+// rows are still emitted in sweep order, so the CSV is byte-identical
+// to a sequential run.
+//
 // Usage:
 //
 //	pimsweep -sweep config                  # model x configuration
 //	pimsweep -sweep freq   -models VGG-19   # 1x/2x/4x
 //	pimsweep -sweep variant                 # RC/OP toggles
 //	pimsweep -sweep batch  -models AlexNet  # batch sizes
+//	pimsweep -sweep config -workers 1       # force sequential
 package main
 
 import (
+	"context"
 	"encoding/csv"
 	"flag"
 	"fmt"
@@ -20,12 +26,16 @@ import (
 	"strings"
 
 	"heteropim"
+	"heteropim/internal/runner"
 )
 
 func main() {
 	sweep := flag.String("sweep", "config", "config|freq|variant|batch")
 	models := flag.String("models", "", "comma-separated models (default: the 5 CNNs)")
+	workers := flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
 	flag.Parse()
+
+	heteropim.SetParallelism(*workers)
 
 	selected := heteropim.Models()
 	if *models != "" {
@@ -59,92 +69,102 @@ func main() {
 
 func f(v float64) string { return strconv.FormatFloat(v, 'g', 8, 64) }
 
-func writeResultRow(w *csv.Writer, prefix []string, r heteropim.Result) error {
-	row := append(prefix,
-		f(r.StepTime), f(r.Breakdown.Operation), f(r.Breakdown.DataMovement),
-		f(r.Breakdown.Sync), f(r.Energy), f(r.AvgPower), f(r.EDP),
-		f(r.FixedUtilization))
-	return w.Write(row)
-}
-
 var resultCols = []string{"step_s", "operation_s", "datamove_s", "sync_s",
 	"energy_j", "power_w", "edp_js", "fixed_util"}
 
-func sweepConfig(w *csv.Writer, models []heteropim.Model) error {
-	if err := w.Write(append([]string{"model", "config"}, resultCols...)); err != nil {
+// cell is one sweep point: the CSV prefix columns plus the simulation
+// that produces the row's results.
+type cell struct {
+	prefix []string
+	run    func() (heteropim.Result, error)
+}
+
+// writeCells fans the cells out on the worker pool and writes one CSV
+// row per cell, in cell order.
+func writeCells(w *csv.Writer, header []string, cells []cell) error {
+	if err := w.Write(append(header, resultCols...)); err != nil {
 		return err
 	}
-	for _, m := range models {
-		for _, cfg := range heteropim.Configs() {
-			r, err := heteropim.Run(cfg, m)
-			if err != nil {
-				return err
-			}
-			if err := writeResultRow(w, []string{string(m), r.Config}, r); err != nil {
-				return err
-			}
+	results, err := runner.Map(context.Background(), len(cells), 0,
+		func(_ context.Context, i int) (heteropim.Result, error) { return cells[i].run() })
+	if err != nil {
+		return err
+	}
+	for i, r := range results {
+		row := append(cells[i].prefix,
+			f(r.StepTime), f(r.Breakdown.Operation), f(r.Breakdown.DataMovement),
+			f(r.Breakdown.Sync), f(r.Energy), f(r.AvgPower), f(r.EDP),
+			f(r.FixedUtilization))
+		if err := w.Write(row); err != nil {
+			return err
 		}
 	}
 	return nil
+}
+
+func sweepConfig(w *csv.Writer, models []heteropim.Model) error {
+	var cells []cell
+	for _, m := range models {
+		for _, cfg := range heteropim.Configs() {
+			m, cfg := m, cfg
+			cells = append(cells, cell{
+				prefix: []string{string(m), cfg.String()},
+				run:    func() (heteropim.Result, error) { return heteropim.Run(cfg, m) },
+			})
+		}
+	}
+	return writeCells(w, []string{"model", "config"}, cells)
 }
 
 func sweepFreq(w *csv.Writer, models []heteropim.Model) error {
-	if err := w.Write(append([]string{"model", "freq_scale"}, resultCols...)); err != nil {
-		return err
-	}
+	var cells []cell
 	for _, m := range models {
 		for _, scale := range []float64{1, 2, 4} {
-			r, err := heteropim.RunScaled(heteropim.ConfigHeteroPIM, m, scale)
-			if err != nil {
-				return err
-			}
-			if err := writeResultRow(w, []string{string(m), f(scale)}, r); err != nil {
-				return err
-			}
+			m, scale := m, scale
+			cells = append(cells, cell{
+				prefix: []string{string(m), f(scale)},
+				run: func() (heteropim.Result, error) {
+					return heteropim.RunScaled(heteropim.ConfigHeteroPIM, m, scale)
+				},
+			})
 		}
 	}
-	return nil
+	return writeCells(w, []string{"model", "freq_scale"}, cells)
 }
 
 func sweepVariant(w *csv.Writer, models []heteropim.Model) error {
-	if err := w.Write(append([]string{"model", "rc", "op"}, resultCols...)); err != nil {
-		return err
-	}
+	var cells []cell
 	for _, m := range models {
 		for _, rc := range []bool{false, true} {
 			for _, op := range []bool{false, true} {
-				r, err := heteropim.RunVariant(m, heteropim.Variant{
-					RecursiveKernels: rc, OperationPipeline: op})
-				if err != nil {
-					return err
-				}
-				if err := writeResultRow(w, []string{string(m),
-					strconv.FormatBool(rc), strconv.FormatBool(op)}, r); err != nil {
-					return err
-				}
+				m, rc, op := m, rc, op
+				cells = append(cells, cell{
+					prefix: []string{string(m), strconv.FormatBool(rc), strconv.FormatBool(op)},
+					run: func() (heteropim.Result, error) {
+						return heteropim.RunVariant(m, heteropim.Variant{
+							RecursiveKernels: rc, OperationPipeline: op})
+					},
+				})
 			}
 		}
 	}
-	return nil
+	return writeCells(w, []string{"model", "rc", "op"}, cells)
 }
 
 func sweepBatch(w *csv.Writer, models []heteropim.Model) error {
-	if err := w.Write(append([]string{"model", "batch", "config"}, resultCols...)); err != nil {
-		return err
-	}
+	var cells []cell
 	for _, m := range models {
 		for _, batch := range []int{8, 16, 32, 64, 128} {
 			for _, cfg := range []heteropim.Config{heteropim.ConfigGPU, heteropim.ConfigHeteroPIM} {
-				r, err := heteropim.RunWithBatch(cfg, m, batch)
-				if err != nil {
-					return err
-				}
-				if err := writeResultRow(w, []string{string(m),
-					strconv.Itoa(batch), r.Config}, r); err != nil {
-					return err
-				}
+				m, batch, cfg := m, batch, cfg
+				cells = append(cells, cell{
+					prefix: []string{string(m), strconv.Itoa(batch), cfg.String()},
+					run: func() (heteropim.Result, error) {
+						return heteropim.RunWithBatch(cfg, m, batch)
+					},
+				})
 			}
 		}
 	}
-	return nil
+	return writeCells(w, []string{"model", "batch", "config"}, cells)
 }

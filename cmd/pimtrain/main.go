@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -22,6 +23,7 @@ import (
 	"heteropim/internal/hw"
 	"heteropim/internal/nn"
 	"heteropim/internal/report"
+	"heteropim/internal/runner"
 	"heteropim/internal/trace"
 )
 
@@ -181,17 +183,21 @@ func main() {
 		Columns: []string{"Config", "Step", "Operation", "DataMove", "Sync",
 			"Energy", "Power", "Util", "Offloaded"},
 	}
-	for _, cfg := range configs {
-		var r heteropim.Result
-		var err error
-		if *batch > 0 {
-			r, err = heteropim.RunWithBatch(cfg, heteropim.Model(*model), *batch)
-		} else {
-			r, err = heteropim.RunScaled(cfg, heteropim.Model(*model), *freq)
-		}
-		if err != nil {
-			fail(err)
-		}
+	// With -config all the five platform runs are independent; fan them
+	// out on the worker pool. Each run gets its own core.Options inside
+	// the Run* helpers, so no Trace/Census state is shared (see the
+	// core.Options concurrency contract).
+	results, err := runner.Map(context.Background(), len(configs), 0,
+		func(_ context.Context, i int) (heteropim.Result, error) {
+			if *batch > 0 {
+				return heteropim.RunWithBatch(configs[i], heteropim.Model(*model), *batch)
+			}
+			return heteropim.RunScaled(configs[i], heteropim.Model(*model), *freq)
+		})
+	if err != nil {
+		fail(err)
+	}
+	for _, r := range results {
 		t.AddRow(r.Config,
 			report.Seconds(r.StepTime),
 			report.Seconds(r.Breakdown.Operation),

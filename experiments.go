@@ -1,6 +1,7 @@
 package heteropim
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -9,6 +10,7 @@ import (
 	"heteropim/internal/hw"
 	"heteropim/internal/nn"
 	"heteropim/internal/report"
+	"heteropim/internal/runner"
 	"heteropim/internal/workload"
 )
 
@@ -46,6 +48,65 @@ func Experiments() []Experiment {
 // profiledModels are the three models of Table I.
 func profiledModels() []Model { return []Model{VGG19, AlexNet, DCGAN} }
 
+// ---- parallel fan-out helpers ----
+//
+// Every figure is a grid of INDEPENDENT pure simulations, so each cell
+// fans out on the internal/runner worker pool and results are
+// reassembled in input order. Parallel and sequential executions of a
+// figure therefore produce bit-identical tables (the determinism each
+// simulation needs lives inside its own engine; see internal/runner).
+
+// runJobs evaluates simulation jobs concurrently, returning results in
+// job order.
+func runJobs(jobs []func() (Result, error)) ([]Result, error) {
+	return runner.Map(context.Background(), len(jobs), 0,
+		func(_ context.Context, i int) (Result, error) { return jobs[i]() })
+}
+
+// runGrid simulates every (model, configuration) cell of a figure's
+// matrix concurrently; the result is indexed [model][config].
+func runGrid(models []Model, configs []Config) ([][]Result, error) {
+	nc := len(configs)
+	flat, err := runner.Map(context.Background(), len(models)*nc, 0,
+		func(_ context.Context, i int) (Result, error) {
+			return Run(configs[i%nc], models[i/nc])
+		})
+	if err != nil {
+		return nil, err
+	}
+	grid := make([][]Result, len(models))
+	for mi := range grid {
+		grid[mi] = flat[mi*nc : (mi+1)*nc]
+	}
+	return grid, nil
+}
+
+// configIndex finds a configuration's column in a figure's config list.
+func configIndex(configs []Config, want Config) int {
+	for i, c := range configs {
+		if c == want {
+			return i
+		}
+	}
+	return -1
+}
+
+// rowGroups computes one group of table rows per item concurrently,
+// preserving item order for assembly.
+func rowGroups(n int, fn func(i int) ([][]string, error)) ([][][]string, error) {
+	return runner.Map(context.Background(), n, 0,
+		func(_ context.Context, i int) ([][]string, error) { return fn(i) })
+}
+
+// addGroups appends row groups to a table in order.
+func addGroups(t *Table, groups [][][]string) {
+	for _, g := range groups {
+		for _, row := range g {
+			t.AddRow(row...)
+		}
+	}
+}
+
 // TableI reproduces the operation-profiling table: for each of VGG-19,
 // AlexNet and DCGAN, the top-5 operations by execution time ("CI ops")
 // and by main-memory accesses ("MI ops"), with their shares and
@@ -55,12 +116,14 @@ func TableI() (*Table, error) {
 		Title:   "Table I: operation profiling (one training step on CPU)",
 		Columns: []string{"Model", "Rank", "Top CI Op", "Time%", "#Inv", "Top MI Op", "Mem%", "#Inv"},
 	}
-	for _, m := range profiledModels() {
+	models := profiledModels()
+	groups, err := rowGroups(len(models), func(i int) ([][]string, error) {
+		m := models[i]
 		g, err := nn.Build(m)
 		if err != nil {
 			return nil, err
 		}
-		prof := core.ProfileStep(g, hw.PaperCPU())
+		prof := core.CachedProfileStep(g, hw.PaperCPU())
 		type agg struct {
 			time, mem float64
 			inv       int
@@ -85,15 +148,19 @@ func TableI() (*Table, error) {
 		for tt, a := range byType {
 			rows = append(rows, row{tt, a})
 		}
+		// Map iteration order is random: sort by type name first so the
+		// time/mem orders (and their tie-breaks) are deterministic.
+		sort.Slice(rows, func(i, j int) bool { return rows[i].t < rows[j].t })
 		byTime := append([]row(nil), rows...)
-		sort.Slice(byTime, func(i, j int) bool { return byTime[i].a.time > byTime[j].a.time })
+		sort.SliceStable(byTime, func(i, j int) bool { return byTime[i].a.time > byTime[j].a.time })
 		byMem := append([]row(nil), rows...)
-		sort.Slice(byMem, func(i, j int) bool { return byMem[i].a.mem > byMem[j].a.mem })
+		sort.SliceStable(byMem, func(i, j int) bool { return byMem[i].a.mem > byMem[j].a.mem })
+		var out [][]string
 		for i := 0; i < 5 && i < len(rows); i++ {
 			ci, mi := byTime[i], byMem[i]
-			t.AddRow(string(m), fmt.Sprintf("%d", i+1),
+			out = append(out, []string{string(m), fmt.Sprintf("%d", i+1),
 				string(ci.t), fmt.Sprintf("%.2f", 100*ci.a.time/prof.TotalTime), fmt.Sprintf("%d", ci.a.inv),
-				string(mi.t), fmt.Sprintf("%.2f", 100*mi.a.mem/prof.TotalAccesses), fmt.Sprintf("%d", mi.a.inv))
+				string(mi.t), fmt.Sprintf("%.2f", 100*mi.a.mem/prof.TotalAccesses), fmt.Sprintf("%d", mi.a.inv)})
 		}
 		// The "Other N ops" tail.
 		var otherT, otherM float64
@@ -109,11 +176,16 @@ func TableI() (*Table, error) {
 				otherInv += r.a.inv
 			}
 		}
-		t.AddRow(string(m), "-",
+		out = append(out, []string{string(m), "-",
 			fmt.Sprintf("Other %d op types", len(rows)-min(5, len(rows))),
 			fmt.Sprintf("%.2f", 100*otherT/prof.TotalTime), fmt.Sprintf("%d", otherInv),
-			"", "", "")
+			"", "", ""})
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	addGroups(t, groups)
 	t.Notes = append(t.Notes,
 		"paper shape: top-5 ops >=95% of time and >=90% of accesses; conv backprops lead both lists")
 	return t, nil
@@ -125,15 +197,20 @@ func Fig2Classes() (*Table, error) {
 		Title:   "Fig. 2: operation classes (1=CI, 2=CI+MI offload targets, 3=MI only, 4=neither)",
 		Columns: []string{"Model", "Class1", "Class2", "Class3", "Class4"},
 	}
-	for _, m := range profiledModels() {
-		g, err := nn.Build(m)
+	models := profiledModels()
+	groups, err := rowGroups(len(models), func(i int) ([][]string, error) {
+		g, err := nn.Build(models[i])
 		if err != nil {
 			return nil, err
 		}
 		c := g.ClassCounts()
-		t.AddRow(string(m), fmt.Sprint(c[nn.Class1]), fmt.Sprint(c[nn.Class2]),
-			fmt.Sprint(c[nn.Class3]), fmt.Sprint(c[nn.Class4]))
+		return [][]string{{string(models[i]), fmt.Sprint(c[nn.Class1]), fmt.Sprint(c[nn.Class2]),
+			fmt.Sprint(c[nn.Class3]), fmt.Sprint(c[nn.Class4])}}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	addGroups(t, groups)
 	return t, nil
 }
 
@@ -144,16 +221,16 @@ func Fig8ExecTime() (*Table, error) {
 		Title:   "Fig. 8: execution time breakdown per training step",
 		Columns: []string{"Model", "Config", "Step", "Operation", "DataMove", "Sync", "vs Hetero"},
 	}
-	for _, m := range Models() {
-		het, err := Run(ConfigHeteroPIM, m)
-		if err != nil {
-			return nil, err
-		}
-		for _, cfg := range Configs() {
-			r, err := Run(cfg, m)
-			if err != nil {
-				return nil, err
-			}
+	models, configs := Models(), Configs()
+	grid, err := runGrid(models, configs)
+	if err != nil {
+		return nil, err
+	}
+	hetIdx := configIndex(configs, ConfigHeteroPIM)
+	for mi, m := range models {
+		het := grid[mi][hetIdx]
+		for ci := range configs {
+			r := grid[mi][ci]
 			t.AddRow(string(m), r.Config,
 				report.Seconds(r.StepTime),
 				report.Seconds(r.Breakdown.Operation),
@@ -174,16 +251,16 @@ func Fig9Energy() (*Table, error) {
 		Title:   "Fig. 9: dynamic energy per step, normalized to Hetero PIM",
 		Columns: []string{"Model", "Config", "Energy", "AvgPower", "Normalized"},
 	}
-	for _, m := range Models() {
-		het, err := Run(ConfigHeteroPIM, m)
-		if err != nil {
-			return nil, err
-		}
-		for _, cfg := range Configs() {
-			r, err := Run(cfg, m)
-			if err != nil {
-				return nil, err
-			}
+	models, configs := Models(), Configs()
+	grid, err := runGrid(models, configs)
+	if err != nil {
+		return nil, err
+	}
+	hetIdx := configIndex(configs, ConfigHeteroPIM)
+	for mi, m := range models {
+		het := grid[mi][hetIdx]
+		for ci := range configs {
+			r := grid[mi][ci]
 			t.AddRow(string(m), r.Config, report.Joules(r.Energy),
 				report.Watts(r.AvgPower), report.Ratio(r.Energy/het.Energy))
 		}
@@ -199,15 +276,20 @@ func Fig10Neurocube() (*Table, error) {
 		Title:   "Fig. 10: Neurocube vs Hetero PIM (ratios of Neurocube to Hetero)",
 		Columns: []string{"Model", "Time ratio", "Energy ratio"},
 	}
-	for _, m := range Models() {
-		het, err := Run(ConfigHeteroPIM, m)
-		if err != nil {
-			return nil, err
-		}
-		nc, err := RunNeurocube(m)
-		if err != nil {
-			return nil, err
-		}
+	models := Models()
+	jobs := make([]func() (Result, error), 0, 2*len(models))
+	for _, m := range models {
+		m := m
+		jobs = append(jobs,
+			func() (Result, error) { return Run(ConfigHeteroPIM, m) },
+			func() (Result, error) { return RunNeurocube(m) })
+	}
+	results, err := runJobs(jobs)
+	if err != nil {
+		return nil, err
+	}
+	for mi, m := range models {
+		het, nc := results[2*mi], results[2*mi+1]
 		t.AddRow(string(m), report.Ratio(nc.StepTime/het.StepTime), report.Ratio(nc.Energy/het.Energy))
 	}
 	t.Notes = append(t.Notes, "paper shape: Hetero at least 3x better in performance and energy")
@@ -220,16 +302,26 @@ func Fig11FreqScaling() (*Table, error) {
 		Title:   "Fig. 11: Hetero PIM under 3D memory frequency scaling",
 		Columns: []string{"Model", "Freq", "Step", "Operation", "DataMove", "Sync", "GPU/Hetero"},
 	}
-	for _, m := range Models() {
-		gpu, err := Run(ConfigGPU, m)
-		if err != nil {
-			return nil, err
+	models := Models()
+	freqs := []float64{1, 2, 4}
+	stride := 1 + len(freqs)
+	jobs := make([]func() (Result, error), 0, stride*len(models))
+	for _, m := range models {
+		m := m
+		jobs = append(jobs, func() (Result, error) { return Run(ConfigGPU, m) })
+		for _, f := range freqs {
+			f := f
+			jobs = append(jobs, func() (Result, error) { return RunScaled(ConfigHeteroPIM, m, f) })
 		}
-		for _, f := range []float64{1, 2, 4} {
-			r, err := RunScaled(ConfigHeteroPIM, m, f)
-			if err != nil {
-				return nil, err
-			}
+	}
+	results, err := runJobs(jobs)
+	if err != nil {
+		return nil, err
+	}
+	for mi, m := range models {
+		gpu := results[stride*mi]
+		for fi, f := range freqs {
+			r := results[stride*mi+1+fi]
 			t.AddRow(string(m), fmt.Sprintf("%gx", f),
 				report.Seconds(r.StepTime),
 				report.Seconds(r.Breakdown.Operation),
@@ -249,16 +341,23 @@ func Fig12ProgScaling() (*Table, error) {
 		Title:   "Fig. 12: programmable PIM scaling at constant logic-die area",
 		Columns: []string{"Model", "Processors", "Step", "Utilization", "vs 1P"},
 	}
-	for _, m := range Models() {
-		var base Result
-		for i, n := range []int{1, 4, 16} {
-			r, err := RunHeteroProcessors(m, n)
-			if err != nil {
-				return nil, err
-			}
-			if i == 0 {
-				base = r
-			}
+	models := Models()
+	procs := []int{1, 4, 16}
+	jobs := make([]func() (Result, error), 0, len(procs)*len(models))
+	for _, m := range models {
+		for _, n := range procs {
+			m, n := m, n
+			jobs = append(jobs, func() (Result, error) { return RunHeteroProcessors(m, n) })
+		}
+	}
+	results, err := runJobs(jobs)
+	if err != nil {
+		return nil, err
+	}
+	for mi, m := range models {
+		base := results[len(procs)*mi]
+		for ni, n := range procs {
+			r := results[len(procs)*mi+ni]
 			t.AddRow(string(m), fmt.Sprintf("%dP", n),
 				report.Seconds(r.StepTime),
 				report.Percent(r.FixedUtilization),
@@ -285,22 +384,41 @@ func softwareVariants() []struct {
 	}
 }
 
+// runVariantMatrix simulates every (model, RC/OP variant) cell
+// concurrently; results are indexed [model][variant] in
+// softwareVariants order.
+func runVariantMatrix(models []Model) ([][]Result, error) {
+	vs := softwareVariants()
+	nv := len(vs)
+	flat, err := runner.Map(context.Background(), len(models)*nv, 0,
+		func(_ context.Context, i int) (Result, error) {
+			return RunVariant(models[i/nv], vs[i%nv].V)
+		})
+	if err != nil {
+		return nil, err
+	}
+	grid := make([][]Result, len(models))
+	for mi := range grid {
+		grid[mi] = flat[mi*nv : (mi+1)*nv]
+	}
+	return grid, nil
+}
+
 // Fig13SoftwareImpact reproduces the execution-time software study.
 func Fig13SoftwareImpact() (*Table, error) {
 	t := &Table{
 		Title:   "Fig. 13: Hetero PIM execution time with/without RC and OP",
 		Columns: []string{"Model", "Variant", "Step", "Sync", "Speedup vs no-RC/no-OP"},
 	}
-	for _, m := range Models() {
-		var base Result
-		for i, v := range softwareVariants() {
-			r, err := RunVariant(m, v.V)
-			if err != nil {
-				return nil, err
-			}
-			if i == 0 {
-				base = r
-			}
+	models := Models()
+	grid, err := runVariantMatrix(models)
+	if err != nil {
+		return nil, err
+	}
+	for mi, m := range models {
+		base := grid[mi][0]
+		for vi, v := range softwareVariants() {
+			r := grid[mi][vi]
 			t.AddRow(string(m), v.Name, report.Seconds(r.StepTime),
 				report.Seconds(r.Breakdown.Sync), report.Ratio(base.StepTime/r.StepTime))
 		}
@@ -315,16 +433,16 @@ func Fig14SoftwareEnergy() (*Table, error) {
 		Title:   "Fig. 14: Hetero PIM energy with/without RC and OP (normalized to RC+OP)",
 		Columns: []string{"Model", "Variant", "Energy", "Normalized"},
 	}
-	for _, m := range Models() {
-		full, err := RunVariant(m, Variant{RecursiveKernels: true, OperationPipeline: true})
-		if err != nil {
-			return nil, err
-		}
-		for _, v := range softwareVariants() {
-			r, err := RunVariant(m, v.V)
-			if err != nil {
-				return nil, err
-			}
+	models := Models()
+	grid, err := runVariantMatrix(models)
+	if err != nil {
+		return nil, err
+	}
+	vs := softwareVariants()
+	for mi, m := range models {
+		full := grid[mi][len(vs)-1] // "RC + OP" is the last variant
+		for vi, v := range vs {
+			r := grid[mi][vi]
 			t.AddRow(string(m), v.Name, report.Joules(r.Energy), report.Ratio(r.Energy/full.Energy))
 		}
 	}
@@ -338,13 +456,14 @@ func Fig15Utilization() (*Table, error) {
 		Title:   "Fig. 15: fixed-function PIM utilization with/without RC and OP",
 		Columns: []string{"Model", "Variant", "Utilization"},
 	}
-	for _, m := range Models() {
-		for _, v := range softwareVariants() {
-			r, err := RunVariant(m, v.V)
-			if err != nil {
-				return nil, err
-			}
-			t.AddRow(string(m), v.Name, report.Percent(r.FixedUtilization))
+	models := Models()
+	grid, err := runVariantMatrix(models)
+	if err != nil {
+		return nil, err
+	}
+	for mi, m := range models {
+		for vi, v := range softwareVariants() {
+			t.AddRow(string(m), v.Name, report.Percent(grid[mi][vi].FixedUtilization))
 		}
 	}
 	t.Notes = append(t.Notes, "paper shape: with RC and OP utilization approaches 100%")
@@ -381,16 +500,26 @@ func Fig17EDP() (*Table, error) {
 		Title:   "Fig. 17: energy efficiency (EDP) and power under frequency scaling",
 		Columns: []string{"Model", "Freq", "EDP(J*s)", "HeteroPower", "GPUPower/HeteroPower"},
 	}
-	for _, m := range Models() {
-		gpu, err := Run(ConfigGPU, m)
-		if err != nil {
-			return nil, err
+	models := Models()
+	freqs := []float64{1, 2, 4}
+	stride := 1 + len(freqs)
+	jobs := make([]func() (Result, error), 0, stride*len(models))
+	for _, m := range models {
+		m := m
+		jobs = append(jobs, func() (Result, error) { return Run(ConfigGPU, m) })
+		for _, f := range freqs {
+			f := f
+			jobs = append(jobs, func() (Result, error) { return RunScaled(ConfigHeteroPIM, m, f) })
 		}
-		for _, f := range []float64{1, 2, 4} {
-			r, err := RunScaled(ConfigHeteroPIM, m, f)
-			if err != nil {
-				return nil, err
-			}
+	}
+	results, err := runJobs(jobs)
+	if err != nil {
+		return nil, err
+	}
+	for mi, m := range models {
+		gpu := results[stride*mi]
+		for fi, f := range freqs {
+			r := results[stride*mi+1+fi]
 			t.AddRow(string(m), fmt.Sprintf("%gx", f),
 				fmt.Sprintf("%.3g", r.EDP),
 				report.Watts(r.AvgPower),
@@ -421,20 +550,25 @@ func ModelSummaries() (*Table, error) {
 		Title:   "Workload characteristics (one training step, paper batch sizes)",
 		Columns: []string{"Model", "Batch", "Ops", "Params", "GFLOPs", "GB", "Class2 ops"},
 	}
-	for _, m := range AllModels() {
-		g, err := nn.Build(m)
+	models := AllModels()
+	groups, err := rowGroups(len(models), func(i int) ([][]string, error) {
+		g, err := nn.Build(models[i])
 		if err != nil {
 			return nil, err
 		}
 		flops, bytes := g.Totals()
 		classes := g.ClassCounts()
-		t.AddRow(string(m),
+		return [][]string{{string(models[i]),
 			fmt.Sprintf("%d", g.BatchSize),
 			fmt.Sprintf("%d", len(g.Ops)),
 			fmt.Sprintf("%.1fM", g.ParamBytes/4/1e6),
 			fmt.Sprintf("%.1f", flops/1e9),
 			fmt.Sprintf("%.2f", bytes/1e9),
-			fmt.Sprintf("%d", classes[nn.Class2]))
+			fmt.Sprintf("%d", classes[nn.Class2])}}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	addGroups(t, groups)
 	return t, nil
 }

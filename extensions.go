@@ -1,12 +1,14 @@
 package heteropim
 
 import (
+	"context"
 	"fmt"
 
 	"heteropim/internal/core"
 	"heteropim/internal/hw"
 	"heteropim/internal/nn"
 	"heteropim/internal/report"
+	"heteropim/internal/runner"
 	"heteropim/internal/workload"
 )
 
@@ -48,15 +50,20 @@ func ExtGPUHost() (*Table, error) {
 		Title:   "Extension E1: heterogeneous PIM attached to CPU vs GPU hosts",
 		Columns: []string{"Model", "Host", "Step", "Energy", "Util", "vs CPU-host"},
 	}
-	for _, m := range Models() {
-		cpuHost, err := Run(ConfigHeteroPIM, m)
-		if err != nil {
-			return nil, err
-		}
-		gpuHost, err := RunGPUHostHetero(m, 1)
-		if err != nil {
-			return nil, err
-		}
+	models := Models()
+	jobs := make([]func() (Result, error), 0, 2*len(models))
+	for _, m := range models {
+		m := m
+		jobs = append(jobs,
+			func() (Result, error) { return Run(ConfigHeteroPIM, m) },
+			func() (Result, error) { return RunGPUHostHetero(m, 1) })
+	}
+	results, err := runJobs(jobs)
+	if err != nil {
+		return nil, err
+	}
+	for mi, m := range models {
+		cpuHost, gpuHost := results[2*mi], results[2*mi+1]
 		t.AddRow(string(m), "CPU", report.Seconds(cpuHost.StepTime),
 			report.Joules(cpuHost.Energy), report.Percent(cpuHost.FixedUtilization), "1.00x")
 		t.AddRow(string(m), "GPU", report.Seconds(gpuHost.StepTime),
@@ -90,15 +97,20 @@ func ExtBatchSweep() (*Table, error) {
 		Title:   "Extension E2: batch-size sensitivity (AlexNet)",
 		Columns: []string{"Batch", "GPU step", "Hetero step", "GPU/Hetero", "Hetero util", "Hetero energy"},
 	}
-	for _, batch := range []int{8, 16, 32, 64, 128} {
-		gpu, err := RunWithBatch(ConfigGPU, AlexNet, batch)
-		if err != nil {
-			return nil, err
-		}
-		het, err := RunWithBatch(ConfigHeteroPIM, AlexNet, batch)
-		if err != nil {
-			return nil, err
-		}
+	batches := []int{8, 16, 32, 64, 128}
+	jobs := make([]func() (Result, error), 0, 2*len(batches))
+	for _, batch := range batches {
+		batch := batch
+		jobs = append(jobs,
+			func() (Result, error) { return RunWithBatch(ConfigGPU, AlexNet, batch) },
+			func() (Result, error) { return RunWithBatch(ConfigHeteroPIM, AlexNet, batch) })
+	}
+	results, err := runJobs(jobs)
+	if err != nil {
+		return nil, err
+	}
+	for bi, batch := range batches {
+		gpu, het := results[2*bi], results[2*bi+1]
 		t.AddRow(fmt.Sprintf("%d", batch),
 			report.Seconds(gpu.StepTime),
 			report.Seconds(het.StepTime),
@@ -134,11 +146,15 @@ func ExtMultiTenant() (*Table, error) {
 		{{Model: AlexNet}, {Model: InceptionV3}, {Model: LSTM, HostOnly: true}},
 		{{Model: AlexNet}, {Model: DCGAN}, {Model: LSTM, HostOnly: true}, {Model: Word2Vec, HostOnly: true}},
 	}
-	for _, mix := range mixes {
-		r, err := workload.RunMultiTenant(mix)
-		if err != nil {
-			return nil, err
-		}
+	results, err := runner.Map(context.Background(), len(mixes), 0,
+		func(_ context.Context, i int) (MultiTenantResult, error) {
+			return workload.RunMultiTenant(mixes[i])
+		})
+	if err != nil {
+		return nil, err
+	}
+	for mi, mix := range mixes {
+		r := results[mi]
 		name := ""
 		for i, ten := range mix {
 			if i > 0 {

@@ -27,7 +27,20 @@ import (
 	"heteropim/internal/energy"
 	"heteropim/internal/hw"
 	"heteropim/internal/nn"
+	"heteropim/internal/runner"
 )
+
+// SetParallelism fixes how many experiment cells (independent
+// simulations) may run concurrently during sweeps; n <= 0 restores the
+// GOMAXPROCS default. It returns the previous setting so callers can
+// restore it. The HETEROPIM_WORKERS environment variable is the
+// out-of-process equivalent. Parallel and sequential sweeps produce
+// bit-identical tables: parallelism is only ever across independent
+// simulations, never within one.
+func SetParallelism(n int) int { return runner.SetWorkers(n) }
+
+// Parallelism reports the worker count parallel sweeps currently use.
+func Parallelism() int { return runner.Workers() }
 
 // Model names a training workload (Section V-C).
 type Model = nn.ModelName

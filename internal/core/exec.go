@@ -15,6 +15,14 @@ import (
 
 // Options parameterizes the PIM executors (Hetero PIM and the two
 // PIM-only baselines run through the same discrete-event machinery).
+//
+// Concurrency contract: an Options value is bound to ONE RunPIM call.
+// Independent simulations may run concurrently (the parallel sweep
+// layer in internal/runner does exactly that), but each run must get
+// its own Options value — in particular its own Census, which is
+// written without synchronization. A Trace writer shared between
+// concurrent runs must itself be safe for concurrent use (wrap it with
+// SyncWriter); os.Stderr-style single-run tracing needs nothing extra.
 type Options struct {
 	// RC enables recursive PIM kernels (Fig. 6): residual phases run on
 	// the programmable PIM and per-section synchronization stays inside
@@ -58,13 +66,17 @@ type Options struct {
 	// its kernel-launch granularity.
 	GPUHost bool
 	// Trace, when non-nil, receives one line per scheduling decision:
-	// "t=<sim time> step=<n> op=<name> path=<cpu|prog|fixed>".
+	// "t=<sim time> step=<n> op=<name> path=<cpu|prog|fixed>". The
+	// writer is used from the run's own goroutine only; to share one
+	// writer across concurrent runs, wrap it with SyncWriter.
 	Trace io.Writer
 	// DisableOpportunistic turns off the Fig. 2 class-1 rule (offload
 	// non-candidate compute ops when units idle) — an ablation that
 	// shows the rule is load-bearing for deep serial networks.
 	DisableOpportunistic bool
 	// Census, when non-nil, is filled with per-op-type placement counts.
+	// It is written without synchronization: never share one Census
+	// between concurrent runs.
 	Census *PlacementCensus
 }
 
@@ -148,13 +160,46 @@ const maxBypass = 8
 // programmable PIM processors). The host runs shortest-job-first: the
 // 8-core machine timeslices, so a small framework op is never stuck
 // behind a long-running macro operation.
+//
+// The queue is head-indexed: pops advance head instead of re-slicing,
+// so one backing array serves the whole run (the old `queue[1:]`
+// re-slice leaked the array head and forced append to re-grow it
+// continuously — the hottest allocation site of the scheduling loop).
 type serialDevice struct {
 	slots int
 	busy  int
 	sjf   bool
 	queue []workItem
+	head  int
 	// busySeconds integrates slot occupancy for the energy model.
 	busySeconds float64
+}
+
+// pending returns the number of queued items.
+func (d *serialDevice) pending() int { return len(d.queue) - d.head }
+
+// pop removes and returns the head item, recycling the backing array
+// when the queue drains.
+func (d *serialDevice) pop() workItem {
+	w := d.queue[d.head]
+	d.queue[d.head] = workItem{} // drop the closure reference for the GC
+	d.head++
+	switch {
+	case d.head == len(d.queue):
+		d.queue = d.queue[:0]
+		d.head = 0
+	case d.head > 32 && d.head*2 > len(d.queue):
+		// Compact a mostly-consumed queue so a long run that never
+		// fully drains still reuses the front of the array.
+		n := copy(d.queue, d.queue[d.head:])
+		clearTail := d.queue[n:]
+		for i := range clearTail {
+			clearTail[i] = workItem{}
+		}
+		d.queue = d.queue[:n]
+		d.head = 0
+	}
+	return w
 }
 
 // exec is the discrete-event executor state.
@@ -169,6 +214,10 @@ type exec struct {
 	regs *pim.Registers
 	cpu  *serialDevice
 	prog *serialDevice
+
+	// fixedBanks caches the (static) bank list reported to the Fig. 7
+	// status registers for fixed-function offloads.
+	fixedBanks []int
 
 	fixedPending []*task
 
@@ -211,8 +260,10 @@ func RunPIM(g *nn.Graph, cfg hw.SystemConfig, opts Options) (Result, error) {
 			return Result{}, err
 		}
 	}
+	eng := sim.Acquire()
+	defer sim.Release(eng)
 	x := &exec{
-		eng:  sim.New(),
+		eng:  eng,
 		cfg:  cfg,
 		g:    g,
 		opts: opts,
@@ -225,26 +276,33 @@ func RunPIM(g *nn.Graph, cfg hw.SystemConfig, opts Options) (Result, error) {
 		cpu:  &serialDevice{slots: 2, sjf: true},
 		prog: &serialDevice{slots: cfg.ProgPIM.Processors},
 	}
+	// The placement is static, so the bank list reported to the status
+	// registers is too: compute it once instead of per offloaded op.
+	for b, u := range placement.Units {
+		if u > 0 {
+			x.fixedBanks = append(x.fixedBanks, b)
+			if len(x.fixedBanks) == 4 {
+				break
+			}
+		}
+	}
 	if opts.UseSelection {
-		prof := ProfileStep(g, cfg.CPU)
+		prof := CachedProfileStep(g, cfg.CPU)
 		if len(opts.HostOnlyOps) > 0 {
 			// Host-pinned operations (the Section VI-F non-CNN job) are
 			// not offload candidates: drop them from the profile so
-			// they cannot eat the x% selection budget.
-			kept := prof.Entries[:0]
-			var t hw.Seconds
-			var a float64
+			// they cannot eat the x% selection budget. The cached
+			// profile is shared — filter into a fresh slice.
+			filtered := StepProfile{Entries: make([]ProfileEntry, 0, len(prof.Entries))}
 			for _, e := range prof.Entries {
 				if opts.HostOnlyOps[e.OpID] {
 					continue
 				}
-				kept = append(kept, e)
-				t += e.Time
-				a += e.MemAccesses
+				filtered.Entries = append(filtered.Entries, e)
+				filtered.TotalTime += e.Time
+				filtered.TotalAccesses += e.MemAccesses
 			}
-			prof.Entries = kept
-			prof.TotalTime = t
-			prof.TotalAccesses = a
+			prof = filtered
 		}
 		x.cand = SelectCandidates(prof, opts.XPercent)
 	} else {
@@ -285,17 +343,60 @@ func (x *exec) effStack() hw.StackSpec {
 	return s
 }
 
-// buildTasks instantiates op x step tasks and wires dependencies.
+// max0 clamps a count to zero.
+func max0(v int) int {
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// buildTasks instantiates op x step tasks and wires dependencies. All
+// tasks live in one contiguous slab and all dependency-edge slices are
+// carved from a second slab sized by a degree-counting pre-pass, so the
+// whole graph costs a handful of allocations instead of one per task
+// plus repeated append growth per edge.
 func (x *exec) buildTasks() {
 	steps := x.opts.Steps
+	n := len(x.g.Ops)
+	// Out-degrees: same-step dependents, and (no-OP mode only)
+	// cross-step dependents of the previous step's instance.
+	outDeg := make([]int, n)
+	crossDeg := make([]int, n)
+	sameEdges, crossEdges := 0, 0
+	for _, op := range x.g.Ops {
+		for _, in := range op.Inputs {
+			outDeg[in]++
+			sameEdges++
+		}
+		if !x.opts.OP {
+			for _, cs := range op.CrossStep {
+				crossDeg[cs]++
+				crossEdges++
+			}
+		}
+	}
+	slab := make([]task, steps*n)
+	ptrs := make([]*task, steps*n)
+	edgeSlab := make([]*task, steps*sameEdges+max0(steps-1)*crossEdges)
 	x.tasks = make([][]*task, steps)
 	x.stepLeft = make([]int, steps)
 	x.heldBack = make([][]*task, steps)
+	off := 0
 	for s := 0; s < steps; s++ {
-		x.tasks[s] = make([]*task, len(x.g.Ops))
-		x.stepLeft[s] = len(x.g.Ops)
+		x.tasks[s] = ptrs[s*n : (s+1)*n]
+		x.stepLeft[s] = n
 		for _, op := range x.g.Ops {
-			x.tasks[s][op.ID] = &task{op: op, step: s}
+			t := &slab[s*n+op.ID]
+			t.op, t.step = op, s
+			// Carve the outs slice at its exact final capacity.
+			deg := outDeg[op.ID]
+			if s < steps-1 && !x.opts.OP {
+				deg += crossDeg[op.ID]
+			}
+			t.outs = edgeSlab[off : off : off+deg]
+			off += deg
+			x.tasks[s][op.ID] = t
 		}
 	}
 	for s := 0; s < steps; s++ {
@@ -459,8 +560,9 @@ func (x *exec) enqueue(d *serialDevice, w workItem) {
 	x.bk.Operation += w.opT
 	x.bk.DataMovement += w.dmT
 	if d.sjf {
+		// SJF insertion within the live window [head, len).
 		at := len(d.queue)
-		for at > 0 && d.queue[at-1].dur > w.dur && d.queue[at-1].bypassed < maxBypass {
+		for at > d.head && d.queue[at-1].dur > w.dur && d.queue[at-1].bypassed < maxBypass {
 			at--
 		}
 		d.queue = append(d.queue, workItem{})
@@ -477,9 +579,8 @@ func (x *exec) enqueue(d *serialDevice, w workItem) {
 
 // pumpDevice starts queued items while slots are free.
 func (x *exec) pumpDevice(d *serialDevice) {
-	for len(d.queue) > 0 && d.busy+d.queue[0].slots <= d.slots {
-		w := d.queue[0]
-		d.queue = d.queue[1:]
+	for d.pending() > 0 && d.busy+d.queue[d.head].slots <= d.slots {
+		w := d.pop()
 		d.busy += w.slots
 		d.busySeconds += w.dur * float64(w.slots)
 		if err := x.eng.After(w.dur, func() {
@@ -619,16 +720,7 @@ func (x *exec) startFixed(t *task) {
 	x.usage.PIMBytes += db
 	// Track the op in the status registers on the banks holding units
 	// (pimQueryLocation's answer for this op).
-	banks := make([]int, 0, 4)
-	for b, u := range x.pool.Placement.Units {
-		if u > 0 {
-			banks = append(banks, b)
-			if len(banks) == 4 {
-				break
-			}
-		}
-	}
-	x.registerOffload(t, pim.Location{Banks: banks})
+	x.registerOffload(t, pim.Location{Banks: x.fixedBanks})
 	// Kernel arrival overhead: with RC one host launch starts the
 	// recursive kernel on the programmable PIM; without RC the host
 	// drives every small kernel itself (charged per kernel, below).

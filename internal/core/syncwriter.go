@@ -1,0 +1,32 @@
+package core
+
+import (
+	"io"
+	"sync"
+)
+
+// syncWriter serializes writes from concurrent simulation runs.
+type syncWriter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+func (s *syncWriter) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.Write(p)
+}
+
+// SyncWriter wraps w so it can be shared as the Trace sink of multiple
+// concurrent runs: each trace line is written atomically. Lines from
+// different runs interleave (tag them by giving each run its own
+// prefixed writer if they must be separable).
+func SyncWriter(w io.Writer) io.Writer {
+	if w == nil {
+		return nil
+	}
+	if _, ok := w.(*syncWriter); ok {
+		return w
+	}
+	return &syncWriter{w: w}
+}

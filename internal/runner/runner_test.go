@@ -1,0 +1,111 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapPreservesOrder(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 100} {
+		out, err := Map(context.Background(), 50, workers, func(_ context.Context, i int) (int, error) {
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(out) != 50 {
+			t.Fatalf("workers=%d: got %d results", workers, len(out))
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	out, err := Map(context.Background(), 0, 4, func(_ context.Context, i int) (int, error) {
+		t.Fatal("fn called for empty input")
+		return 0, nil
+	})
+	if err != nil || out != nil {
+		t.Fatalf("got (%v, %v), want (nil, nil)", out, err)
+	}
+}
+
+func TestMapReportsLowestIndexError(t *testing.T) {
+	wantErr := errors.New("cell 3 failed")
+	_, err := Map(context.Background(), 20, 4, func(_ context.Context, i int) (int, error) {
+		if i == 3 {
+			return 0, wantErr
+		}
+		if i > 10 {
+			return 0, fmt.Errorf("later failure at %d", i)
+		}
+		return i, nil
+	})
+	// The lowest-index error must win regardless of completion order:
+	// cell 3 always runs (workers start at the front), so even if a
+	// later cell fails first, its error is superseded.
+	if !errors.Is(err, wantErr) {
+		t.Fatalf("got %v, want %v", err, wantErr)
+	}
+}
+
+func TestMapSequentialFailsFast(t *testing.T) {
+	wantErr := errors.New("boom")
+	var calls atomic.Int64
+	_, err := Map(context.Background(), 10, 1, func(_ context.Context, i int) (int, error) {
+		calls.Add(1)
+		if i == 2 {
+			return 0, wantErr
+		}
+		return i, nil
+	})
+	if !errors.Is(err, wantErr) {
+		t.Fatalf("got %v, want %v", err, wantErr)
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("sequential mode ran %d cells after the failure, want 3 total", calls.Load())
+	}
+}
+
+func TestMapHonorsContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Map(ctx, 10, 4, func(ctx context.Context, i int) (int, error) {
+		return i, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+}
+
+func TestForEach(t *testing.T) {
+	var sum atomic.Int64
+	if err := ForEach(context.Background(), 100, 8, func(_ context.Context, i int) error {
+		sum.Add(int64(i))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if sum.Load() != 4950 {
+		t.Fatalf("sum = %d, want 4950", sum.Load())
+	}
+}
+
+func TestSetWorkers(t *testing.T) {
+	prev := SetWorkers(3)
+	defer SetWorkers(prev)
+	if got := Workers(); got != 3 {
+		t.Fatalf("Workers() = %d after SetWorkers(3)", got)
+	}
+	SetWorkers(0)
+	if got := Workers(); got < 1 {
+		t.Fatalf("Workers() = %d with default setting", got)
+	}
+}

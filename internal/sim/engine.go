@@ -9,6 +9,7 @@ import (
 	"container/heap"
 	"fmt"
 	"math"
+	"sync"
 
 	"heteropim/internal/hw"
 )
@@ -108,3 +109,38 @@ func (e *Engine) Run() error {
 
 // Pending returns the number of queued events.
 func (e *Engine) Pending() int { return len(e.events) }
+
+// Reset returns the engine to its initial state (time zero, no events,
+// default budget) while keeping the event heap's backing array, so a
+// recycled engine runs its next simulation without re-growing the heap.
+func (e *Engine) Reset() {
+	e.now = 0
+	e.seq = 0
+	e.processed = 0
+	e.MaxEvents = 0
+	for i := range e.events {
+		e.events[i].fn = nil // drop closure references for the GC
+	}
+	e.events = e.events[:0]
+}
+
+// enginePool recycles engines (and their grown heap arrays) across
+// simulation runs. One steady-state run schedules tens of thousands of
+// events; reusing the backing array removes that re-growth from every
+// cell of a parallel sweep.
+var enginePool = sync.Pool{New: func() any { return New() }}
+
+// Acquire returns a reset engine from the pool.
+func Acquire() *Engine {
+	return enginePool.Get().(*Engine)
+}
+
+// Release resets the engine and returns it to the pool. The caller must
+// not use the engine afterwards.
+func Release(e *Engine) {
+	if e == nil {
+		return
+	}
+	e.Reset()
+	enginePool.Put(e)
+}

@@ -143,6 +143,54 @@ func TestClockMonotoneQuick(t *testing.T) {
 	}
 }
 
+func TestResetReusesHeapStorage(t *testing.T) {
+	e := New()
+	for i := 0; i < 1000; i++ {
+		_ = e.At(float64(i), func() {})
+	}
+	grown := cap(e.events)
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	e.Reset()
+	if e.Now() != 0 || e.seq != 0 || e.Processed() != 0 || e.Pending() != 0 {
+		t.Fatalf("reset engine not pristine: now=%g seq=%d processed=%d pending=%d",
+			e.Now(), e.seq, e.Processed(), e.Pending())
+	}
+	if cap(e.events) != grown {
+		t.Fatalf("reset dropped the heap backing array: cap %d, want %d", cap(e.events), grown)
+	}
+	// A recycled engine must behave exactly like a fresh one.
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		_ = e.At(1.0, func() { got = append(got, i) })
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("recycled engine reordered same-time events: %v", got)
+		}
+	}
+}
+
+func TestAcquireRelease(t *testing.T) {
+	e := Acquire()
+	_ = e.After(1, func() {})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	Release(e)
+	Release(nil) // must be a no-op
+	e2 := Acquire()
+	if e2.Now() != 0 || e2.Pending() != 0 {
+		t.Fatalf("pooled engine not reset: now=%g pending=%d", e2.Now(), e2.Pending())
+	}
+	Release(e2)
+}
+
 func BenchmarkEngineThroughput(b *testing.B) {
 	// Raw event throughput of the DES core.
 	e := New()

@@ -5,11 +5,13 @@
 package workload
 
 import (
+	"context"
 	"fmt"
 
 	"heteropim/internal/core"
 	"heteropim/internal/hw"
 	"heteropim/internal/nn"
+	"heteropim/internal/runner"
 )
 
 // MixedCase is one co-run pairing of Section VI-F.
@@ -232,16 +234,20 @@ func RunMixed(c MixedCase) (MixedResult, error) {
 	return res, nil
 }
 
-// RunAllMixed runs the six cases of Fig. 16.
+// RunAllMixed runs the six cases of Fig. 16, fanning the independent
+// cases out on the worker pool (results stay in case order).
 func RunAllMixed() ([]MixedResult, error) {
 	cases := MixedCases()
-	out := make([]MixedResult, 0, len(cases))
-	for _, c := range cases {
-		r, err := RunMixed(c)
-		if err != nil {
-			return nil, fmt.Errorf("workload: %s: %w", c.Name(), err)
-		}
-		out = append(out, r)
+	out, err := runner.Map(context.Background(), len(cases), 0,
+		func(_ context.Context, i int) (MixedResult, error) {
+			r, err := RunMixed(cases[i])
+			if err != nil {
+				return MixedResult{}, fmt.Errorf("workload: %s: %w", cases[i].Name(), err)
+			}
+			return r, nil
+		})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
