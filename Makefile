@@ -1,11 +1,20 @@
 GO ?= go
 
-.PHONY: verify vet build test race bench benchjson clean
+.PHONY: verify lint vet build test race bench benchjson golden golden-check clean
 
 # verify is the default CI gate: static checks, a full build, the test
 # suite, and the race-detector pass (the parallel experiment runner
 # makes the race pass load-bearing, not optional).
 verify: vet build test race
+
+# lint is the fail-fast CI job: formatting drift and vet findings,
+# no compilation of tests required.
+lint:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+	$(GO) vet ./...
 
 vet:
 	$(GO) vet ./...
@@ -30,6 +39,21 @@ bench:
 # wall clock per experiment).
 benchjson:
 	$(GO) run ./cmd/pimbench -benchjson BENCH_parallel.json
+
+# golden regenerates the committed golden outputs the regression CI job
+# diffs against. Run it (and review the diff) whenever an intentional
+# model/simulator change moves the numbers.
+golden:
+	$(GO) run ./cmd/pimtrain -model VGG-19 -config all > testdata/golden/pimtrain_all.txt
+	$(GO) run ./cmd/pimprof > testdata/golden/pimprof.txt
+
+# golden-check fails if current tool output drifts from the goldens.
+golden-check:
+	@mkdir -p /tmp/heteropim-golden
+	$(GO) run ./cmd/pimtrain -model VGG-19 -config all > /tmp/heteropim-golden/pimtrain_all.txt
+	$(GO) run ./cmd/pimprof > /tmp/heteropim-golden/pimprof.txt
+	diff -u testdata/golden/pimtrain_all.txt /tmp/heteropim-golden/pimtrain_all.txt
+	diff -u testdata/golden/pimprof.txt /tmp/heteropim-golden/pimprof.txt
 
 clean:
 	$(GO) clean ./...

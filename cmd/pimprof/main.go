@@ -1,51 +1,102 @@
 // Command pimprof reproduces the paper's profiling outputs: Table I
 // (top-5 compute-intensive and memory-intensive operations per model),
 // the Fig. 2 operation taxonomy, and — optionally — the Pin-substitute
-// instruction trace as JSON lines.
+// instruction trace as JSON lines or an instrumented-run timeline in
+// Chrome trace-event JSON (loadable in Perfetto).
 //
 // Usage:
 //
-//	pimprof                      # Table I + Fig. 2
-//	pimprof -trace VGG-19        # dump the instruction trace to stdout
+//	pimprof                                  # Table I + Fig. 2
+//	pimprof -trace VGG-19                    # dump the instruction trace to stdout
+//	pimprof -timeline VGG-19 -config hetero  # Chrome trace JSON to stdout
+//	pimprof -timeline VGG-19 -o vgg.trace.json
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strings"
 
 	"heteropim"
 	"heteropim/internal/nn"
 	"heteropim/internal/trace"
 )
 
+// fail prints the error and exits — the single exit path for every
+// pimprof error.
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "pimprof: %v\n", err)
+	os.Exit(1)
+}
+
+// buildModel resolves a model name, decorating the unknown-model error
+// with the valid names so a typo is self-correcting.
+func buildModel(name string) *nn.Graph {
+	g, err := nn.Build(nn.ModelName(name))
+	if err != nil {
+		names := make([]string, 0, len(nn.AllModelNames()))
+		for _, m := range nn.AllModelNames() {
+			names = append(names, string(m))
+		}
+		fail(fmt.Errorf("%w (valid models: %s)", err, strings.Join(names, ", ")))
+	}
+	return g
+}
+
+// output opens the -o target, defaulting to stdout.
+func output(path string) io.WriteCloser {
+	if path == "" {
+		return os.Stdout
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fail(err)
+	}
+	return f
+}
+
 func main() {
 	traceModel := flag.String("trace", "", "dump the instruction trace of this model as JSON lines")
 	dotModel := flag.String("dot", "", "dump this model's step DAG in Graphviz DOT format")
+	timelineModel := flag.String("timeline", "", "run this model instrumented and dump the Chrome trace-event timeline")
+	config := flag.String("config", "hetero", "platform for -timeline: cpu|gpu|progr|fixed|hetero")
+	out := flag.String("o", "", "write -timeline output to this file instead of stdout")
 	flag.Parse()
 
 	if *dotModel != "" {
-		g, err := nn.Build(nn.ModelName(*dotModel))
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "pimprof: %v\n", err)
-			os.Exit(1)
-		}
-		if err := g.WriteDOT(os.Stdout); err != nil {
-			fmt.Fprintf(os.Stderr, "pimprof: %v\n", err)
-			os.Exit(1)
+		if err := buildModel(*dotModel).WriteDOT(os.Stdout); err != nil {
+			fail(err)
 		}
 		return
 	}
 
 	if *traceModel != "" {
-		g, err := nn.Build(nn.ModelName(*traceModel))
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "pimprof: %v\n", err)
-			os.Exit(1)
+		if err := trace.Write(os.Stdout, trace.Generate(buildModel(*traceModel), 0)); err != nil {
+			fail(err)
 		}
-		if err := trace.Write(os.Stdout, trace.Generate(g, 0)); err != nil {
-			fmt.Fprintf(os.Stderr, "pimprof: %v\n", err)
-			os.Exit(1)
+		return
+	}
+
+	if *timelineModel != "" {
+		kind, err := heteropim.ParseConfig(*config)
+		if err != nil {
+			fail(err)
+		}
+		buildModel(*timelineModel) // validate the name before the run
+		_, m, err := heteropim.RunInstrumented(kind, heteropim.Model(*timelineModel))
+		if err != nil {
+			fail(err)
+		}
+		w := output(*out)
+		if err := m.WriteTimeline(w); err != nil {
+			fail(err)
+		}
+		if *out != "" {
+			if err := w.Close(); err != nil {
+				fail(err)
+			}
 		}
 		return
 	}
@@ -53,8 +104,7 @@ func main() {
 	for _, run := range []func() (*heteropim.Table, error){heteropim.ModelSummaries, heteropim.TableI, heteropim.Fig2Classes} {
 		t, err := run()
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "pimprof: %v\n", err)
-			os.Exit(1)
+			fail(err)
 		}
 		fmt.Println(t.String())
 	}

@@ -27,14 +27,6 @@ import (
 	"heteropim/internal/trace"
 )
 
-var configNames = map[string]heteropim.Config{
-	"cpu":    heteropim.ConfigCPU,
-	"gpu":    heteropim.ConfigGPU,
-	"progr":  heteropim.ConfigProgrPIM,
-	"fixed":  heteropim.ConfigFixedPIM,
-	"hetero": heteropim.ConfigHeteroPIM,
-}
-
 func fail(err error) {
 	fmt.Fprintf(os.Stderr, "pimtrain: %v\n", err)
 	os.Exit(1)
@@ -111,6 +103,8 @@ func main() {
 	schedTrace := flag.Bool("schedtrace", false, "print every Hetero PIM scheduling decision to stderr")
 	fromTrace := flag.String("fromtrace", "", "replay an instruction trace file (pimprof -trace output) instead of building a model")
 	explain := flag.Bool("explain", false, "print the Hetero PIM placement census and energy itemization")
+	metricsOut := flag.String("metrics", "", "run instrumented and write the metrics JSON dump to this file (\"-\" for stdout)")
+	advise := flag.Bool("advise", false, "run instrumented and print the tfprof-style advisor reading")
 	list := flag.Bool("list", false, "list models and configurations")
 	flag.Parse()
 
@@ -170,12 +164,40 @@ func main() {
 	if strings.EqualFold(*config, "all") {
 		configs = heteropim.Configs()
 	} else {
-		kind, ok := configNames[strings.ToLower(*config)]
-		if !ok {
-			fmt.Fprintf(os.Stderr, "pimtrain: unknown configuration %q\n", *config)
-			os.Exit(2)
+		kind, err := heteropim.ParseConfig(*config)
+		if err != nil {
+			fail(err)
 		}
 		configs = []heteropim.Config{kind}
+	}
+
+	// -metrics / -advise run a single configuration instrumented.
+	if *metricsOut != "" || *advise {
+		if strings.EqualFold(*config, "all") {
+			fail(fmt.Errorf("-metrics/-advise need a single -config, not \"all\""))
+		}
+		_, m, err := heteropim.RunInstrumentedScaled(configs[0], heteropim.Model(*model), *freq)
+		if err != nil {
+			fail(err)
+		}
+		if *metricsOut != "" {
+			w := os.Stdout
+			if *metricsOut != "-" {
+				f, err := os.Create(*metricsOut)
+				if err != nil {
+					fail(err)
+				}
+				defer f.Close()
+				w = f
+			}
+			if err := m.WriteJSON(w); err != nil {
+				fail(err)
+			}
+		}
+		if *advise {
+			fmt.Println(m.Advice())
+		}
+		return
 	}
 
 	t := &report.Table{

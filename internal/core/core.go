@@ -6,6 +6,7 @@ import (
 	"heteropim/internal/device"
 	"heteropim/internal/hw"
 	"heteropim/internal/nn"
+	"heteropim/internal/sim"
 )
 
 // HeteroOptions returns the full paper runtime: profiling-based
@@ -24,21 +25,31 @@ func Run(kind hw.ConfigKind, g *nn.Graph, freqScale float64) (Result, error) {
 
 // RunOn is Run with an explicit (possibly customized) configuration.
 func RunOn(kind hw.ConfigKind, g *nn.Graph, cfg hw.SystemConfig) (Result, error) {
+	return RunOnWithCollector(kind, g, cfg, nil)
+}
+
+// RunOnWithCollector is RunOn with the observability layer attached:
+// the run's task spans, queue depths and scheduling counters are
+// delivered to c (nil behaves exactly like RunOn — attaching a
+// collector never changes simulation results).
+func RunOnWithCollector(kind hw.ConfigKind, g *nn.Graph, cfg hw.SystemConfig, c sim.Collector) (Result, error) {
 	switch kind {
 	case hw.ConfigCPU:
-		return RunCPU(g, cfg), nil
+		return RunCPUWithCollector(g, cfg, c), nil
 	case hw.ConfigGPU:
-		return RunGPU(g, cfg), nil
+		return RunGPUWithCollector(g, cfg, c), nil
 	case hw.ConfigProgrPIM:
 		// No runtime scheduling: every op runs on the programmable
 		// cores, as wide as its parallelism allows, no pipeline.
-		return RunPIM(g, cfg, Options{NoCPUFallback: true, WideProgOps: true})
+		return RunPIM(g, cfg, Options{NoCPUFallback: true, WideProgOps: true, Collector: c})
 	case hw.ConfigFixedPIM:
 		// Offloadable ops on the fixed-function pool, everything else
 		// (and all residual phases) on the CPU; no runtime scheduling.
-		return RunPIM(g, cfg, Options{})
+		return RunPIM(g, cfg, Options{Collector: c})
 	case hw.ConfigHeteroPIM:
-		return RunPIM(g, cfg, HeteroOptions())
+		opts := HeteroOptions()
+		opts.Collector = c
+		return RunPIM(g, cfg, opts)
 	default:
 		return Result{}, fmt.Errorf("core: unknown configuration %v", kind)
 	}

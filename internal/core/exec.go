@@ -78,6 +78,16 @@ type Options struct {
 	// It is written without synchronization: never share one Census
 	// between concurrent runs.
 	Census *PlacementCensus
+	// Collector, when non-nil, receives the run's instrumentation
+	// events: per-device task spans, queue depths, fixed-pool busy
+	// units, pipeline occupancy and scheduling counters (the
+	// observability layer; metrics.Collector records and exports them).
+	// Like every Options field it binds this value to one run — but a
+	// collector that is itself safe for concurrent use (metrics.Collector
+	// is) may be SHARED by the Options values of concurrent runs. The
+	// uninstrumented path pays one nil check per hook. Attaching a
+	// collector never changes simulation results.
+	Collector sim.Collector
 }
 
 // withDefaults normalizes option values.
@@ -151,6 +161,10 @@ type workItem struct {
 	// after maxBypass jumps the item cannot be overtaken again).
 	bypassed int
 	done     func()
+	// obs is the task this item executes, for the device timeline;
+	// set only when a collector is attached (keeps the struct small —
+	// it is copied during SJF queue insertion).
+	obs *task
 }
 
 // maxBypass bounds SJF queue jumping so long operations cannot starve.
@@ -173,6 +187,10 @@ type serialDevice struct {
 	head  int
 	// busySeconds integrates slot occupancy for the energy model.
 	busySeconds float64
+	// name is the device's timeline track ("cpu", "prog", "gpu");
+	// queueMetric is the precomputed gauge name for its queue depth.
+	name        string
+	queueMetric string
 }
 
 // pending returns the number of queued items.
@@ -262,6 +280,13 @@ func RunPIM(g *nn.Graph, cfg hw.SystemConfig, opts Options) (Result, error) {
 	}
 	eng := sim.Acquire()
 	defer sim.Release(eng)
+	// Attach the collector before any scheduling happens; Release's
+	// Reset detaches it, so the pooled engine cannot leak it.
+	eng.SetCollector(opts.Collector)
+	hostTrack := "cpu"
+	if opts.GPUHost {
+		hostTrack = "gpu"
+	}
 	x := &exec{
 		eng:  eng,
 		cfg:  cfg,
@@ -273,8 +298,8 @@ func RunPIM(g *nn.Graph, cfg hw.SystemConfig, opts Options) (Result, error) {
 		// inter-op thread pool keeps multiple operations in flight on
 		// the 8-core machine, which is what lets a co-running job use
 		// idle host cycles (Section VI-F).
-		cpu:  &serialDevice{slots: 2, sjf: true},
-		prog: &serialDevice{slots: cfg.ProgPIM.Processors},
+		cpu:  &serialDevice{slots: 2, sjf: true, name: hostTrack, queueMetric: "queue." + hostTrack},
+		prog: &serialDevice{slots: cfg.ProgPIM.Processors, name: "prog", queueMetric: "queue.prog"},
 	}
 	// The placement is static, so the bank list reported to the status
 	// registers is too: compute it once instead of per offloaded op.
@@ -308,11 +333,16 @@ func RunPIM(g *nn.Graph, cfg hw.SystemConfig, opts Options) (Result, error) {
 	} else {
 		x.cand = AllOpsCandidates(g)
 	}
+	// Selection-rank decisions, for the metrics dump: how many ops the
+	// dual-index rank admitted to the candidate set.
+	eng.EmitCount("sched.ops", float64(len(g.Ops)))
+	eng.EmitCount("sched.candidates", float64(len(x.cand)))
 	x.buildTasks()
 	x.seed()
 	if err := x.eng.Run(); err != nil {
 		return Result{}, err
 	}
+	eng.EmitCount("sim.events", float64(eng.Processed()))
 	if x.err != nil {
 		return Result{}, x.err
 	}
@@ -512,6 +542,13 @@ func (x *exec) trace(t *task) {
 			c.CPU[string(t.op.Type)]++
 		}
 	}
+	if x.eng.Observing() {
+		counters := [...]string{"sched.path.cpu", "sched.path.prog", "sched.path.fixed"}
+		x.eng.EmitCount(counters[t.path], 1)
+		// Pipeline occupancy: how many steps are in flight when this
+		// placement happens (1 without OP, up to PipelineDepth with).
+		x.eng.EmitSample("pipeline.steps_in_flight", float64(t.step-x.firstOpen+1))
+	}
 	if x.opts.Trace == nil {
 		return
 	}
@@ -574,6 +611,7 @@ func (x *exec) enqueue(d *serialDevice, w workItem) {
 	} else {
 		d.queue = append(d.queue, w)
 	}
+	x.eng.EmitSample(d.queueMetric, float64(d.pending()))
 	x.pumpDevice(d)
 }
 
@@ -583,8 +621,18 @@ func (x *exec) pumpDevice(d *serialDevice) {
 		w := d.pop()
 		d.busy += w.slots
 		d.busySeconds += w.dur * float64(w.slots)
+		start := x.eng.Now()
+		if x.eng.Observing() {
+			x.eng.EmitSample(d.queueMetric, float64(d.pending()))
+			if w.obs != nil {
+				x.eng.EmitTaskStart(sim.Task{Track: d.name, Name: w.obs.op.Name, Kind: "op", Step: w.obs.step})
+			}
+		}
 		if err := x.eng.After(w.dur, func() {
 			d.busy -= w.slots
+			if x.eng.Observing() && w.obs != nil {
+				x.eng.EmitTaskEnd(sim.Task{Track: d.name, Name: w.obs.op.Name, Kind: "op", Step: w.obs.step, Start: start})
+			}
 			x.pumpDevice(d)
 			if w.done != nil {
 				w.done()
@@ -622,7 +670,11 @@ func (x *exec) startCPU(t *task) {
 	}
 	opT, dmT := splitWork(w)
 	x.bk.Sync += overhead
-	x.enqueue(x.cpu, workItem{dur: w.Time() + overhead, opT: opT, dmT: dmT, done: func() { x.complete(t) }})
+	item := workItem{dur: w.Time() + overhead, opT: opT, dmT: dmT, done: func() { x.complete(t) }}
+	if x.eng.Observing() {
+		item.obs = t
+	}
+	x.enqueue(x.cpu, item)
 }
 
 // startProg runs the whole op on programmable PIM processors. If all
@@ -631,6 +683,7 @@ func (x *exec) startCPU(t *task) {
 // baseline).
 func (x *exec) startProg(t *task) {
 	if !x.opts.NoCPUFallback && x.prog.busy >= x.prog.slots && x.cpu.busy < x.cpu.slots {
+		x.eng.EmitCount("sched.cpu_fallback", 1)
 		x.startCPU(t)
 		return
 	}
@@ -656,10 +709,14 @@ func (x *exec) startProg(t *task) {
 	if x.opts.WideProgOps {
 		procs2 = nn.ProgParallelismFor(t.op.Type)
 	}
-	x.enqueue(x.prog, workItem{dur: w.Time() + launch, opT: opT, dmT: dmT, slots: procs2, done: func() {
+	item := workItem{dur: w.Time() + launch, opT: opT, dmT: dmT, slots: procs2, done: func() {
 		x.completeOffload(t)
 		x.complete(t)
-	}})
+	}}
+	if x.eng.Observing() {
+		item.obs = t
+	}
+	x.enqueue(x.prog, item)
 }
 
 // registerOffload records the op in the hardware status registers
@@ -750,12 +807,21 @@ func (x *exec) runResidual(t *task, before bool) {
 	opT, dmT := splitWork(half)
 	x.bk.Operation += opT
 	x.bk.DataMovement += dmT
+	residualTrack := "residual.cpu"
 	if x.opts.RC && x.prog.slots > 0 {
 		x.prog.busySeconds += half.Time()
+		residualTrack = "residual.prog"
 	} else {
 		x.cpu.busySeconds += half.Time()
 	}
+	start := x.eng.Now()
+	if x.eng.Observing() {
+		x.eng.EmitTaskStart(sim.Task{Track: residualTrack, Name: t.op.Name, Kind: "residual", Step: t.step})
+	}
 	if err := x.eng.After(half.Time(), func() {
+		if x.eng.Observing() {
+			x.eng.EmitTaskEnd(sim.Task{Track: residualTrack, Name: t.op.Name, Kind: "residual", Step: t.step, Start: start})
+		}
 		if before {
 			x.requestSection(t)
 		} else {
@@ -816,11 +882,23 @@ func (x *exec) runSection(t *task, granted int) {
 	opT := math.Min(compT, dur)
 	x.bk.Operation += opT
 	x.bk.DataMovement += dur - opT
+	start := x.eng.Now()
+	if x.eng.Observing() {
+		// One span per granted chunk: the per-bank utilization signal of
+		// the Fig. 15 study, as both a timeline lane and a busy-units
+		// counter track.
+		x.eng.EmitSample("fixed.busy_units", float64(x.pool.Busy()))
+		x.eng.EmitTaskStart(sim.Task{Track: "fixed", Name: t.op.Name, Kind: "section", Step: t.step})
+	}
 	if err := x.eng.After(dur, func() {
 		x.pool.Advance(x.eng.Now())
 		if err := x.pool.Release(granted); err != nil {
 			x.err = err
 			return
+		}
+		if x.eng.Observing() {
+			x.eng.EmitTaskEnd(sim.Task{Track: "fixed", Name: t.op.Name, Kind: "section", Step: t.step, Start: start})
+			x.eng.EmitSample("fixed.busy_units", float64(x.pool.Busy()))
 		}
 		t.remFlops -= chunkFlops
 		t.remBytes -= chunkBytes
@@ -878,6 +956,7 @@ func (x *exec) pumpFixedPending() {
 func (x *exec) finish() Result {
 	makespan := x.eng.Now()
 	x.pool.Advance(makespan)
+	x.eng.EmitSample("fixed.utilization", x.pool.Utilization())
 	steps := float64(x.opts.Steps)
 	res := Result{
 		Config:   x.cfg,

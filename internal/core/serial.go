@@ -6,7 +6,19 @@ import (
 	"heteropim/internal/device"
 	"heteropim/internal/hw"
 	"heteropim/internal/nn"
+	"heteropim/internal/sim"
 )
+
+// emitSerialSpan feeds one serially-executed op to a collector as a
+// completed span (the serial executors have no event engine; their
+// clock is the running sum of op durations).
+func emitSerialSpan(c sim.Collector, track, name string, start, dur hw.Seconds) {
+	if c == nil {
+		return
+	}
+	c.TaskStart(sim.Task{Track: track, Name: name, Kind: "op", Start: start})
+	c.TaskEnd(sim.Task{Track: track, Name: name, Kind: "op", Start: start, End: start + dur})
+}
 
 // Per-operation framework dispatch overhead on the host (TensorFlow
 // executor bookkeeping), charged by the serial executors.
@@ -23,7 +35,14 @@ func splitWork(w device.Work) (operation, dataMove hw.Seconds) {
 // RunCPU executes every training operation on the host CPU, one
 // training step, serially (the paper's CPU baseline).
 func RunCPU(g *nn.Graph, cfg hw.SystemConfig) Result {
+	return RunCPUWithCollector(g, cfg, nil)
+}
+
+// RunCPUWithCollector is RunCPU with instrumentation: each op becomes a
+// span on the "cpu" track at its serial position in the step.
+func RunCPUWithCollector(g *nn.Graph, cfg hw.SystemConfig, c sim.Collector) Result {
 	res := Result{Config: cfg, Model: g.Model, Steps: 1}
+	var clock hw.Seconds
 	for _, op := range g.Ops {
 		w := device.CPUOp(op, cfg.CPU)
 		opT, dmT := splitWork(w)
@@ -33,6 +52,9 @@ func RunCPU(g *nn.Graph, cfg hw.SystemConfig) Result {
 		res.Usage.CPUBusy += w.Time()
 		res.Usage.HostBytes += op.Bytes
 		res.CPUOps++
+		dur := w.Time() + cpuDispatchOverhead
+		emitSerialSpan(c, "cpu", op.Name, clock, dur)
+		clock += dur
 	}
 	res.StepTime = res.Breakdown.Total()
 	return res
@@ -53,19 +75,34 @@ func gpuEff(g *nn.Graph) float64 {
 // transfer (the paper's GPU baseline; Section VI-A's data-movement bars
 // for GPU are exactly the unhidden transfer time).
 func RunGPU(g *nn.Graph, cfg hw.SystemConfig) Result {
+	return RunGPUWithCollector(g, cfg, nil)
+}
+
+// RunGPUWithCollector is RunGPU with instrumentation: kernels become
+// spans on the "gpu" track, the unhidden host<->GPU transfer one span
+// on the "pcie" track.
+func RunGPUWithCollector(g *nn.Graph, cfg hw.SystemConfig, c sim.Collector) Result {
 	res := Result{Config: cfg, Model: g.Model, Steps: 1}
+	var clock hw.Seconds
 	for _, op := range g.Ops {
 		w := device.GPUOp(op, cfg.GPU, gpuEff(g))
 		res.Breakdown.Operation += w.Time()
 		res.Breakdown.Sync += cfg.GPU.KernelLaunchOverhead
 		res.Usage.GPUBusy += w.Time()
 		res.Usage.GPUBytes += op.Bytes
+		dur := w.Time() + cfg.GPU.KernelLaunchOverhead
+		emitSerialSpan(c, "gpu", op.Name, clock, dur)
+		clock += dur
 	}
 	res.GPUUtilization = g.GPUUtilization
 	transfer := device.GPUStepTransferTime(g, cfg.GPU)
 	res.Breakdown.DataMovement = transfer
 	res.Usage.LinkBytes = device.GPUStepTransferBytes(g)
 	res.Usage.CPUBusy = transfer // the host drives the transfers
+	if c != nil && transfer > 0 {
+		c.TaskStart(sim.Task{Track: "pcie", Name: "host<->gpu transfer", Kind: "transfer", Start: clock})
+		c.TaskEnd(sim.Task{Track: "pcie", Name: "host<->gpu transfer", Kind: "transfer", Start: clock, End: clock + transfer})
+	}
 	res.StepTime = res.Breakdown.Total()
 	return res
 }

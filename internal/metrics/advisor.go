@@ -1,0 +1,95 @@
+package metrics
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Advice is the tfprof-style advisor's reading of one metrics snapshot:
+// which device the run wasted, and which operation gated it.
+type Advice struct {
+	// Bottleneck is the device track with the highest busy share.
+	Bottleneck string
+	// Underutilized is the device track with the lowest busy share.
+	Underutilized string
+	// StallOp is the operation most responsible for stalls: the op with
+	// the largest summed span time on the bottleneck device.
+	StallOp string
+	// Lines is the rendered report.
+	Lines []string
+}
+
+// deviceTrack reports whether a track is a primary device lane (as
+// opposed to a derived lane like "residual.prog").
+func deviceTrack(name string) bool { return !strings.Contains(name, ".") }
+
+// Advise reads a snapshot and produces the advisor report. It returns
+// a zero-value Advice (with one explanatory line) when the snapshot
+// has no device spans to reason about.
+func Advise(s Snapshot) Advice {
+	var a Advice
+	var devices []TrackStat
+	for _, t := range s.Tracks {
+		if deviceTrack(t.Track) {
+			devices = append(devices, t)
+		}
+	}
+	if len(devices) == 0 || s.Makespan <= 0 {
+		a.Lines = []string{"advisor: no device spans recorded (was the run instrumented?)"}
+		return a
+	}
+	lo, hi := devices[0], devices[0]
+	for _, d := range devices[1:] {
+		if d.BusyShare < lo.BusyShare {
+			lo = d
+		}
+		if d.BusyShare > hi.BusyShare {
+			hi = d
+		}
+	}
+	a.Bottleneck, a.Underutilized = hi.Track, lo.Track
+	// The op gating the run: whatever dominates the bottleneck device
+	// gates the makespan.
+	a.StallOp = hi.TopOp
+
+	a.Lines = append(a.Lines,
+		fmt.Sprintf("advisor: bottleneck device is %q: busy %.1f%% of the %.3fs makespan (%.3fs over %d spans)",
+			hi.Track, 100*hi.BusyShare, s.Makespan, hi.BusySeconds, hi.Spans),
+		fmt.Sprintf("advisor: top underutilized device is %q: idle %.1f%% of the makespan (busy %.3fs)",
+			lo.Track, 100*(1-min1(lo.BusyShare)), lo.BusySeconds))
+	if a.StallOp != "" {
+		a.Lines = append(a.Lines,
+			fmt.Sprintf("advisor: op most responsible for stalls is %q: %.3fs on %q (%.1f%% of the makespan)",
+				a.StallOp, hi.TopOpSeconds, hi.Track, 100*hi.TopOpSeconds/s.Makespan))
+	}
+	if fb := counterValue(s.RegistrySnapshot, "sched.cpu_fallback"); fb > 0 {
+		a.Lines = append(a.Lines,
+			fmt.Sprintf("advisor: %d operations fell back to the CPU because programmable PIMs were busy — more processors or deeper pipelining may help", int(fb)))
+	}
+	if lo.BusyShare < 0.5 {
+		a.Lines = append(a.Lines,
+			fmt.Sprintf("advisor: consider steering more work to %q (e.g. lower the selection x%% threshold or enable OP) to close its idle window", lo.Track))
+	}
+	return a
+}
+
+// String renders the advice report.
+func (a Advice) String() string { return strings.Join(a.Lines, "\n") }
+
+// counterValue finds a counter in a snapshot (0 when absent).
+func counterValue(s RegistrySnapshot, name string) float64 {
+	for _, c := range s.Counters {
+		if c.Name == name {
+			return c.Value
+		}
+	}
+	return 0
+}
+
+// min1 clamps a share to 1 (multi-lane tracks can exceed it).
+func min1(v float64) float64 {
+	if v > 1 {
+		return 1
+	}
+	return v
+}

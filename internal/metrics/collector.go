@@ -1,0 +1,198 @@
+package metrics
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+
+	"heteropim/internal/hw"
+	"heteropim/internal/sim"
+)
+
+// Collector implements sim.Collector: it records task spans into a
+// timeline, folds durations and counts into a Registry, and keeps gauge
+// time series for counter tracks. Every method takes the collector
+// lock, so one Collector may be shared across concurrent simulation
+// runs (the parallel-sweep race test does exactly that); spans from
+// different runs land in emission order.
+type Collector struct {
+	mu     sync.Mutex
+	reg    *Registry
+	spans  []Span
+	series map[string][]SamplePoint
+	// maxEnd tracks the observed makespan for busy-share derivation.
+	maxEnd float64
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector {
+	return &Collector{reg: NewRegistry(), series: map[string][]SamplePoint{}}
+}
+
+// TaskStart counts span starts per track.
+func (c *Collector) TaskStart(t sim.Task) {
+	c.reg.Add("starts."+t.Track, 1)
+}
+
+// TaskEnd records the completed span and aggregates its duration.
+func (c *Collector) TaskEnd(t sim.Task) {
+	dur := float64(t.End - t.Start)
+	c.mu.Lock()
+	c.spans = append(c.spans, Span{
+		Track: t.Track, Name: t.Name, Kind: t.Kind, Step: t.Step,
+		Start: float64(t.Start), End: float64(t.End),
+	})
+	if float64(t.End) > c.maxEnd {
+		c.maxEnd = float64(t.End)
+	}
+	c.mu.Unlock()
+	c.reg.Add("busy_seconds."+t.Track, dur)
+	c.reg.Observe("span_seconds."+t.Track, dur)
+}
+
+// Sample appends to the gauge's time series and updates its last value.
+func (c *Collector) Sample(name string, at hw.Seconds, v float64) {
+	c.mu.Lock()
+	c.series[name] = append(c.series[name], SamplePoint{At: float64(at), Value: v})
+	c.mu.Unlock()
+	c.reg.Set(name, float64(at), v)
+}
+
+// Count accumulates a registry counter.
+func (c *Collector) Count(name string, delta float64) { c.reg.Add(name, delta) }
+
+// Registry exposes the underlying registry (shared, concurrency-safe).
+func (c *Collector) Registry() *Registry { return c.reg }
+
+// Timeline copies the recorded spans and series.
+func (c *Collector) Timeline() *Timeline {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	tl := &Timeline{Spans: append([]Span(nil), c.spans...)}
+	if len(c.series) > 0 {
+		tl.Series = make(map[string][]SamplePoint, len(c.series))
+		for name, pts := range c.series {
+			tl.Series[name] = append([]SamplePoint(nil), pts...)
+		}
+	}
+	return tl
+}
+
+// WriteChromeTrace exports the recorded timeline in Chrome trace-event
+// JSON (Perfetto / chrome://tracing).
+func (c *Collector) WriteChromeTrace(w io.Writer) error {
+	return c.Timeline().WriteChromeTrace(w)
+}
+
+// TrackStat summarizes one device track over the run.
+type TrackStat struct {
+	Track string `json:"track"`
+	// BusySeconds is the summed span time on the track (unit-seconds
+	// when lanes overlap).
+	BusySeconds float64 `json:"busy_seconds"`
+	// BusyShare is BusySeconds / makespan; > 1 means the track ran
+	// more than one lane in parallel on average.
+	BusyShare float64 `json:"busy_share"`
+	Spans     int     `json:"spans"`
+	// TopOp is the operation with the most summed span time on this
+	// track (the advisor's stall attribution).
+	TopOp        string  `json:"top_op,omitempty"`
+	TopOpSeconds float64 `json:"top_op_seconds,omitempty"`
+}
+
+// OpStat aggregates span time per operation name.
+type OpStat struct {
+	Name    string  `json:"name"`
+	Seconds float64 `json:"seconds"`
+	Spans   int     `json:"spans"`
+}
+
+// Snapshot is the machine-readable metrics dump of one instrumented
+// run: the registry plus derived per-track and per-op aggregates.
+type Snapshot struct {
+	// Makespan is the latest span end observed (simulated seconds).
+	Makespan float64     `json:"makespan"`
+	Tracks   []TrackStat `json:"tracks"`
+	// TopOps are the operations with the most summed span time,
+	// descending, capped at 15.
+	TopOps []OpStat `json:"top_ops"`
+	RegistrySnapshot
+}
+
+// maxTopOps caps the per-op aggregate list in a snapshot.
+const maxTopOps = 15
+
+// Snapshot derives the metrics dump from the recorded state.
+func (c *Collector) Snapshot() Snapshot {
+	c.mu.Lock()
+	type agg struct {
+		secs  float64
+		spans int
+	}
+	accumulate := func(m map[string]*agg, key string, dur float64) {
+		a, ok := m[key]
+		if !ok {
+			a = &agg{}
+			m[key] = a
+		}
+		a.secs += dur
+		a.spans++
+	}
+	tracks := map[string]*agg{}
+	ops := map[string]*agg{}
+	trackOps := map[string]map[string]*agg{}
+	for _, s := range c.spans {
+		dur := s.End - s.Start
+		accumulate(tracks, s.Track, dur)
+		accumulate(ops, s.Name, dur)
+		to, ok := trackOps[s.Track]
+		if !ok {
+			to = map[string]*agg{}
+			trackOps[s.Track] = to
+		}
+		accumulate(to, s.Name, dur)
+	}
+	makespan := c.maxEnd
+	c.mu.Unlock()
+
+	snap := Snapshot{Makespan: makespan, RegistrySnapshot: c.reg.Snapshot()}
+	for name, a := range tracks {
+		ts := TrackStat{Track: name, BusySeconds: a.secs, Spans: a.spans}
+		if makespan > 0 {
+			ts.BusyShare = a.secs / makespan
+		}
+		for op, oa := range trackOps[name] {
+			if oa.secs > ts.TopOpSeconds || (oa.secs == ts.TopOpSeconds && (ts.TopOp == "" || op < ts.TopOp)) {
+				ts.TopOp, ts.TopOpSeconds = op, oa.secs
+			}
+		}
+		snap.Tracks = append(snap.Tracks, ts)
+	}
+	sort.Slice(snap.Tracks, func(i, j int) bool { return snap.Tracks[i].Track < snap.Tracks[j].Track })
+	for name, a := range ops {
+		snap.TopOps = append(snap.TopOps, OpStat{Name: name, Seconds: a.secs, Spans: a.spans})
+	}
+	sort.Slice(snap.TopOps, func(i, j int) bool {
+		if snap.TopOps[i].Seconds != snap.TopOps[j].Seconds {
+			return snap.TopOps[i].Seconds > snap.TopOps[j].Seconds
+		}
+		return snap.TopOps[i].Name < snap.TopOps[j].Name
+	})
+	if len(snap.TopOps) > maxTopOps {
+		snap.TopOps = snap.TopOps[:maxTopOps]
+	}
+	return snap
+}
+
+// WriteJSON writes the full metrics dump (snapshot) as indented JSON.
+func (c *Collector) WriteJSON(w io.Writer) error {
+	return c.Snapshot().WriteJSON(w)
+}
+
+// WriteJSON writes the snapshot as indented JSON.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}

@@ -1,0 +1,218 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+
+	"heteropim/internal/sim"
+)
+
+// TestRegistrySnapshotDeterminism checks two identically-fed registries
+// serialize to identical bytes (sorted series, stable buckets).
+func TestRegistrySnapshotDeterminism(t *testing.T) {
+	feed := func() *Registry {
+		r := NewRegistry()
+		r.Add("zeta", 2)
+		r.Add("alpha", 1)
+		r.Set("gauge.b", 1, 4)
+		r.Set("gauge.a", 2, 7)
+		r.Observe("hist.x", 1e-5)
+		r.Observe("hist.x", 3)
+		return r
+	}
+	var a, b bytes.Buffer
+	if err := feed().Snapshot().WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := feed().Snapshot().WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("snapshots differ:\n%s\nvs\n%s", a.String(), b.String())
+	}
+	if !strings.Contains(a.String(), `"alpha"`) {
+		t.Fatal("snapshot lost a counter")
+	}
+}
+
+// TestHistogramBuckets checks observations land in the right buckets.
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	r.Observe("dur", 5e-6) // <= 1e-5 bucket (index 2)
+	r.Observe("dur", 100)  // overflow bucket
+	s := r.Snapshot()
+	if len(s.Histograms) != 1 {
+		t.Fatalf("got %d histograms, want 1", len(s.Histograms))
+	}
+	h := s.Histograms[0]
+	if h.Count != 2 || h.Min != 5e-6 || h.Max != 100 {
+		t.Fatalf("histogram stats wrong: %+v", h)
+	}
+	if h.Buckets[2] != 1 || h.Buckets[len(h.Buckets)-1] != 1 {
+		t.Fatalf("bucket placement wrong: %v", h.Buckets)
+	}
+	if len(h.Buckets) != len(h.Bounds)+1 {
+		t.Fatalf("bucket/bound count mismatch: %d vs %d", len(h.Buckets), len(h.Bounds))
+	}
+}
+
+// TestRegistryConcurrent hammers one registry from many goroutines;
+// meaningful under -race, and the totals must still add up.
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	const workers, per = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				r.Add("n", 1)
+				r.Observe("h", 0.5)
+				r.Set("g", float64(i), float64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.CounterValue("n"); got != workers*per {
+		t.Fatalf("counter = %v, want %d", got, workers*per)
+	}
+}
+
+// span is a test shorthand.
+func span(track, name string, step int, start, end float64) sim.Task {
+	return sim.Task{Track: track, Name: name, Kind: "op", Step: step, Start: start, End: end}
+}
+
+// TestChromeTraceRoundTrip builds a timeline with overlapping spans,
+// exports it, re-parses the JSON, and validates the schema: lane
+// metadata present, spans non-overlapping per tid, counters carried.
+func TestChromeTraceRoundTrip(t *testing.T) {
+	c := NewCollector()
+	c.TaskEnd(span("cpu", "Conv2D", 0, 0, 2))
+	c.TaskEnd(span("cpu", "MatMul", 0, 1, 3)) // overlaps Conv2D -> second lane
+	c.TaskEnd(span("prog", "ReLU", 1, 0.5, 0.75))
+	c.Sample("queue.cpu", 0.25, 2)
+	c.Sample("queue.cpu", 1.5, 1)
+	c.Count("sched.path.cpu", 2)
+
+	var buf bytes.Buffer
+	if err := c.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var ct ChromeTrace
+	if err := json.Unmarshal(buf.Bytes(), &ct); err != nil {
+		t.Fatalf("exported trace is not valid JSON: %v", err)
+	}
+	if err := ct.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The overlapping cpu spans must land on distinct tids, and both
+	// tids must be named for the cpu track.
+	byTID := map[int][][2]float64{}
+	names := map[int]string{}
+	var counters int
+	for _, ev := range ct.TraceEvents {
+		switch {
+		case ev.Phase == "M" && ev.Name == "thread_name":
+			names[ev.TID] = ev.Args["name"].(string)
+		case ev.Phase == "X":
+			byTID[ev.TID] = append(byTID[ev.TID], [2]float64{ev.TS, ev.TS + ev.Dur})
+		case ev.Phase == "C":
+			counters++
+		}
+	}
+	if counters != 2 {
+		t.Fatalf("got %d counter events, want 2", counters)
+	}
+	cpuLanes := 0
+	for tid, name := range names {
+		if strings.HasPrefix(name, "cpu") {
+			cpuLanes++
+		}
+		spans := byTID[tid]
+		for i := 1; i < len(spans); i++ {
+			if spans[i][0] < spans[i-1][1] {
+				t.Fatalf("tid %d (%s): overlapping spans %v", tid, name, spans)
+			}
+		}
+	}
+	if cpuLanes != 2 {
+		t.Fatalf("cpu track used %d lanes, want 2 (overlap must split)", cpuLanes)
+	}
+}
+
+// TestChromeTraceDeterminism checks identical timelines export to
+// identical bytes.
+func TestChromeTraceDeterminism(t *testing.T) {
+	build := func() *Collector {
+		c := NewCollector()
+		c.TaskEnd(span("fixed", "Conv2DBackpropFilter", 2, 0, 1))
+		c.TaskEnd(span("cpu", "BiasAdd", 0, 0, 0.1))
+		c.Sample("fixed.busy_units", 0.5, 128)
+		return c
+	}
+	var a, b bytes.Buffer
+	if err := build().WriteChromeTrace(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := build().WriteChromeTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("exports differ:\n%s\nvs\n%s", a.String(), b.String())
+	}
+}
+
+// TestSnapshotAndAdvisor checks the derived aggregates and the advisor
+// report on a hand-built scenario: cpu busy 90%, prog busy 10%, Conv2D
+// dominating the cpu.
+func TestSnapshotAndAdvisor(t *testing.T) {
+	c := NewCollector()
+	c.TaskEnd(span("cpu", "Conv2D", 0, 0, 6))
+	c.TaskEnd(span("cpu", "MatMul", 0, 6, 9))
+	c.TaskEnd(span("prog", "ReLU", 0, 0, 1))
+	c.TaskEnd(span("residual.prog", "Conv2D", 0, 9, 10))
+	c.Count("sched.cpu_fallback", 3)
+
+	s := c.Snapshot()
+	if s.Makespan != 10 {
+		t.Fatalf("makespan = %v, want 10", s.Makespan)
+	}
+	if len(s.Tracks) != 3 {
+		t.Fatalf("got %d tracks, want 3: %+v", len(s.Tracks), s.Tracks)
+	}
+	cpu := s.Tracks[0]
+	if cpu.Track != "cpu" || cpu.BusySeconds != 9 || cpu.BusyShare != 0.9 || cpu.TopOp != "Conv2D" {
+		t.Fatalf("cpu track stats wrong: %+v", cpu)
+	}
+	if s.TopOps[0].Name != "Conv2D" || s.TopOps[0].Seconds != 7 {
+		t.Fatalf("top op wrong: %+v", s.TopOps[0])
+	}
+
+	a := Advise(s)
+	if a.Bottleneck != "cpu" || a.Underutilized != "prog" || a.StallOp != "Conv2D" {
+		t.Fatalf("advice wrong: %+v", a)
+	}
+	text := a.String()
+	for _, want := range []string{"bottleneck", "underutilized", "Conv2D", "fell back"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("advice text missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestAdvisorEmpty checks the advisor degrades gracefully.
+func TestAdvisorEmpty(t *testing.T) {
+	a := Advise(NewCollector().Snapshot())
+	if len(a.Lines) != 1 || !strings.Contains(a.Lines[0], "no device spans") {
+		t.Fatalf("empty-snapshot advice wrong: %+v", a)
+	}
+}
+
+// TestCollectorIsSimCollector pins the interface contract.
+var _ sim.Collector = (*Collector)(nil)

@@ -1,0 +1,211 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Span is one completed interval of device work on a named track.
+type Span struct {
+	// Track is the device lane: "cpu", "prog", "fixed", "residual.prog", ...
+	Track string `json:"track"`
+	// Name is the operation (or kernel section) the span executed.
+	Name string `json:"name"`
+	// Kind is the lifecycle phase: "op", "section", "residual".
+	Kind string `json:"kind,omitempty"`
+	// Step is the training step the work belongs to.
+	Step int `json:"step"`
+	// Start and End are simulated seconds.
+	Start float64 `json:"start"`
+	End   float64 `json:"end"`
+}
+
+// SamplePoint is one gauge observation in a time series.
+type SamplePoint struct {
+	At    float64 `json:"at"`
+	Value float64 `json:"value"`
+}
+
+// Timeline holds the spans and gauge series of one (or several merged)
+// instrumented runs.
+type Timeline struct {
+	Spans []Span `json:"spans"`
+	// Series maps a gauge name (queue depth, busy units, pipeline
+	// occupancy) to its samples in emission order.
+	Series map[string][]SamplePoint `json:"series,omitempty"`
+}
+
+// TraceEvent is one Chrome trace-event object (the subset of the
+// trace-event format the exporter emits: "X" complete events, "C"
+// counter events, and "M" metadata).
+type TraceEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"`
+	Dur   float64        `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Cat   string         `json:"cat,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// ChromeTrace is the JSON-object form of the trace-event format, which
+// both Perfetto and chrome://tracing load directly.
+type ChromeTrace struct {
+	TraceEvents     []TraceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// tracePID is the single "process" all simulator tracks live under.
+const tracePID = 1
+
+// usec converts simulated seconds to trace-event microseconds.
+func usec(s float64) float64 { return s * 1e6 }
+
+// ChromeTrace renders the timeline as trace events: one named thread
+// per track (with extra lanes where spans overlap, since trace threads
+// must nest), plus one counter track per gauge series. Output is
+// deterministic: tracks sort by name, spans by (start, end, name, step).
+func (tl *Timeline) ChromeTrace() ChromeTrace {
+	byTrack := map[string][]Span{}
+	for _, s := range tl.Spans {
+		byTrack[s.Track] = append(byTrack[s.Track], s)
+	}
+	tracks := make([]string, 0, len(byTrack))
+	for t := range byTrack {
+		tracks = append(tracks, t)
+	}
+	sort.Strings(tracks)
+
+	out := ChromeTrace{DisplayTimeUnit: "ms"}
+	out.TraceEvents = append(out.TraceEvents, TraceEvent{
+		Name: "process_name", Phase: "M", PID: tracePID, TID: 0,
+		Args: map[string]any{"name": "heteropim simulation"},
+	})
+	tid := 0
+	for _, track := range tracks {
+		spans := byTrack[track]
+		sort.Slice(spans, func(i, j int) bool {
+			a, b := spans[i], spans[j]
+			if a.Start != b.Start {
+				return a.Start < b.Start
+			}
+			if a.End != b.End {
+				return a.End < b.End
+			}
+			if a.Name != b.Name {
+				return a.Name < b.Name
+			}
+			return a.Step < b.Step
+		})
+		// Overlapping spans go to separate lanes (trace-event threads
+		// require properly nested intervals): greedy first-free-lane
+		// assignment over the start-sorted spans.
+		var laneEnd []float64
+		laneOf := make([]int, len(spans))
+		for i, s := range spans {
+			lane := -1
+			for l, end := range laneEnd {
+				if end <= s.Start {
+					lane = l
+					break
+				}
+			}
+			if lane < 0 {
+				lane = len(laneEnd)
+				laneEnd = append(laneEnd, 0)
+			}
+			laneEnd[lane] = s.End
+			laneOf[i] = lane
+		}
+		laneTID := make([]int, len(laneEnd))
+		for l := range laneEnd {
+			tid++
+			laneTID[l] = tid
+			name := track
+			if l > 0 {
+				name = fmt.Sprintf("%s #%d", track, l+1)
+			}
+			out.TraceEvents = append(out.TraceEvents, TraceEvent{
+				Name: "thread_name", Phase: "M", PID: tracePID, TID: tid,
+				Args: map[string]any{"name": name},
+			})
+		}
+		for i, s := range spans {
+			out.TraceEvents = append(out.TraceEvents, TraceEvent{
+				Name: s.Name, Phase: "X", Cat: s.Kind,
+				TS: usec(s.Start), Dur: usec(s.End - s.Start),
+				PID: tracePID, TID: laneTID[laneOf[i]],
+				Args: map[string]any{"step": s.Step},
+			})
+		}
+	}
+	series := make([]string, 0, len(tl.Series))
+	for name := range tl.Series {
+		series = append(series, name)
+	}
+	sort.Strings(series)
+	for _, name := range series {
+		for _, p := range tl.Series[name] {
+			out.TraceEvents = append(out.TraceEvents, TraceEvent{
+				Name: name, Phase: "C", TS: usec(p.At),
+				PID: tracePID, TID: 0,
+				Args: map[string]any{"value": p.Value},
+			})
+		}
+	}
+	return out
+}
+
+// WriteChromeTrace writes the timeline in Chrome trace-event JSON.
+func (tl *Timeline) WriteChromeTrace(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(tl.ChromeTrace())
+}
+
+// Validate checks structural invariants of an exported trace: known
+// phases, non-negative timestamps and durations, named events, a
+// thread_name for every tid that carries spans. It is the same check
+// the schema round-trip test applies to CLI output.
+func (ct ChromeTrace) Validate() error {
+	named := map[int]bool{}
+	for _, ev := range ct.TraceEvents {
+		if ev.Phase == "M" && ev.Name == "thread_name" {
+			named[ev.TID] = true
+		}
+	}
+	for i, ev := range ct.TraceEvents {
+		switch ev.Phase {
+		case "X":
+			if ev.Name == "" {
+				return fmt.Errorf("metrics: event %d: empty span name", i)
+			}
+			if ev.TS < 0 || ev.Dur < 0 {
+				return fmt.Errorf("metrics: event %d (%s): negative ts/dur", i, ev.Name)
+			}
+			if !named[ev.TID] {
+				return fmt.Errorf("metrics: event %d (%s): tid %d has no thread_name metadata", i, ev.Name, ev.TID)
+			}
+		case "C":
+			if ev.Name == "" {
+				return fmt.Errorf("metrics: event %d: empty counter name", i)
+			}
+			if ev.TS < 0 {
+				return fmt.Errorf("metrics: event %d (%s): negative ts", i, ev.Name)
+			}
+			if _, ok := ev.Args["value"]; !ok {
+				return fmt.Errorf("metrics: event %d (%s): counter without value", i, ev.Name)
+			}
+		case "M":
+			// metadata
+		default:
+			return fmt.Errorf("metrics: event %d (%s): unexpected phase %q", i, ev.Name, ev.Phase)
+		}
+		if ev.PID != tracePID {
+			return fmt.Errorf("metrics: event %d (%s): pid %d != %d", i, ev.Name, ev.PID, tracePID)
+		}
+	}
+	return nil
+}

@@ -49,6 +49,9 @@ type Engine struct {
 	processed uint64
 	// MaxEvents guards against schedule loops; 0 means the default.
 	MaxEvents uint64
+	// obs receives instrumentation events when attached (observe.go);
+	// nil on the uninstrumented fast path.
+	obs Collector
 }
 
 // DefaultMaxEvents bounds a single Run; generous for every workload here.
@@ -118,6 +121,7 @@ func (e *Engine) Reset() {
 	e.seq = 0
 	e.processed = 0
 	e.MaxEvents = 0
+	e.obs = nil
 	for i := range e.events {
 		e.events[i].fn = nil // drop closure references for the GC
 	}

@@ -1,0 +1,97 @@
+package heteropim
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"heteropim/internal/core"
+	"heteropim/internal/hw"
+	"heteropim/internal/metrics"
+	"heteropim/internal/nn"
+)
+
+// Metrics holds the observability data of one instrumented run: the
+// per-device timeline and the metrics registry (counters, gauges,
+// histograms). It is safe for concurrent use.
+type Metrics struct {
+	c *metrics.Collector
+}
+
+// WriteTimeline writes the run's timeline in Chrome trace-event JSON,
+// loadable in Perfetto (ui.perfetto.dev) or chrome://tracing. Each
+// device (cpu, gpu, prog, fixed, ...) gets its own track; overlapping
+// spans on a multi-slot device split into numbered lanes; queue depths
+// and busy-unit gauges become counter tracks.
+func (m *Metrics) WriteTimeline(w io.Writer) error {
+	return m.c.WriteChromeTrace(w)
+}
+
+// WriteJSON writes the machine-readable metrics dump: makespan,
+// per-track busy time and share, top operations, and every counter,
+// gauge series and histogram the run recorded.
+func (m *Metrics) WriteJSON(w io.Writer) error {
+	return m.c.Snapshot().WriteJSON(w)
+}
+
+// Advice renders the tfprof-style advisor reading: the bottleneck
+// device, the most underutilized device, and the operation most
+// responsible for time on the bottleneck.
+func (m *Metrics) Advice() string {
+	return metrics.Advise(m.c.Snapshot()).String()
+}
+
+// RunInstrumented is Run with the observability layer attached. The
+// Result is bit-identical to an uninstrumented Run; the Metrics carry
+// the run's per-device timeline and metrics registry.
+func RunInstrumented(config Config, model Model) (Result, *Metrics, error) {
+	return RunInstrumentedScaled(config, model, 1)
+}
+
+// RunInstrumentedScaled is RunInstrumented at a PIM/stack frequency
+// multiplier (cf. RunScaled).
+func RunInstrumentedScaled(config Config, model Model, freqScale float64) (Result, *Metrics, error) {
+	g, err := nn.Build(model)
+	if err != nil {
+		return Result{}, nil, err
+	}
+	c := metrics.NewCollector()
+	r, err := core.RunOnWithCollector(config, g, hw.PaperConfigScaled(config, freqScale), c)
+	if err != nil {
+		return Result{}, nil, err
+	}
+	return wrap(r), &Metrics{c: c}, nil
+}
+
+// configByName maps the flag-style lowercase platform names used by
+// every cmd/ tool to configuration kinds.
+var configByName = map[string]Config{
+	"cpu":    ConfigCPU,
+	"gpu":    ConfigGPU,
+	"progr":  ConfigProgrPIM,
+	"fixed":  ConfigFixedPIM,
+	"hetero": ConfigHeteroPIM,
+}
+
+// ConfigNames lists the flag-style platform names ParseConfig accepts,
+// sorted.
+func ConfigNames() []string {
+	names := make([]string, 0, len(configByName))
+	for n := range configByName {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ParseConfig resolves a flag-style platform name (case-insensitive:
+// cpu, gpu, progr, fixed, hetero) to its configuration kind. The error
+// for an unknown name lists the valid ones.
+func ParseConfig(name string) (Config, error) {
+	if kind, ok := configByName[strings.ToLower(name)]; ok {
+		return kind, nil
+	}
+	return 0, fmt.Errorf("heteropim: unknown configuration %q (valid: %s)",
+		name, strings.Join(ConfigNames(), ", "))
+}

@@ -1,0 +1,106 @@
+package heteropim
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"heteropim/internal/metrics"
+)
+
+// TestRunInstrumentedTimelineSchema is the acceptance test for the
+// `pimprof -timeline VGG-19 -config hetero` path: the instrumented
+// hetero VGG-19 run must emit Chrome trace-event JSON that round-trips
+// through the schema (valid JSON, X/C/M phases only, named lanes,
+// non-negative timestamps) — and the Result must be bit-identical to
+// the uninstrumented run.
+func TestRunInstrumentedTimelineSchema(t *testing.T) {
+	plain, err := Run(ConfigHeteroPIM, VGG19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, m, err := RunInstrumented(ConfigHeteroPIM, VGG19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, res) {
+		t.Fatalf("instrumented result differs from plain:\n%+v\nvs\n%+v", plain, res)
+	}
+
+	var buf bytes.Buffer
+	if err := m.WriteTimeline(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var ct metrics.ChromeTrace
+	if err := json.Unmarshal(buf.Bytes(), &ct); err != nil {
+		t.Fatalf("timeline is not valid JSON: %v", err)
+	}
+	if err := ct.Validate(); err != nil {
+		t.Fatalf("timeline fails schema validation: %v", err)
+	}
+	var spans, counters int
+	for _, ev := range ct.TraceEvents {
+		switch ev.Phase {
+		case "X":
+			spans++
+		case "C":
+			counters++
+		}
+	}
+	if spans == 0 || counters == 0 {
+		t.Fatalf("timeline too thin: %d spans, %d counter events", spans, counters)
+	}
+}
+
+// TestMetricsJSONAndAdvice checks the machine-readable dump and the
+// advisor reading of an instrumented run.
+func TestMetricsJSONAndAdvice(t *testing.T) {
+	_, m, err := RunInstrumented(ConfigHeteroPIM, AlexNet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var snap struct {
+		Makespan float64 `json:"makespan"`
+		Tracks   []struct {
+			Track string `json:"track"`
+		} `json:"tracks"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &snap); err != nil {
+		t.Fatalf("metrics dump is not valid JSON: %v", err)
+	}
+	if snap.Makespan <= 0 || len(snap.Tracks) == 0 {
+		t.Fatalf("metrics dump incomplete: %+v", snap)
+	}
+	advice := m.Advice()
+	for _, want := range []string{"bottleneck", "underutilized"} {
+		if !strings.Contains(advice, want) {
+			t.Fatalf("advice missing %q:\n%s", want, advice)
+		}
+	}
+}
+
+// TestParseConfig pins the flag-name mapping and its error text.
+func TestParseConfig(t *testing.T) {
+	for name, want := range map[string]Config{
+		"cpu": ConfigCPU, "GPU": ConfigGPU, "progr": ConfigProgrPIM,
+		"fixed": ConfigFixedPIM, "Hetero": ConfigHeteroPIM,
+	} {
+		got, err := ParseConfig(name)
+		if err != nil || got != want {
+			t.Fatalf("ParseConfig(%q) = %v, %v; want %v", name, got, err, want)
+		}
+	}
+	_, err := ParseConfig("tpu")
+	if err == nil || !strings.Contains(err.Error(), "hetero") {
+		t.Fatalf("unknown config error must list valid names, got: %v", err)
+	}
+	if got := ConfigNames(); len(got) != 5 {
+		t.Fatalf("ConfigNames() = %v, want 5 names", got)
+	}
+}
