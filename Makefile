@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify lint vet build test race bench benchjson golden golden-check clean
+.PHONY: verify lint vet build test race bench benchjson cachejson golden golden-check clean
 
 # verify is the default CI gate: static checks, a full build, the test
 # suite, and the race-detector pass (the parallel experiment runner
@@ -39,6 +39,13 @@ bench:
 # wall clock per experiment).
 benchjson:
 	$(GO) run ./cmd/pimbench -benchjson BENCH_parallel.json
+
+# cachejson regenerates BENCH_cache.json (cold vs warm simulation-cache
+# wall clock, Figs. 8-10 + the pimtrain -config all workload). The tool
+# exits non-zero if any warm table differs from its cold run or the
+# aggregate warm speedup is below the -cachemin floor.
+cachejson:
+	$(GO) run ./cmd/pimbench -cachejson BENCH_cache.json
 
 # golden regenerates the committed golden outputs the regression CI job
 # diffs against. Run it (and review the diff) whenever an intentional

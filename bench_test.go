@@ -16,9 +16,18 @@ import (
 	"heteropim/internal/workload"
 )
 
+// benchLive disables the simulation result cache for the benchmark so
+// every iteration measures a live simulation, restoring it afterwards.
+func benchLive(b *testing.B) {
+	b.Helper()
+	prev := SetSimulationCache(false)
+	b.Cleanup(func() { SetSimulationCache(prev) })
+}
+
 // benchExperiment runs one experiment per iteration.
 func benchExperiment(b *testing.B, run func() (*Table, error)) {
 	b.Helper()
+	benchLive(b)
 	for i := 0; i < b.N; i++ {
 		t, err := run()
 		if err != nil {
@@ -70,12 +79,13 @@ func BenchmarkFig17EDP(b *testing.B) { benchExperiment(b, Fig17EDP) }
 // 5x5 execution-time matrix (Fig. 8). Run with -cpu 1,4 to compare
 // worker widths: the pool sizes itself from GOMAXPROCS, which -cpu
 // sets. speedup-x is wall clock relative to a one-worker baseline
-// measured in the same process; every timed run starts with a cold
-// profile cache so the comparison isolates the worker pool.
+// measured in the same process; every timed run starts with cold
+// profile and result caches so the comparison isolates the worker pool.
 func BenchmarkParallelSweep(b *testing.B) {
 	prev := SetParallelism(1)
 	defer SetParallelism(prev)
 	core.ResetProfileCache()
+	ResetSimulationCache()
 	start := time.Now()
 	if _, err := Fig8ExecTime(); err != nil {
 		b.Fatal(err)
@@ -86,6 +96,7 @@ func BenchmarkParallelSweep(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		core.ResetProfileCache()
+		ResetSimulationCache()
 		if _, err := Fig8ExecTime(); err != nil {
 			b.Fatal(err)
 		}
@@ -101,6 +112,7 @@ func BenchmarkParallelSweep(b *testing.B) {
 // BenchmarkHeteroStep measures the simulator itself: one steady-state
 // Hetero PIM run per CNN model, reporting the simulated step time.
 func BenchmarkHeteroStep(b *testing.B) {
+	benchLive(b)
 	for _, m := range Models() {
 		m := m
 		b.Run(string(m), func(b *testing.B) {
@@ -125,6 +137,7 @@ func BenchmarkHeteroStep(b *testing.B) {
 
 // BenchmarkAblationXPercent sweeps the candidate-selection threshold.
 func BenchmarkAblationXPercent(b *testing.B) {
+	benchLive(b)
 	g := nn.VGG19()
 	for _, x := range []float64{50, 70, 90, 99} {
 		x := x
@@ -146,6 +159,7 @@ func BenchmarkAblationXPercent(b *testing.B) {
 
 // BenchmarkAblationPlacement compares thermal vs uniform placement.
 func BenchmarkAblationPlacement(b *testing.B) {
+	benchLive(b)
 	g := nn.AlexNet()
 	for _, uniform := range []bool{false, true} {
 		uniform := uniform
@@ -171,6 +185,7 @@ func BenchmarkAblationPlacement(b *testing.B) {
 
 // BenchmarkAblationPipelineDepth sweeps the OP pipeline depth.
 func BenchmarkAblationPipelineDepth(b *testing.B) {
+	benchLive(b)
 	g := nn.AlexNet()
 	for _, depth := range []int{1, 2, 4} {
 		depth := depth
@@ -193,6 +208,7 @@ func BenchmarkAblationPipelineDepth(b *testing.B) {
 // BenchmarkAblationSyncCost sweeps the host-PIM synchronization cost
 // that RC exists to remove.
 func BenchmarkAblationSyncCost(b *testing.B) {
+	benchLive(b)
 	g := nn.AlexNet()
 	for _, mult := range []float64{0.5, 1, 2, 4} {
 		mult := mult
@@ -217,6 +233,7 @@ func BenchmarkAblationSyncCost(b *testing.B) {
 
 // BenchmarkMixedCoRun runs one co-run case per iteration.
 func BenchmarkMixedCoRun(b *testing.B) {
+	benchLive(b)
 	c := workload.MixedCase{CNN: nn.AlexNetName, NonCNN: nn.LSTMName}
 	var imp float64
 	for i := 0; i < b.N; i++ {

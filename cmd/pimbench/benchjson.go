@@ -36,12 +36,14 @@ type benchReport struct {
 }
 
 // timeExperiment runs e once at the given parallelism and reports the
-// wall clock. The profile cache is cleared first so both modes pay the
-// same profiling cost and the comparison isolates the worker pool.
+// wall clock. The profile and result caches are cleared first so both
+// modes pay the same simulation cost and the comparison isolates the
+// worker pool.
 func timeExperiment(e heteropim.Experiment, parallelism int) (float64, error) {
 	prev := heteropim.SetParallelism(parallelism)
 	defer heteropim.SetParallelism(prev)
 	core.ResetProfileCache()
+	heteropim.ResetSimulationCache()
 	start := time.Now()
 	if _, err := e.Run(); err != nil {
 		return 0, err

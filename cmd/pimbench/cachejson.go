@@ -1,0 +1,164 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"heteropim"
+	"heteropim/internal/metrics"
+	"heteropim/internal/runner"
+)
+
+// cacheEntry is one experiment's cold-vs-warm cache timing. Identical
+// reports whether the warm run's table was byte-identical to the cold
+// run's — the cache's core correctness contract.
+type cacheEntry struct {
+	ID        string  `json:"id"`
+	Title     string  `json:"title"`
+	ColdS     float64 `json:"cold_s"`
+	WarmS     float64 `json:"warm_s"`
+	Speedup   float64 `json:"speedup"`
+	Identical bool    `json:"identical"`
+}
+
+// cacheReport is the BENCH_cache.json shape.
+type cacheReport struct {
+	GOMAXPROCS  int          `json:"gomaxprocs"`
+	NumCPU      int          `json:"num_cpu"`
+	Workers     int          `json:"workers"`
+	Experiments []cacheEntry `json:"experiments"`
+	// Aggregate compares the summed cold wall clock against the summed
+	// warm wall clock across all timed experiments.
+	AggregateColdS   float64 `json:"aggregate_cold_s"`
+	AggregateWarmS   float64 `json:"aggregate_warm_s"`
+	AggregateSpeedup float64 `json:"aggregate_speedup"`
+	// Cache holds the process-wide simulation-cache counters after the
+	// final warm run; Metrics mirrors them through the observability
+	// registry (cache.hits / cache.misses / cache.bytes).
+	Cache   heteropim.CacheStats     `json:"cache"`
+	Metrics metrics.RegistrySnapshot `json:"metrics"`
+}
+
+// trainAllExperiment is the pimtrain -model VGG-19 -config all
+// workload as a timeable experiment: five platform simulations of one
+// model, fanned out on the worker pool like the CLI does.
+func trainAllExperiment() heteropim.Experiment {
+	return heteropim.Experiment{
+		ID:    "TRAIN",
+		Title: "pimtrain -model VGG-19 -config all",
+		Run: func() (*heteropim.Table, error) {
+			configs := heteropim.Configs()
+			t := &heteropim.Table{
+				Title:   "VGG-19 across the five platforms",
+				Columns: []string{"Config", "Step", "Energy"},
+			}
+			results, err := runner.Map(context.Background(), len(configs), 0,
+				func(_ context.Context, i int) (heteropim.Result, error) {
+					return heteropim.Run(configs[i], heteropim.VGG19)
+				})
+			if err != nil {
+				return nil, err
+			}
+			for _, r := range results {
+				t.AddRow(r.Config,
+					fmt.Sprintf("%.6g", r.StepTime), fmt.Sprintf("%.6g", r.Energy))
+			}
+			return t, nil
+		},
+	}
+}
+
+// timeCacheRun runs e once and reports the wall clock plus the rendered
+// table, so cold and warm outputs can be compared byte for byte.
+func timeCacheRun(e heteropim.Experiment) (float64, string, error) {
+	start := time.Now()
+	t, err := e.Run()
+	if err != nil {
+		return 0, "", err
+	}
+	return time.Since(start).Seconds(), t.String(), nil
+}
+
+// writeCacheJSON times the cache-heavy experiments (Figs. 8-10 plus the
+// pimtrain -config all workload) cold and warm, writes the comparison
+// to path, and fails if any warm table differs from its cold run or the
+// aggregate warm speedup is below minSpeedup. The gate lives in-tool so
+// CI only has to run the command.
+func writeCacheJSON(path string, minSpeedup float64) error {
+	var selected []heteropim.Experiment
+	want := map[string]bool{"F8": true, "F9": true, "F10": true}
+	for _, e := range heteropim.Experiments() {
+		if want[e.ID] {
+			selected = append(selected, e)
+		}
+	}
+	selected = append(selected, trainAllExperiment())
+
+	rep := cacheReport{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Workers:    heteropim.Parallelism(),
+	}
+	heteropim.SetSimulationCache(true)
+	heteropim.ResetSimulationCache()
+	mismatch := false
+	for _, e := range selected {
+		// The cache stays primed across experiments on purpose: F9
+		// revisits F8's grid, exactly the cross-figure reuse the cache
+		// exists for. Only the first run of each experiment's pair can
+		// pay for live simulations.
+		cold, coldOut, err := timeCacheRun(e)
+		if err != nil {
+			return fmt.Errorf("%s (cold): %w", e.ID, err)
+		}
+		warm, warmOut, err := timeCacheRun(e)
+		if err != nil {
+			return fmt.Errorf("%s (warm): %w", e.ID, err)
+		}
+		entry := cacheEntry{
+			ID: e.ID, Title: e.Title, ColdS: cold, WarmS: warm,
+			Identical: coldOut == warmOut,
+		}
+		if warm > 0 {
+			entry.Speedup = cold / warm
+		}
+		if !entry.Identical {
+			mismatch = true
+		}
+		rep.Experiments = append(rep.Experiments, entry)
+		rep.AggregateColdS += cold
+		rep.AggregateWarmS += warm
+		fmt.Fprintf(os.Stderr, "pimbench: %-5s cold=%.3fs warm=%.3fs speedup=%.2fx identical=%v\n",
+			e.ID, cold, warm, entry.Speedup, entry.Identical)
+	}
+	if rep.AggregateWarmS > 0 {
+		rep.AggregateSpeedup = rep.AggregateColdS / rep.AggregateWarmS
+	}
+
+	rep.Cache = heteropim.SimulationCacheStats()
+	reg := metrics.NewRegistry()
+	reg.Add("cache.hits", float64(rep.Cache.Hits))
+	reg.Add("cache.misses", float64(rep.Cache.Misses))
+	reg.Add("cache.bytes", float64(rep.Cache.Bytes))
+	rep.Metrics = reg.Snapshot()
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	if mismatch {
+		return fmt.Errorf("warm cache output differs from cold run (see %s)", path)
+	}
+	if rep.AggregateSpeedup < minSpeedup {
+		return fmt.Errorf("aggregate warm-cache speedup %.2fx below the %.2fx floor (see %s)",
+			rep.AggregateSpeedup, minSpeedup, path)
+	}
+	return nil
+}

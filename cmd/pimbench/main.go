@@ -26,10 +26,17 @@ func main() {
 	asCSV := flag.Bool("csv", false, "emit tables as CSV instead of text")
 	workers := flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
 	benchJSON := flag.String("benchjson", "", "time every experiment sequentially and in parallel, write the comparison to this JSON file")
+	cacheJSON := flag.String("cachejson", "", "time cache-heavy experiments cold and warm, write the comparison to this JSON file (fails if warm output differs or speedup is below -cachemin)")
+	cacheMin := flag.Float64("cachemin", 1.5, "minimum aggregate warm-cache speedup accepted by -cachejson")
+	noCache := flag.Bool("nocache", false, "disable the cross-run simulation result cache")
+	cacheDir := flag.String("cachedir", os.Getenv(heteropim.EnvCacheDir),
+		"on-disk simulation cache directory (default $HETEROPIM_CACHE_DIR; empty = memory-only cache)")
 	list := flag.Bool("list", false, "list experiment ids")
 	flag.Parse()
 
 	heteropim.SetParallelism(*workers)
+	heteropim.SetSimulationCache(!*noCache)
+	heteropim.SetSimulationCacheDir(*cacheDir)
 
 	experiments := heteropim.Experiments()
 	if *ext || *only != "" {
@@ -51,6 +58,14 @@ func main() {
 
 	if *benchJSON != "" {
 		if err := writeBenchJSON(*benchJSON, experiments, want, *workers); err != nil {
+			fmt.Fprintf(os.Stderr, "pimbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *cacheJSON != "" {
+		if err := writeCacheJSON(*cacheJSON, *cacheMin); err != nil {
 			fmt.Fprintf(os.Stderr, "pimbench: %v\n", err)
 			os.Exit(1)
 		}
@@ -83,4 +98,7 @@ func main() {
 	if failed {
 		os.Exit(1)
 	}
+	// Stats go to stderr so table output stays diff-stable.
+	st := heteropim.SimulationCacheStats()
+	fmt.Fprintf(os.Stderr, "simcache: hits=%d misses=%d\n", st.Hits, st.Misses)
 }

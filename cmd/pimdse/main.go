@@ -32,7 +32,13 @@ func fail(err error) {
 
 func main() {
 	model := flag.String("model", "VGG-19", "model for the unit-budget performance sweep")
+	noCache := flag.Bool("nocache", false, "disable the cross-run simulation result cache")
+	cacheDir := flag.String("cachedir", os.Getenv(heteropim.EnvCacheDir),
+		"on-disk simulation cache directory (default $HETEROPIM_CACHE_DIR; empty = memory-only cache)")
 	flag.Parse()
+
+	heteropim.SetSimulationCache(!*noCache)
+	heteropim.SetSimulationCacheDir(*cacheDir)
 
 	stack, err := hmc.New(hw.PaperStack(1))
 	if err != nil {
@@ -110,4 +116,6 @@ func main() {
 			fmt.Sprintf("%.3g", r.EDP), report.Percent(r.FixedUtilization))
 	}
 	fmt.Println(st.String())
+	cs := heteropim.SimulationCacheStats()
+	fmt.Printf("simcache: hits=%d misses=%d\n", cs.Hits, cs.Misses)
 }

@@ -63,7 +63,13 @@ func main() {
 	timelineModel := flag.String("timeline", "", "run this model instrumented and dump the Chrome trace-event timeline")
 	config := flag.String("config", "hetero", "platform for -timeline: cpu|gpu|progr|fixed|hetero")
 	out := flag.String("o", "", "write -timeline output to this file instead of stdout")
+	noCache := flag.Bool("nocache", false, "disable the cross-run simulation result cache")
+	cacheDir := flag.String("cachedir", os.Getenv(heteropim.EnvCacheDir),
+		"on-disk simulation cache directory (default $HETEROPIM_CACHE_DIR; empty = memory-only cache)")
 	flag.Parse()
+
+	heteropim.SetSimulationCache(!*noCache)
+	heteropim.SetSimulationCacheDir(*cacheDir)
 
 	if *dotModel != "" {
 		if err := buildModel(*dotModel).WriteDOT(os.Stdout); err != nil {
@@ -108,4 +114,6 @@ func main() {
 		}
 		fmt.Println(t.String())
 	}
+	st := heteropim.SimulationCacheStats()
+	fmt.Printf("simcache: hits=%d misses=%d\n", st.Hits, st.Misses)
 }

@@ -33,9 +33,14 @@ func main() {
 	sweep := flag.String("sweep", "config", "config|freq|variant|batch")
 	models := flag.String("models", "", "comma-separated models (default: the 5 CNNs)")
 	workers := flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
+	noCache := flag.Bool("nocache", false, "disable the cross-run simulation result cache")
+	cacheDir := flag.String("cachedir", os.Getenv(heteropim.EnvCacheDir),
+		"on-disk simulation cache directory (default $HETEROPIM_CACHE_DIR; empty = memory-only cache)")
 	flag.Parse()
 
 	heteropim.SetParallelism(*workers)
+	heteropim.SetSimulationCache(!*noCache)
+	heteropim.SetSimulationCacheDir(*cacheDir)
 
 	selected := heteropim.Models()
 	if *models != "" {
@@ -65,6 +70,9 @@ func main() {
 		fmt.Fprintf(os.Stderr, "pimsweep: %v\n", err)
 		os.Exit(1)
 	}
+	// Stats go to stderr: stdout is machine-readable CSV.
+	st := heteropim.SimulationCacheStats()
+	fmt.Fprintf(os.Stderr, "simcache: hits=%d misses=%d\n", st.Hits, st.Misses)
 }
 
 func f(v float64) string { return strconv.FormatFloat(v, 'g', 8, 64) }

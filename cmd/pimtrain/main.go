@@ -105,8 +105,14 @@ func main() {
 	explain := flag.Bool("explain", false, "print the Hetero PIM placement census and energy itemization")
 	metricsOut := flag.String("metrics", "", "run instrumented and write the metrics JSON dump to this file (\"-\" for stdout)")
 	advise := flag.Bool("advise", false, "run instrumented and print the tfprof-style advisor reading")
+	noCache := flag.Bool("nocache", false, "disable the cross-run simulation result cache")
+	cacheDir := flag.String("cachedir", os.Getenv(heteropim.EnvCacheDir),
+		"on-disk simulation cache directory (default $HETEROPIM_CACHE_DIR; empty = memory-only cache)")
 	list := flag.Bool("list", false, "list models and configurations")
 	flag.Parse()
+
+	heteropim.SetSimulationCache(!*noCache)
+	heteropim.SetSimulationCacheDir(*cacheDir)
 
 	if *fromTrace != "" {
 		f, err := os.Open(*fromTrace)
@@ -231,4 +237,6 @@ func main() {
 			fmt.Sprintf("%d", r.OffloadedOps))
 	}
 	fmt.Print(t.String())
+	st := heteropim.SimulationCacheStats()
+	fmt.Printf("simcache: hits=%d misses=%d\n", st.Hits, st.Misses)
 }

@@ -92,10 +92,14 @@ func configIndex(configs []Config, want Config) int {
 }
 
 // rowGroups computes one group of table rows per item concurrently,
-// preserving item order for assembly.
+// preserving item order for assembly. Its users (Table I, Fig. 2, the
+// workload summaries) build graphs and read cached profiles — a few
+// hundred microseconds per cell — so the cost hint keeps them inline
+// instead of paying worker dispatch that outweighs the work.
 func rowGroups(n int, fn func(i int) ([][]string, error)) ([][][]string, error) {
 	return runner.Map(context.Background(), n, 0,
-		func(_ context.Context, i int) ([][]string, error) { return fn(i) })
+		func(_ context.Context, i int) ([][]string, error) { return fn(i) },
+		runner.WithCellCost(200e-6))
 }
 
 // addGroups appends row groups to a table in order.

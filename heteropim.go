@@ -42,6 +42,38 @@ func SetParallelism(n int) int { return runner.SetWorkers(n) }
 // Parallelism reports the worker count parallel sweeps currently use.
 func Parallelism() int { return runner.Workers() }
 
+// ---- simulation result cache ----
+//
+// Uninstrumented simulations are memoized by a content-addressed
+// fingerprint of (graph, hardware configuration, effective options), so
+// repeated cells — across figures, sweeps and CLI invocations sharing a
+// cache directory — collapse to one live run. Cache hits are
+// bit-identical to cold runs. Instrumented runs (RunInstrumented, trace
+// or census options) always execute live and never touch the cache.
+
+// EnvCacheDir is the environment variable naming the on-disk cache
+// directory (the persistent second tier); unset keeps the cache in
+// memory only. SetSimulationCacheDir overrides it per process.
+const EnvCacheDir = core.EnvCacheDir
+
+// SetSimulationCache enables or disables the simulation result cache
+// (default: enabled), returning the previous state.
+func SetSimulationCache(on bool) bool { return core.EnableResultCache(on) }
+
+// SetSimulationCacheDir sets the on-disk cache directory ("" disables
+// the disk tier), returning the previous one.
+func SetSimulationCacheDir(dir string) string { return core.SetResultCacheDir(dir) }
+
+// CacheStats counts simulation-cache traffic; see core.CacheStats.
+type CacheStats = core.CacheStats
+
+// SimulationCacheStats reads the process's cache counters.
+func SimulationCacheStats() CacheStats { return core.ResultCacheStats() }
+
+// ResetSimulationCache drops every memoized result and zeroes the
+// counters (benchmark harnesses isolating cold-path timing).
+func ResetSimulationCache() { core.ResetResultCache() }
+
 // Model names a training workload (Section V-C).
 type Model = nn.ModelName
 

@@ -244,6 +244,12 @@ type exec struct {
 	heldBack  [][]*task // dep-free tasks awaiting step admission
 	firstOpen int       // smallest step with unfinished tasks
 
+	// tpl/arena are set when the task DAG came from the template cache
+	// (template.go); the arena returns to the template's pool after the
+	// run.
+	tpl   *taskTemplate
+	arena *taskArena
+
 	bk      Breakdown // serial attribution sums
 	usage   Usage
 	offload int
@@ -255,8 +261,24 @@ type exec struct {
 // It covers Hetero PIM (with/without RC and OP), the Fixed PIM baseline
 // (no programmable processors in cfg) and the Progr PIM baseline (no
 // fixed units in cfg).
+//
+// Uninstrumented runs are served through the cross-run result cache
+// (result_cache.go): identical (graph, config, options) cells collapse
+// to a single live simulation. Instrumented runs — any run with a
+// Collector, Trace writer or Census attached — bypass the cache in both
+// directions, because their value is the side effects.
 func RunPIM(g *nn.Graph, cfg hw.SystemConfig, opts Options) (Result, error) {
 	opts = opts.withDefaults()
+	if resultCacheUsable(opts) {
+		fp := fingerprintRun("pim", g, cfg, opts, nil)
+		return cachedResult(fp, func() (Result, error) { return runPIM(g, cfg, opts) })
+	}
+	return runPIM(g, cfg, opts)
+}
+
+// runPIM is the live (uncached) simulation behind RunPIM; opts must
+// already be normalized by withDefaults.
+func runPIM(g *nn.Graph, cfg hw.SystemConfig, opts Options) (Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return Result{}, err
 	}
@@ -301,6 +323,14 @@ func RunPIM(g *nn.Graph, cfg hw.SystemConfig, opts Options) (Result, error) {
 		cpu:  &serialDevice{slots: 2, sjf: true, name: hostTrack, queueMetric: "queue." + hostTrack},
 		prog: &serialDevice{slots: cfg.ProgPIM.Processors, name: "prog", queueMetric: "queue.prog"},
 	}
+	// Return the task arena to its template's pool once the run is over
+	// (the engine's own deferred Release clears any stale closures).
+	defer func() {
+		if x.tpl != nil {
+			x.tpl.release(x.arena)
+			x.tpl, x.arena = nil, nil
+		}
+	}()
 	// The placement is static, so the bank list reported to the status
 	// registers is too: compute it once instead of per offloaded op.
 	for b, u := range placement.Units {
@@ -381,12 +411,29 @@ func max0(v int) int {
 	return v
 }
 
-// buildTasks instantiates op x step tasks and wires dependencies. All
-// tasks live in one contiguous slab and all dependency-edge slices are
-// carved from a second slab sized by a degree-counting pre-pass, so the
-// whole graph costs a handful of allocations instead of one per task
-// plus repeated append growth per edge.
+// buildTasks instantiates op x step tasks and wires dependencies. The
+// fast path clones a memoized per-(structure, steps, OP) template from
+// a pooled arena (template.go); the from-scratch path below remains as
+// the reference builder the template path is tested against (and the
+// fallback when templates are disabled).
 func (x *exec) buildTasks() {
+	if !templatesOff.Load() {
+		x.tpl = templateFor(x.g, x.opts.Steps, x.opts.OP)
+		x.arena = x.tpl.acquire(x.g)
+		x.tasks = x.arena.byStep
+		x.stepLeft = x.arena.stepLeft
+		x.heldBack = x.arena.heldBack
+		return
+	}
+	x.buildTasksScratch()
+}
+
+// buildTasksScratch builds the task DAG from scratch. All tasks live in
+// one contiguous slab and all dependency-edge slices are carved from a
+// second slab sized by a degree-counting pre-pass, so the whole graph
+// costs a handful of allocations instead of one per task plus repeated
+// append growth per edge.
+func (x *exec) buildTasksScratch() {
 	steps := x.opts.Steps
 	n := len(x.g.Ops)
 	// Out-degrees: same-step dependents, and (no-OP mode only)

@@ -1,0 +1,394 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"heteropim/internal/hw"
+	"heteropim/internal/nn"
+)
+
+// The result cache: a simulation run is a pure function of (graph
+// content, hardware configuration, effective options), and the paper's
+// evaluation repeats the same cells across figures — Figs. 8 and 9 share
+// one 5x5 grid, Fig. 10 re-runs the Hetero column, `pimtrain -config
+// all` re-runs single cells of it. Memoizing whole Results by a
+// content-addressed fingerprint collapses every duplicate cell to one
+// live run:
+//
+//   - in-memory tier: a process-wide sync.Map with per-entry singleflight
+//     (sync.Once), shared by the internal/runner workers, so concurrent
+//     requests for the same cell block on one computation instead of
+//     racing duplicates;
+//   - disk tier (optional): JSON entries under HETEROPIM_CACHE_DIR in a
+//     directory versioned by a schema hash of the Result type, so a
+//     struct change invalidates the whole tier rather than decoding into
+//     the wrong shape. Corrupted, truncated or mismatched entries are
+//     treated as misses, never as errors.
+//
+// Cache hits return value copies of the stored Result — bit-identical to
+// the cold run (Result is all value types; Go's JSON float encoding
+// round-trips exactly, so the disk tier preserves bit identity too).
+//
+// Instrumented runs — a Collector, Trace writer or Census attached —
+// bypass the cache entirely (no lookup, no store): their purpose is the
+// side effects, and a cached Result would silently skip them.
+
+// Fingerprint is the 128-bit content address of one simulation cell.
+type Fingerprint struct{ Hi, Lo uint64 }
+
+// String renders the fingerprint as 32 hex digits (the disk file name).
+func (f Fingerprint) String() string { return fmt.Sprintf("%016x%016x", f.Hi, f.Lo) }
+
+// fpHash is a two-lane FNV-1a accumulator; the lanes mix the same input
+// stream with different seeds and a per-word permutation, which is
+// plenty of independence for a 128-bit cache address.
+type fpHash struct{ hi, lo uint64 }
+
+func newFpHash() fpHash {
+	return fpHash{hi: fnvOffset, lo: fnvOffset ^ 0x9e3779b97f4a7c15}
+}
+
+func (h *fpHash) u64(v uint64) {
+	h.hi = fnvMix(h.hi, v)
+	h.lo = fnvMix(h.lo, v*0x9e3779b97f4a7c15+1)
+}
+
+func (h *fpHash) i(v int)     { h.u64(uint64(int64(v))) }
+func (h *fpHash) f(v float64) { h.u64(math.Float64bits(v)) }
+func (h *fpHash) b(v bool) {
+	if v {
+		h.u64(1)
+	} else {
+		h.u64(0)
+	}
+}
+func (h *fpHash) str(s string) {
+	h.i(len(s))
+	h.hi = fnvMixString(h.hi, s)
+	h.lo = fnvMixString(h.lo, s)
+}
+func (h *fpHash) bytes(b []byte) {
+	h.i(len(b))
+	for _, c := range b {
+		h.u64(uint64(c))
+	}
+}
+
+func (h *fpHash) sum() Fingerprint { return Fingerprint{Hi: h.hi, Lo: h.lo} }
+
+// resultCacheUsable reports whether a RunPIM call may go through the
+// cache: the cache must be enabled and the run uninstrumented.
+func resultCacheUsable(opts Options) bool {
+	return !resultCacheOff.Load() && opts.Collector == nil && opts.Trace == nil && opts.Census == nil
+}
+
+// fingerprintRun computes the content address of one simulation cell.
+// mode tags the executor ("pim", "cpu", "gpu", "neurocube"), extra is
+// executor-specific input (the Neurocube spec); opts must already be
+// normalized so default and explicit option spellings share an address.
+func fingerprintRun(mode string, g *nn.Graph, cfg hw.SystemConfig, opts Options, extra []byte) Fingerprint {
+	h := newFpHash()
+	h.str("heteropim-result/" + mode)
+	// The hardware configuration, via its JSON form: field order is the
+	// declaration order, and a new SystemConfig field changes the bytes —
+	// automatic invalidation instead of a silently incomplete hash.
+	cfgJSON, err := json.Marshal(cfg)
+	if err != nil {
+		// Unreachable for the plain-value SystemConfig; keep the address
+		// well-defined anyway.
+		h.str("cfg-marshal-error")
+	}
+	h.bytes(cfgJSON)
+	h.bytes(extra)
+	// Effective options (the instrumentation fields are nil by
+	// resultCacheUsable). HostOnlyOps hashes as its sorted true IDs.
+	h.b(opts.RC)
+	h.b(opts.OP)
+	h.i(opts.PipelineDepth)
+	h.i(opts.Steps)
+	h.b(opts.UseSelection)
+	h.f(opts.XPercent)
+	h.b(opts.NoCPUFallback)
+	h.b(opts.WideProgOps)
+	h.b(opts.UniformPlacement)
+	h.b(opts.GPUHost)
+	h.b(opts.DisableOpportunistic)
+	if len(opts.HostOnlyOps) > 0 {
+		ids := make([]int, 0, len(opts.HostOnlyOps))
+		for id, on := range opts.HostOnlyOps {
+			if on {
+				ids = append(ids, id)
+			}
+		}
+		sort.Ints(ids)
+		h.i(len(ids))
+		for _, id := range ids {
+			h.i(id)
+		}
+	} else {
+		h.i(0)
+	}
+	// Full graph content: every field the executors read.
+	h.str(g.Model)
+	h.i(g.BatchSize)
+	h.f(g.InputBytes)
+	h.f(g.ParamBytes)
+	h.f(g.ActivationBytes)
+	h.f(g.GPUUnhiddenTransferFrac)
+	h.f(g.GPUUtilization)
+	h.f(g.GPUEffFactor)
+	h.i(len(g.Ops))
+	for _, op := range g.Ops {
+		h.str(op.Name)
+		h.str(string(op.Type))
+		h.f(op.Muls)
+		h.f(op.Adds)
+		h.f(op.OtherFlops)
+		h.f(op.Bytes)
+		h.i(op.UnitGranule)
+		h.b(op.Params)
+		h.i(len(op.Inputs))
+		for _, in := range op.Inputs {
+			h.i(in)
+		}
+		h.i(len(op.CrossStep))
+		for _, cs := range op.CrossStep {
+			h.i(cs)
+		}
+	}
+	return h.sum()
+}
+
+// resultEntry is one in-memory cache slot; once gives singleflight
+// semantics — concurrent requests for the same fingerprint share one
+// live run.
+type resultEntry struct {
+	once sync.Once
+	res  Result
+	err  error
+}
+
+var resultCache sync.Map // Fingerprint -> *resultEntry
+
+// resultCacheOff disables the cache when set (CLI -nocache).
+var resultCacheOff atomic.Bool
+
+// resultCacheDir holds the disk-tier directory ("" = memory only).
+var resultCacheDir atomic.Value // string
+
+// EnvCacheDir names the on-disk cache directory; empty or unset keeps
+// the cache in memory only.
+const EnvCacheDir = "HETEROPIM_CACHE_DIR"
+
+func init() {
+	resultCacheDir.Store(os.Getenv(EnvCacheDir))
+}
+
+// EnableResultCache turns the result cache on or off, returning the
+// previous state.
+func EnableResultCache(on bool) bool {
+	return !resultCacheOff.Swap(!on)
+}
+
+// SetResultCacheDir sets the disk-tier directory ("" disables the disk
+// tier) and returns the previous one.
+func SetResultCacheDir(dir string) string {
+	prev, _ := resultCacheDir.Load().(string)
+	resultCacheDir.Store(dir)
+	return prev
+}
+
+// Cache counters (process lifetime; ResetResultCache zeroes them).
+var (
+	cacheHits     atomic.Int64
+	cacheMisses   atomic.Int64
+	cacheDiskHits atomic.Int64
+	cacheBytes    atomic.Int64
+)
+
+// CacheStats is a snapshot of the result-cache counters.
+type CacheStats struct {
+	// Hits counts lookups served without a live simulation (the memory
+	// tier, the disk tier, or a singleflight wait on an in-flight run).
+	Hits int64 `json:"hits"`
+	// Misses counts live simulations executed on behalf of the cache.
+	Misses int64 `json:"misses"`
+	// DiskHits is the subset of Hits satisfied from the disk tier.
+	DiskHits int64 `json:"disk_hits"`
+	// Bytes is the cumulative serialized size of stored results.
+	Bytes int64 `json:"bytes"`
+}
+
+// ResultCacheStats reads the current counters.
+func ResultCacheStats() CacheStats {
+	return CacheStats{
+		Hits:     cacheHits.Load(),
+		Misses:   cacheMisses.Load(),
+		DiskHits: cacheDiskHits.Load(),
+		Bytes:    cacheBytes.Load(),
+	}
+}
+
+// ResetResultCache drops every memoized result and zeroes the counters
+// (benchmarks isolating cold-path timing, tests).
+func ResetResultCache() {
+	resultCache.Range(func(k, _ any) bool {
+		resultCache.Delete(k)
+		return true
+	})
+	cacheHits.Store(0)
+	cacheMisses.Store(0)
+	cacheDiskHits.Store(0)
+	cacheBytes.Store(0)
+}
+
+// cachedResult serves fp from the cache, running `run` at most once per
+// fingerprint across all goroutines. Deterministic errors are cached in
+// memory (repeating a failing cell re-fails identically) but never
+// written to disk.
+func cachedResult(fp Fingerprint, run func() (Result, error)) (Result, error) {
+	v, _ := resultCache.LoadOrStore(fp, &resultEntry{})
+	e := v.(*resultEntry)
+	ran := false
+	e.once.Do(func() {
+		if res, ok := loadDiskResult(fp); ok {
+			e.res = res
+			cacheDiskHits.Add(1)
+			return
+		}
+		ran = true
+		cacheMisses.Add(1)
+		e.res, e.err = run()
+		if e.err == nil {
+			if enc, err := json.Marshal(e.res); err == nil {
+				cacheBytes.Add(int64(len(enc)))
+				storeDiskResult(fp, e.res)
+			}
+		}
+	})
+	if !ran {
+		cacheHits.Add(1)
+	}
+	return e.res, e.err
+}
+
+// ---- disk tier ----
+
+// resultSchemaVersion bumps manually for semantic changes the Result
+// type shape does not capture (e.g. a reinterpretation of a field).
+const resultSchemaVersion = "1"
+
+// resultSchemaHash versions the disk tier: the manual version plus a
+// reflected signature of the Result type, so adding, removing, renaming
+// or retyping any (nested) field moves the tier to a fresh directory.
+var resultSchemaHash = fmt.Sprintf("%016x",
+	fnvMixString(fnvOffset, resultSchemaVersion+":"+typeSig(reflect.TypeOf(Result{}), 0)))
+
+// typeSig renders a type's structural signature.
+func typeSig(t reflect.Type, depth int) string {
+	if depth > 8 {
+		return "..."
+	}
+	switch t.Kind() {
+	case reflect.Struct:
+		var b strings.Builder
+		b.WriteString("struct{")
+		for i := 0; i < t.NumField(); i++ {
+			f := t.Field(i)
+			b.WriteString(f.Name)
+			b.WriteByte(':')
+			b.WriteString(typeSig(f.Type, depth+1))
+			b.WriteByte(';')
+		}
+		b.WriteString("}")
+		return b.String()
+	case reflect.Slice, reflect.Array, reflect.Ptr:
+		return t.Kind().String() + "[" + typeSig(t.Elem(), depth+1) + "]"
+	case reflect.Map:
+		return "map[" + typeSig(t.Key(), depth+1) + "]" + typeSig(t.Elem(), depth+1)
+	default:
+		return t.Kind().String()
+	}
+}
+
+// diskEntry is the on-disk JSON shape; schema and fingerprint are
+// verified on load so a stale or misplaced file reads as a miss.
+type diskEntry struct {
+	Schema      string `json:"schema"`
+	Fingerprint string `json:"fingerprint"`
+	Result      Result `json:"result"`
+}
+
+// cachePath returns fp's file under the schema-versioned subdirectory,
+// or "" when the disk tier is off.
+func cachePath(fp Fingerprint) string {
+	dir, _ := resultCacheDir.Load().(string)
+	if dir == "" {
+		return ""
+	}
+	return filepath.Join(dir, "heteropim-"+resultSchemaHash, fp.String()+".json")
+}
+
+// loadDiskResult reads one disk-tier entry; every failure mode
+// (missing, unreadable, corrupted, schema or fingerprint mismatch) is a
+// plain miss.
+func loadDiskResult(fp Fingerprint) (Result, bool) {
+	path := cachePath(fp)
+	if path == "" {
+		return Result{}, false
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Result{}, false
+	}
+	var e diskEntry
+	if err := json.Unmarshal(data, &e); err != nil {
+		return Result{}, false
+	}
+	if e.Schema != resultSchemaHash || e.Fingerprint != fp.String() {
+		return Result{}, false
+	}
+	cacheBytes.Add(int64(len(data)))
+	return e.Result, true
+}
+
+// storeDiskResult writes one entry atomically (temp file + rename);
+// failures are silent — the disk tier is an optimization, never a
+// correctness dependency.
+func storeDiskResult(fp Fingerprint, res Result) {
+	path := cachePath(fp)
+	if path == "" {
+		return
+	}
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return
+	}
+	data, err := json.Marshal(diskEntry{Schema: resultSchemaHash, Fingerprint: fp.String(), Result: res})
+	if err != nil {
+		return
+	}
+	tmp, err := os.CreateTemp(dir, fp.String()+".*.tmp")
+	if err != nil {
+		return
+	}
+	name := tmp.Name()
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(name)
+		return
+	}
+	if err := os.Rename(name, path); err != nil {
+		os.Remove(name)
+	}
+}

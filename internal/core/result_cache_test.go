@@ -1,0 +1,212 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"heteropim/internal/hw"
+	"heteropim/internal/nn"
+	"heteropim/internal/runner"
+)
+
+// withCleanCache gives the test an enabled, empty, memory-only result
+// cache and restores the process-wide state afterwards.
+func withCleanCache(t *testing.T) {
+	t.Helper()
+	prevOn := EnableResultCache(true)
+	prevDir := SetResultCacheDir("")
+	ResetResultCache()
+	t.Cleanup(func() {
+		ResetResultCache()
+		EnableResultCache(prevOn)
+		SetResultCacheDir(prevDir)
+	})
+}
+
+// TestResultCacheHitsAreBitIdentical checks the cache's core contract
+// over the full evaluation matrix: for every model and platform, a warm
+// lookup returns a Result equal field-for-field (Result is all value
+// types, so == is bit comparison) to the cold run that populated it.
+func TestResultCacheHitsAreBitIdentical(t *testing.T) {
+	withCleanCache(t)
+	for _, m := range nn.CNNModelNames() {
+		for _, kind := range hw.AllConfigKinds() {
+			ResetResultCache()
+			cold, err := BuildAndRun(kind, m, 1)
+			if err != nil {
+				t.Fatalf("%s on %v (cold): %v", m, kind, err)
+			}
+			if st := ResultCacheStats(); st.Misses != 1 || st.Hits != 0 {
+				t.Fatalf("%s on %v: cold stats %+v, want exactly one miss", m, kind, st)
+			}
+			warm, err := BuildAndRun(kind, m, 1)
+			if err != nil {
+				t.Fatalf("%s on %v (warm): %v", m, kind, err)
+			}
+			if warm != cold {
+				t.Errorf("%s on %v: warm result differs from cold run", m, kind)
+			}
+			if st := ResultCacheStats(); st.Misses != 1 || st.Hits != 1 {
+				t.Errorf("%s on %v: warm stats %+v, want one miss + one hit", m, kind, st)
+			}
+		}
+	}
+}
+
+// TestResultCacheDistinguishesInputs guards against fingerprint
+// collisions between neighbouring cells: different models, frequency
+// scales and option toggles must all run live.
+func TestResultCacheDistinguishesInputs(t *testing.T) {
+	withCleanCache(t)
+	if _, err := BuildAndRun(hw.ConfigHeteroPIM, nn.AlexNetName, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BuildAndRun(hw.ConfigHeteroPIM, nn.VGG19Name, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BuildAndRun(hw.ConfigHeteroPIM, nn.AlexNetName, 2); err != nil {
+		t.Fatal(err)
+	}
+	g, err := nn.Build(nn.AlexNetName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunHeteroVariant(g, false, true, 1); err != nil {
+		t.Fatal(err)
+	}
+	if st := ResultCacheStats(); st.Misses != 4 || st.Hits != 0 {
+		t.Errorf("4 distinct cells gave stats %+v, want 4 misses and no hits", st)
+	}
+}
+
+// TestInstrumentedRunsBypassCache checks that runs with a Census (and by
+// the same gate: a Collector or Trace writer) neither read nor populate
+// the cache — their side effects must happen on every call.
+func TestInstrumentedRunsBypassCache(t *testing.T) {
+	withCleanCache(t)
+	g, err := nn.Build(nn.AlexNetName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := hw.PaperConfig(hw.ConfigHeteroPIM)
+	for i := 0; i < 2; i++ {
+		opts := HeteroOptions()
+		opts.Census = newCensus()
+		if _, err := RunPIM(g, cfg, opts); err != nil {
+			t.Fatal(err)
+		}
+		if len(opts.Census.Fixed)+len(opts.Census.Prog)+len(opts.Census.CPU) == 0 {
+			t.Fatalf("run %d: census not filled — instrumented run was skipped", i)
+		}
+	}
+	if st := ResultCacheStats(); st.Hits != 0 || st.Misses != 0 {
+		t.Errorf("instrumented runs touched the cache: %+v", st)
+	}
+	// The instrumented runs must not have polluted the cache either: the
+	// next uninstrumented call is a miss.
+	if _, err := RunPIM(g, cfg, HeteroOptions()); err != nil {
+		t.Fatal(err)
+	}
+	if st := ResultCacheStats(); st.Misses != 1 {
+		t.Errorf("uninstrumented run after instrumented ones: stats %+v, want one miss", st)
+	}
+}
+
+// TestDiskTier covers the persistent tier: a stored entry survives an
+// in-memory reset, and corrupted or wrong-schema files degrade to live
+// runs instead of errors.
+func TestDiskTier(t *testing.T) {
+	withCleanCache(t)
+	SetResultCacheDir(t.TempDir())
+	g, err := nn.Build(nn.AlexNetName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := hw.PaperConfig(hw.ConfigHeteroPIM)
+	cold, err := RunPIM(g, cfg, HeteroOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir, _ := resultCacheDir.Load().(string)
+	files, err := filepath.Glob(filepath.Join(dir, "heteropim-*", "*.json"))
+	if err != nil || len(files) != 1 {
+		t.Fatalf("disk tier holds %d entries (%v), want 1", len(files), err)
+	}
+
+	// Hit from disk after the memory tier is dropped.
+	ResetResultCache()
+	warm, err := RunPIM(g, cfg, HeteroOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm != cold {
+		t.Errorf("disk-tier hit differs from cold run")
+	}
+	if st := ResultCacheStats(); st.DiskHits != 1 || st.Misses != 0 {
+		t.Errorf("disk-hit stats %+v, want one disk hit and no misses", st)
+	}
+
+	// A corrupted entry is a miss, never an error; the live run rewrites it.
+	if err := os.WriteFile(files[0], []byte("{definitely not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ResetResultCache()
+	live, err := RunPIM(g, cfg, HeteroOptions())
+	if err != nil {
+		t.Fatalf("corrupted disk entry surfaced as error: %v", err)
+	}
+	if live != cold {
+		t.Errorf("live run after corruption differs from original")
+	}
+	if st := ResultCacheStats(); st.Misses != 1 || st.DiskHits != 0 {
+		t.Errorf("corrupted-entry stats %+v, want one miss", st)
+	}
+
+	// A wrong-schema entry (stale tier contents) is ignored the same way.
+	stale, err := json.Marshal(diskEntry{Schema: "stale", Fingerprint: "bogus", Result: cold})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(files[0], stale, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ResetResultCache()
+	if _, err := RunPIM(g, cfg, HeteroOptions()); err != nil {
+		t.Fatalf("stale disk entry surfaced as error: %v", err)
+	}
+	if st := ResultCacheStats(); st.Misses != 1 || st.DiskHits != 0 {
+		t.Errorf("stale-entry stats %+v, want one miss", st)
+	}
+}
+
+// TestSharedCacheUnderParallelRunner hammers one fingerprint from the
+// worker pool (run under -race in `make verify`): singleflight must
+// execute exactly one live simulation and hand every other caller the
+// identical Result.
+func TestSharedCacheUnderParallelRunner(t *testing.T) {
+	withCleanCache(t)
+	g, err := nn.Build(nn.AlexNetName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := hw.PaperConfig(hw.ConfigHeteroPIM)
+	const n = 24
+	results, err := runner.Map(context.Background(), n, 8,
+		func(_ context.Context, i int) (Result, error) {
+			return RunPIM(g, cfg, HeteroOptions())
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < n; i++ {
+		if results[i] != results[0] {
+			t.Errorf("result %d differs from result 0", i)
+		}
+	}
+	if st := ResultCacheStats(); st.Misses != 1 || st.Hits != n-1 {
+		t.Errorf("stats %+v, want 1 miss and %d hits", st, n-1)
+	}
+}

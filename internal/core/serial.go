@@ -1,6 +1,7 @@
 package core
 
 import (
+	"encoding/json"
 	"math"
 
 	"heteropim/internal/device"
@@ -40,7 +41,19 @@ func RunCPU(g *nn.Graph, cfg hw.SystemConfig) Result {
 
 // RunCPUWithCollector is RunCPU with instrumentation: each op becomes a
 // span on the "cpu" track at its serial position in the step.
+// Uninstrumented calls go through the result cache; instrumented ones
+// bypass it (see RunPIM).
 func RunCPUWithCollector(g *nn.Graph, cfg hw.SystemConfig, c sim.Collector) Result {
+	if c == nil && !resultCacheOff.Load() {
+		fp := fingerprintRun("cpu", g, cfg, Options{}, nil)
+		res, _ := cachedResult(fp, func() (Result, error) { return runCPUSerial(g, cfg, nil), nil })
+		return res
+	}
+	return runCPUSerial(g, cfg, c)
+}
+
+// runCPUSerial is the live run behind RunCPU/RunCPUWithCollector.
+func runCPUSerial(g *nn.Graph, cfg hw.SystemConfig, c sim.Collector) Result {
 	res := Result{Config: cfg, Model: g.Model, Steps: 1}
 	var clock hw.Seconds
 	for _, op := range g.Ops {
@@ -80,8 +93,19 @@ func RunGPU(g *nn.Graph, cfg hw.SystemConfig) Result {
 
 // RunGPUWithCollector is RunGPU with instrumentation: kernels become
 // spans on the "gpu" track, the unhidden host<->GPU transfer one span
-// on the "pcie" track.
+// on the "pcie" track. Uninstrumented calls go through the result
+// cache; instrumented ones bypass it (see RunPIM).
 func RunGPUWithCollector(g *nn.Graph, cfg hw.SystemConfig, c sim.Collector) Result {
+	if c == nil && !resultCacheOff.Load() {
+		fp := fingerprintRun("gpu", g, cfg, Options{}, nil)
+		res, _ := cachedResult(fp, func() (Result, error) { return runGPUSerial(g, cfg, nil), nil })
+		return res
+	}
+	return runGPUSerial(g, cfg, c)
+}
+
+// runGPUSerial is the live run behind RunGPU/RunGPUWithCollector.
+func runGPUSerial(g *nn.Graph, cfg hw.SystemConfig, c sim.Collector) Result {
 	res := Result{Config: cfg, Model: g.Model, Steps: 1}
 	var clock hw.Seconds
 	for _, op := range g.Ops {
@@ -109,8 +133,21 @@ func RunGPUWithCollector(g *nn.Graph, cfg hw.SystemConfig, c sim.Collector) Resu
 
 // RunNeurocube executes every training operation on the Neurocube PE
 // array, serially with a per-op launch (its execution model is static:
-// no dynamic runtime scheduling — Section VI-C).
+// no dynamic runtime scheduling — Section VI-C). Runs go through the
+// result cache, with the spec folded into the fingerprint.
 func RunNeurocube(g *nn.Graph, spec device.NeurocubeSpec, cfg hw.SystemConfig) Result {
+	if !resultCacheOff.Load() {
+		if specJSON, err := json.Marshal(spec); err == nil {
+			fp := fingerprintRun("neurocube", g, cfg, Options{}, specJSON)
+			res, _ := cachedResult(fp, func() (Result, error) { return runNeurocubeSerial(g, spec, cfg), nil })
+			return res
+		}
+	}
+	return runNeurocubeSerial(g, spec, cfg)
+}
+
+// runNeurocubeSerial is the live run behind RunNeurocube.
+func runNeurocubeSerial(g *nn.Graph, spec device.NeurocubeSpec, cfg hw.SystemConfig) Result {
 	res := Result{Config: cfg, Model: g.Model, Steps: 1}
 	res.Config.Name = "Neurocube"
 	for _, op := range g.Ops {

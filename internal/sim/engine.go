@@ -6,7 +6,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"sync"
@@ -21,23 +20,77 @@ type event struct {
 	fn  func()
 }
 
+// before is the heap order: time first, insertion sequence as the tie
+// break, which is what makes same-time events run in schedule order.
+func (e event) before(o event) bool {
+	if e.at != o.at {
+		return e.at < o.at
+	}
+	return e.seq < o.seq
+}
+
+// eventHeap is a typed 4-ary implicit heap. The previous container/heap
+// implementation boxed every event through `any` on Push/Pop (one heap
+// allocation per scheduled event) and dispatched Len/Less/Swap through
+// an interface; the typed heap does neither. A 4-ary layout halves the
+// tree depth of the binary heap, trading slightly more sibling
+// comparisons per level for fewer cache-missing levels — the right
+// trade for the tens of thousands of events a steady-state run pushes.
+// Children of node i live at 4i+1..4i+4; the parent of i is (i-1)/4.
 type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// push inserts ev, sifting it up to its heap position.
+func (h *eventHeap) push(ev event) {
+	a := append(*h, ev)
+	i := len(a) - 1
+	for i > 0 {
+		p := (i - 1) / 4
+		if !ev.before(a[p]) {
+			break
+		}
+		a[i] = a[p]
+		i = p
 	}
-	return h[i].seq < h[j].seq
+	a[i] = ev
+	*h = a
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
-	return it
+
+// pop removes and returns the minimum event.
+func (h *eventHeap) pop() event {
+	a := *h
+	top := a[0]
+	n := len(a) - 1
+	last := a[n]
+	a[n] = event{} // drop the closure reference for the GC
+	a = a[:n]
+	*h = a
+	if n > 0 {
+		i := 0
+		for {
+			c := 4*i + 1
+			if c >= n {
+				break
+			}
+			// Find the smallest of up to four children.
+			m := c
+			end := c + 4
+			if end > n {
+				end = n
+			}
+			for j := c + 1; j < end; j++ {
+				if a[j].before(a[m]) {
+					m = j
+				}
+			}
+			if !a[m].before(last) {
+				break
+			}
+			a[i] = a[m]
+			i = m
+		}
+		a[i] = last
+	}
+	return top
 }
 
 // Engine is the simulation core. The zero value is NOT usable; call New.
@@ -59,9 +112,7 @@ const DefaultMaxEvents = 200_000_000
 
 // New creates an engine at time zero.
 func New() *Engine {
-	e := &Engine{}
-	heap.Init(&e.events)
-	return e
+	return &Engine{}
 }
 
 // Now returns the current simulated time.
@@ -79,7 +130,7 @@ func (e *Engine) At(t hw.Seconds, fn func()) error {
 		return fmt.Errorf("sim: scheduling at %.9g, before now %.9g", t, e.now)
 	}
 	e.seq++
-	heap.Push(&e.events, event{at: t, seq: e.seq, fn: fn})
+	e.events.push(event{at: t, seq: e.seq, fn: fn})
 	return nil
 }
 
@@ -102,7 +153,7 @@ func (e *Engine) Run() error {
 		if e.processed >= max {
 			return fmt.Errorf("sim: event budget (%d) exhausted at t=%.9g — scheduling loop?", max, e.now)
 		}
-		ev := heap.Pop(&e.events).(event)
+		ev := e.events.pop()
 		e.now = ev.at
 		e.processed++
 		ev.fn()
