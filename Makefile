@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify lint vet build test race bench benchjson cachejson golden golden-check clean
+.PHONY: verify lint vet build test race bench benchjson cachejson servejson golden golden-check clean
 
 # verify is the default CI gate: static checks, a full build, the test
 # suite, and the race-detector pass (the parallel experiment runner
@@ -46,6 +46,12 @@ benchjson:
 # aggregate warm speedup is below the -cachemin floor.
 cachejson:
 	$(GO) run ./cmd/pimbench -cachejson BENCH_cache.json
+
+# servejson regenerates BENCH_serve.json: the pimserve selfcheck fires
+# 64 concurrent clients at an in-process server and fails on any error,
+# non-byte-identical result, dedup ratio below 4x, or unclean drain.
+servejson:
+	$(GO) run ./cmd/pimserve -selfcheck -benchout BENCH_serve.json
 
 # golden regenerates the committed golden outputs the regression CI job
 # diffs against. Run it (and review the diff) whenever an intentional

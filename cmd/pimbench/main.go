@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"heteropim"
+	"heteropim/internal/cliutil"
 )
 
 func main() {
@@ -28,15 +29,12 @@ func main() {
 	benchJSON := flag.String("benchjson", "", "time every experiment sequentially and in parallel, write the comparison to this JSON file")
 	cacheJSON := flag.String("cachejson", "", "time cache-heavy experiments cold and warm, write the comparison to this JSON file (fails if warm output differs or speedup is below -cachemin)")
 	cacheMin := flag.Float64("cachemin", 1.5, "minimum aggregate warm-cache speedup accepted by -cachejson")
-	noCache := flag.Bool("nocache", false, "disable the cross-run simulation result cache")
-	cacheDir := flag.String("cachedir", os.Getenv(heteropim.EnvCacheDir),
-		"on-disk simulation cache directory (default $HETEROPIM_CACHE_DIR; empty = memory-only cache)")
+	applyCache := cliutil.CacheFlags(flag.CommandLine)
 	list := flag.Bool("list", false, "list experiment ids")
 	flag.Parse()
 
 	heteropim.SetParallelism(*workers)
-	heteropim.SetSimulationCache(!*noCache)
-	heteropim.SetSimulationCacheDir(*cacheDir)
+	applyCache()
 
 	experiments := heteropim.Experiments()
 	if *ext || *only != "" {

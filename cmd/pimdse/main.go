@@ -17,6 +17,7 @@ import (
 	"os"
 
 	"heteropim"
+	"heteropim/internal/cliutil"
 	"heteropim/internal/hmc"
 	"heteropim/internal/hw"
 	"heteropim/internal/pim"
@@ -32,13 +33,14 @@ func fail(err error) {
 
 func main() {
 	model := flag.String("model", "VGG-19", "model for the unit-budget performance sweep")
-	noCache := flag.Bool("nocache", false, "disable the cross-run simulation result cache")
-	cacheDir := flag.String("cachedir", os.Getenv(heteropim.EnvCacheDir),
-		"on-disk simulation cache directory (default $HETEROPIM_CACHE_DIR; empty = memory-only cache)")
+	applyCache := cliutil.CacheFlags(flag.CommandLine)
 	flag.Parse()
 
-	heteropim.SetSimulationCache(!*noCache)
-	heteropim.SetSimulationCacheDir(*cacheDir)
+	applyCache()
+	modelName, err := heteropim.ParseModel(*model)
+	if err != nil {
+		fail(err)
+	}
 
 	stack, err := hmc.New(hw.PaperStack(1))
 	if err != nil {
@@ -93,7 +95,7 @@ func main() {
 
 	// 3. Performance effect of the unit budget.
 	st := &report.Table{
-		Title:   fmt.Sprintf("Unit-budget performance sweep (%s)", *model),
+		Title:   fmt.Sprintf("Unit-budget performance sweep (%s)", modelName),
 		Columns: []string{"Units", "Step", "Energy", "EDP", "Util"},
 	}
 	base := heteropim.DefaultHardware(heteropim.ConfigHeteroPIM)
@@ -104,7 +106,7 @@ func main() {
 			if err != nil {
 				return heteropim.Result{}, err
 			}
-			return heteropim.RunOnHardware(hc, heteropim.Model(*model))
+			return heteropim.RunOnHardware(hc, modelName)
 		})
 	if err != nil {
 		fail(err)

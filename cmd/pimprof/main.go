@@ -17,9 +17,9 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"strings"
 
 	"heteropim"
+	"heteropim/internal/cliutil"
 	"heteropim/internal/nn"
 	"heteropim/internal/trace"
 )
@@ -31,16 +31,16 @@ func fail(err error) {
 	os.Exit(1)
 }
 
-// buildModel resolves a model name, decorating the unknown-model error
-// with the valid names so a typo is self-correcting.
+// buildModel resolves a model name through the public parser (whose
+// unknown-name error lists the valid models) and builds its graph.
 func buildModel(name string) *nn.Graph {
-	g, err := nn.Build(nn.ModelName(name))
+	model, err := heteropim.ParseModel(name)
 	if err != nil {
-		names := make([]string, 0, len(nn.AllModelNames()))
-		for _, m := range nn.AllModelNames() {
-			names = append(names, string(m))
-		}
-		fail(fmt.Errorf("%w (valid models: %s)", err, strings.Join(names, ", ")))
+		fail(err)
+	}
+	g, err := nn.Build(model)
+	if err != nil {
+		fail(err)
 	}
 	return g
 }
@@ -63,13 +63,10 @@ func main() {
 	timelineModel := flag.String("timeline", "", "run this model instrumented and dump the Chrome trace-event timeline")
 	config := flag.String("config", "hetero", "platform for -timeline: cpu|gpu|progr|fixed|hetero")
 	out := flag.String("o", "", "write -timeline output to this file instead of stdout")
-	noCache := flag.Bool("nocache", false, "disable the cross-run simulation result cache")
-	cacheDir := flag.String("cachedir", os.Getenv(heteropim.EnvCacheDir),
-		"on-disk simulation cache directory (default $HETEROPIM_CACHE_DIR; empty = memory-only cache)")
+	applyCache := cliutil.CacheFlags(flag.CommandLine)
 	flag.Parse()
 
-	heteropim.SetSimulationCache(!*noCache)
-	heteropim.SetSimulationCacheDir(*cacheDir)
+	applyCache()
 
 	if *dotModel != "" {
 		if err := buildModel(*dotModel).WriteDOT(os.Stdout); err != nil {

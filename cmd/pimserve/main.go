@@ -1,0 +1,139 @@
+// Command pimserve is the simulation-as-a-service daemon: an HTTP JSON
+// API over the heteropim simulator with admission control, request
+// dedup, live Prometheus metrics and graceful drain.
+//
+// Usage:
+//
+//	pimserve                                  # serve on 127.0.0.1:8080
+//	pimserve -addr 127.0.0.1:0 -addrfile /tmp/addr   # ephemeral port for scripts
+//	pimserve -selfcheck                       # built-in load generator, writes BENCH_serve.json
+//	pimserve -print hetero,VGG-19             # canonical result JSON of one direct run
+//
+// Endpoints:
+//
+//	POST /v1/jobs                submit {"config","model","freq_scale","variant","instrument"}
+//	GET  /v1/jobs/{id}           poll the job status document
+//	GET  /v1/jobs/{id}/result    long-poll the canonical result bytes
+//	GET  /v1/jobs/{id}/events    SSE lifecycle + progress stream
+//	GET  /metrics                Prometheus text exposition
+//	GET  /healthz, /readyz       liveness / readiness (503 while draining)
+//	GET  /                       text status page
+//
+// SIGTERM/SIGINT drain gracefully: stop admitting, finish in-flight
+// jobs, then exit 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"heteropim"
+	"heteropim/internal/cliutil"
+	"heteropim/internal/serve"
+)
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "pimserve: %v\n", err)
+	os.Exit(1)
+}
+
+// printDirect writes the canonical result JSON of one direct run —
+// the bytes the daemon serves for the same cell, so scripts can diff
+// served output against ground truth.
+func printDirect(cell string) {
+	parts := strings.SplitN(cell, ",", 2)
+	if len(parts) != 2 {
+		fail(fmt.Errorf("-print wants \"config,model\", got %q", cell))
+	}
+	cfg, err := heteropim.ParseConfig(strings.TrimSpace(parts[0]))
+	if err != nil {
+		fail(err)
+	}
+	model, err := heteropim.ParseModel(strings.TrimSpace(parts[1]))
+	if err != nil {
+		fail(err)
+	}
+	r, err := heteropim.Run(cfg, model)
+	if err != nil {
+		fail(err)
+	}
+	os.Stdout.Write(serve.EncodeResult(r))
+}
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address (use :0 for an ephemeral port)")
+	addrFile := flag.String("addrfile", "", "write the resolved base URL to this file once listening (for scripts)")
+	workers := flag.Int("workers", 0, "simulation pool width (0 = GOMAXPROCS-derived)")
+	queue := flag.Int("queue", 64, "admission queue capacity (full queue sheds load with 429)")
+	timeout := flag.Duration("timeout", 2*time.Minute, "per-job queue-wait timeout")
+	drainWait := flag.Duration("drainwait", 60*time.Second, "how long SIGTERM waits for in-flight jobs")
+	selfcheck := flag.Bool("selfcheck", false, "run the built-in load generator against an in-process server and exit")
+	clients := flag.Int("clients", 64, "selfcheck: concurrent clients")
+	dedupMin := flag.Float64("dedupmin", 4, "selfcheck: minimum accepted dedup ratio")
+	benchOut := flag.String("benchout", "BENCH_serve.json", "selfcheck: write the serving benchmark JSON here")
+	printCell := flag.String("print", "", "print the canonical result JSON of one direct run (\"config,model\") and exit")
+	applyCache := cliutil.CacheFlags(flag.CommandLine)
+	flag.Parse()
+	applyCache()
+
+	if *printCell != "" {
+		printDirect(*printCell)
+		return
+	}
+	if *selfcheck {
+		if err := runSelfcheck(*clients, *dedupMin, *benchOut, *workers, *queue, *timeout); err != nil {
+			fail(err)
+		}
+		return
+	}
+
+	srv := serve.New(serve.Options{Workers: *workers, QueueCapacity: *queue, JobTimeout: *timeout})
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fail(err)
+	}
+	baseURL := "http://" + ln.Addr().String()
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(baseURL+"\n"), 0o644); err != nil {
+			fail(err)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "pimserve: listening on %s\n", baseURL)
+
+	hs := &http.Server{Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		fail(err)
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills immediately instead of re-draining
+
+	fmt.Fprintln(os.Stderr, "pimserve: draining (no new jobs; finishing in-flight)")
+	dctx, cancel := context.WithTimeout(context.Background(), *drainWait)
+	defer cancel()
+	if err := srv.Drain(dctx); err != nil {
+		fmt.Fprintf(os.Stderr, "pimserve: drain incomplete: %v\n", err)
+		os.Exit(1)
+	}
+	if err := hs.Shutdown(dctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(os.Stderr, "pimserve: shutdown: %v\n", err)
+		os.Exit(1)
+	}
+	st := srv.Stats()
+	fmt.Fprintf(os.Stderr, "pimserve: drained clean: requests=%d dedup_hits=%d live_runs=%d rejected=%d\n",
+		st.Requests, st.DedupHits, st.JobsRun, st.Rejected)
+}

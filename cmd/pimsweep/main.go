@@ -26,6 +26,7 @@ import (
 	"strings"
 
 	"heteropim"
+	"heteropim/internal/cliutil"
 	"heteropim/internal/runner"
 )
 
@@ -33,20 +34,22 @@ func main() {
 	sweep := flag.String("sweep", "config", "config|freq|variant|batch")
 	models := flag.String("models", "", "comma-separated models (default: the 5 CNNs)")
 	workers := flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
-	noCache := flag.Bool("nocache", false, "disable the cross-run simulation result cache")
-	cacheDir := flag.String("cachedir", os.Getenv(heteropim.EnvCacheDir),
-		"on-disk simulation cache directory (default $HETEROPIM_CACHE_DIR; empty = memory-only cache)")
+	applyCache := cliutil.CacheFlags(flag.CommandLine)
 	flag.Parse()
 
 	heteropim.SetParallelism(*workers)
-	heteropim.SetSimulationCache(!*noCache)
-	heteropim.SetSimulationCacheDir(*cacheDir)
+	applyCache()
 
 	selected := heteropim.Models()
 	if *models != "" {
 		selected = nil
 		for _, m := range strings.Split(*models, ",") {
-			selected = append(selected, heteropim.Model(strings.TrimSpace(m)))
+			model, err := heteropim.ParseModel(strings.TrimSpace(m))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "pimsweep: %v\n", err)
+				os.Exit(1)
+			}
+			selected = append(selected, model)
 		}
 	}
 

@@ -19,6 +19,7 @@ import (
 	"strings"
 
 	"heteropim"
+	"heteropim/internal/cliutil"
 	"heteropim/internal/core"
 	"heteropim/internal/hw"
 	"heteropim/internal/nn"
@@ -105,14 +106,11 @@ func main() {
 	explain := flag.Bool("explain", false, "print the Hetero PIM placement census and energy itemization")
 	metricsOut := flag.String("metrics", "", "run instrumented and write the metrics JSON dump to this file (\"-\" for stdout)")
 	advise := flag.Bool("advise", false, "run instrumented and print the tfprof-style advisor reading")
-	noCache := flag.Bool("nocache", false, "disable the cross-run simulation result cache")
-	cacheDir := flag.String("cachedir", os.Getenv(heteropim.EnvCacheDir),
-		"on-disk simulation cache directory (default $HETEROPIM_CACHE_DIR; empty = memory-only cache)")
+	applyCache := cliutil.CacheFlags(flag.CommandLine)
 	list := flag.Bool("list", false, "list models and configurations")
 	flag.Parse()
 
-	heteropim.SetSimulationCache(!*noCache)
-	heteropim.SetSimulationCacheDir(*cacheDir)
+	applyCache()
 
 	if *fromTrace != "" {
 		f, err := os.Open(*fromTrace)
@@ -147,8 +145,15 @@ func main() {
 		return
 	}
 
+	// Every remaining path consumes the model; resolve it once so an
+	// unknown name fails fast with the valid list.
+	modelName, err := heteropim.ParseModel(*model)
+	if err != nil {
+		fail(err)
+	}
+
 	if *schedTrace {
-		g, err := nn.BuildWithBatch(nn.ModelName(*model), *batch)
+		g, err := nn.BuildWithBatch(modelName, *batch)
 		if err != nil {
 			fail(err)
 		}
@@ -162,7 +167,7 @@ func main() {
 	}
 
 	if *explain {
-		runExplain(*model, *batch, *freq)
+		runExplain(string(modelName), *batch, *freq)
 		return
 	}
 
@@ -182,7 +187,7 @@ func main() {
 		if strings.EqualFold(*config, "all") {
 			fail(fmt.Errorf("-metrics/-advise need a single -config, not \"all\""))
 		}
-		_, m, err := heteropim.RunInstrumentedScaled(configs[0], heteropim.Model(*model), *freq)
+		_, m, err := heteropim.RunInstrumentedScaled(configs[0], modelName, *freq)
 		if err != nil {
 			fail(err)
 		}
@@ -207,7 +212,7 @@ func main() {
 	}
 
 	t := &report.Table{
-		Title: fmt.Sprintf("%s at %gx stack frequency", *model, *freq),
+		Title: fmt.Sprintf("%s at %gx stack frequency", modelName, *freq),
 		Columns: []string{"Config", "Step", "Operation", "DataMove", "Sync",
 			"Energy", "Power", "Util", "Offloaded"},
 	}
@@ -218,9 +223,9 @@ func main() {
 	results, err := runner.Map(context.Background(), len(configs), 0,
 		func(_ context.Context, i int) (heteropim.Result, error) {
 			if *batch > 0 {
-				return heteropim.RunWithBatch(configs[i], heteropim.Model(*model), *batch)
+				return heteropim.RunWithBatch(configs[i], modelName, *batch)
 			}
-			return heteropim.RunScaled(configs[i], heteropim.Model(*model), *freq)
+			return heteropim.RunScaled(configs[i], modelName, *freq)
 		})
 	if err != nil {
 		fail(err)

@@ -1,0 +1,104 @@
+// Serving client: submit a small sweep to a pimserve daemon over its
+// JSON API and print a Fig. 8-style table from the results.
+//
+// With a daemon already running (go run ./cmd/pimserve):
+//
+//	go run ./examples/serving_client -addr http://127.0.0.1:8080
+//
+// Run standalone, the example starts an in-process server on a random
+// port so the walkthrough works without a second terminal.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"time"
+
+	"heteropim"
+	"heteropim/internal/serve"
+)
+
+// submitted mirrors the fields of the job-status response the client
+// needs; unknown fields are ignored so the example stays compatible.
+type submitted struct {
+	ID       string `json:"id"`
+	Status   string `json:"status"`
+	Requests int    `json:"requests"`
+}
+
+func main() {
+	addr := flag.String("addr", "", "base URL of a running pimserve (empty = start one in-process)")
+	flag.Parse()
+
+	base := *addr
+	if base == "" {
+		base = startLocal()
+	}
+
+	client := &http.Client{Timeout: 2 * time.Minute}
+	model := heteropim.VGG19
+	fmt.Printf("Sweeping %s across the five platforms via %s\n\n", model, base)
+	fmt.Printf("%-12s %12s %12s %12s %10s\n", "Config", "Step time", "Energy", "Avg power", "Job")
+	for _, cfg := range heteropim.ConfigNames() {
+		r, id := runCell(client, base, cfg, string(model))
+		fmt.Printf("%-12s %11.3fs %11.1fJ %11.1fW  %s\n",
+			r.Config, r.StepTime, r.Energy, r.AvgPower, id)
+	}
+}
+
+// runCell submits one (config, model) job and long-polls its result.
+// The result body is the exact json.Marshal(heteropim.Result) bytes the
+// server computed once, so decoding it recovers the full Result.
+func runCell(client *http.Client, base, config, model string) (heteropim.Result, string) {
+	body, err := json.Marshal(map[string]any{"config": config, "model": model})
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err := client.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		log.Fatalf("submit %s/%s: %v", config, model, err)
+	}
+	var job submitted
+	err = json.NewDecoder(resp.Body).Decode(&job)
+	resp.Body.Close()
+	// 202 = newly accepted, 200 = deduplicated onto an existing job.
+	if err != nil || (resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK) {
+		log.Fatalf("submit %s/%s: status %d (%v)", config, model, resp.StatusCode, err)
+	}
+
+	resp, err = client.Get(base + "/v1/jobs/" + job.ID + "/result?wait=60s")
+	if err != nil {
+		log.Fatalf("result %s: %v", job.ID, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("result %s: status %d", job.ID, resp.StatusCode)
+	}
+	var r heteropim.Result
+	if err := json.NewDecoder(resp.Body).Decode(&r); err != nil {
+		log.Fatalf("result %s: %v", job.ID, err)
+	}
+	return r, job.ID
+}
+
+// startLocal brings up an in-process pimserve on a random loopback port
+// and returns its base URL.
+func startLocal() string {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := serve.New(serve.Options{})
+	go func() {
+		if err := http.Serve(ln, s.Handler()); err != nil {
+			log.Print(err)
+		}
+	}()
+	fmt.Println("(no -addr given: started an in-process pimserve)")
+	return "http://" + ln.Addr().String()
+}

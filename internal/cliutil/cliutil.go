@@ -1,0 +1,25 @@
+// Package cliutil holds flag wiring shared by every cmd/ tool, so the
+// tools stay consistent (same flag names, same help text, same
+// semantics) without five copies of the same four lines.
+package cliutil
+
+import (
+	"flag"
+	"os"
+
+	"heteropim/internal/core"
+)
+
+// CacheFlags registers the shared -nocache / -cachedir flags on fs and
+// returns the apply function to call after fs.Parse: it pushes the
+// parsed values into the simulation result cache. Every CLI calls this
+// once before parsing.
+func CacheFlags(fs *flag.FlagSet) func() {
+	noCache := fs.Bool("nocache", false, "disable the cross-run simulation result cache")
+	cacheDir := fs.String("cachedir", os.Getenv(core.EnvCacheDir),
+		"on-disk simulation cache directory (default $HETEROPIM_CACHE_DIR; empty = memory-only cache)")
+	return func() {
+		core.EnableResultCache(!*noCache)
+		core.SetResultCacheDir(*cacheDir)
+	}
+}

@@ -1,0 +1,40 @@
+package cliutil
+
+import (
+	"flag"
+	"testing"
+
+	"heteropim/internal/core"
+)
+
+// TestCacheFlags checks the registered flags parse and apply to the
+// result-cache knobs, and that defaults restore the enabled state.
+func TestCacheFlags(t *testing.T) {
+	defer func() {
+		core.EnableResultCache(true)
+		core.SetResultCacheDir("")
+	}()
+
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	apply := CacheFlags(fs)
+	if err := fs.Parse([]string{"-nocache", "-cachedir", "/tmp/heteropim-cliutil-test"}); err != nil {
+		t.Fatal(err)
+	}
+	apply()
+	if core.EnableResultCache(true) { // returns previous state
+		t.Fatal("-nocache did not disable the result cache")
+	}
+	if got := core.SetResultCacheDir(""); got != "/tmp/heteropim-cliutil-test" {
+		t.Fatalf("cache dir = %q, want /tmp/heteropim-cliutil-test", got)
+	}
+
+	fs = flag.NewFlagSet("test", flag.ContinueOnError)
+	apply = CacheFlags(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	apply()
+	if !core.EnableResultCache(true) {
+		t.Fatal("default flags must leave the cache enabled")
+	}
+}

@@ -1,0 +1,80 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text exposition of a registry snapshot — the format every
+// scraper (Prometheus, VictoriaMetrics, Grafana Agent) ingests without
+// client libraries. Emission order follows the snapshot's sorted name
+// order, so identical registries serialize to identical bytes.
+
+// promNamePrefix namespaces every exported series.
+const promNamePrefix = "heteropim_"
+
+// promName maps a registry metric name ("serve.queue_depth",
+// "span_seconds.fixed") to a legal Prometheus metric name: characters
+// outside [a-zA-Z0-9_:] become underscores.
+func promName(name string) string {
+	var b strings.Builder
+	b.WriteString(promNamePrefix)
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z',
+			r >= '0' && r <= '9', r == '_', r == ':':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promFloat renders a sample value; Prometheus spells infinities as
+// +Inf/-Inf.
+func promFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	default:
+		return strconv.FormatFloat(v, 'g', -1, 64)
+	}
+}
+
+// WritePrometheus writes the snapshot in Prometheus text exposition
+// format (version 0.0.4): counters and gauges as single samples,
+// histograms as cumulative _bucket series plus _sum and _count.
+func (s RegistrySnapshot) WritePrometheus(w io.Writer) error {
+	var b strings.Builder
+	for _, c := range s.Counters {
+		name := promName(c.Name)
+		fmt.Fprintf(&b, "# TYPE %s counter\n%s %s\n", name, name, promFloat(c.Value))
+	}
+	for _, g := range s.Gauges {
+		name := promName(g.Name)
+		fmt.Fprintf(&b, "# TYPE %s gauge\n%s %s\n", name, name, promFloat(g.Value))
+	}
+	for _, h := range s.Histograms {
+		name := promName(h.Name)
+		fmt.Fprintf(&b, "# TYPE %s histogram\n", name)
+		var cum int64
+		for i, bound := range h.Bounds {
+			cum += h.Buckets[i]
+			fmt.Fprintf(&b, "%s_bucket{le=%q} %d\n", name, promFloat(bound), cum)
+		}
+		if n := len(h.Bounds); n < len(h.Buckets) {
+			cum += h.Buckets[n]
+		}
+		fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+		fmt.Fprintf(&b, "%s_sum %s\n", name, promFloat(h.Sum))
+		fmt.Fprintf(&b, "%s_count %d\n", name, h.Count)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -84,6 +84,74 @@ func TestLooksNumeric(t *testing.T) {
 	}
 }
 
+// TestPadTable pins pad's contract for reuse outside the renderer (the
+// pimserve status page builds Tables from request-supplied strings):
+// non-positive and too-small widths return the string unchanged, widths
+// count bytes (multi-byte runes over-fill their column), and the
+// numeric/text distinction picks the padding side.
+func TestPadTable(t *testing.T) {
+	cases := []struct {
+		name string
+		s    string
+		w    int
+		want string
+	}{
+		{"numeric right-justified", "1.5x", 6, "  1.5x"},
+		{"text left-justified", "abc", 6, "abc   "},
+		{"exact width unchanged", "abcd", 4, "abcd"},
+		{"wider than column unchanged", "abcdef", 4, "abcdef"},
+		{"zero width unchanged", "x", 0, "x"},
+		{"negative width unchanged", "x", -3, "x"},
+		{"empty cell fills column", "", 3, "   "},
+		{"byte width: µ counts as two", "µs", 4, "µs "},
+		{"exponent right-justified", "1.5e-3", 8, "  1.5e-3"},
+		{"ms suffix is text", "2.500ms", 9, "2.500ms  "},
+	}
+	for _, c := range cases {
+		if got := pad(c.s, c.w); got != c.want {
+			t.Errorf("%s: pad(%q, %d) = %q, want %q", c.name, c.s, c.w, got, c.want)
+		}
+	}
+}
+
+// TestLooksNumericTable pins the classifier's exact character set.
+// Quirks are load-bearing: the golden files fix column alignment, so
+// "2.500ms"/"25.000us" staying left-justified (m and u are outside the
+// set) and unit-bearing strings like "68.0W" counting as numeric must
+// not change silently.
+func TestLooksNumericTable(t *testing.T) {
+	cases := []struct {
+		s    string
+		want bool
+	}{
+		{"", false},
+		{"0", true},
+		{"-5", true},
+		{"+5", true},
+		{"1.5e-3", true},
+		{"1E6", false},   // only lowercase e is in the set
+		{"2.500s", true}, // seconds suffix
+		{"2.500ms", false},
+		{"25.000us", false},
+		{"1.50x", true},
+		{"42.0%", true},
+		{"3.2J", true},
+		{"68.0W", true},
+		{"0x12", true},  // x and digits are both in the set
+		{"0xff", false}, // ...but f is not
+		{"exes", true},  // all-letters-from-the-set false positive, pinned
+		{" 1", false},   // leading space disqualifies
+		{"1,000", false},
+		{"µ", false},
+		{"NaN", false},
+	}
+	for _, c := range cases {
+		if got := looksNumeric(c.s); got != c.want {
+			t.Errorf("looksNumeric(%q) = %v, want %v", c.s, got, c.want)
+		}
+	}
+}
+
 func TestWriteCSV(t *testing.T) {
 	tab := &Table{Columns: []string{"A", "B"}}
 	tab.AddRow("x", "1")

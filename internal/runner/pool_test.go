@@ -1,0 +1,148 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestPoolRunsEverythingAccepted submits more jobs than workers and
+// checks every accepted job ran exactly once after Drain.
+func TestPoolRunsEverythingAccepted(t *testing.T) {
+	p := NewPool(4, 64)
+	var ran atomic.Int64
+	accepted := 0
+	for i := 0; i < 50; i++ {
+		err := p.Submit(func(context.Context) { ran.Add(1) })
+		if err == nil {
+			accepted++
+		} else if !errors.Is(err, ErrQueueFull) {
+			t.Fatalf("unexpected submit error: %v", err)
+		}
+	}
+	if err := p.Drain(context.Background()); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if int(ran.Load()) != accepted {
+		t.Fatalf("ran %d of %d accepted jobs", ran.Load(), accepted)
+	}
+}
+
+// TestPoolShedsLoadWhenFull fills the queue with blocked jobs and
+// checks the next Submit returns ErrQueueFull instead of blocking.
+func TestPoolShedsLoadWhenFull(t *testing.T) {
+	p := NewPool(1, 2)
+	release := make(chan struct{})
+	started := make(chan struct{})
+	var wg sync.WaitGroup
+	blocker := func(context.Context) { <-release }
+	wg.Add(1)
+	if err := p.Submit(func(ctx context.Context) { close(started); blocker(ctx); wg.Done() }); err != nil {
+		t.Fatal(err)
+	}
+	<-started // the worker is now occupied; the queue is empty
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		if err := p.Submit(func(ctx context.Context) { blocker(ctx); wg.Done() }); err != nil {
+			t.Fatalf("fill submit %d: %v", i, err)
+		}
+	}
+	if got := p.QueueDepth(); got != 2 {
+		t.Fatalf("QueueDepth = %d, want 2", got)
+	}
+	if err := p.Submit(blocker); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("over-capacity submit = %v, want ErrQueueFull", err)
+	}
+	close(release)
+	wg.Wait()
+	if err := p.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPoolDrainStopsAdmission checks Submit after Drain fails with
+// ErrPoolDraining and that Drain is idempotent.
+func TestPoolDrainStopsAdmission(t *testing.T) {
+	p := NewPool(2, 4)
+	if err := p.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Submit(func(context.Context) {}); !errors.Is(err, ErrPoolDraining) {
+		t.Fatalf("post-drain submit = %v, want ErrPoolDraining", err)
+	}
+	if err := p.Drain(context.Background()); err != nil {
+		t.Fatalf("second drain: %v", err)
+	}
+}
+
+// TestPoolDrainTimeout checks an expired context surfaces instead of
+// waiting forever on a stuck job.
+func TestPoolDrainTimeout(t *testing.T) {
+	p := NewPool(1, 1)
+	release := make(chan struct{})
+	if err := p.Submit(func(context.Context) { <-release }); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if err := p.Drain(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("drain = %v, want DeadlineExceeded", err)
+	}
+	close(release)
+	if err := p.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPoolCloseCancelsContext checks Close cancels the context jobs
+// receive.
+func TestPoolCloseCancelsContext(t *testing.T) {
+	p := NewPool(1, 1)
+	canceled := make(chan struct{})
+	if err := p.Submit(func(ctx context.Context) {
+		<-ctx.Done()
+		close(canceled)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	p.Close()
+	select {
+	case <-canceled:
+	default:
+		t.Fatal("Close returned before the job observed cancellation")
+	}
+}
+
+// TestPoolConcurrentSubmitDrain races submitters against a drain under
+// the race detector: no panics (send-on-closed) and every accepted job
+// runs.
+func TestPoolConcurrentSubmitDrain(t *testing.T) {
+	p := NewPool(4, 16)
+	var accepted, ran atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				if p.Submit(func(context.Context) { ran.Add(1) }) == nil {
+					accepted.Add(1)
+				}
+			}
+		}()
+	}
+	if err := p.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	// Jobs accepted before the queue closed may still be finishing.
+	if err := p.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if ran.Load() != accepted.Load() {
+		t.Fatalf("ran %d of %d accepted jobs", ran.Load(), accepted.Load())
+	}
+}

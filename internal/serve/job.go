@@ -1,0 +1,311 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"strings"
+	"sync"
+	"time"
+
+	"heteropim"
+)
+
+// Job lifecycle states.
+const (
+	StatusQueued  = "queued"
+	StatusRunning = "running"
+	StatusDone    = "done"
+	StatusFailed  = "failed"
+)
+
+// VariantSpec mirrors heteropim.Variant on the wire (Section VI-E
+// runtime-technique toggles; Hetero PIM only).
+type VariantSpec struct {
+	RecursiveKernels  bool `json:"recursive_kernels"`
+	OperationPipeline bool `json:"operation_pipeline"`
+}
+
+// JobRequest is the POST /v1/jobs body: one simulation cell.
+type JobRequest struct {
+	// Config is a flag-style platform name (heteropim.ParseConfig).
+	Config string `json:"config"`
+	// Model is a workload model name (heteropim.ParseModel).
+	Model string `json:"model"`
+	// FreqScale is the PIM/stack frequency multiplier (0 means 1).
+	FreqScale float64 `json:"freq_scale,omitempty"`
+	// Variant toggles RC/OP; requires the hetero config at scale 1.
+	Variant *VariantSpec `json:"variant,omitempty"`
+	// Instrument runs the job live with a metrics collector attached
+	// (never the result cache) so the SSE stream can carry progress.
+	Instrument bool `json:"instrument,omitempty"`
+}
+
+// cell is a validated, canonicalized JobRequest — the unit of dedup.
+type cell struct {
+	config     heteropim.Config
+	configName string
+	model      heteropim.Model
+	freqScale  float64
+	variant    *VariantSpec
+	instrument bool
+}
+
+// normalize validates a request against the public parsers and
+// canonicalizes it (case-insensitive names, default frequency), so
+// every spelling of the same cell shares one job.
+func normalize(req JobRequest) (cell, error) {
+	cfg, err := heteropim.ParseConfig(req.Config)
+	if err != nil {
+		return cell{}, err
+	}
+	model, err := heteropim.ParseModel(req.Model)
+	if err != nil {
+		return cell{}, err
+	}
+	fs := req.FreqScale
+	if fs == 0 {
+		fs = 1
+	}
+	if fs < 0 {
+		return cell{}, fmt.Errorf("serve: freq_scale must be positive, got %g", fs)
+	}
+	if req.Variant != nil {
+		if !strings.EqualFold(req.Config, "hetero") {
+			return cell{}, fmt.Errorf("serve: variant toggles need the hetero config, got %q", req.Config)
+		}
+		if fs != 1 {
+			return cell{}, fmt.Errorf("serve: variant toggles run at freq_scale 1, got %g", fs)
+		}
+	}
+	return cell{
+		config:     cfg,
+		configName: strings.ToLower(req.Config),
+		model:      model,
+		freqScale:  fs,
+		variant:    req.Variant,
+		instrument: req.Instrument,
+	}, nil
+}
+
+// id derives the job's content-addressed identifier: identical cells
+// map to the same job, which is the request-dedup mechanism.
+func (c cell) id() string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%s|%g|", c.configName, c.model, c.freqScale)
+	if c.variant != nil {
+		fmt.Fprintf(h, "rc=%t,op=%t|", c.variant.RecursiveKernels, c.variant.OperationPipeline)
+	}
+	fmt.Fprintf(h, "ins=%t", c.instrument)
+	return fmt.Sprintf("j%016x", h.Sum64())
+}
+
+// run executes the cell through the public API. Uninstrumented runs go
+// through the PR-3 result cache (and its singleflight); instrumented
+// runs record into m and always execute live.
+func (c cell) run(m *heteropim.Metrics) (heteropim.Result, error) {
+	switch {
+	case c.instrument:
+		return heteropim.RunObserved(c.config, c.model, c.freqScale, m)
+	case c.variant != nil:
+		return heteropim.RunVariant(c.model, heteropim.Variant{
+			RecursiveKernels:  c.variant.RecursiveKernels,
+			OperationPipeline: c.variant.OperationPipeline,
+		})
+	default:
+		return heteropim.RunScaled(c.config, c.model, c.freqScale)
+	}
+}
+
+// EncodeResult renders the canonical wire form of one result: compact
+// JSON plus a trailing newline. encoding/json emits struct fields in
+// declaration order and round-trips float64 exactly, so identical
+// results serialize to identical bytes — the CI smoke job diffs these
+// against a direct heteropim.Run.
+func EncodeResult(r heteropim.Result) []byte {
+	b, err := json.Marshal(r)
+	if err != nil {
+		// Result is a plain value struct; Marshal cannot fail on it.
+		panic(err)
+	}
+	return append(b, '\n')
+}
+
+// Event is one server-sent event on a job's stream.
+type Event struct {
+	Type string
+	Data []byte
+}
+
+// Job is one admitted simulation cell and its lifecycle.
+type Job struct {
+	ID string
+
+	mu       sync.Mutex
+	cell     cell
+	status   string
+	err      string
+	result   []byte // canonical EncodeResult bytes when done
+	requests int64  // submissions collapsed onto this job
+	created  time.Time
+	started  time.Time
+	finished time.Time
+	subs     []chan Event
+	done     chan struct{}
+	metrics  *heteropim.Metrics // instrumented jobs only
+}
+
+func newJob(c cell) *Job {
+	j := &Job{
+		ID:       c.id(),
+		cell:     c,
+		status:   StatusQueued,
+		requests: 1,
+		created:  time.Now(),
+		done:     make(chan struct{}),
+	}
+	if c.instrument {
+		j.metrics = heteropim.NewMetrics()
+	}
+	return j
+}
+
+// JobStatus is the GET /v1/jobs/{id} body (and the SSE status payload).
+type JobStatus struct {
+	ID         string          `json:"id"`
+	Status     string          `json:"status"`
+	Config     string          `json:"config"`
+	Model      string          `json:"model"`
+	FreqScale  float64         `json:"freq_scale"`
+	Variant    *VariantSpec    `json:"variant,omitempty"`
+	Instrument bool            `json:"instrument,omitempty"`
+	Requests   int64           `json:"requests"`
+	QueueMs    float64         `json:"queue_ms"`
+	RunMs      float64         `json:"run_ms"`
+	Error      string          `json:"error,omitempty"`
+	Result     json.RawMessage `json:"result,omitempty"`
+}
+
+// Status snapshots the job for clients.
+func (j *Job) Status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	s := JobStatus{
+		ID:         j.ID,
+		Status:     j.status,
+		Config:     j.cell.configName,
+		Model:      string(j.cell.model),
+		FreqScale:  j.cell.freqScale,
+		Variant:    j.cell.variant,
+		Instrument: j.cell.instrument,
+		Requests:   j.requests,
+		Error:      j.err,
+	}
+	switch j.status {
+	case StatusQueued:
+		// no timings yet
+	case StatusRunning:
+		s.QueueMs = j.started.Sub(j.created).Seconds() * 1e3
+	default:
+		s.QueueMs = j.started.Sub(j.created).Seconds() * 1e3
+		s.RunMs = j.finished.Sub(j.started).Seconds() * 1e3
+	}
+	if j.status == StatusDone {
+		// The stored bytes end in '\n'; RawMessage must not, so trim.
+		s.Result = json.RawMessage(strings.TrimRight(string(j.result), "\n"))
+	}
+	return s
+}
+
+// Result returns the canonical result bytes once done.
+func (j *Job) Result() ([]byte, string, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.result, j.err, j.status == StatusDone
+}
+
+// Done exposes the completion channel (closed on done or failed).
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// addRequest counts one deduplicated submission.
+func (j *Job) addRequest() {
+	j.mu.Lock()
+	j.requests++
+	j.mu.Unlock()
+}
+
+// subscribe registers an SSE listener; the returned cancel function
+// unregisters it. Buffered so a slow listener drops events rather than
+// stalling the job.
+func (j *Job) subscribe() (<-chan Event, func()) {
+	ch := make(chan Event, 16)
+	j.mu.Lock()
+	j.subs = append(j.subs, ch)
+	j.mu.Unlock()
+	cancel := func() {
+		j.mu.Lock()
+		for i, c := range j.subs {
+			if c == ch {
+				j.subs = append(j.subs[:i], j.subs[i+1:]...)
+				break
+			}
+		}
+		j.mu.Unlock()
+	}
+	return ch, cancel
+}
+
+// broadcast sends an event to every subscriber, dropping to any whose
+// buffer is full (progress events are advisory; terminal state is
+// always available via Done/Status).
+func (j *Job) broadcast(ev Event) {
+	j.mu.Lock()
+	subs := append([]chan Event(nil), j.subs...)
+	j.mu.Unlock()
+	for _, ch := range subs {
+		select {
+		case ch <- ev:
+		default:
+		}
+	}
+}
+
+// statusEvent renders the job's current status as an SSE event.
+func (j *Job) statusEvent() Event {
+	b, _ := json.Marshal(j.Status())
+	return Event{Type: "status", Data: b}
+}
+
+// setRunning transitions queued -> running.
+func (j *Job) setRunning() {
+	j.mu.Lock()
+	j.status = StatusRunning
+	j.started = time.Now()
+	j.mu.Unlock()
+	j.broadcast(j.statusEvent())
+}
+
+// complete transitions to done with the canonical result bytes.
+func (j *Job) complete(result []byte) {
+	j.mu.Lock()
+	j.status = StatusDone
+	j.result = result
+	j.finished = time.Now()
+	j.mu.Unlock()
+	j.broadcast(j.statusEvent())
+	close(j.done)
+}
+
+// fail transitions to failed.
+func (j *Job) fail(err error) {
+	j.mu.Lock()
+	j.status = StatusFailed
+	j.err = err.Error()
+	if j.started.IsZero() {
+		j.started = j.created
+	}
+	j.finished = time.Now()
+	j.mu.Unlock()
+	j.broadcast(j.statusEvent())
+	close(j.done)
+}

@@ -1,0 +1,194 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"heteropim"
+)
+
+// The built-in load generator: N concurrent clients hammer a running
+// daemon with a mixed-model cell set over real HTTP, and the outcome
+// (throughput, latency percentiles, dedup ratio, byte-identity against
+// direct Run output) joins the bench trajectory as BENCH_serve.json.
+
+// LoadCell is one (config, model) target of the generator.
+type LoadCell struct {
+	Config string `json:"config"`
+	Model  string `json:"model"`
+}
+
+// DefaultLoadCells is the selfcheck's 8-cell mix: four models on the
+// hetero platform, the same four on the GPU baseline.
+func DefaultLoadCells() []LoadCell {
+	models := []string{"VGG-19", "AlexNet", "DCGAN", "ResNet-50"}
+	cells := make([]LoadCell, 0, 2*len(models))
+	for _, cfg := range []string{"hetero", "gpu"} {
+		for _, m := range models {
+			cells = append(cells, LoadCell{Config: cfg, Model: m})
+		}
+	}
+	return cells
+}
+
+// LoadReport is the BENCH_serve.json shape.
+type LoadReport struct {
+	Clients       int        `json:"clients"`
+	Cells         []LoadCell `json:"cells"`
+	Requests      int64      `json:"requests"`
+	Errors        int64      `json:"errors"`
+	LiveRuns      int64      `json:"live_runs"`
+	DedupHits     int64      `json:"dedup_hits"`
+	DedupRatio    float64    `json:"dedup_ratio"`
+	ByteIdentical bool       `json:"byte_identical"`
+	WallSeconds   float64    `json:"wall_seconds"`
+	ThroughputRPS float64    `json:"throughput_rps"`
+	LatencyP50Ms  float64    `json:"latency_p50_ms"`
+	LatencyP99Ms  float64    `json:"latency_p99_ms"`
+	DrainClean    bool       `json:"drain_clean"`
+}
+
+// percentile reads the p-th percentile (0..1) from sorted samples.
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// LoadGen runs `clients` concurrent clients against the daemon at
+// baseURL, client i targeting cells[i%len(cells)]: POST the job, then
+// long-poll its result and compare the bytes against the expected
+// direct-Run encoding. The server's Stats() fills the dedup figures.
+func LoadGen(baseURL string, clients int, cells []LoadCell, s *Server) (LoadReport, error) {
+	rep := LoadReport{Clients: clients, Cells: cells}
+
+	// Expected canonical bytes per cell, from direct public-API runs.
+	expected := make([][]byte, len(cells))
+	for i, c := range cells {
+		cfg, err := heteropim.ParseConfig(c.Config)
+		if err != nil {
+			return rep, err
+		}
+		model, err := heteropim.ParseModel(c.Model)
+		if err != nil {
+			return rep, err
+		}
+		r, err := heteropim.Run(cfg, model)
+		if err != nil {
+			return rep, err
+		}
+		expected[i] = EncodeResult(r)
+	}
+
+	client := &http.Client{Timeout: 2 * time.Minute}
+	latencies := make([]float64, clients)
+	identical := make([]bool, clients)
+	var errs int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	t0 := time.Now()
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cell := cells[i%len(cells)]
+			start := time.Now()
+			got, err := submitAndFetch(client, baseURL, cell)
+			latencies[i] = time.Since(start).Seconds()
+			if err != nil {
+				mu.Lock()
+				errs++
+				fmt.Fprintf(os.Stderr, "loadgen client %d (%s/%s): %v\n", i, cell.Config, cell.Model, err)
+				mu.Unlock()
+				return
+			}
+			identical[i] = bytes.Equal(got, expected[i%len(cells)])
+		}(i)
+	}
+	wg.Wait()
+	rep.WallSeconds = time.Since(t0).Seconds()
+
+	rep.Errors = errs
+	rep.ByteIdentical = true
+	for i := range identical {
+		if !identical[i] {
+			rep.ByteIdentical = false
+		}
+	}
+	sort.Float64s(latencies)
+	rep.LatencyP50Ms = percentile(latencies, 0.50) * 1e3
+	rep.LatencyP99Ms = percentile(latencies, 0.99) * 1e3
+	if rep.WallSeconds > 0 {
+		rep.ThroughputRPS = float64(clients) / rep.WallSeconds
+	}
+
+	st := s.Stats()
+	rep.Requests = st.Requests
+	rep.DedupHits = st.DedupHits
+	rep.LiveRuns = st.JobsRun
+	if st.JobsRun > 0 {
+		rep.DedupRatio = float64(st.Requests) / float64(st.JobsRun)
+	}
+	return rep, nil
+}
+
+// submitAndFetch POSTs one job and long-polls its result bytes.
+func submitAndFetch(client *http.Client, baseURL string, cell LoadCell) ([]byte, error) {
+	body, _ := json.Marshal(JobRequest{Config: cell.Config, Model: cell.Model})
+	var id string
+	// A 429 is the admission controller doing its job; honor the
+	// Retry-After budget a few times before giving up.
+	for attempt := 0; ; attempt++ {
+		resp, err := client.Post(baseURL+"/v1/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		data, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode == http.StatusTooManyRequests && attempt < 50 {
+			time.Sleep(20 * time.Millisecond)
+			continue
+		}
+		if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("POST /v1/jobs: %s: %s", resp.Status, data)
+		}
+		var st JobStatus
+		if err := json.Unmarshal(data, &st); err != nil {
+			return nil, err
+		}
+		id = st.ID
+		break
+	}
+	resp, err := client.Get(baseURL + "/v1/jobs/" + id + "/result?wait=90s")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET result: %s: %s", resp.Status, data)
+	}
+	return data, nil
+}
+
+// WriteJSON writes the report as indented JSON plus newline.
+func (r LoadReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

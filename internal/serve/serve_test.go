@@ -1,0 +1,388 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"heteropim"
+)
+
+// start spins up a test server; the cleanup drains it.
+func start(t *testing.T, opts Options) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(opts)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = s.Drain(ctx)
+		ts.Close()
+	})
+	return s, ts
+}
+
+func post(t *testing.T, url string, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+func get(t *testing.T, url string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+// TestSubmitPollResult is the core serving path: POST a job, poll its
+// status until done, and check the result bytes are identical to a
+// direct public-API run.
+func TestSubmitPollResult(t *testing.T) {
+	_, ts := start(t, Options{Workers: 2})
+	resp, data := post(t, ts.URL, `{"config":"hetero","model":"AlexNet"}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST = %s: %s", resp.Status, data)
+	}
+	var st JobStatus
+	if err := json.Unmarshal(data, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.ID == "" || st.Config != "hetero" || st.Model != "AlexNet" || st.FreqScale != 1 {
+		t.Fatalf("bad status document: %+v", st)
+	}
+
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		resp, data = get(t, ts.URL+"/v1/jobs/"+st.ID)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET job = %s: %s", resp.Status, data)
+		}
+		if err := json.Unmarshal(data, &st); err != nil {
+			t.Fatal(err)
+		}
+		if st.Status == StatusDone || st.Status == StatusFailed {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck: %+v", st)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if st.Status != StatusDone || len(st.Result) == 0 {
+		t.Fatalf("job did not complete: %+v", st)
+	}
+
+	resp, got := get(t, ts.URL+"/v1/jobs/"+st.ID+"/result")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET result = %s: %s", resp.Status, got)
+	}
+	direct, err := heteropim.Run(heteropim.ConfigHeteroPIM, heteropim.AlexNet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, EncodeResult(direct)) {
+		t.Fatalf("served result differs from direct run:\n%s\nvs\n%s", got, EncodeResult(direct))
+	}
+}
+
+// TestDedupCollapsesIdenticalRequests fires a herd of identical posts
+// and checks they collapse onto one job (one live run).
+func TestDedupCollapsesIdenticalRequests(t *testing.T) {
+	s, ts := start(t, Options{Workers: 2})
+	const herd = 16
+	ids := make([]string, herd)
+	var wg sync.WaitGroup
+	for i := 0; i < herd; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, data := post(t, ts.URL, `{"config":"gpu","model":"DCGAN"}`)
+			if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+				t.Errorf("POST %d = %s: %s", i, resp.Status, data)
+				return
+			}
+			var st JobStatus
+			if err := json.Unmarshal(data, &st); err != nil {
+				t.Error(err)
+				return
+			}
+			ids[i] = st.ID
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < herd; i++ {
+		if ids[i] != ids[0] {
+			t.Fatalf("identical requests got different jobs: %q vs %q", ids[i], ids[0])
+		}
+	}
+	resp, _ := get(t, ts.URL+"/v1/jobs/"+ids[0]+"/result?wait=60s")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("result = %s", resp.Status)
+	}
+	st := s.Stats()
+	if st.JobsRun != 1 {
+		t.Fatalf("herd of %d caused %d live runs, want 1", herd, st.JobsRun)
+	}
+	if st.DedupHits != herd-1 {
+		t.Fatalf("dedup hits = %d, want %d", st.DedupHits, herd-1)
+	}
+}
+
+// TestAdmissionControl saturates a 1-worker/1-slot server (by parking
+// blockers on its pool directly — deterministic, unlike racing real
+// simulations) and checks the excess is shed with 429 + Retry-After;
+// once the pool frees up, admission resumes.
+func TestAdmissionControl(t *testing.T) {
+	s, ts := start(t, Options{Workers: 1, QueueCapacity: 1})
+	release := make(chan struct{})
+	started := make(chan struct{})
+	if err := s.pool.Submit(func(context.Context) { close(started); <-release }); err != nil {
+		t.Fatal(err)
+	}
+	<-started // worker occupied; now fill the single queue slot
+	if err := s.pool.Submit(func(context.Context) { <-release }); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, data := post(t, ts.URL, `{"config":"cpu","model":"AlexNet"}`)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("POST on a full queue = %s (%s), want 429", resp.Status, data)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 responses must carry Retry-After")
+	}
+
+	close(release)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, data = post(t, ts.URL, `{"config":"cpu","model":"AlexNet"}`)
+		if resp.StatusCode == http.StatusAccepted || resp.StatusCode == http.StatusOK {
+			break
+		}
+		if resp.StatusCode != http.StatusTooManyRequests || time.Now().After(deadline) {
+			t.Fatalf("POST after release = %s (%s)", resp.Status, data)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestValidationErrors pins the 400 paths: unknown config, unknown
+// model, variant on a non-hetero config, unknown JSON field.
+func TestValidationErrors(t *testing.T) {
+	_, ts := start(t, Options{Workers: 1})
+	for _, body := range []string{
+		`{"config":"tpu","model":"AlexNet"}`,
+		`{"config":"cpu","model":"GPT-2"}`,
+		`{"config":"cpu","model":"AlexNet","variant":{"recursive_kernels":true}}`,
+		`{"config":"cpu","model":"AlexNet","bogus":1}`,
+		`{"config":"cpu","model":"AlexNet","freq_scale":-1}`,
+	} {
+		resp, data := post(t, ts.URL, body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("POST %s = %s, want 400 (%s)", body, resp.Status, data)
+		}
+		var e struct {
+			Error string `json:"error"`
+		}
+		if err := json.Unmarshal(data, &e); err != nil || e.Error == "" {
+			t.Fatalf("400 body must be a JSON error, got %s", data)
+		}
+	}
+	resp, _ := get(t, ts.URL+"/v1/jobs/nosuchjob")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job = %s, want 404", resp.Status)
+	}
+}
+
+// TestVariantJob checks a hetero variant cell runs and matches the
+// direct RunVariant encoding.
+func TestVariantJob(t *testing.T) {
+	_, ts := start(t, Options{Workers: 2})
+	resp, data := post(t, ts.URL,
+		`{"config":"hetero","model":"AlexNet","variant":{"recursive_kernels":true,"operation_pipeline":false}}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST = %s: %s", resp.Status, data)
+	}
+	var st JobStatus
+	if err := json.Unmarshal(data, &st); err != nil {
+		t.Fatal(err)
+	}
+	resp, got := get(t, ts.URL+"/v1/jobs/"+st.ID+"/result?wait=60s")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("result = %s: %s", resp.Status, got)
+	}
+	direct, err := heteropim.RunVariant(heteropim.AlexNet, heteropim.Variant{RecursiveKernels: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, EncodeResult(direct)) {
+		t.Fatal("served variant result differs from direct RunVariant")
+	}
+}
+
+// TestMetricsHealthReady checks the Prometheus scrape and the health
+// endpoints, including readyz flipping to 503 on drain.
+func TestMetricsHealthReady(t *testing.T) {
+	s, ts := start(t, Options{Workers: 1})
+	post(t, ts.URL, `{"config":"cpu","model":"AlexNet"}`)
+
+	resp, data := get(t, ts.URL+"/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics = %s", resp.Status)
+	}
+	for _, want := range []string{
+		"heteropim_serve_requests 1",
+		"# TYPE heteropim_serve_queue_depth gauge",
+		"heteropim_http_seconds_post_jobs_count",
+		"heteropim_simcache_hits",
+	} {
+		if !strings.Contains(string(data), want) {
+			t.Fatalf("metrics scrape missing %q:\n%s", want, data)
+		}
+	}
+
+	if resp, _ := get(t, ts.URL+"/healthz"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %s", resp.Status)
+	}
+	if resp, _ := get(t, ts.URL+"/readyz"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("readyz = %s", resp.Status)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if resp, _ := get(t, ts.URL+"/readyz"); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("readyz while draining = %s, want 503", resp.Status)
+	}
+	if resp, _ := post(t, ts.URL, `{"config":"cpu","model":"DCGAN"}`); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("POST while draining = %s, want 503", resp.Status)
+	}
+	// Results stay readable after the drain.
+	jobs := s.Jobs()
+	if len(jobs) != 1 || jobs[0].Status != StatusDone {
+		t.Fatalf("drained server lost its jobs: %+v", jobs)
+	}
+}
+
+// TestStatusPage checks the text status page renders the jobs table.
+func TestStatusPage(t *testing.T) {
+	_, ts := start(t, Options{Workers: 1})
+	post(t, ts.URL, `{"config":"fixed","model":"AlexNet"}`)
+	resp, data := get(t, ts.URL+"/")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status page = %s", resp.Status)
+	}
+	for _, want := range []string{"pimserve jobs", "fixed/AlexNet@1x", "workers="} {
+		if !strings.Contains(string(data), want) {
+			t.Fatalf("status page missing %q:\n%s", want, data)
+		}
+	}
+}
+
+// TestSSEEvents checks the event stream delivers a status snapshot and
+// a terminal end event; an instrumented job also reports progress.
+func TestSSEEvents(t *testing.T) {
+	_, ts := start(t, Options{Workers: 1})
+	resp, data := post(t, ts.URL, `{"config":"hetero","model":"DCGAN","instrument":true}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST = %s: %s", resp.Status, data)
+	}
+	var st JobStatus
+	if err := json.Unmarshal(data, &st); err != nil {
+		t.Fatal(err)
+	}
+	stream, err := http.Get(ts.URL + "/v1/jobs/" + st.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stream.Body.Close()
+	if ct := stream.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	types := map[string]int{}
+	scanner := bufio.NewScanner(stream.Body)
+	for scanner.Scan() {
+		line := scanner.Text()
+		if strings.HasPrefix(line, "event: ") {
+			types[strings.TrimPrefix(line, "event: ")]++
+		}
+	}
+	if types["status"] == 0 || types["end"] == 0 {
+		t.Fatalf("stream missing status/end events: %v", types)
+	}
+}
+
+// TestInstrumentedResultMatchesPlain checks an instrumented job's
+// served bytes still match the uninstrumented direct run (PR-2
+// bit-identity carried through the wire).
+func TestInstrumentedResultMatchesPlain(t *testing.T) {
+	_, ts := start(t, Options{Workers: 1})
+	resp, data := post(t, ts.URL, `{"config":"gpu","model":"AlexNet","instrument":true}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST = %s: %s", resp.Status, data)
+	}
+	var st JobStatus
+	if err := json.Unmarshal(data, &st); err != nil {
+		t.Fatal(err)
+	}
+	resp, got := get(t, ts.URL+"/v1/jobs/"+st.ID+"/result?wait=60s")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("result = %s: %s", resp.Status, got)
+	}
+	direct, err := heteropim.Run(heteropim.ConfigGPU, heteropim.AlexNet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, EncodeResult(direct)) {
+		t.Fatal("instrumented served result differs from plain direct run")
+	}
+}
+
+// TestLoadGenSelfcheck runs the built-in load generator end to end
+// against an in-process server: zero errors, dedup ratio over the 4x
+// gate, byte-identical results.
+func TestLoadGenSelfcheck(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load generator is a heavy end-to-end check")
+	}
+	s, ts := start(t, Options{Workers: 4, QueueCapacity: 64})
+	rep, err := LoadGen(ts.URL, 32, DefaultLoadCells(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("loadgen saw %d errors", rep.Errors)
+	}
+	if !rep.ByteIdentical {
+		t.Fatal("served results not byte-identical to direct runs")
+	}
+	if rep.DedupRatio < 4 {
+		t.Fatalf("dedup ratio = %.2f, want >= 4", rep.DedupRatio)
+	}
+}

@@ -1,0 +1,92 @@
+package workload
+
+import (
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+
+	"heteropim/internal/nn"
+	"heteropim/internal/runner"
+)
+
+// TestMultiTenantDeterminism checks repeated runs of the same tenant
+// list are bit-identical, and that per-tenant outputs follow the input
+// order (reversing the tenants reverses Standalone/Slowdowns).
+func TestMultiTenantDeterminism(t *testing.T) {
+	spec := []TenantSpec{
+		{Model: nn.AlexNetName},
+		{Model: nn.DCGANName, HostOnly: true},
+	}
+	a, err := RunMultiTenant(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunMultiTenant(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("repeated multi-tenant runs differ:\n%+v\nvs\n%+v", a, b)
+	}
+
+	rev, err := RunMultiTenant([]TenantSpec{spec[1], spec[0]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rev.Standalone) != 2 || len(a.Standalone) != 2 {
+		t.Fatalf("expected 2 standalone entries, got %d and %d", len(a.Standalone), len(rev.Standalone))
+	}
+	if rev.Standalone[0] != a.Standalone[1] || rev.Standalone[1] != a.Standalone[0] {
+		t.Fatalf("Standalone does not follow tenant order: %v vs reversed %v", a.Standalone, rev.Standalone)
+	}
+	if rev.Sequential != a.Sequential {
+		t.Fatalf("Sequential must be order-independent: %v vs %v", a.Sequential, rev.Sequential)
+	}
+}
+
+// TestMultiTenantSingleTenantError pins the under-populated error path:
+// zero or one tenant is rejected with a count-carrying message, and the
+// zero-value result comes back.
+func TestMultiTenantSingleTenantError(t *testing.T) {
+	for _, tenants := range [][]TenantSpec{nil, {{Model: nn.AlexNetName}}} {
+		res, err := RunMultiTenant(tenants)
+		if err == nil {
+			t.Fatalf("RunMultiTenant(%d tenants) must fail", len(tenants))
+		}
+		if !strings.Contains(err.Error(), "at least 2") {
+			t.Fatalf("error must explain the 2-job minimum, got: %v", err)
+		}
+		if res.CoRun != 0 || len(res.Standalone) != 0 {
+			t.Fatalf("failed run must not carry partial results: %+v", res)
+		}
+	}
+}
+
+// TestMultiTenantParallelBitIdentity co-runs the same tenant mix on
+// several runner.Map workers at once and checks every cell is
+// bit-identical to the sequential baseline — the multi-tenant path is
+// what pimserve fans out, so it must stay pure under concurrency.
+func TestMultiTenantParallelBitIdentity(t *testing.T) {
+	spec := []TenantSpec{
+		{Model: nn.DCGANName},
+		{Model: nn.Word2VecName, HostOnly: true},
+	}
+	want, err := RunMultiTenant(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const cells = 4
+	got, err := runner.Map(context.Background(), cells, 4,
+		func(context.Context, int) (MultiTenantResult, error) {
+			return RunMultiTenant(spec)
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range got {
+		if !reflect.DeepEqual(r, want) {
+			t.Fatalf("parallel cell %d differs from sequential baseline:\n%+v\nvs\n%+v", i, r, want)
+		}
+	}
+}

@@ -42,6 +42,37 @@ func (m *Metrics) Advice() string {
 	return metrics.Advise(m.c.Snapshot()).String()
 }
 
+// NewMetrics returns an empty Metrics ready to receive a run via
+// RunObserved. Live readers (a serving daemon streaming progress, a
+// dashboard) can poll CounterValue while the run is still executing.
+func NewMetrics() *Metrics {
+	return &Metrics{c: metrics.NewCollector()}
+}
+
+// CounterValue reads one registry counter (0 when absent). Counters of
+// an in-flight RunObserved grow monotonically, so polling this is a
+// cheap progress signal ("sim.events" counts processed engine events).
+func (m *Metrics) CounterValue(name string) float64 {
+	return m.c.Registry().CounterValue(name)
+}
+
+// RunObserved is RunScaled with the observability layer recording into
+// the caller-supplied Metrics, which may be observed concurrently while
+// the run executes. The Result is bit-identical to an uninstrumented
+// Run. Instrumented runs always execute live (never the result cache):
+// their purpose is the side effects.
+func RunObserved(config Config, model Model, freqScale float64, m *Metrics) (Result, error) {
+	g, err := nn.Build(model)
+	if err != nil {
+		return Result{}, err
+	}
+	r, err := core.RunOnWithCollector(config, g, hw.PaperConfigScaled(config, freqScale), m.c)
+	if err != nil {
+		return Result{}, err
+	}
+	return wrap(r), nil
+}
+
 // RunInstrumented is Run with the observability layer attached. The
 // Result is bit-identical to an uninstrumented Run; the Metrics carry
 // the run's per-device timeline and metrics registry.
@@ -52,16 +83,12 @@ func RunInstrumented(config Config, model Model) (Result, *Metrics, error) {
 // RunInstrumentedScaled is RunInstrumented at a PIM/stack frequency
 // multiplier (cf. RunScaled).
 func RunInstrumentedScaled(config Config, model Model, freqScale float64) (Result, *Metrics, error) {
-	g, err := nn.Build(model)
+	m := NewMetrics()
+	r, err := RunObserved(config, model, freqScale, m)
 	if err != nil {
 		return Result{}, nil, err
 	}
-	c := metrics.NewCollector()
-	r, err := core.RunOnWithCollector(config, g, hw.PaperConfigScaled(config, freqScale), c)
-	if err != nil {
-		return Result{}, nil, err
-	}
-	return wrap(r), &Metrics{c: c}, nil
+	return r, m, nil
 }
 
 // configByName maps the flag-style lowercase platform names used by
@@ -94,4 +121,28 @@ func ParseConfig(name string) (Config, error) {
 	}
 	return 0, fmt.Errorf("heteropim: unknown configuration %q (valid: %s)",
 		name, strings.Join(ConfigNames(), ", "))
+}
+
+// ModelNames lists the canonical model names ParseModel accepts,
+// sorted (cf. ConfigNames).
+func ModelNames() []string {
+	names := make([]string, 0, len(nn.AllModelNames()))
+	for _, m := range nn.AllModelNames() {
+		names = append(names, string(m))
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ParseModel resolves a workload model name (case-insensitive:
+// "vgg-19" and "VGG-19" both work) to its canonical Model. The error
+// for an unknown name lists the valid ones (cf. ParseConfig).
+func ParseModel(name string) (Model, error) {
+	for _, m := range nn.AllModelNames() {
+		if strings.EqualFold(string(m), name) {
+			return Model(m), nil
+		}
+	}
+	return "", fmt.Errorf("heteropim: unknown model %q (valid: %s)",
+		name, strings.Join(ModelNames(), ", "))
 }

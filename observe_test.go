@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"reflect"
+	"sort"
 	"strings"
 	"testing"
 
@@ -82,6 +83,51 @@ func TestMetricsJSONAndAdvice(t *testing.T) {
 		if !strings.Contains(advice, want) {
 			t.Fatalf("advice missing %q:\n%s", want, advice)
 		}
+	}
+}
+
+// TestParseModel pins the case-insensitive model lookup and its error
+// text (the CLIs and the serving daemon both lean on it).
+func TestParseModel(t *testing.T) {
+	for name, want := range map[string]Model{
+		"VGG-19": VGG19, "vgg-19": VGG19, "alexnet": AlexNet,
+		"ResNet-50": ResNet50, "WORD2VEC": Word2Vec,
+	} {
+		got, err := ParseModel(name)
+		if err != nil || got != want {
+			t.Fatalf("ParseModel(%q) = %v, %v; want %v", name, got, err, want)
+		}
+	}
+	_, err := ParseModel("GPT-2")
+	if err == nil || !strings.Contains(err.Error(), "VGG-19") {
+		t.Fatalf("unknown model error must list valid names, got: %v", err)
+	}
+	names := ModelNames()
+	if len(names) != 7 || !sort.StringsAreSorted(names) {
+		t.Fatalf("ModelNames() = %v, want 7 sorted names", names)
+	}
+}
+
+// TestRunObserved checks the caller-supplied-Metrics path: the Result
+// matches the plain run bit-for-bit and the collector saw events.
+func TestRunObserved(t *testing.T) {
+	plain, err := Run(ConfigHeteroPIM, AlexNet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMetrics()
+	if m.CounterValue("sim.events") != 0 {
+		t.Fatal("fresh Metrics must start empty")
+	}
+	res, err := RunObserved(ConfigHeteroPIM, AlexNet, 1, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, res) {
+		t.Fatalf("observed result differs from plain:\n%+v\nvs\n%+v", plain, res)
+	}
+	if m.CounterValue("sim.events") == 0 {
+		t.Fatal("RunObserved recorded no engine events")
 	}
 }
 
