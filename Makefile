@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify lint vet build test race bench benchjson cachejson servejson golden golden-check clean
+.PHONY: verify lint vet build test race bench benchjson cachejson servejson eventsjson dsejson golden golden-check clean
 
 # verify is the default CI gate: static checks, a full build, the test
 # suite, and the race-detector pass (the parallel experiment runner
@@ -52,6 +52,19 @@ cachejson:
 # non-byte-identical result, dedup ratio below 4x, or unclean drain.
 servejson:
 	$(GO) run ./cmd/pimserve -selfcheck -benchout BENCH_serve.json
+
+# eventsjson regenerates BENCH_events.json (closure vs typed event
+# engine microbenchmark). The tool exits non-zero if the typed path
+# allocates per event or its events/sec gain is below the 1.3x floor.
+eventsjson:
+	$(GO) run ./cmd/pimbench -eventsjson BENCH_events.json
+
+# dsejson regenerates BENCH_dse.json (pruned branch-and-bound vs
+# exhaustive design-space exploration, all five CNNs). The tool exits
+# non-zero if any winner diverges, under 30% of candidates are pruned,
+# or the aggregate wall-clock speedup is below 1.5x.
+dsejson:
+	$(GO) run ./cmd/pimdse -dsejson BENCH_dse.json
 
 # golden regenerates the committed golden outputs the regression CI job
 # diffs against. Run it (and review the diff) whenever an intentional

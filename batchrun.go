@@ -1,0 +1,112 @@
+package heteropim
+
+import (
+	"context"
+	"fmt"
+
+	"heteropim/internal/batch"
+	"heteropim/internal/core"
+	"heteropim/internal/hw"
+	"heteropim/internal/nn"
+)
+
+// BatchCell describes one simulation of a batched sweep: a model on a
+// configuration, with the optional axes the paper's studies vary.
+// Exactly the cells pimsweep's four sweeps and the serving daemon emit.
+type BatchCell struct {
+	Config Config
+	Model  Model
+	// BatchSize overrides the model's paper batch size when > 0.
+	BatchSize int
+	// FreqScale is the PIM/stack PLL multiplier; 0 means 1.
+	FreqScale float64
+	// Variant, when non-nil, runs the Hetero PIM platform with the
+	// RC/OP techniques individually toggled (Config is ignored).
+	Variant *Variant
+	// Processors, when > 0, runs Hetero PIM with that many programmable
+	// processors at constant logic-die area (Config is ignored).
+	Processors int
+}
+
+// BatchRun evaluates the cells on the shared worker pool and returns
+// their results in input order — bit-identical to calling the
+// corresponding Run* function per cell sequentially. Cells sharing a
+// task-graph template (same model, batch size and pipeline options) are
+// grouped: one leader per group runs first and warms the template and
+// profile caches, then the rest fan out (internal/batch). Group and
+// leader counts are reported through batch.ReadStats alongside the
+// simulation-cache counters.
+func BatchRun(cells []BatchCell) ([]Result, error) {
+	bc := make([]batch.Cell[Result], len(cells))
+	for i, c := range cells {
+		c := c
+		if c.Variant != nil && c.Processors > 0 {
+			return nil, fmt.Errorf("heteropim: cell %d sets both Variant and Processors", i)
+		}
+		scale := c.FreqScale
+		if scale == 0 {
+			scale = 1
+		}
+		op := c.Config == ConfigHeteroPIM || c.Variant != nil || c.Processors > 0
+		if c.Variant != nil {
+			op = c.Variant.OperationPipeline
+		}
+		bc[i] = batch.Cell[Result]{
+			Group: batch.GroupKey(string(c.Model), c.BatchSize, 4, op, 2),
+			Run: func(context.Context) (Result, error) {
+				return runBatchCell(c, scale)
+			},
+		}
+	}
+	return batch.Eval(context.Background(), bc)
+}
+
+// runBatchCell executes one cell exactly as the public Run* entry
+// points would.
+func runBatchCell(c BatchCell, scale float64) (Result, error) {
+	switch {
+	case c.Variant != nil:
+		g, err := nn.Build(c.Model)
+		if err != nil {
+			return Result{}, err
+		}
+		r, err := core.RunHeteroVariant(g, c.Variant.RecursiveKernels, c.Variant.OperationPipeline, scale)
+		if err != nil {
+			return Result{}, err
+		}
+		return wrap(r), nil
+	case c.Processors > 0:
+		g, err := nn.Build(c.Model)
+		if err != nil {
+			return Result{}, err
+		}
+		r, err := core.RunPIM(g, hw.HeteroConfigWithProcessors(c.Processors, scale), core.HeteroOptions())
+		if err != nil {
+			return Result{}, err
+		}
+		return wrap(r), nil
+	case c.BatchSize > 0:
+		g, err := nn.BuildWithBatch(c.Model, c.BatchSize)
+		if err != nil {
+			return Result{}, err
+		}
+		r, err := core.Run(c.Config, g, scale)
+		if err != nil {
+			return Result{}, err
+		}
+		return wrap(r), nil
+	default:
+		return RunScaled(c.Config, c.Model, scale)
+	}
+}
+
+// BatchStats reports the grouped-evaluation and DSE-pruning counters
+// accumulated since the last ResetBatchStats (cells evaluated, template
+// groups, leader warm-ups; DSE candidates, pruned, simulated).
+type BatchStats = batch.Stats
+
+// BatchRunStats reads the process's batch-evaluation counters.
+func BatchRunStats() BatchStats { return batch.ReadStats() }
+
+// ResetBatchStats zeroes the batch-evaluation counters.
+func ResetBatchStats() { batch.ResetStats() }

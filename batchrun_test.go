@@ -1,0 +1,80 @@
+package heteropim
+
+import "testing"
+
+// TestBatchRunMatchesSequentialRuns pins the BatchRun contract: results
+// are bit-identical to calling the corresponding Run* function per
+// cell, in input order, across all four sweep axes pimsweep uses.
+func TestBatchRunMatchesSequentialRuns(t *testing.T) {
+	cells := []BatchCell{
+		{Config: ConfigCPU, Model: AlexNet},
+		{Config: ConfigHeteroPIM, Model: AlexNet},
+		{Config: ConfigHeteroPIM, Model: VGG19, FreqScale: 2},
+		{Model: AlexNet, Variant: &Variant{RecursiveKernels: true}},
+		{Model: AlexNet, Variant: &Variant{RecursiveKernels: true, OperationPipeline: true}},
+		{Config: ConfigGPU, Model: AlexNet, BatchSize: 64},
+		{Config: ConfigHeteroPIM, Model: AlexNet, BatchSize: 64},
+		{Model: DCGAN, Processors: 4},
+	}
+	got, err := BatchRun(cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]Result, len(cells))
+	for i, c := range cells {
+		var err error
+		switch {
+		case c.Variant != nil:
+			want[i], err = RunVariant(c.Model, *c.Variant)
+		case c.Processors > 0:
+			want[i], err = RunHeteroProcessors(c.Model, c.Processors)
+		case c.BatchSize > 0:
+			want[i], err = RunWithBatch(c.Config, c.Model, c.BatchSize)
+		case c.FreqScale != 0:
+			want[i], err = RunScaled(c.Config, c.Model, c.FreqScale)
+		default:
+			want[i], err = Run(c.Config, c.Model)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("cell %d: BatchRun diverged from the sequential run:\n got %+v\nwant %+v",
+				i, got[i], want[i])
+		}
+	}
+}
+
+// TestBatchRunRejectsConflictingAxes covers the validation path.
+func TestBatchRunRejectsConflictingAxes(t *testing.T) {
+	_, err := BatchRun([]BatchCell{{Model: AlexNet, Variant: &Variant{}, Processors: 2}})
+	if err == nil {
+		t.Fatal("cell with both Variant and Processors accepted")
+	}
+}
+
+// TestBatchRunStatsCountGroups checks the counters the CLIs surface.
+func TestBatchRunStatsCountGroups(t *testing.T) {
+	ResetBatchStats()
+	defer ResetBatchStats()
+	cells := []BatchCell{
+		{Config: ConfigCPU, Model: AlexNet},
+		{Config: ConfigGPU, Model: AlexNet},
+		{Config: ConfigHeteroPIM, Model: AlexNet},
+		{Config: ConfigHeteroPIM, Model: VGG19},
+	}
+	if _, err := BatchRun(cells); err != nil {
+		t.Fatal(err)
+	}
+	st := BatchRunStats()
+	if st.Cells != 4 {
+		t.Errorf("counted %d cells, want 4", st.Cells)
+	}
+	// AlexNet splits by pipeline options (hetero vs baselines), VGG-19
+	// adds a third group.
+	if st.Groups != 3 || st.Leaders != 3 {
+		t.Errorf("groups=%d leaders=%d, want 3/3", st.Groups, st.Leaders)
+	}
+}

@@ -1,0 +1,164 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"heteropim/internal/hw"
+	"heteropim/internal/sim"
+)
+
+// The events microbenchmark isolates the engine's scheduling hot path:
+// chains of events where each event reschedules its successor, the
+// pattern the executor's device/section state machines produce. The
+// closure side builds one fresh capturing closure per event (exactly
+// what the executor did before the typed-event conversion); the typed
+// side carries the same operands in a sim.Ev payload.
+
+const (
+	eventChains  = 16 // concurrent chains, so the heap holds real state
+	kindTick     = sim.EventKind(1)
+	eventDelay   = hw.Seconds(1e-9)
+	benchEvents  = 400_000 // per timed run
+	allocsEvents = 20_000  // per AllocsPerRun body
+)
+
+// tickHandler drives the typed chains: each event reschedules itself
+// with the countdown and accumulator carried in the payload.
+type tickHandler struct{ eng *sim.Engine }
+
+func (h *tickHandler) HandleEvent(ev sim.Ev) {
+	if ev.Kind != kindTick || ev.N == 0 {
+		return
+	}
+	if err := h.eng.AfterEv(eventDelay, sim.Ev{Kind: kindTick, N: ev.N - 1, F1: ev.F1 + 1}); err != nil {
+		panic(err)
+	}
+}
+
+// runTypedEvents processes n events through the typed path and returns
+// the engine's processed count delta.
+func runTypedEvents(eng *sim.Engine, n int) uint64 {
+	eng.Reset()
+	eng.SetHandler(&tickHandler{eng: eng})
+	before := eng.Processed()
+	for c := 0; c < eventChains; c++ {
+		if err := eng.AfterEv(eventDelay, sim.Ev{Kind: kindTick, N: int32(n / eventChains)}); err != nil {
+			panic(err)
+		}
+	}
+	if err := eng.Run(); err != nil {
+		panic(err)
+	}
+	return eng.Processed() - before
+}
+
+// runClosureEvents processes n events through the legacy closure path,
+// allocating one capturing closure per event like the pre-conversion
+// executor did.
+func runClosureEvents(eng *sim.Engine, n int) uint64 {
+	eng.Reset()
+	before := eng.Processed()
+	var schedule func(left int32, acc float64)
+	schedule = func(left int32, acc float64) {
+		if left == 0 {
+			return
+		}
+		if err := eng.After(eventDelay, func() { schedule(left-1, acc+1) }); err != nil {
+			panic(err)
+		}
+	}
+	for c := 0; c < eventChains; c++ {
+		schedule(int32(n/eventChains), 0)
+	}
+	if err := eng.Run(); err != nil {
+		panic(err)
+	}
+	return eng.Processed() - before
+}
+
+// eventsSide is one engine variant's measurements.
+type eventsSide struct {
+	Seconds        float64 `json:"seconds"`
+	EventsPerSec   float64 `json:"events_per_sec"`
+	AllocsPerEvent float64 `json:"allocs_per_event"`
+}
+
+// eventsReport is the BENCH_events.json shape.
+type eventsReport struct {
+	GOMAXPROCS int `json:"gomaxprocs"`
+	NumCPU     int `json:"num_cpu"`
+	Events     int `json:"events"`
+	// Closure is the legacy func()-per-event engine path; Typed is the
+	// sim.Ev payload path the executor now uses.
+	Closure eventsSide `json:"closure"`
+	Typed   eventsSide `json:"typed"`
+	// Speedup is typed events/sec over closure events/sec.
+	Speedup float64 `json:"speedup"`
+}
+
+// measureEvents times one variant (best of three runs) and measures its
+// per-event allocation cost.
+func measureEvents(run func(*sim.Engine, int) uint64) eventsSide {
+	eng := sim.New()
+	// Warm the heap slab and handler structures.
+	run(eng, allocsEvents)
+
+	best := time.Duration(1<<63 - 1)
+	for i := 0; i < 3; i++ {
+		start := time.Now()
+		if got := run(eng, benchEvents); got < benchEvents {
+			panic(fmt.Sprintf("processed %d events, want >= %d", got, benchEvents))
+		}
+		if d := time.Since(start); d < best {
+			best = d
+		}
+	}
+	allocs := testing.AllocsPerRun(5, func() { run(eng, allocsEvents) })
+	return eventsSide{
+		Seconds:        best.Seconds(),
+		EventsPerSec:   float64(benchEvents) / best.Seconds(),
+		AllocsPerEvent: allocs / float64(allocsEvents),
+	}
+}
+
+// writeEventsJSON benchmarks the closure vs typed event paths, writes
+// the comparison to path, and fails if the typed path still allocates
+// per event or its throughput gain is below minRatio. The gates live
+// in-tool so CI only has to run the command.
+func writeEventsJSON(path string, minRatio float64) error {
+	rep := eventsReport{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Events:     benchEvents,
+	}
+	rep.Closure = measureEvents(runClosureEvents)
+	rep.Typed = measureEvents(runTypedEvents)
+	rep.Speedup = rep.Typed.EventsPerSec / rep.Closure.EventsPerSec
+	fmt.Fprintf(os.Stderr,
+		"pimbench: events closure=%.3gM/s (%.2f allocs/ev) typed=%.3gM/s (%.4f allocs/ev) speedup=%.2fx\n",
+		rep.Closure.EventsPerSec/1e6, rep.Closure.AllocsPerEvent,
+		rep.Typed.EventsPerSec/1e6, rep.Typed.AllocsPerEvent, rep.Speedup)
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	// Allow sync.Pool / slab-growth noise, not a real per-event cost.
+	if rep.Typed.AllocsPerEvent > 0.01 {
+		return fmt.Errorf("typed path allocates %.4f objects/event, want 0 (see %s)",
+			rep.Typed.AllocsPerEvent, path)
+	}
+	if rep.Speedup < minRatio {
+		return fmt.Errorf("typed path speedup %.2fx below the %.2fx floor (see %s)",
+			rep.Speedup, minRatio, path)
+	}
+	return nil
+}

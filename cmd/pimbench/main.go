@@ -29,12 +29,16 @@ func main() {
 	benchJSON := flag.String("benchjson", "", "time every experiment sequentially and in parallel, write the comparison to this JSON file")
 	cacheJSON := flag.String("cachejson", "", "time cache-heavy experiments cold and warm, write the comparison to this JSON file (fails if warm output differs or speedup is below -cachemin)")
 	cacheMin := flag.Float64("cachemin", 1.5, "minimum aggregate warm-cache speedup accepted by -cachejson")
+	eventsJSON := flag.String("eventsjson", "", "benchmark the closure vs typed event engine paths, write the comparison to this JSON file (fails if the typed path allocates or its speedup is below -eventsmin)")
+	eventsMin := flag.Float64("eventsmin", 1.3, "minimum typed-over-closure events/sec ratio accepted by -eventsjson")
 	applyCache := cliutil.CacheFlags(flag.CommandLine)
+	startProfile := cliutil.ProfileFlags(flag.CommandLine)
 	list := flag.Bool("list", false, "list experiment ids")
 	flag.Parse()
 
 	heteropim.SetParallelism(*workers)
 	applyCache()
+	defer startProfile()()
 
 	experiments := heteropim.Experiments()
 	if *ext || *only != "" {
@@ -64,6 +68,14 @@ func main() {
 
 	if *cacheJSON != "" {
 		if err := writeCacheJSON(*cacheJSON, *cacheMin); err != nil {
+			fmt.Fprintf(os.Stderr, "pimbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *eventsJSON != "" {
+		if err := writeEventsJSON(*eventsJSON, *eventsMin); err != nil {
 			fmt.Fprintf(os.Stderr, "pimbench: %v\n", err)
 			os.Exit(1)
 		}

@@ -1,0 +1,216 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"heteropim"
+	"heteropim/internal/batch"
+	"heteropim/internal/energy"
+	"heteropim/internal/hmc"
+	"heteropim/internal/hw"
+	"heteropim/internal/nn"
+	"heteropim/internal/report"
+	"heteropim/internal/thermal"
+)
+
+// defaultCandidates builds the thermally-constrained candidate space:
+// at each PLL point the unit ladder starts from the thermal model's
+// maximum budget under the DRAM cap and halves down, crossed with the
+// two programmable-processor counts the paper's area study considers.
+func defaultCandidates() ([]batch.Candidate, error) {
+	stack, err := hmc.New(hw.PaperStack(1))
+	if err != nil {
+		return nil, err
+	}
+	var cands []batch.Candidate
+	for _, scale := range []float64{1, 2, 4} {
+		maxUnits, err := thermal.MaxUnitsUnderCap(stack, thermal.DRAMThermalCap, scale)
+		if err != nil {
+			return nil, err
+		}
+		for _, units := range []int{maxUnits, maxUnits / 2, maxUnits / 4, maxUnits / 8} {
+			if units < 1 {
+				continue
+			}
+			for _, procs := range []int{1, 4} {
+				cands = append(cands, batch.Candidate{
+					Units: units, FreqScale: scale, ProgProcessors: procs,
+				})
+			}
+		}
+	}
+	return cands, nil
+}
+
+// winnerRow renders one model's winning candidate. The rendering must
+// depend only on the winner's simulated result so pruned and exhaustive
+// runs emit byte-identical tables.
+func winnerRow(t *report.Table, model nn.ModelName, ex batch.Exploration) {
+	w := ex.Winner
+	e := energy.Evaluate(w.Result)
+	t.AddRow(string(model), w.Candidate.String(),
+		report.Seconds(w.Result.StepTime), report.Joules(e.Dynamic),
+		fmt.Sprintf("%.3g", e.EDP))
+}
+
+// runDSE explores the default candidate space for every CNN model and
+// prints the winner table. Only the winner table goes to stdout —
+// pruned/simulated counts go to stderr — so `pimdse -dse` and
+// `pimdse -dse -exhaustive` stdout can be diffed byte for byte.
+func runDSE(prune bool) error {
+	cands, err := defaultCandidates()
+	if err != nil {
+		return err
+	}
+	t := &report.Table{
+		Title:   "Design-space exploration winners (thermally-capped space)",
+		Columns: []string{"Model", "Winner", "Step", "Energy", "EDP"},
+	}
+	t.Notes = append(t.Notes,
+		"winner = units/freq/processors minimizing step time under the full Hetero PIM runtime")
+	for _, model := range nn.CNNModelNames() {
+		ex, err := batch.ExploreDSE(context.Background(), model, cands, prune)
+		if err != nil {
+			return err
+		}
+		winnerRow(t, model, ex)
+		fmt.Fprintf(os.Stderr, "dse: model=%s candidates=%d simulated=%d pruned=%d\n",
+			model, len(cands), ex.Simulated, ex.Pruned)
+	}
+	fmt.Println(t.String())
+	return nil
+}
+
+// dseEntry is one model's pruned-vs-exhaustive comparison.
+type dseEntry struct {
+	Model       string  `json:"model"`
+	Winner      string  `json:"winner"`
+	WinnerStepS float64 `json:"winner_step_s"`
+	Candidates  int     `json:"candidates"`
+	Pruned      int     `json:"pruned"`
+	Simulated   int     `json:"simulated"`
+	PrunedS     float64 `json:"pruned_s"`
+	ExhaustiveS float64 `json:"exhaustive_s"`
+	Speedup     float64 `json:"speedup"`
+	// Identical reports whether the pruned run's winner and rendered
+	// winner row matched the exhaustive run's byte for byte.
+	Identical bool `json:"identical"`
+}
+
+// dseReport is the BENCH_dse.json shape.
+type dseReport struct {
+	GOMAXPROCS int        `json:"gomaxprocs"`
+	NumCPU     int        `json:"num_cpu"`
+	Workers    int        `json:"workers"`
+	Candidates int        `json:"candidates"`
+	Models     []dseEntry `json:"models"`
+	// Aggregates compare summed wall clocks and candidate counts across
+	// all models; the gates apply to these.
+	AggregatePrunedS     float64 `json:"aggregate_pruned_s"`
+	AggregateExhaustiveS float64 `json:"aggregate_exhaustive_s"`
+	AggregateSpeedup     float64 `json:"aggregate_speedup"`
+	PrunedFraction       float64 `json:"pruned_fraction"`
+}
+
+// timeDSE runs one exploration on a cold simulation cache and renders
+// the winner row, so the two modes can be compared byte for byte.
+func timeDSE(model nn.ModelName, cands []batch.Candidate, prune bool) (batch.Exploration, float64, string, error) {
+	heteropim.ResetSimulationCache()
+	start := time.Now()
+	ex, err := batch.ExploreDSE(context.Background(), model, cands, prune)
+	if err != nil {
+		return batch.Exploration{}, 0, "", err
+	}
+	secs := time.Since(start).Seconds()
+	t := &report.Table{Columns: []string{"Model", "Winner", "Step", "Energy", "EDP"}}
+	winnerRow(t, model, ex)
+	return ex, secs, t.String(), nil
+}
+
+// writeDSEJSON times pruned vs exhaustive exploration per CNN model and
+// writes the comparison to path. Gates live in-tool so CI only has to
+// run the command: every model's winner must be identical (candidate
+// and rendered row), the space-wide pruned fraction must reach
+// minPrunedFrac, and the aggregate wall-clock speedup minSpeedup.
+//
+// The pruned run of each pair goes first: the exhaustive run then
+// benefits from warm task-graph templates, so the measured speedup is
+// conservative.
+func writeDSEJSON(path string, minPrunedFrac, minSpeedup float64) error {
+	cands, err := defaultCandidates()
+	if err != nil {
+		return err
+	}
+	rep := dseReport{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Workers:    heteropim.Parallelism(),
+		Candidates: len(cands),
+	}
+	totalPruned, totalCands := 0, 0
+	mismatch := false
+	for _, model := range nn.CNNModelNames() {
+		pru, pruS, pruOut, err := timeDSE(model, cands, true)
+		if err != nil {
+			return fmt.Errorf("%s (pruned): %w", model, err)
+		}
+		exh, exhS, exhOut, err := timeDSE(model, cands, false)
+		if err != nil {
+			return fmt.Errorf("%s (exhaustive): %w", model, err)
+		}
+		identical := pru.Winner.Candidate == exh.Winner.Candidate && pruOut == exhOut
+		if !identical {
+			mismatch = true
+			fmt.Fprintf(os.Stderr, "pimdse: %s winner diverged: pruned %v vs exhaustive %v\n",
+				model, pru.Winner.Candidate, exh.Winner.Candidate)
+		}
+		rep.Models = append(rep.Models, dseEntry{
+			Model:       string(model),
+			Winner:      pru.Winner.Candidate.String(),
+			WinnerStepS: float64(pru.Winner.Result.StepTime),
+			Candidates:  len(cands),
+			Pruned:      pru.Pruned,
+			Simulated:   pru.Simulated,
+			PrunedS:     pruS,
+			ExhaustiveS: exhS,
+			Speedup:     exhS / pruS,
+			Identical:   identical,
+		})
+		totalPruned += pru.Pruned
+		totalCands += len(cands)
+		rep.AggregatePrunedS += pruS
+		rep.AggregateExhaustiveS += exhS
+		fmt.Fprintf(os.Stderr, "pimdse: %s winner %v pruned %d/%d (%.2fs vs %.2fs)\n",
+			model, pru.Winner.Candidate, pru.Pruned, len(cands), pruS, exhS)
+	}
+	rep.AggregateSpeedup = rep.AggregateExhaustiveS / rep.AggregatePrunedS
+	rep.PrunedFraction = float64(totalPruned) / float64(totalCands)
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "pimdse: wrote %s (pruned %.0f%%, speedup %.2fx)\n",
+		path, rep.PrunedFraction*100, rep.AggregateSpeedup)
+
+	if mismatch {
+		return fmt.Errorf("pruned exploration diverged from exhaustive (see %s)", path)
+	}
+	if rep.PrunedFraction < minPrunedFrac {
+		return fmt.Errorf("pruned only %.0f%% of candidates, gate is %.0f%%",
+			rep.PrunedFraction*100, minPrunedFrac*100)
+	}
+	if rep.AggregateSpeedup < minSpeedup {
+		return fmt.Errorf("aggregate DSE speedup %.2fx below the %.2fx gate",
+			rep.AggregateSpeedup, minSpeedup)
+	}
+	return nil
+}

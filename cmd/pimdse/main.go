@@ -8,6 +8,9 @@
 //
 //	pimdse                 # thermal exploration + VGG-19 unit sweep
 //	pimdse -model AlexNet
+//	pimdse -dse            # branch-and-bound winner search, all CNNs
+//	pimdse -dse -exhaustive           # same space, no pruning
+//	pimdse -dsejson BENCH_dse.json    # pruned-vs-exhaustive comparison
 package main
 
 import (
@@ -33,10 +36,27 @@ func fail(err error) {
 
 func main() {
 	model := flag.String("model", "VGG-19", "model for the unit-budget performance sweep")
+	dse := flag.Bool("dse", false, "explore the thermally-capped candidate space for every CNN (branch-and-bound)")
+	exhaustive := flag.Bool("exhaustive", false, "with -dse: simulate every candidate instead of pruning")
+	dsejson := flag.String("dsejson", "", "write a pruned-vs-exhaustive DSE comparison to this file and exit")
 	applyCache := cliutil.CacheFlags(flag.CommandLine)
+	startProfile := cliutil.ProfileFlags(flag.CommandLine)
 	flag.Parse()
 
 	applyCache()
+	defer startProfile()()
+	if *dsejson != "" {
+		if err := writeDSEJSON(*dsejson, 0.30, 1.5); err != nil {
+			fail(err)
+		}
+		return
+	}
+	if *dse {
+		if err := runDSE(!*exhaustive); err != nil {
+			fail(err)
+		}
+		return
+	}
 	modelName, err := heteropim.ParseModel(*model)
 	if err != nil {
 		fail(err)

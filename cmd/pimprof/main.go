@@ -64,9 +64,11 @@ func main() {
 	config := flag.String("config", "hetero", "platform for -timeline: cpu|gpu|progr|fixed|hetero")
 	out := flag.String("o", "", "write -timeline output to this file instead of stdout")
 	applyCache := cliutil.CacheFlags(flag.CommandLine)
+	startProfile := cliutil.ProfileFlags(flag.CommandLine)
 	flag.Parse()
 
 	applyCache()
+	defer startProfile()()
 
 	if *dotModel != "" {
 		if err := buildModel(*dotModel).WriteDOT(os.Stdout); err != nil {

@@ -82,8 +82,10 @@ func main() {
 	benchOut := flag.String("benchout", "BENCH_serve.json", "selfcheck: write the serving benchmark JSON here")
 	printCell := flag.String("print", "", "print the canonical result JSON of one direct run (\"config,model\") and exit")
 	applyCache := cliutil.CacheFlags(flag.CommandLine)
+	startProfile := cliutil.ProfileFlags(flag.CommandLine)
 	flag.Parse()
 	applyCache()
+	defer startProfile()()
 
 	if *printCell != "" {
 		printDirect(*printCell)

@@ -17,7 +17,6 @@
 package main
 
 import (
-	"context"
 	"encoding/csv"
 	"flag"
 	"fmt"
@@ -27,7 +26,6 @@ import (
 
 	"heteropim"
 	"heteropim/internal/cliutil"
-	"heteropim/internal/runner"
 )
 
 func main() {
@@ -35,10 +33,12 @@ func main() {
 	models := flag.String("models", "", "comma-separated models (default: the 5 CNNs)")
 	workers := flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
 	applyCache := cliutil.CacheFlags(flag.CommandLine)
+	startProfile := cliutil.ProfileFlags(flag.CommandLine)
 	flag.Parse()
 
 	heteropim.SetParallelism(*workers)
 	applyCache()
+	defer startProfile()()
 
 	selected := heteropim.Models()
 	if *models != "" {
@@ -75,7 +75,9 @@ func main() {
 	}
 	// Stats go to stderr: stdout is machine-readable CSV.
 	st := heteropim.SimulationCacheStats()
-	fmt.Fprintf(os.Stderr, "simcache: hits=%d misses=%d\n", st.Hits, st.Misses)
+	bs := heteropim.BatchRunStats()
+	fmt.Fprintf(os.Stderr, "simcache: hits=%d misses=%d batch_cells=%d batch_groups=%d batch_leaders=%d\n",
+		st.Hits, st.Misses, bs.Cells, bs.Groups, bs.Leaders)
 }
 
 func f(v float64) string { return strconv.FormatFloat(v, 'g', 8, 64) }
@@ -83,21 +85,25 @@ func f(v float64) string { return strconv.FormatFloat(v, 'g', 8, 64) }
 var resultCols = []string{"step_s", "operation_s", "datamove_s", "sync_s",
 	"energy_j", "power_w", "edp_js", "fixed_util"}
 
-// cell is one sweep point: the CSV prefix columns plus the simulation
-// that produces the row's results.
+// cell is one sweep point: the CSV prefix columns plus the batched
+// simulation that produces the row's results.
 type cell struct {
 	prefix []string
-	run    func() (heteropim.Result, error)
+	sim    heteropim.BatchCell
 }
 
-// writeCells fans the cells out on the worker pool and writes one CSV
-// row per cell, in cell order.
+// writeCells evaluates the cells through the grouped batch engine
+// (template/profile warm-up per group, then parallel fan-out) and
+// writes one CSV row per cell, in cell order.
 func writeCells(w *csv.Writer, header []string, cells []cell) error {
 	if err := w.Write(append(header, resultCols...)); err != nil {
 		return err
 	}
-	results, err := runner.Map(context.Background(), len(cells), 0,
-		func(_ context.Context, i int) (heteropim.Result, error) { return cells[i].run() })
+	sims := make([]heteropim.BatchCell, len(cells))
+	for i, c := range cells {
+		sims[i] = c.sim
+	}
+	results, err := heteropim.BatchRun(sims)
 	if err != nil {
 		return err
 	}
@@ -117,10 +123,9 @@ func sweepConfig(w *csv.Writer, models []heteropim.Model) error {
 	var cells []cell
 	for _, m := range models {
 		for _, cfg := range heteropim.Configs() {
-			m, cfg := m, cfg
 			cells = append(cells, cell{
 				prefix: []string{string(m), cfg.String()},
-				run:    func() (heteropim.Result, error) { return heteropim.Run(cfg, m) },
+				sim:    heteropim.BatchCell{Config: cfg, Model: m},
 			})
 		}
 	}
@@ -131,12 +136,9 @@ func sweepFreq(w *csv.Writer, models []heteropim.Model) error {
 	var cells []cell
 	for _, m := range models {
 		for _, scale := range []float64{1, 2, 4} {
-			m, scale := m, scale
 			cells = append(cells, cell{
 				prefix: []string{string(m), f(scale)},
-				run: func() (heteropim.Result, error) {
-					return heteropim.RunScaled(heteropim.ConfigHeteroPIM, m, scale)
-				},
+				sim:    heteropim.BatchCell{Config: heteropim.ConfigHeteroPIM, Model: m, FreqScale: scale},
 			})
 		}
 	}
@@ -148,13 +150,10 @@ func sweepVariant(w *csv.Writer, models []heteropim.Model) error {
 	for _, m := range models {
 		for _, rc := range []bool{false, true} {
 			for _, op := range []bool{false, true} {
-				m, rc, op := m, rc, op
+				v := &heteropim.Variant{RecursiveKernels: rc, OperationPipeline: op}
 				cells = append(cells, cell{
 					prefix: []string{string(m), strconv.FormatBool(rc), strconv.FormatBool(op)},
-					run: func() (heteropim.Result, error) {
-						return heteropim.RunVariant(m, heteropim.Variant{
-							RecursiveKernels: rc, OperationPipeline: op})
-					},
+					sim:    heteropim.BatchCell{Model: m, Variant: v},
 				})
 			}
 		}
@@ -167,12 +166,9 @@ func sweepBatch(w *csv.Writer, models []heteropim.Model) error {
 	for _, m := range models {
 		for _, batch := range []int{8, 16, 32, 64, 128} {
 			for _, cfg := range []heteropim.Config{heteropim.ConfigGPU, heteropim.ConfigHeteroPIM} {
-				m, batch, cfg := m, batch, cfg
 				cells = append(cells, cell{
 					prefix: []string{string(m), strconv.Itoa(batch), cfg.String()},
-					run: func() (heteropim.Result, error) {
-						return heteropim.RunWithBatch(cfg, m, batch)
-					},
+					sim:    heteropim.BatchCell{Config: cfg, Model: m, BatchSize: batch},
 				})
 			}
 		}

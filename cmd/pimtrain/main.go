@@ -107,10 +107,12 @@ func main() {
 	metricsOut := flag.String("metrics", "", "run instrumented and write the metrics JSON dump to this file (\"-\" for stdout)")
 	advise := flag.Bool("advise", false, "run instrumented and print the tfprof-style advisor reading")
 	applyCache := cliutil.CacheFlags(flag.CommandLine)
+	startProfile := cliutil.ProfileFlags(flag.CommandLine)
 	list := flag.Bool("list", false, "list models and configurations")
 	flag.Parse()
 
 	applyCache()
+	defer startProfile()()
 
 	if *fromTrace != "" {
 		f, err := os.Open(*fromTrace)

@@ -1,0 +1,125 @@
+package batch
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestEvalPreservesInputOrder checks results land at their cell index
+// regardless of grouping and completion order.
+func TestEvalPreservesInputOrder(t *testing.T) {
+	ResetStats()
+	cells := make([]Cell[int], 20)
+	for i := range cells {
+		i := i
+		grp := GroupKey("m", 32, 4, true, 2)
+		if i%3 == 0 {
+			grp = GroupKey("n", 32, 4, true, 2)
+		}
+		cells[i] = Cell[int]{Group: grp, Run: func(context.Context) (int, error) {
+			if i%2 == 0 { // stagger completion
+				time.Sleep(time.Millisecond)
+			}
+			return i * i, nil
+		}}
+	}
+	got, err := Eval(context.Background(), cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("cell %d: got %d, want %d", i, v, i*i)
+		}
+	}
+	st := ReadStats()
+	if st.Cells != 20 || st.Groups != 2 || st.Leaders != 2 {
+		t.Fatalf("stats %+v, want 20 cells, 2 groups, 2 leaders", st)
+	}
+}
+
+// TestEvalLeaderRunsBeforeGroup checks the warm-up contract: the
+// group's leader completes before any follower of that group starts.
+func TestEvalLeaderRunsBeforeGroup(t *testing.T) {
+	var leaderDone atomic.Bool
+	grp := GroupKey("m", 8, 4, false, 1)
+	cells := []Cell[int]{
+		{Group: grp, Run: func(context.Context) (int, error) {
+			time.Sleep(5 * time.Millisecond)
+			leaderDone.Store(true)
+			return 1, nil
+		}},
+	}
+	for i := 0; i < 4; i++ {
+		cells = append(cells, Cell[int]{Group: grp, Run: func(context.Context) (int, error) {
+			if !leaderDone.Load() {
+				return 0, errors.New("follower started before the group leader finished")
+			}
+			return 2, nil
+		}})
+	}
+	if _, err := Eval(context.Background(), cells); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEvalPropagatesErrors checks the first error cancels the batch.
+func TestEvalPropagatesErrors(t *testing.T) {
+	boom := errors.New("boom")
+	cells := []Cell[int]{
+		{Run: func(context.Context) (int, error) { return 1, nil }},
+		{Run: func(context.Context) (int, error) { return 0, boom }},
+	}
+	if _, err := Eval(context.Background(), cells); !errors.Is(err, boom) {
+		t.Fatalf("got %v, want the cell error", err)
+	}
+}
+
+// TestGroupKeyDistinguishesTemplateInputs guards against key collisions
+// between cells that must NOT share a warm-up.
+func TestGroupKeyDistinguishesTemplateInputs(t *testing.T) {
+	keys := map[string]bool{}
+	for _, k := range []string{
+		GroupKey("VGG-19", 32, 4, true, 2),
+		GroupKey("VGG-19", 32, 4, false, 2),
+		GroupKey("VGG-19", 32, 8, true, 2),
+		GroupKey("VGG-19", 64, 4, true, 2),
+		GroupKey("VGG-19", 32, 4, true, 3),
+		GroupKey("AlexNet", 32, 4, true, 2),
+	} {
+		if keys[k] {
+			t.Fatalf("duplicate group key %q", k)
+		}
+		keys[k] = true
+	}
+}
+
+// TestEvalManyGroups smoke-tests a sweep-shaped workload (many groups,
+// uneven sizes) against the runner pool.
+func TestEvalManyGroups(t *testing.T) {
+	var cells []Cell[string]
+	want := []string{}
+	for m := 0; m < 5; m++ {
+		for c := 0; c <= m; c++ {
+			m, c := m, c
+			cells = append(cells, Cell[string]{
+				Group: GroupKey(fmt.Sprintf("model%d", m), 32, 4, true, 2),
+				Run:   func(context.Context) (string, error) { return fmt.Sprintf("%d/%d", m, c), nil },
+			})
+			want = append(want, fmt.Sprintf("%d/%d", m, c))
+		}
+	}
+	got, err := Eval(context.Background(), cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("cell %d: %q, want %q", i, got[i], want[i])
+		}
+	}
+}

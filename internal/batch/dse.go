@@ -1,0 +1,175 @@
+package batch
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+
+	"heteropim/internal/core"
+	"heteropim/internal/hw"
+	"heteropim/internal/nn"
+)
+
+// Candidate is one point of the hardware design space: a fixed-function
+// unit budget, a PLL frequency multiplier and a programmable-processor
+// count, all on the Hetero PIM platform.
+type Candidate struct {
+	Units          int
+	FreqScale      float64
+	ProgProcessors int
+}
+
+// Config materializes the candidate as a full platform description.
+func (c Candidate) Config() hw.SystemConfig {
+	cfg := hw.PaperConfigScaled(hw.ConfigHeteroPIM, c.FreqScale)
+	cfg.ProgPIM = hw.PaperProgPIM(c.ProgProcessors)
+	cfg.FixedPIM = hw.PaperFixedPIM(c.Units)
+	cfg.Name = fmt.Sprintf("Hetero PIM(%du,%gx,%dP)", c.Units, c.FreqScale, c.ProgProcessors)
+	return cfg
+}
+
+func (c Candidate) String() string {
+	return fmt.Sprintf("%du/%gx/%dP", c.Units, c.FreqScale, c.ProgProcessors)
+}
+
+// Explored is one explored candidate. Result is only valid when Simulated
+// is true; a pruned candidate carries just its bound.
+type Explored struct {
+	Candidate Candidate
+	Bound     hw.Seconds
+	Simulated bool
+	Result    core.Result
+}
+
+// Exploration is the outcome of one DSE run.
+type Exploration struct {
+	// Winner is the candidate with the smallest simulated step time
+	// (ties broken by input position). Identical between pruned and
+	// exhaustive runs — the equivalence the admissible bound buys.
+	Winner Explored
+	// Evals holds one entry per candidate, in input order.
+	Evals []Explored
+	// Pruned and Simulated partition the candidate set.
+	Pruned, Simulated int
+}
+
+// dseBlockSize is how many candidates one branch-and-bound round
+// simulates in parallel before re-checking the incumbent. A constant
+// (rather than the worker count) keeps pruned/simulated counts
+// machine-independent.
+const dseBlockSize = 8
+
+// ExploreDSE finds the candidate minimizing simulated step time for the
+// model, under the full Hetero PIM runtime (core.HeteroOptions).
+//
+// With prune=false every candidate is simulated. With prune=true the
+// exploration is branch-and-bound: candidates are simulated in blocks
+// of ascending StepTimeLowerBound, and once a candidate's bound
+// strictly exceeds the incumbent's simulated step time, it — and every
+// candidate after it in bound order — is discarded unsimulated.
+//
+// Equivalence argument: the incumbent is a min over simulated
+// candidates, so incumbent ≥ the global minimum objective at all
+// times. A pruned candidate c has obj(c) ≥ bound(c) > incumbent ≥
+// obj(winner) — strictly worse than the winner, so it can neither win
+// nor tie. Both modes therefore see every potentially-winning
+// candidate and apply the same (objective, input position) tie-break:
+// the winners are identical, and so is every table derived from the
+// winner's Result (simulations are deterministic and cached by
+// content).
+func ExploreDSE(ctx context.Context, model nn.ModelName, cands []Candidate, prune bool) (Exploration, error) {
+	if len(cands) == 0 {
+		return Exploration{}, fmt.Errorf("batch: empty candidate set")
+	}
+	g, err := nn.Build(model)
+	if err != nil {
+		return Exploration{}, err
+	}
+	opts := core.HeteroOptions()
+	r := Registry()
+	r.Add("dse.candidates", float64(len(cands)))
+
+	ex := Exploration{Evals: make([]Explored, len(cands))}
+	for i, c := range cands {
+		ex.Evals[i] = Explored{Candidate: c, Bound: StepTimeLowerBound(g, c.Config(), opts)}
+	}
+	// Canonical order: bound ascending, input position breaking ties.
+	order := make([]int, len(cands))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return ex.Evals[order[a]].Bound < ex.Evals[order[b]].Bound
+	})
+
+	incumbent := math.Inf(1)
+	winner := -1
+	group := GroupKey(g.Model, g.BatchSize, opts.Steps, opts.OP, opts.PipelineDepth)
+	pos := 0
+	for pos < len(order) {
+		if prune && ex.Evals[order[pos]].Bound > incumbent {
+			// Bounds are sorted: everything from here on is beaten.
+			ex.Pruned += len(order) - pos
+			break
+		}
+		// The first block is the single lowest-bound candidate: it warms
+		// the model's template/profile caches (the Eval leader mechanism)
+		// and, being the most promising point, sets a tight incumbent
+		// before any parallel fan-out.
+		size := 1
+		if pos > 0 {
+			size = dseBlockSize
+		}
+		end := min(pos+size, len(order))
+		for prune && end > pos && ex.Evals[order[end-1]].Bound > incumbent {
+			end-- // bounds are sorted: trim the beaten tail of the block
+		}
+		block := order[pos:end]
+		cells := make([]Cell[core.Result], len(block))
+		for k, idx := range block {
+			cfg := cands[idx].Config()
+			grp := group
+			if pos > 0 {
+				grp = "" // caches are warm; skip the leader phase
+			}
+			cells[k] = Cell[core.Result]{Group: grp, Run: func(ctx context.Context) (core.Result, error) {
+				// Each cell builds its own graph: cells must be
+				// independent, and the result cache is content-keyed so
+				// rebuilt graphs still hit.
+				cg, err := nn.Build(model)
+				if err != nil {
+					return core.Result{}, err
+				}
+				return core.RunPIM(cg, cfg, core.HeteroOptions())
+			}}
+		}
+		results, err := Eval(ctx, cells)
+		if err != nil {
+			return Exploration{}, err
+		}
+		for k, idx := range block {
+			ev := &ex.Evals[idx]
+			ev.Simulated = true
+			ev.Result = results[k]
+			ex.Simulated++
+			obj := results[k].StepTime
+			if obj < incumbent || (obj == incumbent && idx < winner) {
+				incumbent = obj
+				winner = idx
+			}
+		}
+		pos += len(block)
+	}
+	r.Add("dse.pruned", float64(ex.Pruned))
+	r.Add("dse.simulated", float64(ex.Simulated))
+	ex.Winner = ex.Evals[winner]
+	return ex, nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

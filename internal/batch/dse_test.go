@@ -1,0 +1,139 @@
+package batch
+
+import (
+	"context"
+	"testing"
+
+	"heteropim/internal/core"
+	"heteropim/internal/nn"
+)
+
+// testCandidates is a small but discriminating space: unit budgets
+// spanning 8x and two PLL points.
+func testCandidates() []Candidate {
+	var cands []Candidate
+	for _, freq := range []float64{1, 2} {
+		for _, units := range []int{111, 222, 444, 888} {
+			cands = append(cands, Candidate{Units: units, FreqScale: freq, ProgProcessors: 1})
+		}
+	}
+	return cands
+}
+
+// TestLowerBoundAdmissibleAllModels is the load-bearing property: the
+// analytic bound must never exceed the simulated step time, for every
+// model and across the candidate space. If this fails, pruned DSE can
+// silently drop true winners.
+func TestLowerBoundAdmissibleAllModels(t *testing.T) {
+	opts := core.HeteroOptions()
+	for _, model := range nn.AllModelNames() {
+		g, err := nn.Build(model)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, c := range testCandidates() {
+			cfg := c.Config()
+			lb := StepTimeLowerBound(g, cfg, opts)
+			if lb <= 0 {
+				t.Errorf("%s %v: non-positive bound %g", model, c, lb)
+			}
+			r, err := core.RunPIM(g, cfg, opts)
+			if err != nil {
+				t.Fatalf("%s %v: %v", model, c, err)
+			}
+			if lb > r.StepTime {
+				t.Errorf("%s %v: bound %.6g exceeds simulated step time %.6g (inadmissible)",
+					model, c, lb, r.StepTime)
+			}
+		}
+	}
+}
+
+// TestLowerBoundAdmissibleBaselineOptions re-checks admissibility under
+// the non-hetero option sets RunPIM serves (Fixed-PIM baseline and the
+// wide Progr-PIM baseline).
+func TestLowerBoundAdmissibleBaselineOptions(t *testing.T) {
+	g, err := nn.Build(nn.AlexNetName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, opts := range []core.Options{
+		{},                                       // Fixed PIM baseline: no selection, no RC/OP
+		{NoCPUFallback: true, WideProgOps: true}, // Progr PIM baseline
+		{RC: true, OP: true, UseSelection: true, PipelineDepth: 3, Steps: 6},
+	} {
+		for _, c := range []Candidate{{444, 1, 1}, {888, 4, 4}} {
+			cfg := c.Config()
+			lb := StepTimeLowerBound(g, cfg, opts)
+			r, err := core.RunPIM(g, cfg, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if lb > r.StepTime {
+				t.Errorf("opts %+v %v: bound %.6g > simulated %.6g", opts, c, lb, r.StepTime)
+			}
+		}
+	}
+}
+
+// TestExploreEquivalenceAllModels pins the tentpole guarantee: pruned
+// branch-and-bound returns the identical winning configuration and
+// winner result as exhaustive evaluation, for every CNN model.
+func TestExploreEquivalenceAllModels(t *testing.T) {
+	ctx := context.Background()
+	cands := testCandidates()
+	for _, model := range nn.CNNModelNames() {
+		exh, err := ExploreDSE(ctx, model, cands, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pru, err := ExploreDSE(ctx, model, cands, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if exh.Winner.Candidate != pru.Winner.Candidate {
+			t.Errorf("%s: pruned winner %v != exhaustive winner %v",
+				model, pru.Winner.Candidate, exh.Winner.Candidate)
+		}
+		if exh.Winner.Result.StepTime != pru.Winner.Result.StepTime {
+			t.Errorf("%s: winner step time diverged: %.9g vs %.9g",
+				model, pru.Winner.Result.StepTime, exh.Winner.Result.StepTime)
+		}
+		if exh.Simulated != len(cands) || exh.Pruned != 0 {
+			t.Errorf("%s: exhaustive run simulated %d/pruned %d, want %d/0",
+				model, exh.Simulated, exh.Pruned, len(cands))
+		}
+		if pru.Simulated+pru.Pruned != len(cands) {
+			t.Errorf("%s: pruned run accounts for %d candidates, want %d",
+				model, pru.Simulated+pru.Pruned, len(cands))
+		}
+		t.Logf("%s: winner %v, pruned %d/%d", model, pru.Winner.Candidate, pru.Pruned, len(cands))
+	}
+}
+
+// TestExplorePrunesMeaningfully checks the perf side: on the
+// discriminating space the bound must actually cut a sizable share of
+// simulations, or branch-and-bound buys nothing.
+func TestExplorePrunesMeaningfully(t *testing.T) {
+	ResetStats()
+	ex, err := ExploreDSE(context.Background(), nn.VGG19Name, testCandidates(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frac := float64(ex.Pruned) / float64(len(testCandidates())); frac < 0.3 {
+		t.Errorf("pruned only %d of %d candidates (%.0f%%), want >= 30%%",
+			ex.Pruned, len(testCandidates()), frac*100)
+	}
+	st := ReadStats()
+	if st.Pruned != ex.Pruned || st.Simulated != ex.Simulated ||
+		st.Candidates != len(testCandidates()) {
+		t.Errorf("registry counters %+v disagree with exploration %d/%d", st, ex.Pruned, ex.Simulated)
+	}
+}
+
+// TestExploreRejectsEmptySpace covers the error path.
+func TestExploreRejectsEmptySpace(t *testing.T) {
+	if _, err := ExploreDSE(context.Background(), nn.AlexNetName, nil, true); err == nil {
+		t.Fatal("empty candidate set accepted")
+	}
+}

@@ -5,7 +5,10 @@ package cliutil
 
 import (
 	"flag"
+	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"heteropim/internal/core"
 )
@@ -21,5 +24,54 @@ func CacheFlags(fs *flag.FlagSet) func() {
 	return func() {
 		core.EnableResultCache(!*noCache)
 		core.SetResultCacheDir(*cacheDir)
+	}
+}
+
+// ProfileFlags registers the shared -cpuprofile / -memprofile flags on
+// fs and returns the start function to call after fs.Parse. Start
+// begins CPU profiling (if requested) and returns the stop function the
+// caller must defer: it stops the CPU profile and writes the heap
+// profile. Errors are fatal — a profiling run with a silently missing
+// profile is worse than no run.
+func ProfileFlags(fs *flag.FlagSet) func() func() {
+	cpuProf := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memProf := fs.String("memprofile", "", "write a heap profile to this file on exit")
+	fatal := func(err error) {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", fs.Name(), err)
+		os.Exit(1)
+	}
+	return func() func() {
+		var cpuFile *os.File
+		if *cpuProf != "" {
+			f, err := os.Create(*cpuProf)
+			if err != nil {
+				fatal(err)
+			}
+			if err := pprof.StartCPUProfile(f); err != nil {
+				fatal(err)
+			}
+			cpuFile = f
+		}
+		return func() {
+			if cpuFile != nil {
+				pprof.StopCPUProfile()
+				if err := cpuFile.Close(); err != nil {
+					fatal(err)
+				}
+			}
+			if *memProf != "" {
+				f, err := os.Create(*memProf)
+				if err != nil {
+					fatal(err)
+				}
+				runtime.GC() // settle allocations so the heap profile is meaningful
+				if err := pprof.WriteHeapProfile(f); err != nil {
+					fatal(err)
+				}
+				if err := f.Close(); err != nil {
+					fatal(err)
+				}
+			}
+		}
 	}
 }

@@ -2,6 +2,8 @@ package cliutil
 
 import (
 	"flag"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"heteropim/internal/core"
@@ -37,4 +39,42 @@ func TestCacheFlags(t *testing.T) {
 	if !core.EnableResultCache(true) {
 		t.Fatal("default flags must leave the cache enabled")
 	}
+}
+
+// TestProfileFlags checks the profile files are created and non-empty,
+// and that the default (no flags) run is a no-op.
+func TestProfileFlags(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	start := ProfileFlags(fs)
+	if err := fs.Parse([]string{"-cpuprofile", cpu, "-memprofile", mem}); err != nil {
+		t.Fatal(err)
+	}
+	stop := start()
+	// Burn a little CPU so the profile has samples to encode.
+	x := 0
+	for i := 0; i < 1e6; i++ {
+		x += i * i
+	}
+	_ = x
+	stop()
+	for _, p := range []string{cpu, mem} {
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fi.Size() == 0 {
+			t.Errorf("%s: empty profile", p)
+		}
+	}
+
+	fs = flag.NewFlagSet("test", flag.ContinueOnError)
+	start = ProfileFlags(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	start()() // no flags: both phases are no-ops
 }

@@ -132,6 +132,36 @@ const fixedKernelQuantumFlops = 1e6
 // next quantum, and a newly released pool is redistributed quickly.
 const fixedTimeQuantum hw.Seconds = 2e-3
 
+// Typed event kinds of the PIM executor (sim.KindFunc = 0 is reserved
+// for legacy closure events). Every kind carries its *task in Ptr; the
+// scalar operands are documented per kind. Scheduling these allocates
+// nothing — the payload travels by value inside the engine's heap slab —
+// which is what makes the steady-state inner loop closure- and
+// allocation-free (the AllocsPerRun pin in exec_alloc_test.go).
+const (
+	// evItemDone: a serial-device work item finished. A = device index
+	// (devCPU/devProg), N = slots to release, Start = span start.
+	evItemDone sim.EventKind = iota + 1
+	// evStartResidual: begin one residual half. Flag = before-sections.
+	evStartResidual
+	// evResidualDone: a residual half finished. Flag = before-sections,
+	// Start = span start.
+	evResidualDone
+	// evSectionDone: one fixed-pool chunk finished. N = granted units,
+	// F1/F2 = chunk flops/bytes, F3 = sync-gap duration, Start = span
+	// start.
+	evSectionDone
+	// evSyncGap: the post-chunk synchronization gap elapsed; request the
+	// next chunk or finish the op.
+	evSyncGap
+)
+
+// Serial-device indexes for evItemDone's A operand.
+const (
+	devCPU uint8 = iota
+	devProg
+)
+
 // task is one operation instance (op x step) in flight.
 type task struct {
 	op   *nn.Op
@@ -160,11 +190,11 @@ type workItem struct {
 	// bypassed counts how many shorter items jumped ahead (SJF aging:
 	// after maxBypass jumps the item cannot be overtaken again).
 	bypassed int
-	done     func()
-	// obs is the task this item executes, for the device timeline;
-	// set only when a collector is attached (keeps the struct small —
-	// it is copied during SJF queue insertion).
-	obs *task
+	// t is the task this item executes. The completion action is derived
+	// from t.path when the item's evItemDone fires (prog items clear
+	// their status register before waking dependents), so the item needs
+	// no callback.
+	t *task
 }
 
 // maxBypass bounds SJF queue jumping so long operations cannot starve.
@@ -180,6 +210,8 @@ const maxBypass = 8
 // re-slice leaked the array head and forced append to re-grow it
 // continuously — the hottest allocation site of the scheduling loop).
 type serialDevice struct {
+	// idx is the device's evItemDone operand (devCPU or devProg).
+	idx   uint8
 	slots int
 	busy  int
 	sjf   bool
@@ -200,7 +232,7 @@ func (d *serialDevice) pending() int { return len(d.queue) - d.head }
 // when the queue drains.
 func (d *serialDevice) pop() workItem {
 	w := d.queue[d.head]
-	d.queue[d.head] = workItem{} // drop the closure reference for the GC
+	d.queue[d.head] = workItem{} // drop the task reference for the GC
 	d.head++
 	switch {
 	case d.head == len(d.queue):
@@ -237,7 +269,11 @@ type exec struct {
 	// status registers for fixed-function offloads.
 	fixedBanks []int
 
+	// fixedPending is the FIFO of tasks waiting for fixed units. It is
+	// head-indexed like the device queues: pops advance fixedHead so the
+	// backing array is reused instead of re-sliced away.
 	fixedPending []*task
+	fixedHead    int
 
 	tasks     [][]*task // [step][opID]
 	stepLeft  []int
@@ -320,9 +356,12 @@ func runPIM(g *nn.Graph, cfg hw.SystemConfig, opts Options) (Result, error) {
 		// inter-op thread pool keeps multiple operations in flight on
 		// the 8-core machine, which is what lets a co-running job use
 		// idle host cycles (Section VI-F).
-		cpu:  &serialDevice{slots: 2, sjf: true, name: hostTrack, queueMetric: "queue." + hostTrack},
-		prog: &serialDevice{slots: cfg.ProgPIM.Processors, name: "prog", queueMetric: "queue.prog"},
+		cpu:  &serialDevice{idx: devCPU, slots: 2, sjf: true, name: hostTrack, queueMetric: "queue." + hostTrack},
+		prog: &serialDevice{idx: devProg, slots: cfg.ProgPIM.Processors, name: "prog", queueMetric: "queue.prog"},
 	}
+	// The executor is the engine's typed-event dispatcher; Release's
+	// Reset detaches it along with the collector.
+	eng.SetHandler(x)
 	// Return the task arena to its template's pool once the run is over
 	// (the engine's own deferred Release clears any stale closures).
 	defer func() {
@@ -622,7 +661,10 @@ func (x *exec) complete(t *task) {
 				continue
 			}
 			held := x.heldBack[s]
-			x.heldBack[s] = nil
+			// Keep the backing array (the pooled arena reuses it); no
+			// append can land on heldBack[s] while held is walked —
+			// dispatch never re-holds a task synchronously.
+			x.heldBack[s] = held[:0]
 			for _, ht := range held {
 				x.dispatch(ht)
 			}
@@ -668,33 +710,82 @@ func (x *exec) pumpDevice(d *serialDevice) {
 		w := d.pop()
 		d.busy += w.slots
 		d.busySeconds += w.dur * float64(w.slots)
-		start := x.eng.Now()
 		if x.eng.Observing() {
 			x.eng.EmitSample(d.queueMetric, float64(d.pending()))
-			if w.obs != nil {
-				x.eng.EmitTaskStart(sim.Task{Track: d.name, Name: w.obs.op.Name, Kind: "op", Step: w.obs.step})
-			}
+			x.eng.EmitTaskStart(sim.Task{Track: d.name, Name: w.t.op.Name, Kind: "op", Step: w.t.step})
 		}
-		if err := x.eng.After(w.dur, func() {
-			d.busy -= w.slots
-			if x.eng.Observing() && w.obs != nil {
-				x.eng.EmitTaskEnd(sim.Task{Track: d.name, Name: w.obs.op.Name, Kind: "op", Step: w.obs.step, Start: start})
-			}
-			x.pumpDevice(d)
-			if w.done != nil {
-				w.done()
-			}
+		if err := x.eng.AfterEv(w.dur, sim.Ev{
+			Kind: evItemDone, A: d.idx, N: int32(w.slots), Start: x.eng.Now(), Ptr: w.t,
 		}); err != nil {
 			x.err = err
 		}
 	}
 }
 
-// delay schedules fn after a pure synchronization delay.
-func (x *exec) delay(dur hw.Seconds, fn func()) {
+// delayEv schedules a typed event after a pure synchronization delay.
+func (x *exec) delayEv(dur hw.Seconds, ev sim.Ev) {
 	x.bk.Sync += dur
-	if err := x.eng.After(dur, fn); err != nil {
+	if err := x.eng.AfterEv(dur, ev); err != nil {
 		x.err = err
+	}
+}
+
+// residualTrack names the timeline lane residual halves run on; fixed
+// for the whole run by the RC option and the processor count.
+func (x *exec) residualTrack() string {
+	if x.opts.RC && x.prog.slots > 0 {
+		return "residual.prog"
+	}
+	return "residual.cpu"
+}
+
+// HandleEvent dispatches the executor's typed events (the closure-free
+// replacements of the old scheduled callbacks). Each case preserves the
+// exact statement order of the closure it replaced — the golden tables
+// are bit-sensitive to it.
+func (x *exec) HandleEvent(ev sim.Ev) {
+	t := ev.Ptr.(*task)
+	switch ev.Kind {
+	case evItemDone:
+		d := x.cpu
+		if ev.A == devProg {
+			d = x.prog
+		}
+		d.busy -= int(ev.N)
+		if x.eng.Observing() {
+			x.eng.EmitTaskEnd(sim.Task{Track: d.name, Name: t.op.Name, Kind: "op", Step: t.step, Start: ev.Start})
+		}
+		x.pumpDevice(d)
+		if t.path == pathProg {
+			x.completeOffload(t)
+		}
+		x.complete(t)
+	case evStartResidual:
+		x.runResidual(t, ev.Flag)
+	case evResidualDone:
+		if x.eng.Observing() {
+			x.eng.EmitTaskEnd(sim.Task{Track: x.residualTrack(), Name: t.op.Name, Kind: "residual", Step: t.step, Start: ev.Start})
+		}
+		if ev.Flag {
+			x.requestSection(t)
+		} else {
+			x.completeOffload(t)
+			x.complete(t)
+		}
+	case evSectionDone:
+		x.sectionDone(t, ev)
+	case evSyncGap:
+		if t.remFlops > 0 {
+			x.requestSection(t)
+			return
+		}
+		// Completion: with RC the programmable PIM notifies the host
+		// once; without RC the host already synchronized per kernel.
+		if x.opts.RC {
+			x.delayEv(x.cfg.FixedPIM.HostSyncOverhead, sim.Ev{Kind: evStartResidual, Flag: false, Ptr: t})
+		} else {
+			x.runResidual(t, false)
+		}
 	}
 }
 
@@ -717,11 +808,7 @@ func (x *exec) startCPU(t *task) {
 	}
 	opT, dmT := splitWork(w)
 	x.bk.Sync += overhead
-	item := workItem{dur: w.Time() + overhead, opT: opT, dmT: dmT, done: func() { x.complete(t) }}
-	if x.eng.Observing() {
-		item.obs = t
-	}
-	x.enqueue(x.cpu, item)
+	x.enqueue(x.cpu, workItem{dur: w.Time() + overhead, opT: opT, dmT: dmT, t: t})
 }
 
 // startProg runs the whole op on programmable PIM processors. If all
@@ -756,14 +843,7 @@ func (x *exec) startProg(t *task) {
 	if x.opts.WideProgOps {
 		procs2 = nn.ProgParallelismFor(t.op.Type)
 	}
-	item := workItem{dur: w.Time() + launch, opT: opT, dmT: dmT, slots: procs2, done: func() {
-		x.completeOffload(t)
-		x.complete(t)
-	}}
-	if x.eng.Observing() {
-		item.obs = t
-	}
-	x.enqueue(x.prog, item)
+	x.enqueue(x.prog, workItem{dur: w.Time() + launch, opT: opT, dmT: dmT, slots: procs2, t: t})
 }
 
 // registerOffload records the op in the hardware status registers
@@ -829,7 +909,7 @@ func (x *exec) startFixed(t *task) {
 	// recursive kernel on the programmable PIM; without RC the host
 	// drives every small kernel itself (charged per kernel, below).
 	if x.opts.RC {
-		x.delay(x.cfg.ProgPIM.KernelLaunchOverhead, func() { x.runResidual(t, true) })
+		x.delayEv(x.cfg.ProgPIM.KernelLaunchOverhead, sim.Ev{Kind: evStartResidual, Flag: true, Ptr: t})
 	} else {
 		x.runResidual(t, true)
 	}
@@ -854,27 +934,16 @@ func (x *exec) runResidual(t *task, before bool) {
 	opT, dmT := splitWork(half)
 	x.bk.Operation += opT
 	x.bk.DataMovement += dmT
-	residualTrack := "residual.cpu"
 	if x.opts.RC && x.prog.slots > 0 {
 		x.prog.busySeconds += half.Time()
-		residualTrack = "residual.prog"
 	} else {
 		x.cpu.busySeconds += half.Time()
 	}
-	start := x.eng.Now()
 	if x.eng.Observing() {
-		x.eng.EmitTaskStart(sim.Task{Track: residualTrack, Name: t.op.Name, Kind: "residual", Step: t.step})
+		x.eng.EmitTaskStart(sim.Task{Track: x.residualTrack(), Name: t.op.Name, Kind: "residual", Step: t.step})
 	}
-	if err := x.eng.After(half.Time(), func() {
-		if x.eng.Observing() {
-			x.eng.EmitTaskEnd(sim.Task{Track: residualTrack, Name: t.op.Name, Kind: "residual", Step: t.step, Start: start})
-		}
-		if before {
-			x.requestSection(t)
-		} else {
-			x.completeOffload(t)
-			x.complete(t)
-		}
+	if err := x.eng.AfterEv(half.Time(), sim.Ev{
+		Kind: evResidualDone, Flag: before, Start: x.eng.Now(), Ptr: t,
 	}); err != nil {
 		x.err = err
 	}
@@ -898,6 +967,18 @@ func (x *exec) requestSection(t *task) {
 	}
 	granted := x.pool.Grant(granules * granule)
 	x.runSection(t, granted)
+}
+
+// popFixedPending removes the head of the fixed-pool wait queue.
+func (x *exec) popFixedPending() *task {
+	t := x.fixedPending[x.fixedHead]
+	x.fixedPending[x.fixedHead] = nil // drop the task reference for the GC
+	x.fixedHead++
+	if x.fixedHead == len(x.fixedPending) {
+		x.fixedPending = x.fixedPending[:0]
+		x.fixedHead = 0
+	}
+	return t
 }
 
 // runSection executes one time-quantum chunk on granted units.
@@ -929,7 +1010,6 @@ func (x *exec) runSection(t *task, granted int) {
 	opT := math.Min(compT, dur)
 	x.bk.Operation += opT
 	x.bk.DataMovement += dur - opT
-	start := x.eng.Now()
 	if x.eng.Observing() {
 		// One span per granted chunk: the per-bank utilization signal of
 		// the Fig. 15 study, as both a timeline lane and a busy-units
@@ -937,40 +1017,37 @@ func (x *exec) runSection(t *task, granted int) {
 		x.eng.EmitSample("fixed.busy_units", float64(x.pool.Busy()))
 		x.eng.EmitTaskStart(sim.Task{Track: "fixed", Name: t.op.Name, Kind: "section", Step: t.step})
 	}
-	if err := x.eng.After(dur, func() {
-		x.pool.Advance(x.eng.Now())
-		if err := x.pool.Release(granted); err != nil {
-			x.err = err
-			return
-		}
-		if x.eng.Observing() {
-			x.eng.EmitTaskEnd(sim.Task{Track: "fixed", Name: t.op.Name, Kind: "section", Step: t.step, Start: start})
-			x.eng.EmitSample("fixed.busy_units", float64(x.pool.Busy()))
-		}
-		t.remFlops -= chunkFlops
-		t.remBytes -= chunkBytes
-		if t.remFlops < 1 {
-			t.remFlops = 0
-		}
-		x.pumpFixedPending()
-		// The synchronization gap runs with the units already released.
-		if err := x.eng.After(syncCost, func() {
-			if t.remFlops > 0 {
-				x.requestSection(t)
-				return
-			}
-			// Completion: with RC the programmable PIM notifies the
-			// host once; without RC the host already synchronized per
-			// kernel.
-			if x.opts.RC {
-				x.delay(spec.HostSyncOverhead, func() { x.runResidual(t, false) })
-			} else {
-				x.runResidual(t, false)
-			}
-		}); err != nil {
-			x.err = err
-		}
+	if err := x.eng.AfterEv(dur, sim.Ev{
+		Kind: evSectionDone, N: int32(granted),
+		F1: chunkFlops, F2: chunkBytes, F3: syncCost,
+		Start: x.eng.Now(), Ptr: t,
 	}); err != nil {
+		x.err = err
+	}
+}
+
+// sectionDone finishes one granted chunk (the evSectionDone case):
+// release the units, account the chunk, hand freed units to waiters,
+// and schedule the synchronization gap.
+func (x *exec) sectionDone(t *task, ev sim.Ev) {
+	granted := int(ev.N)
+	x.pool.Advance(x.eng.Now())
+	if err := x.pool.Release(granted); err != nil {
+		x.err = err
+		return
+	}
+	if x.eng.Observing() {
+		x.eng.EmitTaskEnd(sim.Task{Track: "fixed", Name: t.op.Name, Kind: "section", Step: t.step, Start: ev.Start})
+		x.eng.EmitSample("fixed.busy_units", float64(x.pool.Busy()))
+	}
+	t.remFlops -= ev.F1
+	t.remBytes -= ev.F2
+	if t.remFlops < 1 {
+		t.remFlops = 0
+	}
+	x.pumpFixedPending()
+	// The synchronization gap runs with the units already released.
+	if err := x.eng.AfterEv(ev.F3, sim.Ev{Kind: evSyncGap, Ptr: t}); err != nil {
 		x.err = err
 	}
 }
@@ -979,8 +1056,8 @@ func (x *exec) runSection(t *task, granted int) {
 // "partially executed operations immediately utilize newly released
 // fixed-function PIMs").
 func (x *exec) pumpFixedPending() {
-	for len(x.fixedPending) > 0 {
-		t := x.fixedPending[0]
+	for x.fixedHead < len(x.fixedPending) {
+		t := x.fixedPending[x.fixedHead]
 		granule := t.op.UnitGranule
 		if granule <= 0 {
 			granule = 1
@@ -992,7 +1069,7 @@ func (x *exec) pumpFixedPending() {
 		if granules == 0 {
 			return
 		}
-		x.fixedPending = x.fixedPending[1:]
+		x.popFixedPending()
 		granted := x.pool.Grant(granules * granule)
 		x.runSection(t, granted)
 	}

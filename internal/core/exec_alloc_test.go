@@ -1,0 +1,82 @@
+package core
+
+import (
+	"testing"
+
+	"heteropim/internal/hw"
+	"heteropim/internal/nn"
+	"heteropim/internal/sim"
+)
+
+// countingCollector records only counters (used here to read the
+// "sim.events" count a run emits).
+type countingCollector struct{ counts map[string]float64 }
+
+func (c *countingCollector) TaskStart(sim.Task)                 {}
+func (c *countingCollector) TaskEnd(sim.Task)                   {}
+func (c *countingCollector) Sample(string, hw.Seconds, float64) {}
+func (c *countingCollector) Count(name string, delta float64)   { c.counts[name] += delta }
+
+// TestSteadyStateZeroAllocsPerEvent pins the tentpole property of the
+// typed-event conversion end to end: in steady state the simulator
+// schedules and dispatches events without per-event heap allocations.
+//
+// Direct AllocsPerRun on a whole run would count per-run setup (system
+// model, placement, pool, registers), so the test measures the MARGINAL
+// allocations between a 4-step and a 12-step run of the same cell: the
+// setup is identical and cancels, leaving only what the extra eight
+// steps of event traffic allocated. That marginal cost, divided by the
+// marginal event count, must be ~0 (the closure-based engine paid one
+// closure — and before PR 3 one boxing — per event).
+func TestSteadyStateZeroAllocsPerEvent(t *testing.T) {
+	g, err := nn.Build(nn.AlexNetName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := hw.PaperConfigScaled(hw.ConfigHeteroPIM, 1)
+	prev := EnableResultCache(false)
+	defer EnableResultCache(prev)
+
+	optsFor := func(steps int) Options {
+		o := HeteroOptions()
+		o.Steps = steps
+		return o
+	}
+	events := func(steps int) float64 {
+		c := &countingCollector{counts: map[string]float64{}}
+		o := optsFor(steps)
+		o.Collector = c
+		if _, err := RunPIM(g, cfg, o); err != nil {
+			t.Fatal(err)
+		}
+		return c.counts["sim.events"]
+	}
+	// Warm every pooled structure (templates, arenas, engine heap,
+	// profile cache) for both step counts before measuring.
+	for _, s := range []int{4, 12} {
+		if _, err := RunPIM(g, cfg, optsFor(s)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := func(steps int) float64 {
+		o := optsFor(steps)
+		return testing.AllocsPerRun(20, func() {
+			if _, err := RunPIM(g, cfg, o); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	e4, e12 := events(4), events(12)
+	if e12-e4 < 500 {
+		t.Fatalf("marginal events %g too small to measure (e4=%g e12=%g)", e12-e4, e4, e12)
+	}
+	a4, a12 := allocs(4), allocs(12)
+	perEvent := (a12 - a4) / (e12 - e4)
+	t.Logf("allocs: steps=4 %.1f, steps=12 %.1f; events: %g vs %g; marginal %.4f allocs/event",
+		a4, a12, e4, e12, perEvent)
+	// Zero with headroom for sync.Pool evictions under AllocsPerRun's
+	// GC pressure; a single closure per event would read ~1.0 here.
+	if perEvent > 0.01 {
+		t.Fatalf("steady state allocates %.4f objects/event, want 0", perEvent)
+	}
+}

@@ -14,13 +14,25 @@ import (
 // what make the paper's software-driven scheduling cheap: the runtime on
 // the CPU or on the programmable PIM queries them instead of
 // interrupting anyone.
+//
+// Storage is sized by the number of IN-FLIGHT operations, not the total
+// ever offloaded: completed entries release their slab slot and map
+// cell for reuse. Tokens are still issued from a monotonic sequence, so
+// a completed token stays distinguishable from a never-issued one (the
+// hardware keeps one completion bit per epoch, not a location history).
+// This is what keeps a steady-state run's offload traffic free of
+// per-operation allocations.
 type Registers struct {
-	mu        sync.Mutex
-	bankBusy  []int // busy kernel count per bank
-	progBusy  []int // busy kernel count per programmable processor
-	completed map[OpToken]bool
-	locations map[OpToken]Location
-	nextToken OpToken
+	mu       sync.Mutex
+	bankBusy []int // busy kernel count per bank
+	progBusy []int // busy kernel count per programmable processor
+	// inflight maps live tokens to their slab slot; completed tokens are
+	// deleted, so the map's size is bounded by the in-flight count and
+	// its cells are recycled.
+	inflight map[OpToken]int32
+	slab     []Location
+	free     []int32 // free slab slots
+	lastTok  OpToken // highest token issued
 }
 
 // OpToken identifies one offloaded operation in the low-level API.
@@ -43,10 +55,9 @@ type Location struct {
 // number of banks and programmable processors.
 func NewRegisters(banks, processors int) *Registers {
 	return &Registers{
-		bankBusy:  make([]int, banks),
-		progBusy:  make([]int, processors),
-		completed: map[OpToken]bool{},
-		locations: map[OpToken]Location{},
+		bankBusy: make([]int, banks),
+		progBusy: make([]int, processors),
+		inflight: map[OpToken]int32{},
 	}
 }
 
@@ -68,10 +79,18 @@ func (r *Registers) Offload(loc Location) (OpToken, error) {
 			r.bankBusy[b]++
 		}
 	}
-	r.nextToken++
-	tok := r.nextToken
-	r.completed[tok] = false
-	r.locations[tok] = loc
+	r.lastTok++
+	tok := r.lastTok
+	var slot int32
+	if n := len(r.free); n > 0 {
+		slot = r.free[n-1]
+		r.free = r.free[:n-1]
+	} else {
+		r.slab = append(r.slab, Location{})
+		slot = int32(len(r.slab) - 1)
+	}
+	r.slab[slot] = loc
+	r.inflight[tok] = slot
 	return tok, nil
 }
 
@@ -81,14 +100,14 @@ func (r *Registers) Offload(loc Location) (OpToken, error) {
 func (r *Registers) Complete(tok OpToken) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	loc, ok := r.locations[tok]
+	slot, ok := r.inflight[tok]
 	if !ok {
+		if tok >= 1 && tok <= r.lastTok {
+			return fmt.Errorf("pim: op token %d already completed", tok)
+		}
 		return fmt.Errorf("pim: unknown op token %d", tok)
 	}
-	if r.completed[tok] {
-		return fmt.Errorf("pim: op token %d already completed", tok)
-	}
-	r.completed[tok] = true
+	loc := r.slab[slot]
 	if loc.OnProgrammable {
 		r.progBusy[loc.Processor]--
 	} else {
@@ -96,6 +115,9 @@ func (r *Registers) Complete(tok OpToken) error {
 			r.bankBusy[b]--
 		}
 	}
+	delete(r.inflight, tok)
+	r.slab[slot] = Location{}
+	r.free = append(r.free, slot)
 	return nil
 }
 
@@ -120,26 +142,33 @@ func (r *Registers) IsProcessorBusy(p int) bool {
 	return r.progBusy[p] > 0
 }
 
-// QueryCompletion answers pimQueryCompletion.
+// QueryCompletion answers pimQueryCompletion: false while the op is in
+// flight, true once it completed. Tokens never issued are an error.
 func (r *Registers) QueryCompletion(tok OpToken) (bool, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	done, ok := r.completed[tok]
-	if !ok {
-		return false, fmt.Errorf("pim: unknown op token %d", tok)
+	if _, ok := r.inflight[tok]; ok {
+		return false, nil
 	}
-	return done, nil
+	if tok >= 1 && tok <= r.lastTok {
+		return true, nil
+	}
+	return false, fmt.Errorf("pim: unknown op token %d", tok)
 }
 
-// QueryLocation answers pimQueryLocation.
+// QueryLocation answers pimQueryLocation for an in-flight op; a
+// completed op's register has been recycled, so its location is gone.
 func (r *Registers) QueryLocation(tok OpToken) (Location, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	loc, ok := r.locations[tok]
+	slot, ok := r.inflight[tok]
 	if !ok {
+		if tok >= 1 && tok <= r.lastTok {
+			return Location{}, fmt.Errorf("pim: op token %d already completed", tok)
+		}
 		return Location{}, fmt.Errorf("pim: unknown op token %d", tok)
 	}
-	return loc, nil
+	return r.slab[slot], nil
 }
 
 // IdleProcessor returns the index of an idle programmable processor, or

@@ -13,11 +13,13 @@ import (
 	"heteropim/internal/hw"
 )
 
-// Event is a scheduled callback.
+// event is one scheduled entry: a typed payload (event.go) at a time.
+// Legacy closure events are payloads of KindFunc whose Ptr holds the
+// func(); typed events are dispatched through the engine's Handler.
 type event struct {
 	at  hw.Seconds
 	seq uint64
-	fn  func()
+	ev  Ev
 }
 
 // before is the heap order: time first, insertion sequence as the tie
@@ -61,7 +63,7 @@ func (h *eventHeap) pop() event {
 	top := a[0]
 	n := len(a) - 1
 	last := a[n]
-	a[n] = event{} // drop the closure reference for the GC
+	a[n] = event{} // drop the payload's pointer reference for the GC
 	a = a[:n]
 	*h = a
 	if n > 0 {
@@ -105,6 +107,8 @@ type Engine struct {
 	// obs receives instrumentation events when attached (observe.go);
 	// nil on the uninstrumented fast path.
 	obs Collector
+	// handler dispatches typed (non-KindFunc) events; see event.go.
+	handler Handler
 }
 
 // DefaultMaxEvents bounds a single Run; generous for every workload here.
@@ -121,16 +125,24 @@ func (e *Engine) Now() hw.Seconds { return e.now }
 // Processed returns how many events have executed.
 func (e *Engine) Processed() uint64 { return e.processed }
 
-// At schedules fn at an absolute time, which must not be in the past.
-func (e *Engine) At(t hw.Seconds, fn func()) error {
+// checkTime validates a scheduling time: finite and not in the past.
+func (e *Engine) checkTime(t hw.Seconds) error {
 	if math.IsNaN(t) || math.IsInf(t, 0) {
 		return fmt.Errorf("sim: scheduling at non-finite time %v", t)
 	}
 	if t < e.now {
 		return fmt.Errorf("sim: scheduling at %.9g, before now %.9g", t, e.now)
 	}
+	return nil
+}
+
+// At schedules fn at an absolute time, which must not be in the past.
+func (e *Engine) At(t hw.Seconds, fn func()) error {
+	if err := e.checkTime(t); err != nil {
+		return err
+	}
 	e.seq++
-	e.events.push(event{at: t, seq: e.seq, fn: fn})
+	e.events.push(event{at: t, seq: e.seq, ev: Ev{Kind: KindFunc, Ptr: fn}})
 	return nil
 }
 
@@ -156,7 +168,13 @@ func (e *Engine) Run() error {
 		ev := e.events.pop()
 		e.now = ev.at
 		e.processed++
-		ev.fn()
+		if ev.ev.Kind == KindFunc {
+			ev.ev.Ptr.(func())()
+		} else if e.handler != nil {
+			e.handler.HandleEvent(ev.ev)
+		} else {
+			return fmt.Errorf("sim: typed event kind %d at t=%.9g with no handler attached", ev.ev.Kind, e.now)
+		}
 	}
 	return nil
 }
@@ -173,8 +191,9 @@ func (e *Engine) Reset() {
 	e.processed = 0
 	e.MaxEvents = 0
 	e.obs = nil
+	e.handler = nil
 	for i := range e.events {
-		e.events[i].fn = nil // drop closure references for the GC
+		e.events[i] = event{} // drop payload pointer references for the GC
 	}
 	e.events = e.events[:0]
 }

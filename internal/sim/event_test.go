@@ -1,0 +1,154 @@
+package sim
+
+import (
+	"testing"
+
+	"heteropim/internal/hw"
+)
+
+// recHandler records dispatched payloads in order.
+type recHandler struct {
+	got []Ev
+	eng *Engine
+}
+
+func (h *recHandler) HandleEvent(ev Ev) { h.got = append(h.got, ev) }
+
+func TestTypedEventsDispatchInOrder(t *testing.T) {
+	e := New()
+	h := &recHandler{}
+	e.SetHandler(h)
+	if err := e.AtEv(2, Ev{Kind: 3, N: 30}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.AtEv(1, Ev{Kind: 2, N: 10}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.AtEv(1, Ev{Kind: 2, N: 20}); err != nil { // same time: insertion order
+		t.Fatal(err)
+	}
+	var funcRan bool
+	if err := e.After(1.5, func() { funcRan = true }); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !funcRan {
+		t.Fatal("interleaved closure event did not run")
+	}
+	want := []int32{10, 20, 30}
+	if len(h.got) != len(want) {
+		t.Fatalf("dispatched %d typed events, want %d", len(h.got), len(want))
+	}
+	for i, ev := range h.got {
+		if ev.N != want[i] {
+			t.Errorf("event %d: N=%d, want %d", i, ev.N, want[i])
+		}
+	}
+}
+
+func TestTypedEventWithoutHandlerErrors(t *testing.T) {
+	e := New()
+	if err := e.AtEv(1, Ev{Kind: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(); err == nil {
+		t.Fatal("typed event with no handler must error, not panic or vanish")
+	}
+}
+
+func TestAtEvValidatesTime(t *testing.T) {
+	e := New()
+	if err := e.AtEv(-1, Ev{Kind: 1}); err == nil {
+		t.Error("past time accepted")
+	}
+	if err := e.AfterEv(-0.5, Ev{Kind: 1}); err == nil {
+		t.Error("negative delay accepted")
+	}
+}
+
+func TestResetDetachesHandler(t *testing.T) {
+	e := New()
+	e.SetHandler(&recHandler{})
+	e.Reset()
+	if err := e.AtEv(1, Ev{Kind: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(); err == nil {
+		t.Fatal("Reset must detach the handler")
+	}
+}
+
+// chainHandler reschedules n follow-up events, emulating a steady-state
+// executor that schedules from within event dispatch.
+type chainHandler struct {
+	eng  *Engine
+	left int
+	task *int // pointer payload, checks Ptr round-trips without boxing
+}
+
+func (h *chainHandler) HandleEvent(ev Ev) {
+	if ev.Ptr != h.task {
+		panic("payload pointer lost")
+	}
+	if h.left == 0 {
+		return
+	}
+	h.left--
+	if err := h.eng.AfterEv(1e-3, Ev{Kind: 1, N: int32(h.left), F1: 0.5, Ptr: h.task}); err != nil {
+		panic(err)
+	}
+}
+
+// TestTypedEventSchedulingAllocsFree pins the tentpole property at the
+// engine level: once the heap slab has grown, scheduling and
+// dispatching typed events performs ZERO heap allocations — no closure,
+// no boxing of the payload or its pointer operand.
+func TestTypedEventSchedulingAllocsFree(t *testing.T) {
+	e := New()
+	tk := new(int)
+	run := func() {
+		h := e.handler.(*chainHandler)
+		h.left = 500
+		if err := e.AtEv(e.Now()+1e-3, Ev{Kind: 1, Ptr: tk}); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.SetHandler(&chainHandler{eng: e, task: tk})
+	run() // grow the heap slab
+	if allocs := testing.AllocsPerRun(20, run); allocs != 0 {
+		t.Fatalf("typed event scheduling allocates %.2f objects per 500-event run, want 0", allocs)
+	}
+}
+
+// The legacy closure path, by contrast, allocates at least the closure
+// per event — the "before" side of the pimbench -eventsjson comparison.
+func TestClosureEventsStillWork(t *testing.T) {
+	e := New()
+	var n int
+	var schedule func()
+	schedule = func() {
+		n++
+		if n < 100 {
+			if err := e.After(1e-3, schedule); err != nil {
+				t.Error(err)
+			}
+		}
+	}
+	if err := e.After(0, schedule); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if n != 100 {
+		t.Fatalf("ran %d closure events, want 100", n)
+	}
+	if e.Now() != hw.Seconds(99e-3) && e.Now() <= 0 {
+		t.Fatalf("clock did not advance: %v", e.Now())
+	}
+}
