@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify lint vet build test race bench benchjson cachejson servejson eventsjson dsejson golden golden-check clean
+.PHONY: verify lint vet build test race bench benchjson cachejson servejson eventsjson dsejson dsejson-large golden golden-check clean
 
 # verify is the default CI gate: static checks, a full build, the test
 # suite, and the race-detector pass (the parallel experiment runner
@@ -59,12 +59,21 @@ servejson:
 eventsjson:
 	$(GO) run ./cmd/pimbench -eventsjson BENCH_events.json
 
-# dsejson regenerates BENCH_dse.json (pruned branch-and-bound vs
-# exhaustive design-space exploration, all five CNNs). The tool exits
-# non-zero if any winner diverges, under 30% of candidates are pruned,
-# or the aggregate wall-clock speedup is below 1.5x.
+# dsejson is the quick optimized-vs-exhaustive DSE comparison on the
+# 24-candidate paper grid. The tool exits non-zero if any winner
+# diverges, under 30% of candidates are pruned, or the aggregate
+# wall-clock speedup is below 1.5x.
 dsejson:
-	$(GO) run ./cmd/pimdse -dsejson BENCH_dse.json
+	$(GO) run ./cmd/pimdse -dsejson BENCH_dse.json -grid paper
+
+# dsejson-large regenerates the committed BENCH_dse.json on the
+# 432-point interactive-DSE grid (surrogate ordering + delta replays +
+# branch-and-bound vs plain exhaustive search). Gates: byte-identical
+# winners for every model, >= 60% of candidates pruned, and >= 10x
+# aggregate wall-clock speedup. Takes a couple of minutes — the
+# exhaustive legs simulate all 2000+ (model, candidate) cells.
+dsejson-large:
+	$(GO) run ./cmd/pimdse -dsejson BENCH_dse.json -grid large
 
 # golden regenerates the committed golden outputs the regression CI job
 # diffs against. Run it (and review the diff) whenever an intentional

@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"math"
 	"os"
 	"runtime"
 	"time"
@@ -47,6 +48,73 @@ func defaultCandidates() ([]batch.Candidate, error) {
 	return cands, nil
 }
 
+// largeGridFreqs/largeGridProcs/largeGridRungs shape the interactive-DSE
+// grid: six PLL points (down-clocked energy designs through the 4x
+// overdrive), a 24-rung geometric unit ladder per point spanning the
+// thermal maximum down to 1/64th of it, and three processor counts.
+var largeGridFreqs = []float64{0.5, 1, 1.5, 2, 3, 4}
+var largeGridProcs = []int{1, 2, 4}
+
+const (
+	largeGridRungs = 24
+	largeGridSpan  = 64
+)
+
+// largeCandidates builds the interactive-speed DSE grid: 6 x 24 x 3 =
+// 432 thermally-capped candidates. The wide dynamic range is the point:
+// the down-clocked small-budget corner is both expensive to simulate
+// (more fixed-pool chunks per step) and analytically hopeless (its
+// admissible bound exceeds any good incumbent), so branch-and-bound
+// with surrogate ordering discards most of the space unsimulated while
+// remaining provably winner-identical to exhaustive search.
+func largeCandidates() ([]batch.Candidate, error) {
+	stack, err := hmc.New(hw.PaperStack(1))
+	if err != nil {
+		return nil, err
+	}
+	var cands []batch.Candidate
+	for _, scale := range largeGridFreqs {
+		maxUnits, err := thermal.MaxUnitsUnderCap(stack, thermal.DRAMThermalCap, scale)
+		if err != nil {
+			return nil, err
+		}
+		prev := 0
+		for r := 0; r < largeGridRungs; r++ {
+			units := ladderRung(maxUnits, r)
+			if units < 1 || units == prev {
+				continue
+			}
+			prev = units
+			for _, procs := range largeGridProcs {
+				cands = append(cands, batch.Candidate{
+					Units: units, FreqScale: scale, ProgProcessors: procs,
+				})
+			}
+		}
+	}
+	return cands, nil
+}
+
+// ladderRung returns rung r of the geometric ladder from maxUnits down
+// to maxUnits/largeGridSpan. math.Pow is fully determined by IEEE-754
+// inputs, so the grid is identical everywhere.
+func ladderRung(maxUnits, r int) int {
+	v := float64(maxUnits) * math.Pow(1.0/largeGridSpan, float64(r)/float64(largeGridRungs-1))
+	return int(v + 0.5)
+}
+
+// candidatesFor resolves a -grid flag value.
+func candidatesFor(grid string) ([]batch.Candidate, error) {
+	switch grid {
+	case "paper":
+		return defaultCandidates()
+	case "large":
+		return largeCandidates()
+	default:
+		return nil, fmt.Errorf("unknown grid %q (want paper or large)", grid)
+	}
+}
+
 // winnerRow renders one model's winning candidate. The rendering must
 // depend only on the winner's simulated result so pruned and exhaustive
 // runs emit byte-identical tables.
@@ -58,12 +126,13 @@ func winnerRow(t *report.Table, model nn.ModelName, ex batch.Exploration) {
 		fmt.Sprintf("%.3g", e.EDP))
 }
 
-// runDSE explores the default candidate space for every CNN model and
-// prints the winner table. Only the winner table goes to stdout —
+// runDSE explores a candidate grid for every CNN model and prints the
+// winner table. Only the winner table goes to stdout —
 // pruned/simulated counts go to stderr — so `pimdse -dse` and
-// `pimdse -dse -exhaustive` stdout can be diffed byte for byte.
-func runDSE(prune bool) error {
-	cands, err := defaultCandidates()
+// `pimdse -dse -exhaustive` stdout can be diffed byte for byte (the
+// winner is invariant under every DSEOptions combination).
+func runDSE(grid string, dopts batch.DSEOptions) error {
+	cands, err := candidatesFor(grid)
 	if err != nil {
 		return err
 	}
@@ -74,13 +143,13 @@ func runDSE(prune bool) error {
 	t.Notes = append(t.Notes,
 		"winner = units/freq/processors minimizing step time under the full Hetero PIM runtime")
 	for _, model := range nn.CNNModelNames() {
-		ex, err := batch.ExploreDSE(context.Background(), model, cands, prune)
+		ex, err := batch.ExploreDSE(context.Background(), model, cands, dopts)
 		if err != nil {
 			return err
 		}
 		winnerRow(t, model, ex)
-		fmt.Fprintf(os.Stderr, "dse: model=%s candidates=%d simulated=%d pruned=%d\n",
-			model, len(cands), ex.Simulated, ex.Pruned)
+		fmt.Fprintf(os.Stderr, "dse: model=%s candidates=%d simulated=%d pruned=%d surrogate_r2=%.3f replays=%d\n",
+			model, len(cands), ex.Simulated, ex.Pruned, ex.SurrogateR2, ex.DeltaReplays)
 	}
 	fmt.Println(t.String())
 	return nil
@@ -100,10 +169,22 @@ type dseEntry struct {
 	// Identical reports whether the pruned run's winner and rendered
 	// winner row matched the exhaustive run's byte for byte.
 	Identical bool `json:"identical"`
+	// Surrogate quality for the pruned run: in-sample R², Spearman rank
+	// correlation between predictions and simulated step times, and the
+	// observation counts behind the final fit.
+	SurrogateR2     float64 `json:"surrogate_r2"`
+	SurrogateRank   float64 `json:"surrogate_rank"`
+	SurrogateObs    int     `json:"surrogate_obs"`
+	SeededFromCache int     `json:"seeded_from_cache"`
+	// Delta-simulation traffic for the pruned run.
+	DeltaCheckpoints int    `json:"delta_checkpoints"`
+	DeltaReplays     int    `json:"delta_replays"`
+	DeltaSharedEv    uint64 `json:"delta_shared_events"`
 }
 
 // dseReport is the BENCH_dse.json shape.
 type dseReport struct {
+	Grid       string     `json:"grid"`
 	GOMAXPROCS int        `json:"gomaxprocs"`
 	NumCPU     int        `json:"num_cpu"`
 	Workers    int        `json:"workers"`
@@ -119,10 +200,10 @@ type dseReport struct {
 
 // timeDSE runs one exploration on a cold simulation cache and renders
 // the winner row, so the two modes can be compared byte for byte.
-func timeDSE(model nn.ModelName, cands []batch.Candidate, prune bool) (batch.Exploration, float64, string, error) {
+func timeDSE(model nn.ModelName, cands []batch.Candidate, dopts batch.DSEOptions) (batch.Exploration, float64, string, error) {
 	heteropim.ResetSimulationCache()
 	start := time.Now()
-	ex, err := batch.ExploreDSE(context.Background(), model, cands, prune)
+	ex, err := batch.ExploreDSE(context.Background(), model, cands, dopts)
 	if err != nil {
 		return batch.Exploration{}, 0, "", err
 	}
@@ -132,21 +213,34 @@ func timeDSE(model nn.ModelName, cands []batch.Candidate, prune bool) (batch.Exp
 	return ex, secs, t.String(), nil
 }
 
-// writeDSEJSON times pruned vs exhaustive exploration per CNN model and
-// writes the comparison to path. Gates live in-tool so CI only has to
-// run the command: every model's winner must be identical (candidate
+// dseGates are the in-tool acceptance thresholds per grid. The large
+// grid is the interactive-DSE contract: at least a 10x aggregate
+// wall-clock speedup over exhaustive search with byte-identical
+// winners.
+func dseGates(grid string) (minPrunedFrac, minSpeedup float64) {
+	if grid == "large" {
+		return 0.60, 10
+	}
+	return 0.30, 1.5
+}
+
+// writeDSEJSON times optimized vs exhaustive exploration per CNN model
+// and writes the comparison to path. Gates live in-tool so CI only has
+// to run the command: every model's winner must be identical (candidate
 // and rendered row), the space-wide pruned fraction must reach
 // minPrunedFrac, and the aggregate wall-clock speedup minSpeedup.
 //
-// The pruned run of each pair goes first: the exhaustive run then
+// The optimized run of each pair goes first: the exhaustive run then
 // benefits from warm task-graph templates, so the measured speedup is
 // conservative.
-func writeDSEJSON(path string, minPrunedFrac, minSpeedup float64) error {
-	cands, err := defaultCandidates()
+func writeDSEJSON(path, grid string, dopts batch.DSEOptions) error {
+	cands, err := candidatesFor(grid)
 	if err != nil {
 		return err
 	}
+	minPrunedFrac, minSpeedup := dseGates(grid)
 	rep := dseReport{
+		Grid:       grid,
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		NumCPU:     runtime.NumCPU(),
 		Workers:    heteropim.Parallelism(),
@@ -155,38 +249,45 @@ func writeDSEJSON(path string, minPrunedFrac, minSpeedup float64) error {
 	totalPruned, totalCands := 0, 0
 	mismatch := false
 	for _, model := range nn.CNNModelNames() {
-		pru, pruS, pruOut, err := timeDSE(model, cands, true)
+		pru, pruS, pruOut, err := timeDSE(model, cands, dopts)
 		if err != nil {
-			return fmt.Errorf("%s (pruned): %w", model, err)
+			return fmt.Errorf("%s (optimized): %w", model, err)
 		}
-		exh, exhS, exhOut, err := timeDSE(model, cands, false)
+		exh, exhS, exhOut, err := timeDSE(model, cands, batch.DSEOptions{})
 		if err != nil {
 			return fmt.Errorf("%s (exhaustive): %w", model, err)
 		}
 		identical := pru.Winner.Candidate == exh.Winner.Candidate && pruOut == exhOut
 		if !identical {
 			mismatch = true
-			fmt.Fprintf(os.Stderr, "pimdse: %s winner diverged: pruned %v vs exhaustive %v\n",
+			fmt.Fprintf(os.Stderr, "pimdse: %s winner diverged: optimized %v vs exhaustive %v\n",
 				model, pru.Winner.Candidate, exh.Winner.Candidate)
 		}
 		rep.Models = append(rep.Models, dseEntry{
-			Model:       string(model),
-			Winner:      pru.Winner.Candidate.String(),
-			WinnerStepS: float64(pru.Winner.Result.StepTime),
-			Candidates:  len(cands),
-			Pruned:      pru.Pruned,
-			Simulated:   pru.Simulated,
-			PrunedS:     pruS,
-			ExhaustiveS: exhS,
-			Speedup:     exhS / pruS,
-			Identical:   identical,
+			Model:            string(model),
+			Winner:           pru.Winner.Candidate.String(),
+			WinnerStepS:      float64(pru.Winner.Result.StepTime),
+			Candidates:       len(cands),
+			Pruned:           pru.Pruned,
+			Simulated:        pru.Simulated,
+			PrunedS:          pruS,
+			ExhaustiveS:      exhS,
+			Speedup:          exhS / pruS,
+			Identical:        identical,
+			SurrogateR2:      pru.SurrogateR2,
+			SurrogateRank:    pru.SurrogateRank,
+			SurrogateObs:     pru.SurrogateObs,
+			SeededFromCache:  pru.SeededFromCache,
+			DeltaCheckpoints: pru.DeltaCheckpoints,
+			DeltaReplays:     pru.DeltaReplays,
+			DeltaSharedEv:    pru.DeltaShared,
 		})
 		totalPruned += pru.Pruned
 		totalCands += len(cands)
 		rep.AggregatePrunedS += pruS
 		rep.AggregateExhaustiveS += exhS
-		fmt.Fprintf(os.Stderr, "pimdse: %s winner %v pruned %d/%d (%.2fs vs %.2fs)\n",
-			model, pru.Winner.Candidate, pru.Pruned, len(cands), pruS, exhS)
+		fmt.Fprintf(os.Stderr, "pimdse: %s winner %v pruned %d/%d (%.2fs vs %.2fs, r2=%.3f, replays=%d)\n",
+			model, pru.Winner.Candidate, pru.Pruned, len(cands), pruS, exhS, pru.SurrogateR2, pru.DeltaReplays)
 	}
 	rep.AggregateSpeedup = rep.AggregateExhaustiveS / rep.AggregatePrunedS
 	rep.PrunedFraction = float64(totalPruned) / float64(totalCands)
@@ -198,11 +299,11 @@ func writeDSEJSON(path string, minPrunedFrac, minSpeedup float64) error {
 	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "pimdse: wrote %s (pruned %.0f%%, speedup %.2fx)\n",
-		path, rep.PrunedFraction*100, rep.AggregateSpeedup)
+	fmt.Fprintf(os.Stderr, "pimdse: wrote %s (grid %s, pruned %.0f%%, speedup %.2fx)\n",
+		path, grid, rep.PrunedFraction*100, rep.AggregateSpeedup)
 
 	if mismatch {
-		return fmt.Errorf("pruned exploration diverged from exhaustive (see %s)", path)
+		return fmt.Errorf("optimized exploration diverged from exhaustive (see %s)", path)
 	}
 	if rep.PrunedFraction < minPrunedFrac {
 		return fmt.Errorf("pruned only %.0f%% of candidates, gate is %.0f%%",

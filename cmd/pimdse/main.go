@@ -9,8 +9,14 @@
 //	pimdse                 # thermal exploration + VGG-19 unit sweep
 //	pimdse -model AlexNet
 //	pimdse -dse            # branch-and-bound winner search, all CNNs
-//	pimdse -dse -exhaustive           # same space, no pruning
-//	pimdse -dsejson BENCH_dse.json    # pruned-vs-exhaustive comparison
+//	pimdse -dse -exhaustive           # same space, no optimizations
+//	pimdse -dse -grid large           # interactive-DSE grid (288 candidates)
+//	pimdse -dsejson BENCH_dse.json -grid large   # optimized-vs-exhaustive comparison
+//
+// -surrogate and -delta (both default on) control the two interactive-DSE
+// optimizations: surrogate-guided candidate ordering and delta-simulation
+// replay from per-group engine checkpoints. Winners are identical under
+// every flag combination — only the wall clock changes.
 package main
 
 import (
@@ -20,6 +26,7 @@ import (
 	"os"
 
 	"heteropim"
+	"heteropim/internal/batch"
 	"heteropim/internal/cliutil"
 	"heteropim/internal/hmc"
 	"heteropim/internal/hw"
@@ -38,7 +45,10 @@ func main() {
 	model := flag.String("model", "VGG-19", "model for the unit-budget performance sweep")
 	dse := flag.Bool("dse", false, "explore the thermally-capped candidate space for every CNN (branch-and-bound)")
 	exhaustive := flag.Bool("exhaustive", false, "with -dse: simulate every candidate instead of pruning")
-	dsejson := flag.String("dsejson", "", "write a pruned-vs-exhaustive DSE comparison to this file and exit")
+	grid := flag.String("grid", "paper", "candidate grid for -dse/-dsejson: paper (24) or large (288)")
+	surrogateOn := flag.Bool("surrogate", true, "order candidates by a regression surrogate fitted on simulated results")
+	deltaOn := flag.Bool("delta", true, "fork candidate groups from engine checkpoints instead of simulating from scratch")
+	dsejson := flag.String("dsejson", "", "write an optimized-vs-exhaustive DSE comparison to this file and exit")
 	applyCache := cliutil.CacheFlags(flag.CommandLine)
 	startProfile := cliutil.ProfileFlags(flag.CommandLine)
 	flag.Parse()
@@ -46,13 +56,18 @@ func main() {
 	applyCache()
 	defer startProfile()()
 	if *dsejson != "" {
-		if err := writeDSEJSON(*dsejson, 0.30, 1.5); err != nil {
+		// The comparison's optimized leg always prunes; -surrogate/-delta
+		// choose which optimizations stack on top. The exhaustive leg is
+		// built in-tool.
+		dopts := batch.DSEOptions{Prune: true, Surrogate: *surrogateOn, Delta: *deltaOn}
+		if err := writeDSEJSON(*dsejson, *grid, dopts); err != nil {
 			fail(err)
 		}
 		return
 	}
+	dopts := batch.DSEOptions{Prune: !*exhaustive, Surrogate: *surrogateOn && !*exhaustive, Delta: *deltaOn && !*exhaustive}
 	if *dse {
-		if err := runDSE(!*exhaustive); err != nil {
+		if err := runDSE(*grid, dopts); err != nil {
 			fail(err)
 		}
 		return

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"heteropim/internal/core"
 	"heteropim/internal/hw"
@@ -46,12 +48,44 @@ type Explored struct {
 type Exploration struct {
 	// Winner is the candidate with the smallest simulated step time
 	// (ties broken by input position). Identical between pruned and
-	// exhaustive runs — the equivalence the admissible bound buys.
+	// exhaustive runs — the equivalence the admissible bound buys — and
+	// identical with the surrogate on or off, since the surrogate only
+	// reorders work.
 	Winner Explored
 	// Evals holds one entry per candidate, in input order.
 	Evals []Explored
 	// Pruned and Simulated partition the candidate set.
 	Pruned, Simulated int
+
+	// Surrogate telemetry (zero when the surrogate was off).
+	SurrogateFitted bool
+	SurrogateObs    int
+	SeededFromCache int
+	SurrogateR2     float64
+	SurrogateRank   float64
+
+	// Delta-simulation telemetry (zero when delta was off).
+	DeltaCheckpoints int
+	DeltaReplays     int
+	DeltaShared      uint64
+}
+
+// DSEOptions selects the exploration strategy. Every combination
+// produces the identical winner; the options only change how much work
+// finding it costs.
+type DSEOptions struct {
+	// Prune enables branch-and-bound pruning against the admissible
+	// analytic lower bound.
+	Prune bool
+	// Surrogate orders candidates by a regression fitted on simulated
+	// results (seeded from the cross-run result cache when warm), so the
+	// true incumbent tends to be simulated in the very first block and
+	// the bound prunes maximally early.
+	Surrogate bool
+	// Delta forks each (FreqScale, ProgProcessors) group from one
+	// checkpointed base run, replaying only the unit-budget-dependent
+	// suffix per candidate (core.CheckpointRun/Replay).
+	Delta bool
 }
 
 // dseBlockSize is how many candidates one branch-and-bound round
@@ -60,25 +94,93 @@ type Exploration struct {
 // machine-independent.
 const dseBlockSize = 8
 
+// deltaGroup is one (FreqScale, ProgProcessors) family sharing a
+// checkpointed base run; once gives the checkpoint singleflight.
+type deltaGroup struct {
+	once      sync.Once
+	cp        *core.RunCheckpoint
+	base      core.Result
+	baseUnits int
+	err       error
+}
+
+// deltaManager owns the per-group checkpoints of one exploration.
+type deltaManager struct {
+	mu     sync.Mutex
+	groups map[string]*deltaGroup
+
+	checkpoints atomic.Int64
+	replays     atomic.Int64
+	shared      atomic.Uint64
+}
+
+func (m *deltaManager) group(key string) *deltaGroup {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.groups == nil {
+		m.groups = make(map[string]*deltaGroup)
+	}
+	e := m.groups[key]
+	if e == nil {
+		e = &deltaGroup{}
+		m.groups[key] = e
+	}
+	return e
+}
+
+// run evaluates one candidate through the delta layer: the first
+// candidate of a group runs in full and leaves a checkpoint; siblings
+// replay its suffix. Every failure mode degrades to a plain full
+// simulation — replays are a pure optimization, bit-identical when they
+// apply (core/checkpoint_test.go).
+func (m *deltaManager) run(model nn.ModelName, c Candidate) (core.Result, error) {
+	cg, err := nn.Build(model)
+	if err != nil {
+		return core.Result{}, err
+	}
+	cfg := c.Config()
+	opts := core.HeteroOptions()
+	e := m.group(fmt.Sprintf("%g|%d", c.FreqScale, c.ProgProcessors))
+	e.once.Do(func() {
+		e.baseUnits = c.Units
+		e.cp, e.base, e.err = core.CheckpointRun(cg, cfg, opts)
+		if e.err == nil && e.cp != nil {
+			m.checkpoints.Add(1)
+		}
+	})
+	if e.err == nil && c.Units == e.baseUnits {
+		return e.base, nil
+	}
+	if e.err == nil && e.cp != nil && e.cp.Compatible(cfg) == nil {
+		if res, rerr := e.cp.Replay(cfg); rerr == nil {
+			m.replays.Add(1)
+			m.shared.Add(e.cp.SharedEvents())
+			return res, nil
+		}
+	}
+	return core.RunPIM(cg, cfg, opts)
+}
+
 // ExploreDSE finds the candidate minimizing simulated step time for the
 // model, under the full Hetero PIM runtime (core.HeteroOptions).
 //
-// With prune=false every candidate is simulated. With prune=true the
-// exploration is branch-and-bound: candidates are simulated in blocks
-// of ascending StepTimeLowerBound, and once a candidate's bound
-// strictly exceeds the incumbent's simulated step time, it — and every
-// candidate after it in bound order — is discarded unsimulated.
+// With every option off, each candidate is simulated. With Prune the
+// exploration is branch-and-bound: once a candidate's admissible
+// StepTimeLowerBound strictly exceeds the incumbent's simulated step
+// time, it is discarded unsimulated. Surrogate and Delta stack on top
+// (see DSEOptions).
 //
 // Equivalence argument: the incumbent is a min over simulated
 // candidates, so incumbent ≥ the global minimum objective at all
 // times. A pruned candidate c has obj(c) ≥ bound(c) > incumbent ≥
 // obj(winner) — strictly worse than the winner, so it can neither win
-// nor tie. Both modes therefore see every potentially-winning
-// candidate and apply the same (objective, input position) tie-break:
-// the winners are identical, and so is every table derived from the
-// winner's Result (simulations are deterministic and cached by
-// content).
-func ExploreDSE(ctx context.Context, model nn.ModelName, cands []Candidate, prune bool) (Exploration, error) {
+// nor tie. Every mode therefore sees every potentially-winning
+// candidate, and the winner is the (objective, input position) minimum
+// over the simulated set — a quantity independent of the order the set
+// was visited in. The surrogate changes only that order; delta replays
+// are bit-identical to full simulations. The winners — and every table
+// derived from the winner's Result — are identical across all modes.
+func ExploreDSE(ctx context.Context, model nn.ModelName, cands []Candidate, dopts DSEOptions) (Exploration, error) {
 	if len(cands) == 0 {
 		return Exploration{}, fmt.Errorf("batch: empty candidate set")
 	}
@@ -95,45 +197,94 @@ func ExploreDSE(ctx context.Context, model nn.ModelName, cands []Candidate, prun
 		ex.Evals[i] = Explored{Candidate: c, Bound: StepTimeLowerBound(g, c.Config(), opts)}
 	}
 	// Canonical order: bound ascending, input position breaking ties.
-	order := make([]int, len(cands))
-	for i := range order {
-		order[i] = i
+	remaining := make([]int, len(cands))
+	for i := range remaining {
+		remaining[i] = i
 	}
-	sort.SliceStable(order, func(a, b int) bool {
-		return ex.Evals[order[a]].Bound < ex.Evals[order[b]].Bound
+	sort.SliceStable(remaining, func(a, b int) bool {
+		return ex.Evals[remaining[a]].Bound < ex.Evals[remaining[b]].Bound
 	})
+
+	// Seed the surrogate from the cross-run result corpus: cells this
+	// process (or a previous run, via the disk tier) already simulated
+	// are free ordering information. Seeding never touches the
+	// incumbent — cached cells still count as simulations when reached.
+	sur := &surrogate{}
+	if dopts.Surrogate {
+		for i, c := range cands {
+			if res, ok := core.PeekPIMResult(g, c.Config(), opts); ok {
+				sur.add(cands[i], res.StepTime)
+				ex.SeededFromCache++
+			}
+		}
+		sur.fit()
+	}
+	var mgr *deltaManager
+	if dopts.Delta {
+		mgr = &deltaManager{}
+	}
 
 	incumbent := math.Inf(1)
 	winner := -1
 	group := GroupKey(g.Model, g.BatchSize, opts.Steps, opts.OP, opts.PipelineDepth)
-	pos := 0
-	for pos < len(order) {
-		if prune && ex.Evals[order[pos]].Bound > incumbent {
-			// Bounds are sorted: everything from here on is beaten.
-			ex.Pruned += len(order) - pos
-			break
+	firstBlock := true
+	for len(remaining) > 0 {
+		// Order this round's work. Fitted surrogate: predicted step time,
+		// with (bound, input position) tie-breaks. Otherwise the
+		// (bound, position) order built above is maintained by the
+		// in-place filtering below.
+		if sur.fitted {
+			pred := make(map[int]float64, len(remaining))
+			for _, idx := range remaining {
+				pred[idx] = sur.predict(cands[idx])
+			}
+			sort.SliceStable(remaining, func(a, b int) bool {
+				ia, ib := remaining[a], remaining[b]
+				if pred[ia] != pred[ib] {
+					return pred[ia] < pred[ib]
+				}
+				if ex.Evals[ia].Bound != ex.Evals[ib].Bound {
+					return ex.Evals[ia].Bound < ex.Evals[ib].Bound
+				}
+				return ia < ib
+			})
 		}
-		// The first block is the single lowest-bound candidate: it warms
-		// the model's template/profile caches (the Eval leader mechanism)
-		// and, being the most promising point, sets a tight incumbent
-		// before any parallel fan-out.
+		// The first block is a single candidate: it warms the model's
+		// template/profile caches (the Eval leader mechanism) and — being
+		// the most promising point under the current ordering — sets a
+		// tight incumbent before any parallel fan-out.
 		size := 1
-		if pos > 0 {
+		if !firstBlock {
 			size = dseBlockSize
 		}
-		end := min(pos+size, len(order))
-		for prune && end > pos && ex.Evals[order[end-1]].Bound > incumbent {
-			end-- // bounds are sorted: trim the beaten tail of the block
+		var block []int
+		rest := remaining[:0]
+		for _, idx := range remaining {
+			switch {
+			case dopts.Prune && ex.Evals[idx].Bound > incumbent:
+				// Strictly beaten by the incumbent: can neither win nor tie.
+				ex.Pruned++
+			case len(block) < size:
+				block = append(block, idx)
+			default:
+				rest = append(rest, idx)
+			}
 		}
-		block := order[pos:end]
+		remaining = rest
+		if len(block) == 0 {
+			break
+		}
 		cells := make([]Cell[core.Result], len(block))
 		for k, idx := range block {
-			cfg := cands[idx].Config()
+			c := cands[idx]
 			grp := group
-			if pos > 0 {
+			if !firstBlock {
 				grp = "" // caches are warm; skip the leader phase
 			}
 			cells[k] = Cell[core.Result]{Group: grp, Run: func(ctx context.Context) (core.Result, error) {
+				if mgr != nil {
+					return mgr.run(model, c)
+				}
 				// Each cell builds its own graph: cells must be
 				// independent, and the result cache is content-keyed so
 				// rebuilt graphs still hit.
@@ -141,7 +292,7 @@ func ExploreDSE(ctx context.Context, model nn.ModelName, cands []Candidate, prun
 				if err != nil {
 					return core.Result{}, err
 				}
-				return core.RunPIM(cg, cfg, core.HeteroOptions())
+				return core.RunPIM(cg, c.Config(), core.HeteroOptions())
 			}}
 		}
 		results, err := Eval(ctx, cells)
@@ -158,18 +309,44 @@ func ExploreDSE(ctx context.Context, model nn.ModelName, cands []Candidate, prun
 				incumbent = obj
 				winner = idx
 			}
+			if dopts.Surrogate {
+				sur.add(cands[idx], obj)
+			}
 		}
-		pos += len(block)
+		if dopts.Surrogate {
+			sur.fit()
+		}
+		firstBlock = false
 	}
 	r.Add("dse.pruned", float64(ex.Pruned))
 	r.Add("dse.simulated", float64(ex.Simulated))
+	if dopts.Surrogate {
+		ex.SurrogateFitted = sur.fitted
+		ex.SurrogateObs = len(sur.obs)
+		ex.SurrogateR2 = sur.r2()
+		if sur.fitted {
+			var pred, act []float64
+			for i := range ex.Evals {
+				if ex.Evals[i].Simulated {
+					pred = append(pred, sur.predict(cands[i]))
+					act = append(act, ex.Evals[i].Result.StepTime)
+				}
+			}
+			ex.SurrogateRank = spearman(pred, act)
+		}
+		r.Add("dse.surrogate.obs", float64(ex.SurrogateObs))
+		r.Add("dse.surrogate.seeded", float64(ex.SeededFromCache))
+		r.Set("dse.surrogate.r2", 0, ex.SurrogateR2)
+		r.Set("dse.surrogate.rank", 0, ex.SurrogateRank)
+	}
+	if mgr != nil {
+		ex.DeltaCheckpoints = int(mgr.checkpoints.Load())
+		ex.DeltaReplays = int(mgr.replays.Load())
+		ex.DeltaShared = mgr.shared.Load()
+		r.Add("dse.delta.checkpoints", float64(ex.DeltaCheckpoints))
+		r.Add("dse.delta.replays", float64(ex.DeltaReplays))
+		r.Add("dse.delta.shared_events", float64(ex.DeltaShared))
+	}
 	ex.Winner = ex.Evals[winner]
 	return ex, nil
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

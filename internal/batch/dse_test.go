@@ -2,10 +2,14 @@ package batch
 
 import (
 	"context"
+	"math"
 	"testing"
 
 	"heteropim/internal/core"
+	"heteropim/internal/hmc"
+	"heteropim/internal/hw"
 	"heteropim/internal/nn"
+	"heteropim/internal/thermal"
 )
 
 // testCandidates is a small but discriminating space: unit budgets
@@ -83,11 +87,11 @@ func TestExploreEquivalenceAllModels(t *testing.T) {
 	ctx := context.Background()
 	cands := testCandidates()
 	for _, model := range nn.CNNModelNames() {
-		exh, err := ExploreDSE(ctx, model, cands, false)
+		exh, err := ExploreDSE(ctx, model, cands, DSEOptions{})
 		if err != nil {
 			t.Fatal(err)
 		}
-		pru, err := ExploreDSE(ctx, model, cands, true)
+		pru, err := ExploreDSE(ctx, model, cands, DSEOptions{Prune: true})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -116,7 +120,7 @@ func TestExploreEquivalenceAllModels(t *testing.T) {
 // simulations, or branch-and-bound buys nothing.
 func TestExplorePrunesMeaningfully(t *testing.T) {
 	ResetStats()
-	ex, err := ExploreDSE(context.Background(), nn.VGG19Name, testCandidates(), true)
+	ex, err := ExploreDSE(context.Background(), nn.VGG19Name, testCandidates(), DSEOptions{Prune: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,7 +137,107 @@ func TestExplorePrunesMeaningfully(t *testing.T) {
 
 // TestExploreRejectsEmptySpace covers the error path.
 func TestExploreRejectsEmptySpace(t *testing.T) {
-	if _, err := ExploreDSE(context.Background(), nn.AlexNetName, nil, true); err == nil {
+	if _, err := ExploreDSE(context.Background(), nn.AlexNetName, nil, DSEOptions{Prune: true}); err == nil {
 		t.Fatal("empty candidate set accepted")
+	}
+}
+
+// gridCandidates mirrors the pimdse large grid's shape at test scale:
+// per PLL point, a geometric unit ladder from the thermal maximum down
+// to an eighth of it, crossed with the processor counts.
+func gridCandidates(t *testing.T) []Candidate {
+	t.Helper()
+	stack, err := hmc.New(hw.PaperStack(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cands []Candidate
+	for _, freq := range []float64{0.5, 1, 2, 4} {
+		maxUnits, err := thermal.MaxUnitsUnderCap(stack, thermal.DRAMThermalCap, freq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prev := 0
+		for r := 0; r < 6; r++ {
+			units := int(float64(maxUnits)*math.Pow(1.0/8, float64(r)/5) + 0.5)
+			if units < 1 || units == prev {
+				continue
+			}
+			prev = units
+			for _, procs := range []int{1, 4} {
+				cands = append(cands, Candidate{Units: units, FreqScale: freq, ProgProcessors: procs})
+			}
+		}
+	}
+	return cands
+}
+
+// TestExploreSurrogateWinnerInvariance pins the interactive-DSE
+// guarantee across the full grid shape for every CNN model: stacking
+// surrogate ordering and delta replays on top of pruning changes how
+// the winner is found, never which candidate wins or its result.
+func TestExploreSurrogateWinnerInvariance(t *testing.T) {
+	ctx := context.Background()
+	cands := gridCandidates(t)
+	modes := []DSEOptions{
+		{Prune: true},
+		{Prune: true, Surrogate: true},
+		{Prune: true, Surrogate: true, Delta: true},
+	}
+	for _, model := range nn.CNNModelNames() {
+		base, err := ExploreDSE(ctx, model, cands, DSEOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, mode := range modes {
+			got, err := ExploreDSE(ctx, model, cands, mode)
+			if err != nil {
+				t.Fatalf("%s %+v: %v", model, mode, err)
+			}
+			if got.Winner.Candidate != base.Winner.Candidate {
+				t.Errorf("%s %+v: winner %v != exhaustive %v",
+					model, mode, got.Winner.Candidate, base.Winner.Candidate)
+			}
+			if got.Winner.Result.StepTime != base.Winner.Result.StepTime {
+				t.Errorf("%s %+v: winner step time %.12g != exhaustive %.12g",
+					model, mode, got.Winner.Result.StepTime, base.Winner.Result.StepTime)
+			}
+			if got.Simulated+got.Pruned != len(cands) {
+				t.Errorf("%s %+v: %d simulated + %d pruned != %d candidates",
+					model, mode, got.Simulated, got.Pruned, len(cands))
+			}
+		}
+	}
+}
+
+// TestExplorePinnedCounts pins the pruned/simulated split on a cold
+// cache: the split depends only on the deterministic simulation
+// results and the (first block = 1, then 8) round structure, so it must
+// be identical on every machine and across surrogate on/off reruns.
+func TestExplorePinnedCounts(t *testing.T) {
+	defer core.EnableResultCache(core.EnableResultCache(false))
+	var cands []Candidate
+	for _, freq := range []float64{1, 2, 4} {
+		for _, units := range []int{888, 444, 222, 111, 55, 27} {
+			for _, procs := range []int{1, 4} {
+				cands = append(cands, Candidate{Units: units, FreqScale: freq, ProgProcessors: procs})
+			}
+		}
+	}
+	for _, tc := range []struct {
+		mode                      DSEOptions
+		wantPruned, wantSimulated int
+	}{
+		{DSEOptions{Prune: true}, 24, 12},
+		{DSEOptions{Prune: true, Surrogate: true}, 24, 12},
+	} {
+		ex, err := ExploreDSE(context.Background(), nn.AlexNetName, cands, tc.mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ex.Pruned != tc.wantPruned || ex.Simulated != tc.wantSimulated {
+			t.Errorf("%+v: pruned/simulated = %d/%d, want %d/%d",
+				tc.mode, ex.Pruned, ex.Simulated, tc.wantPruned, tc.wantSimulated)
+		}
 	}
 }

@@ -1,0 +1,212 @@
+package batch
+
+import (
+	"math"
+	"sort"
+)
+
+// Surrogate model for DSE candidate ordering: a low-order regression
+// over the design knobs (Units, FreqScale, ProgProcessors) predicting
+// simulated step time. The basis mirrors the physics of the analytic
+// bound — work splits into terms that scale with 1/U, 1/(U·F), 1/F and
+// 1/P, plus a frequency-proportional overhead and a constant — so a
+// handful of observed simulations is enough for a useful ranking.
+//
+// The surrogate ONLY reorders branch-and-bound candidates; it never
+// decides anything. Pruning still requires the admissible analytic
+// bound to strictly exceed the incumbent, so a surrogate that is wrong
+// (or wildly mis-seeded) costs wasted simulations, never a wrong
+// winner. dse_test.go pins winner identity with the surrogate on and
+// off across the full candidate grid.
+
+// surBasis is the feature dimension of the regression.
+const surBasis = 6
+
+// surMinObs is the smallest observation count worth fitting: below
+// this, normal equations are under-determined in practice and ordering
+// falls back to the analytic bound.
+const surMinObs = 8
+
+// surFeatures maps a candidate to its regression basis.
+func surFeatures(c Candidate) [surBasis]float64 {
+	u := float64(c.Units)
+	f := c.FreqScale
+	p := float64(c.ProgProcessors)
+	if u < 1 {
+		u = 1
+	}
+	if f <= 0 {
+		f = 1
+	}
+	if p < 1 {
+		p = 1
+	}
+	return [surBasis]float64{1, 1 / u, 1 / (u * f), 1 / f, 1 / p, f}
+}
+
+// surObs is one (candidate, simulated step time) observation.
+type surObs struct {
+	x [surBasis]float64
+	y float64
+}
+
+// surrogate accumulates observations and fits ridge-regularized normal
+// equations. The zero value is ready to use.
+type surrogate struct {
+	obs    []surObs
+	coef   [surBasis]float64
+	fitted bool
+}
+
+// add records one observation.
+func (s *surrogate) add(c Candidate, stepTime float64) {
+	if !(stepTime > 0) || math.IsInf(stepTime, 0) {
+		return
+	}
+	s.obs = append(s.obs, surObs{x: surFeatures(c), y: stepTime})
+}
+
+// fit solves the normal equations (XᵀX + λI)β = Xᵀy. A tiny ridge term
+// keeps the system well-posed when the observed grid is degenerate
+// (e.g. every observation shares one frequency). Returns whether a
+// usable fit exists.
+func (s *surrogate) fit() bool {
+	s.fitted = false
+	if len(s.obs) < surMinObs {
+		return false
+	}
+	var a [surBasis][surBasis + 1]float64
+	for _, o := range s.obs {
+		for i := 0; i < surBasis; i++ {
+			for j := 0; j < surBasis; j++ {
+				a[i][j] += o.x[i] * o.x[j]
+			}
+			a[i][surBasis] += o.x[i] * o.y
+		}
+	}
+	// Ridge scaled to the diagonal's magnitude so it is dimensionless.
+	trace := 0.0
+	for i := 0; i < surBasis; i++ {
+		trace += a[i][i]
+	}
+	lambda := 1e-9 * trace / surBasis
+	if lambda <= 0 {
+		lambda = 1e-12
+	}
+	for i := 0; i < surBasis; i++ {
+		a[i][i] += lambda
+	}
+	// Gaussian elimination with partial pivoting.
+	for col := 0; col < surBasis; col++ {
+		piv := col
+		for r := col + 1; r < surBasis; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[piv][col]) {
+				piv = r
+			}
+		}
+		if math.Abs(a[piv][col]) < 1e-300 {
+			return false
+		}
+		a[col], a[piv] = a[piv], a[col]
+		inv := 1 / a[col][col]
+		for r := 0; r < surBasis; r++ {
+			if r == col {
+				continue
+			}
+			f := a[r][col] * inv
+			for j := col; j <= surBasis; j++ {
+				a[r][j] -= f * a[col][j]
+			}
+		}
+	}
+	for i := 0; i < surBasis; i++ {
+		v := a[i][surBasis] / a[i][i]
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+		s.coef[i] = v
+	}
+	s.fitted = true
+	return true
+}
+
+// predict evaluates the fitted model; callers must check fitted.
+func (s *surrogate) predict(c Candidate) float64 {
+	x := surFeatures(c)
+	v := 0.0
+	for i := 0; i < surBasis; i++ {
+		v += s.coef[i] * x[i]
+	}
+	return v
+}
+
+// r2 is the in-sample coefficient of determination of the current fit.
+func (s *surrogate) r2() float64 {
+	if !s.fitted || len(s.obs) == 0 {
+		return 0
+	}
+	mean := 0.0
+	for _, o := range s.obs {
+		mean += o.y
+	}
+	mean /= float64(len(s.obs))
+	ssTot, ssRes := 0.0, 0.0
+	for _, o := range s.obs {
+		pred := 0.0
+		for i := 0; i < surBasis; i++ {
+			pred += s.coef[i] * o.x[i]
+		}
+		ssTot += (o.y - mean) * (o.y - mean)
+		ssRes += (o.y - pred) * (o.y - pred)
+	}
+	if ssTot == 0 {
+		return 0
+	}
+	return 1 - ssRes/ssTot
+}
+
+// spearman computes the rank correlation between two paired samples —
+// the DSE reports it between surrogate predictions and simulated step
+// times, the number that actually matters for an ordering heuristic.
+func spearman(pred, actual []float64) float64 {
+	n := len(pred)
+	if n < 2 || n != len(actual) {
+		return 0
+	}
+	rp := ranks(pred)
+	ra := ranks(actual)
+	mean := float64(n+1) / 2
+	num, dp, da := 0.0, 0.0, 0.0
+	for i := 0; i < n; i++ {
+		num += (rp[i] - mean) * (ra[i] - mean)
+		dp += (rp[i] - mean) * (rp[i] - mean)
+		da += (ra[i] - mean) * (ra[i] - mean)
+	}
+	if dp == 0 || da == 0 {
+		return 0
+	}
+	return num / math.Sqrt(dp*da)
+}
+
+// ranks assigns 1-based fractional ranks (ties share their average).
+func ranks(v []float64) []float64 {
+	n := len(v)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return v[idx[a]] < v[idx[b]] })
+	r := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && v[idx[j+1]] == v[idx[i]] {
+			j++
+		}
+		avg := float64(i+j)/2 + 1
+		for k := i; k <= j; k++ {
+			r[idx[k]] = avg
+		}
+		i = j + 1
+	}
+	return r
+}

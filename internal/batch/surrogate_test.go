@@ -1,0 +1,87 @@
+package batch
+
+import (
+	"math"
+	"testing"
+)
+
+// TestSurrogateRecoversPlantedModel: observations generated exactly from
+// the basis must be fit (near-)exactly, and predictions must rank any
+// candidate set perfectly.
+func TestSurrogateRecoversPlantedModel(t *testing.T) {
+	truth := [surBasis]float64{0.3, 40, 120, 0.9, 2.5, 0.01}
+	eval := func(c Candidate) float64 {
+		x := surFeatures(c)
+		v := 0.0
+		for i := 0; i < surBasis; i++ {
+			v += truth[i] * x[i]
+		}
+		return v
+	}
+	s := &surrogate{}
+	var train []Candidate
+	for _, f := range []float64{0.5, 1, 2, 4} {
+		for _, u := range []int{50, 100, 400, 900} {
+			for _, p := range []int{1, 4} {
+				train = append(train, Candidate{Units: u, FreqScale: f, ProgProcessors: p})
+			}
+		}
+	}
+	for _, c := range train {
+		s.add(c, eval(c))
+	}
+	if !s.fit() {
+		t.Fatal("fit failed on a well-conditioned planted model")
+	}
+	if r2 := s.r2(); r2 < 0.999999 {
+		t.Errorf("planted model r2 = %v, want ~1", r2)
+	}
+	var pred, act []float64
+	for _, c := range []Candidate{{33, 1.5, 2}, {700, 0.5, 1}, {120, 4, 4}, {250, 2, 1}} {
+		pred = append(pred, s.predict(c))
+		act = append(act, eval(c))
+	}
+	if rho := spearman(pred, act); rho != 1 {
+		t.Errorf("held-out rank correlation = %v, want 1", rho)
+	}
+}
+
+// TestSurrogateRefusesDegenerateInputs: too few observations, and
+// non-finite or non-positive targets, must never produce a fit marked
+// usable.
+func TestSurrogateRefusesDegenerateInputs(t *testing.T) {
+	s := &surrogate{}
+	for i := 0; i < surMinObs-1; i++ {
+		s.add(Candidate{Units: 100 + i, FreqScale: 1, ProgProcessors: 1}, 1)
+	}
+	if s.fit() {
+		t.Error("fit succeeded below surMinObs")
+	}
+	s.add(Candidate{Units: 500, FreqScale: 1, ProgProcessors: 1}, math.Inf(1))
+	s.add(Candidate{Units: 501, FreqScale: 1, ProgProcessors: 1}, math.NaN())
+	s.add(Candidate{Units: 502, FreqScale: 1, ProgProcessors: 1}, -1)
+	if len(s.obs) != surMinObs-1 {
+		t.Errorf("degenerate observations were recorded: %d obs", len(s.obs))
+	}
+}
+
+// TestSpearmanTies exercises the fractional tied-rank path.
+func TestSpearmanTies(t *testing.T) {
+	if rho := spearman([]float64{1, 2, 3, 4}, []float64{10, 20, 30, 40}); rho != 1 {
+		t.Errorf("monotone rho = %v, want 1", rho)
+	}
+	if rho := spearman([]float64{1, 2, 3, 4}, []float64{40, 30, 20, 10}); rho != -1 {
+		t.Errorf("reversed rho = %v, want -1", rho)
+	}
+	if rho := spearman([]float64{1, 1, 1, 1}, []float64{1, 2, 3, 4}); rho != 0 {
+		t.Errorf("constant-input rho = %v, want 0", rho)
+	}
+	// Ties share their average rank: {1, 2, 2, 3} ranks as {1, 2.5, 2.5, 4}.
+	r := ranks([]float64{1, 2, 2, 3})
+	want := []float64{1, 2.5, 2.5, 4}
+	for i := range r {
+		if r[i] != want[i] {
+			t.Fatalf("ranks = %v, want %v", r, want)
+		}
+	}
+}

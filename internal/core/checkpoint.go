@@ -1,0 +1,410 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"heteropim/internal/hw"
+	"heteropim/internal/nn"
+	"heteropim/internal/pim"
+	"heteropim/internal/sim"
+)
+
+// Delta simulation: the event timeline of a PIM run is independent of
+// the fixed-function unit budget until the first capacity grant — every
+// earlier scheduling decision reads the pool only through predicates
+// ("are there units at all?", "are at least `granule` units idle?")
+// whose outcomes a watch records as replay constraints. A design-space
+// sweep that varies ONLY the unit budget can therefore simulate the
+// shared prefix once, freeze the complete executor state at the event
+// boundary before the first grant, and fork each sibling candidate from
+// the checkpoint, replaying just the suffix. The fork is bit-identical
+// to a from-scratch run of the same candidate (checkpoint_test.go pins
+// this across platforms and models):
+//
+//   - the engine restores its heap slab verbatim and continues the
+//     sequence counter, so event order and tie-breaks match exactly
+//     (sim.Checkpoint);
+//   - the task DAG is rebuilt by the same template path and its mutable
+//     scalars overwritten from the snapshot; event payload pointers are
+//     remapped through slab indices;
+//   - the register file resumes from a deep copy with token numbering
+//     continued (pim.RegistersSnapshot);
+//   - the pool's utilization integral is replayed advance-by-advance so
+//     the fork accumulates its OWN unit budget over the same piecewise
+//     intervals, reproducing the float sum a scratch run computes
+//     (pim.Pool.ReplayAdvances — the pool is idle throughout the
+//     prefix, so the busy integral is exactly zero).
+//
+// The watch's constraints make the reuse sound rather than hopeful: a
+// fork whose unit budget would have flipped any recorded predicate is
+// refused (Compatible) and must simulate from scratch.
+
+// capWatch records a run's unit-budget-sensitive decisions. All hooks
+// are no-ops once the horizon is set: from the first grant on, the
+// timeline legitimately depends on the exact budget and the replay
+// re-evaluates everything live.
+type capWatch struct {
+	// minUnits/maxUnits bound the unit budgets whose prefix timeline is
+	// identical to the watched run's.
+	minUnits int
+	maxUnits int
+	// horizon is the 1-based processed index of the event that computed
+	// the first capacity grant; 0 while no grant has happened.
+	horizon uint64
+}
+
+// poolHasUnits reports Total() > 0 for dispatch's fixed-eligibility
+// check, recording the predicate's outcome as a replay constraint.
+func (x *exec) poolHasUnits() bool {
+	ok := x.pool.Total() > 0
+	if w := x.watch; w != nil && w.horizon == 0 {
+		if ok {
+			if w.minUnits < 1 {
+				w.minUnits = 1
+			}
+		} else if w.maxUnits > 0 {
+			w.maxUnits = 0
+		}
+	}
+	return ok
+}
+
+// availAtLeast reports Available() >= n for dispatch's opportunistic
+// check. Before the first grant the pool is idle, so Available IS the
+// unit budget: the comparison resolves the same way for another budget
+// exactly when that budget is on the same side of n — recorded as a
+// replay constraint.
+func (x *exec) availAtLeast(n int) bool {
+	ok := x.pool.Available() >= n
+	if w := x.watch; w != nil && w.horizon == 0 {
+		if ok {
+			if n > w.minUnits {
+				w.minUnits = n
+			}
+		} else if n-1 < w.maxUnits {
+			w.maxUnits = n - 1
+		}
+	}
+	return ok
+}
+
+// markGrant flags the first capacity-grant computation: the event
+// executing right now is where the shareable timeline prefix ends.
+func (x *exec) markGrant() {
+	if w := x.watch; w != nil && w.horizon == 0 {
+		w.horizon = x.eng.Processed()
+	}
+}
+
+// taskSnap is the mutable per-task state at the checkpoint; the
+// structural fields (op, step, outs) are rebuilt by the fork's own
+// template instantiation.
+type taskSnap struct {
+	deps               int
+	token              pim.OpToken
+	path               pathKind
+	remFlops, remBytes float64
+	syncPerFlop        float64
+}
+
+// itemSnap is one queued device work item, its task as a slab index.
+type itemSnap struct {
+	dur      hw.Seconds
+	opT, dmT hw.Seconds
+	slots    int
+	bypassed int
+	task     int32
+}
+
+// devSnap freezes a serial device: occupancy, energy integral and the
+// live queue window.
+type devSnap struct {
+	busy        int
+	busySeconds float64
+	items       []itemSnap
+}
+
+// RunCheckpoint is a frozen executor prefix, reusable across the unit
+// budgets in [UnitRange]. It is immutable once captured: one checkpoint
+// may be replayed concurrently by any number of goroutines.
+type RunCheckpoint struct {
+	g    *nn.Graph
+	opts Options // normalized
+	// maskedCfg is the base configuration with the replay-variable
+	// fields (Name, FixedPIM.Units) zeroed — the compatibility contract
+	// in canonical bytes.
+	maskedCfg []byte
+
+	minUnits, maxUnits int
+
+	eng       sim.Checkpoint
+	tasks     []taskSnap // [step*n + opID]
+	stepLeft  []int
+	heldBack  [][]int32
+	firstOpen int
+	cpu, prog devSnap
+	regs      *pim.RegistersSnapshot
+	poolAdv   []hw.Seconds
+
+	bk      Breakdown
+	usage   Usage
+	offload int
+	cpuOps  int
+}
+
+// UnitRange returns the inclusive bounds of fixed-unit budgets the
+// checkpoint replays exactly.
+func (c *RunCheckpoint) UnitRange() (min, max int) { return c.minUnits, c.maxUnits }
+
+// SharedEvents returns how many events the checkpointed prefix covers —
+// the per-fork event savings of a replay.
+func (c *RunCheckpoint) SharedEvents() uint64 { return c.eng.Processed() }
+
+// maskedConfigJSON canonicalizes a configuration for the compatibility
+// check, zeroing the fields a replay is allowed to vary.
+func maskedConfigJSON(cfg hw.SystemConfig) []byte {
+	cfg.Name = ""
+	cfg.FixedPIM.Units = 0
+	b, err := json.Marshal(cfg)
+	if err != nil {
+		return nil
+	}
+	return b
+}
+
+// taskIdx flattens a task to its slab index (the template slab is laid
+// out step-major, opID-minor).
+func taskIdx(t *task, n int) int32 { return int32(t.step*n + t.op.ID) }
+
+// taskAt resolves a slab index in this executor's DAG.
+func (x *exec) taskAt(idx int32) *task {
+	n := len(x.g.Ops)
+	return x.tasks[int(idx)/n][int(idx)%n]
+}
+
+// snapDevice freezes a serial device's live state.
+func snapDevice(d *serialDevice, n int) devSnap {
+	s := devSnap{busy: d.busy, busySeconds: d.busySeconds}
+	if live := len(d.queue) - d.head; live > 0 {
+		s.items = make([]itemSnap, 0, live)
+	}
+	for k := d.head; k < len(d.queue); k++ {
+		w := d.queue[k]
+		s.items = append(s.items, itemSnap{
+			dur: w.dur, opT: w.opT, dmT: w.dmT,
+			slots: w.slots, bypassed: w.bypassed, task: taskIdx(w.t, n),
+		})
+	}
+	return s
+}
+
+// restoreDevice loads a device snapshot into a fresh device.
+func (x *exec) restoreDevice(d *serialDevice, s devSnap) {
+	d.busy = s.busy
+	d.busySeconds = s.busySeconds
+	d.queue = d.queue[:0]
+	d.head = 0
+	for _, it := range s.items {
+		d.queue = append(d.queue, workItem{
+			dur: it.dur, opT: it.opT, dmT: it.dmT,
+			slots: it.slots, bypassed: it.bypassed, t: x.taskAt(it.task),
+		})
+	}
+}
+
+// CheckpointRun simulates (g, cfg, opts) to completion while watching
+// for the first unit-budget-dependent event, then re-runs the shared
+// prefix and freezes it. It returns the full run's result (published to
+// the result cache, bit-identical to RunPIM's) and, when the run has a
+// divergence point with a non-trivial prefix, a checkpoint for forking
+// sibling candidates. A nil checkpoint with a nil error means the run
+// offers nothing to share — callers fall back to full simulations.
+// Instrumented options are refused: a replayed prefix cannot re-emit
+// side effects.
+func CheckpointRun(g *nn.Graph, cfg hw.SystemConfig, opts Options) (*RunCheckpoint, Result, error) {
+	opts = opts.withDefaults()
+	if opts.Collector != nil || opts.Trace != nil || opts.Census != nil {
+		return nil, Result{}, fmt.Errorf("core: delta simulation requires an uninstrumented run")
+	}
+	x, err := newExec(g, cfg, opts)
+	if err != nil {
+		return nil, Result{}, err
+	}
+	w := &capWatch{maxUnits: math.MaxInt}
+	x.watch = w
+	x.seed()
+	res, err := x.drainRun()
+	x.teardown()
+	if err != nil {
+		return nil, Result{}, err
+	}
+	if resultCacheUsable(opts) {
+		storeResult(fingerprintRun("pim", g, cfg, opts, nil), res)
+	}
+	if w.horizon <= 1 {
+		// The budget diverges at the very first event (or never grants
+		// while still constraining); nothing worth sharing.
+		return nil, res, nil
+	}
+	cp, cerr := captureAt(g, cfg, opts, w.horizon-1)
+	if cerr != nil {
+		// Degrade gracefully: the sweep falls back to full simulations.
+		return nil, res, nil
+	}
+	return cp, res, nil
+}
+
+// captureAt re-runs the prefix and freezes the executor after exactly
+// stopAfter events. The capture run carries its own watch, so the
+// recorded constraints cover precisely the frozen prefix. It refuses a
+// capture point at or past the first grant — the state would already be
+// budget-specific.
+func captureAt(g *nn.Graph, cfg hw.SystemConfig, opts Options, stopAfter uint64) (*RunCheckpoint, error) {
+	x, err := newExec(g, cfg, opts)
+	if err != nil {
+		return nil, err
+	}
+	defer x.teardown()
+	w := &capWatch{maxUnits: math.MaxInt}
+	x.watch = w
+	x.pool.RecordAdvances(true)
+	x.seed()
+	if err := x.eng.RunUntil(stopAfter); err != nil {
+		return nil, err
+	}
+	if x.err != nil {
+		return nil, x.err
+	}
+	if x.pool.Grants() != 0 || x.pool.Busy() != 0 {
+		return nil, fmt.Errorf("core: checkpoint point is past the first fixed-pool grant")
+	}
+	if x.fixedHead != len(x.fixedPending) {
+		return nil, fmt.Errorf("core: checkpoint with tasks waiting on the fixed pool")
+	}
+	engCp, err := x.eng.Checkpoint()
+	if err != nil {
+		return nil, err
+	}
+	n := len(g.Ops)
+	// Detach payload pointers from this run's (pooled, about to be
+	// released) arena: slab indices survive the teardown.
+	engCp = engCp.Remap(func(ev sim.Ev) sim.Ev {
+		if t, ok := ev.Ptr.(*task); ok {
+			ev.Ptr = taskIdx(t, n)
+		}
+		return ev
+	})
+	cp := &RunCheckpoint{
+		g:         g,
+		opts:      opts,
+		maskedCfg: maskedConfigJSON(cfg),
+		minUnits:  w.minUnits,
+		maxUnits:  w.maxUnits,
+		eng:       engCp,
+		tasks:     make([]taskSnap, opts.Steps*n),
+		stepLeft:  append([]int(nil), x.stepLeft...),
+		heldBack:  make([][]int32, len(x.heldBack)),
+		firstOpen: x.firstOpen,
+		cpu:       snapDevice(x.cpu, n),
+		prog:      snapDevice(x.prog, n),
+		regs:      x.regs.Snapshot(),
+		poolAdv:   x.pool.AdvanceHistory(),
+		bk:        x.bk,
+		usage:     x.usage,
+		offload:   x.offload,
+		cpuOps:    x.cpuOps,
+	}
+	for s := 0; s < opts.Steps; s++ {
+		for id := 0; id < n; id++ {
+			t := x.tasks[s][id]
+			cp.tasks[s*n+id] = taskSnap{
+				deps: t.deps, token: t.token, path: t.path,
+				remFlops: t.remFlops, remBytes: t.remBytes,
+				syncPerFlop: t.syncPerFlop,
+			}
+		}
+	}
+	for s, held := range x.heldBack {
+		for _, t := range held {
+			cp.heldBack[s] = append(cp.heldBack[s], taskIdx(t, n))
+		}
+	}
+	return cp, nil
+}
+
+// Compatible reports whether cfg2 may be replayed from this checkpoint:
+// identical to the base configuration except for the name and a fixed
+// unit budget inside the watched range.
+func (c *RunCheckpoint) Compatible(cfg2 hw.SystemConfig) error {
+	if u := cfg2.FixedPIM.Units; u < c.minUnits || u > c.maxUnits {
+		return fmt.Errorf("core: unit budget %d outside the checkpoint's replay range [%d, %d]",
+			u, c.minUnits, c.maxUnits)
+	}
+	if !bytes.Equal(maskedConfigJSON(cfg2), c.maskedCfg) {
+		return fmt.Errorf("core: configuration differs from the checkpoint base beyond the fixed unit budget")
+	}
+	return nil
+}
+
+// Replay resumes the checkpoint under cfg2 and simulates the suffix to
+// completion. The result is bit-identical to RunPIM(g, cfg2, opts) run
+// from scratch, and is published to the result cache under that cell's
+// fingerprint.
+func (c *RunCheckpoint) Replay(cfg2 hw.SystemConfig) (Result, error) {
+	if err := c.Compatible(cfg2); err != nil {
+		return Result{}, err
+	}
+	x, err := newExec(c.g, cfg2, c.opts)
+	if err != nil {
+		return Result{}, err
+	}
+	defer x.teardown()
+	n := len(c.g.Ops)
+	for s := 0; s < c.opts.Steps; s++ {
+		row := x.tasks[s]
+		for id := 0; id < n; id++ {
+			sn := c.tasks[s*n+id]
+			t := row[id]
+			t.deps = sn.deps
+			t.token = sn.token
+			t.path = sn.path
+			t.remFlops, t.remBytes = sn.remFlops, sn.remBytes
+			t.syncPerFlop = sn.syncPerFlop
+		}
+	}
+	copy(x.stepLeft, c.stepLeft)
+	for s := range x.heldBack {
+		hb := x.heldBack[s][:0]
+		for _, idx := range c.heldBack[s] {
+			hb = append(hb, x.taskAt(idx))
+		}
+		x.heldBack[s] = hb
+	}
+	x.firstOpen = c.firstOpen
+	x.restoreDevice(x.cpu, c.cpu)
+	x.restoreDevice(x.prog, c.prog)
+	x.regs = c.regs.NewRegisters()
+	if err := x.pool.ReplayAdvances(c.poolAdv); err != nil {
+		return Result{}, err
+	}
+	x.bk = c.bk
+	x.usage = c.usage
+	x.offload = c.offload
+	x.cpuOps = c.cpuOps
+	if err := x.eng.Restore(c.eng, func(ev sim.Ev) sim.Ev {
+		if idx, ok := ev.Ptr.(int32); ok {
+			ev.Ptr = x.taskAt(idx)
+		}
+		return ev
+	}); err != nil {
+		return Result{}, err
+	}
+	res, err := x.drainRun()
+	if err == nil && resultCacheUsable(c.opts) {
+		storeResult(fingerprintRun("pim", c.g, cfg2, c.opts, nil), res)
+	}
+	return res, err
+}

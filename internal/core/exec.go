@@ -291,6 +291,12 @@ type exec struct {
 	offload int
 	cpuOps  int
 	err     error
+
+	// watch, when non-nil, records the run's unit-budget-sensitive
+	// decisions for the delta-simulation layer (checkpoint.go): replay
+	// constraints before the first fixed-pool grant, and the event index
+	// of that grant (where the shareable timeline prefix ends).
+	watch *capWatch
 }
 
 // RunPIM simulates steady-state training on a PIM-equipped platform.
@@ -315,15 +321,32 @@ func RunPIM(g *nn.Graph, cfg hw.SystemConfig, opts Options) (Result, error) {
 // runPIM is the live (uncached) simulation behind RunPIM; opts must
 // already be normalized by withDefaults.
 func runPIM(g *nn.Graph, cfg hw.SystemConfig, opts Options) (Result, error) {
-	if err := cfg.Validate(); err != nil {
+	x, err := newExec(g, cfg, opts)
+	if err != nil {
 		return Result{}, err
 	}
+	defer x.teardown()
+	x.seed()
+	return x.drainRun()
+}
+
+// newExec assembles a ready-to-seed executor: validated configuration,
+// unit placement, a pooled engine with the executor attached as its
+// typed-event handler, the candidate set and the instantiated task DAG.
+// Everything through here is shared verbatim between a normal run
+// (runPIM), a checkpoint capture and a delta replay; only what happens
+// after — seed + drain vs. state restore + drain — differs. opts must
+// already be normalized by withDefaults.
+func newExec(g *nn.Graph, cfg hw.SystemConfig, opts Options) (*exec, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	if opts.GPUHost && cfg.GPU.SMs <= 0 {
-		return Result{}, fmt.Errorf("core: GPU-host execution needs a GPU in the configuration")
+		return nil, fmt.Errorf("core: GPU-host execution needs a GPU in the configuration")
 	}
 	stack, err := hmc.New(cfg.Stack)
 	if err != nil {
-		return Result{}, err
+		return nil, err
 	}
 	var placement pim.Placement
 	if cfg.FixedPIM.Units > 0 {
@@ -333,11 +356,10 @@ func runPIM(g *nn.Graph, cfg hw.SystemConfig, opts Options) (Result, error) {
 			placement, err = pim.ThermalPlacement(stack, cfg.FixedPIM.Units)
 		}
 		if err != nil {
-			return Result{}, err
+			return nil, err
 		}
 	}
 	eng := sim.Acquire()
-	defer sim.Release(eng)
 	// Attach the collector before any scheduling happens; Release's
 	// Reset detaches it, so the pooled engine cannot leak it.
 	eng.SetCollector(opts.Collector)
@@ -362,14 +384,6 @@ func runPIM(g *nn.Graph, cfg hw.SystemConfig, opts Options) (Result, error) {
 	// The executor is the engine's typed-event dispatcher; Release's
 	// Reset detaches it along with the collector.
 	eng.SetHandler(x)
-	// Return the task arena to its template's pool once the run is over
-	// (the engine's own deferred Release clears any stale closures).
-	defer func() {
-		if x.tpl != nil {
-			x.tpl.release(x.arena)
-			x.tpl, x.arena = nil, nil
-		}
-	}()
 	// The placement is static, so the bank list reported to the status
 	// registers is too: compute it once instead of per offloaded op.
 	for b, u := range placement.Units {
@@ -407,22 +421,44 @@ func runPIM(g *nn.Graph, cfg hw.SystemConfig, opts Options) (Result, error) {
 	eng.EmitCount("sched.ops", float64(len(g.Ops)))
 	eng.EmitCount("sched.candidates", float64(len(x.cand)))
 	x.buildTasks()
-	x.seed()
+	return x, nil
+}
+
+// teardown returns the executor's pooled resources: the task arena to
+// its template's pool first, then the engine (whose Reset clears any
+// stale handler/collector references) — the same order the deferred
+// cleanups ran in before runPIM was split. Idempotent.
+func (x *exec) teardown() {
+	if x.tpl != nil {
+		x.tpl.release(x.arena)
+		x.tpl, x.arena = nil, nil
+	}
+	if x.eng != nil {
+		sim.Release(x.eng)
+		x.eng = nil
+	}
+}
+
+// drainRun executes the scheduled events to completion and folds the
+// executor's accumulated state into a Result. The caller must have
+// either seeded the run (seed) or restored a checkpoint into the
+// engine beforehand.
+func (x *exec) drainRun() (Result, error) {
 	if err := x.eng.Run(); err != nil {
 		return Result{}, err
 	}
-	eng.EmitCount("sim.events", float64(eng.Processed()))
+	x.eng.EmitCount("sim.events", float64(x.eng.Processed()))
 	if x.err != nil {
 		return Result{}, x.err
 	}
 	// Hardware/software contract: every pimOffload must have been
 	// matched by a completion — the Fig. 7 registers read all-idle.
-	for b := 0; b < cfg.Stack.Banks; b++ {
+	for b := 0; b < x.cfg.Stack.Banks; b++ {
 		if x.regs.IsBankBusy(b) {
 			return Result{}, fmt.Errorf("core: bank %d status register still busy at end of simulation", b)
 		}
 	}
-	for pidx := 0; pidx < cfg.ProgPIM.Processors; pidx++ {
+	for pidx := 0; pidx < x.cfg.ProgPIM.Processors; pidx++ {
 		if x.regs.IsProcessorBusy(pidx) {
 			return Result{}, fmt.Errorf("core: processor %d status register still busy at end of simulation", pidx)
 		}
@@ -588,7 +624,7 @@ func (x *exec) dispatch(t *task) {
 		x.startCPU(t)
 		return
 	}
-	fixedOK := prof.FixedEligible && x.pool.Total() > 0 && t.op.DecomposableFlops() > 0
+	fixedOK := prof.FixedEligible && x.poolHasUnits() && t.op.DecomposableFlops() > 0
 	// Fig. 2 / class 1: compute-intensive ops outside the candidate set
 	// "do not have to be offloaded to PIMs, but we can offload them when
 	// there are idling hardware units in PIMs" — opportunistic offload
@@ -602,7 +638,7 @@ func (x *exec) dispatch(t *task) {
 	// the host is itself saturated (waiting for units beats queueing on
 	// a busy CPU).
 	opportunistic := fixedOK && !isCand && !x.opts.DisableOpportunistic &&
-		(x.pool.Available() >= granule || x.cpu.busy >= x.cpu.slots)
+		(x.availAtLeast(granule) || x.cpu.busy >= x.cpu.slots)
 	switch {
 	// Principle 1: fixed-function PIMs first.
 	case fixedOK && (isCand || opportunistic):
@@ -951,6 +987,7 @@ func (x *exec) runResidual(t *task, before bool) {
 
 // requestSection tries to grant fixed units for the task's next chunk.
 func (x *exec) requestSection(t *task) {
+	x.markGrant()
 	granule := t.op.UnitGranule
 	if granule <= 0 {
 		granule = 1
@@ -1057,6 +1094,7 @@ func (x *exec) sectionDone(t *task, ev sim.Ev) {
 // fixed-function PIMs").
 func (x *exec) pumpFixedPending() {
 	for x.fixedHead < len(x.fixedPending) {
+		x.markGrant()
 		t := x.fixedPending[x.fixedHead]
 		granule := t.op.UnitGranule
 		if granule <= 0 {

@@ -23,6 +23,11 @@ type Pool struct {
 	busyUnitTime  float64 // integral of busy units dt
 	totalUnitTime float64 // integral of total units dt
 	grants        int     // number of Grant calls (kernel spawns served)
+
+	// advances, when non-nil, records every clock-moving Advance
+	// timestamp so a delta-simulation fork can replay the integral
+	// piecewise (snapshot.go); nil keeps Advance allocation-free.
+	advances []hw.Seconds
 }
 
 // NewPool builds a pool over a placement.
@@ -49,6 +54,9 @@ func (p *Pool) Advance(now hw.Seconds) {
 	p.busyUnitTime += float64(p.busy) * dt
 	p.totalUnitTime += float64(p.total) * dt
 	p.lastAdvance = now
+	if p.advances != nil {
+		p.advances = append(p.advances, now)
+	}
 }
 
 // Grant allocates up to want units (but no more than available) and

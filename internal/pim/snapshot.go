@@ -1,0 +1,118 @@
+package pim
+
+import (
+	"fmt"
+
+	"heteropim/internal/hw"
+)
+
+// Snapshot support for the delta-simulation layer (internal/core): a
+// forked design-space candidate resumes from a checkpointed prefix of a
+// base run, so the PIM-side state the executor carries — the Fig. 7
+// status registers and the fixed-pool utilization integrals — must be
+// reproducible in the fork exactly as a from-scratch run would have
+// built them.
+
+// RegistersSnapshot is a frozen deep copy of a register file. It is
+// immutable once taken: one snapshot may instantiate any number of
+// forked register files concurrently.
+type RegistersSnapshot struct {
+	bankBusy []int
+	progBusy []int
+	inflight map[OpToken]int32
+	slab     []Location
+	free     []int32
+	lastTok  OpToken
+}
+
+// Snapshot deep-copies the register file's current state, including the
+// per-entry bank lists (which may alias caller storage in the live
+// file).
+func (r *Registers) Snapshot() *RegistersSnapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := &RegistersSnapshot{
+		bankBusy: append([]int(nil), r.bankBusy...),
+		progBusy: append([]int(nil), r.progBusy...),
+		inflight: make(map[OpToken]int32, len(r.inflight)),
+		slab:     make([]Location, len(r.slab)),
+		free:     append([]int32(nil), r.free...),
+		lastTok:  r.lastTok,
+	}
+	for tok, slot := range r.inflight {
+		s.inflight[tok] = slot
+	}
+	for i, loc := range r.slab {
+		loc.Banks = append([]int(nil), loc.Banks...)
+		s.slab[i] = loc
+	}
+	return s
+}
+
+// NewRegisters instantiates a fresh register file at the snapshot's
+// state. Token numbering continues from the snapshot's sequence, so a
+// fork issues exactly the tokens the source run would have.
+func (s *RegistersSnapshot) NewRegisters() *Registers {
+	r := &Registers{
+		bankBusy: append([]int(nil), s.bankBusy...),
+		progBusy: append([]int(nil), s.progBusy...),
+		inflight: make(map[OpToken]int32, len(s.inflight)),
+		slab:     make([]Location, len(s.slab)),
+		free:     append([]int32(nil), s.free...),
+		lastTok:  s.lastTok,
+	}
+	for tok, slot := range s.inflight {
+		r.inflight[tok] = slot
+	}
+	for i, loc := range s.slab {
+		loc.Banks = append([]int(nil), loc.Banks...)
+		r.slab[i] = loc
+	}
+	return r
+}
+
+// InFlight returns how many offloaded operations the snapshot holds
+// open (their Complete calls happen in the forked suffix).
+func (s *RegistersSnapshot) InFlight() int { return len(s.inflight) }
+
+// RecordAdvances switches the pool's advance history on or off. With
+// recording on, every Advance call that moves the clock appends its
+// timestamp, so a fork can integrate the same piecewise utilization
+// sums — bit for bit — under a DIFFERENT unit budget (the integral is a
+// float accumulation; one fused total*elapsed product would differ in
+// the last bits from the per-interval sum a scratch run accumulates).
+func (p *Pool) RecordAdvances(on bool) {
+	if on {
+		if p.advances == nil {
+			p.advances = []hw.Seconds{}
+		}
+		return
+	}
+	p.advances = nil
+}
+
+// AdvanceHistory returns the recorded advance timestamps (nil when
+// recording is off). The slice is a copy.
+func (p *Pool) AdvanceHistory() []hw.Seconds {
+	if p.advances == nil {
+		return nil
+	}
+	return append([]hw.Seconds(nil), p.advances...)
+}
+
+// ReplayAdvances drives a fresh pool's clock through a recorded advance
+// history. The pool must be untouched (no grants, no prior advances):
+// replaying onto a used pool would interleave with real history and is
+// rejected. Because the pool is idle throughout a replayed prefix, the
+// busy integral stays exactly zero and the total integral accumulates
+// the fork's OWN unit budget over the same intervals.
+func (p *Pool) ReplayAdvances(history []hw.Seconds) error {
+	if p.busy != 0 || p.grants != 0 || p.lastAdvance != 0 || p.totalUnitTime != 0 {
+		return fmt.Errorf("pim: ReplayAdvances on a pool already in use (busy=%d grants=%d t=%.9g)",
+			p.busy, p.grants, p.lastAdvance)
+	}
+	for _, t := range history {
+		p.Advance(t)
+	}
+	return nil
+}

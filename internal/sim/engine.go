@@ -154,14 +154,16 @@ func (e *Engine) After(delay hw.Seconds, fn func()) error {
 	return e.At(e.now+delay, fn)
 }
 
-// Run executes events until the queue drains. It returns an error if the
-// event budget is exhausted (a scheduling loop).
-func (e *Engine) Run() error {
+// drain is the execution loop behind Run and RunUntil: it executes
+// events until the queue empties or the total processed count reaches
+// stopAfter, returning an error if the event budget is exhausted (a
+// scheduling loop).
+func (e *Engine) drain(stopAfter uint64) error {
 	max := e.MaxEvents
 	if max == 0 {
 		max = DefaultMaxEvents
 	}
-	for len(e.events) > 0 {
+	for len(e.events) > 0 && e.processed < stopAfter {
 		if e.processed >= max {
 			return fmt.Errorf("sim: event budget (%d) exhausted at t=%.9g — scheduling loop?", max, e.now)
 		}
