@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify lint vet build test race bench benchjson cachejson servejson eventsjson dsejson dsejson-large golden golden-check clean
+.PHONY: verify lint vet build test race bench benchjson cachejson servejson clusterjson eventsjson dsejson dsejson-large golden golden-check clean
 
 # verify is the default CI gate: static checks, a full build, the test
 # suite, and the race-detector pass (the parallel experiment runner
@@ -52,6 +52,15 @@ cachejson:
 # non-byte-identical result, dedup ratio below 4x, or unclean drain.
 servejson:
 	$(GO) run ./cmd/pimserve -selfcheck -benchout BENCH_serve.json
+
+# clusterjson regenerates BENCH_cluster.json: 3 pimserve replicas plus
+# the consistent-hash router in-process, three client waves with one
+# replica drained, killed and recovered mid-load. Fails on any client
+# error, a non-byte-identical routed result, cluster dedup below the
+# single-node baseline, or a kill path that never rehashed / retried /
+# cross-adopted a result from a peer.
+clusterjson:
+	$(GO) run ./cmd/pimserve -clustercheck -coalesce 2ms -benchout BENCH_cluster.json
 
 # eventsjson regenerates BENCH_events.json (closure vs typed event
 # engine microbenchmark). The tool exits non-zero if the typed path

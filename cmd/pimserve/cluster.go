@@ -1,0 +1,113 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"net/url"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"heteropim/internal/cluster"
+)
+
+// runRouter runs pimserve as the fleet front door: consistent-hash
+// routing of content-addressed job ids over the -backends replicas,
+// with health-driven rehashing and in-flight retry. SIGTERM stops the
+// health loop and exits 0 once in-flight proxied requests finish.
+func runRouter(addr, addrFile, backends string, healthEvery, drainWait time.Duration) {
+	var members []cluster.Replica
+	for i, raw := range strings.Split(backends, ",") {
+		raw = strings.TrimSpace(raw)
+		if raw == "" {
+			continue
+		}
+		u, err := url.Parse(raw)
+		if err != nil || u.Scheme == "" || u.Host == "" {
+			fail(fmt.Errorf("-backends entry %q is not a base URL", raw))
+		}
+		members = append(members, cluster.Replica{
+			Name:    fmt.Sprintf("replica-%d", i),
+			BaseURL: strings.TrimRight(raw, "/"),
+		})
+	}
+	if len(members) == 0 {
+		fail(errors.New("-router needs -backends with at least one replica URL"))
+	}
+
+	rt := cluster.NewRouter(cluster.RouterOptions{Replicas: members, HealthInterval: healthEvery})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fail(err)
+	}
+	baseURL := "http://" + ln.Addr().String()
+	if addrFile != "" {
+		if err := os.WriteFile(addrFile, []byte(baseURL+"\n"), 0o644); err != nil {
+			fail(err)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "pimserve: routing %d replicas on %s\n", len(members), baseURL)
+
+	hs := &http.Server{Handler: rt.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		fail(err)
+	case <-ctx.Done():
+	}
+	stop()
+
+	fmt.Fprintln(os.Stderr, "pimserve: router draining (finishing in-flight proxied requests)")
+	rt.Close()
+	dctx, cancel := context.WithTimeout(context.Background(), drainWait)
+	defer cancel()
+	if err := hs.Shutdown(dctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(os.Stderr, "pimserve: router shutdown: %v\n", err)
+		os.Exit(1)
+	}
+	reg := rt.Registry()
+	fmt.Fprintf(os.Stderr, "pimserve: router drained clean: requests=%.0f rehashes=%.0f retries=%.0f reroutes=%.0f\n",
+		reg.CounterValue("cluster.requests"), reg.CounterValue("cluster.rehashes"),
+		reg.CounterValue("cluster.retries"), reg.CounterValue("cluster.reroutes"))
+}
+
+// runClustercheck is the fleet's acceptance harness: replicas + router
+// in-process, three client waves with a kill-and-recover of one
+// replica mid-load, gates on zero errors / byte-identity / cluster
+// dedup >= single-node dedup, and writes BENCH_cluster.json.
+func runClustercheck(nodes, clients int, window time.Duration, benchOut string, workers, queue int, timeout time.Duration) error {
+	rep, checkErr := cluster.RunCheck(cluster.CheckOptions{
+		Replicas:   nodes,
+		Clients:    clients,
+		Window:     window,
+		Workers:    workers,
+		Queue:      queue,
+		JobTimeout: timeout,
+	})
+
+	f, err := os.Create(benchOut)
+	if err != nil {
+		return err
+	}
+	if err := rep.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr,
+		"pimserve: clustercheck: replicas=%d errors=%d identical=%t dedup=%.1fx (single %.1fx) peer_hits=%d rehashes=%.0f retries=%.0f recovered=%t -> %s\n",
+		rep.Replicas, rep.Errors, rep.ByteIdentical, rep.Cluster.Dedup, rep.Single.Dedup,
+		rep.Cluster.PeerHits, rep.Rehashes, rep.Retries, rep.Recovered, benchOut)
+	return checkErr
+}

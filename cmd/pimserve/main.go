@@ -1,12 +1,18 @@
 // Command pimserve is the simulation-as-a-service daemon: an HTTP JSON
 // API over the heteropim simulator with admission control, request
-// dedup, live Prometheus metrics and graceful drain.
+// dedup, live Prometheus metrics and graceful drain — and, in router
+// mode, the front door of a replica fleet: consistent-hash routing of
+// content-addressed job ids, health-driven rehashing of a draining
+// replica's shard range, and retry of in-flight submissions.
 //
 // Usage:
 //
 //	pimserve                                  # serve on 127.0.0.1:8080
 //	pimserve -addr 127.0.0.1:0 -addrfile /tmp/addr   # ephemeral port for scripts
+//	pimserve -coalesce 2ms                    # batch near-simultaneous cells through BatchRun
+//	pimserve -router -backends URL1,URL2,URL3 # route jobs across a replica fleet
 //	pimserve -selfcheck                       # built-in load generator, writes BENCH_serve.json
+//	pimserve -clustercheck                    # 3 replicas + router + kill-and-recover, writes BENCH_cluster.json
 //	pimserve -print hetero,VGG-19             # canonical result JSON of one direct run
 //
 // Endpoints:
@@ -76,10 +82,16 @@ func main() {
 	queue := flag.Int("queue", 64, "admission queue capacity (full queue sheds load with 429)")
 	timeout := flag.Duration("timeout", 2*time.Minute, "per-job queue-wait timeout")
 	drainWait := flag.Duration("drainwait", 60*time.Second, "how long SIGTERM waits for in-flight jobs")
+	coalesce := flag.Duration("coalesce", 0, "admission-coalescing window (0 disables; batches near-simultaneous cells through BatchRun)")
+	router := flag.Bool("router", false, "run as the cluster router instead of a replica")
+	backends := flag.String("backends", "", "router: comma-separated replica base URLs")
+	healthEvery := flag.Duration("healthevery", 500*time.Millisecond, "router: replica readiness-probe period")
 	selfcheck := flag.Bool("selfcheck", false, "run the built-in load generator against an in-process server and exit")
-	clients := flag.Int("clients", 64, "selfcheck: concurrent clients")
+	clustercheck := flag.Bool("clustercheck", false, "run the in-process cluster load test (replicas + router, kill-and-recover) and exit")
+	nodes := flag.Int("nodes", 3, "clustercheck: replica count")
+	clients := flag.Int("clients", 64, "selfcheck/clustercheck: concurrent clients")
 	dedupMin := flag.Float64("dedupmin", 4, "selfcheck: minimum accepted dedup ratio")
-	benchOut := flag.String("benchout", "BENCH_serve.json", "selfcheck: write the serving benchmark JSON here")
+	benchOut := flag.String("benchout", "", "benchmark JSON output path (default BENCH_serve.json or BENCH_cluster.json per mode)")
 	printCell := flag.String("print", "", "print the canonical result JSON of one direct run (\"config,model\") and exit")
 	applyCache := cliutil.CacheFlags(flag.CommandLine)
 	startProfile := cliutil.ProfileFlags(flag.CommandLine)
@@ -92,13 +104,31 @@ func main() {
 		return
 	}
 	if *selfcheck {
-		if err := runSelfcheck(*clients, *dedupMin, *benchOut, *workers, *queue, *timeout); err != nil {
+		out := *benchOut
+		if out == "" {
+			out = "BENCH_serve.json"
+		}
+		if err := runSelfcheck(*clients, *dedupMin, out, *workers, *queue, *timeout); err != nil {
 			fail(err)
 		}
 		return
 	}
+	if *clustercheck {
+		out := *benchOut
+		if out == "" {
+			out = "BENCH_cluster.json"
+		}
+		if err := runClustercheck(*nodes, *clients, *coalesce, out, *workers, *queue, *timeout); err != nil {
+			fail(err)
+		}
+		return
+	}
+	if *router {
+		runRouter(*addr, *addrFile, *backends, *healthEvery, *drainWait)
+		return
+	}
 
-	srv := serve.New(serve.Options{Workers: *workers, QueueCapacity: *queue, JobTimeout: *timeout})
+	srv := serve.New(serve.Options{Workers: *workers, QueueCapacity: *queue, JobTimeout: *timeout, CoalesceWindow: *coalesce})
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fail(err)

@@ -74,6 +74,13 @@ func SimulationCacheStats() CacheStats { return core.ResultCacheStats() }
 // counters (benchmark harnesses isolating cold-path timing).
 func ResetSimulationCache() { core.ResetResultCache() }
 
+// DropSimulationCacheMemory evicts the in-memory cache tier only,
+// keeping the disk tier and the counters: the next lookup of each cell
+// behaves like a fresh process sharing the same cache directory. The
+// cluster harness uses it so in-process replicas hit the shared L2
+// disk tier the way separate replica processes would.
+func DropSimulationCacheMemory() { core.DropResultCacheMemory() }
+
 // Model names a training workload (Section V-C).
 type Model = nn.ModelName
 

@@ -1,0 +1,95 @@
+package cluster
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Fleet tracks the live replica base URLs for cross-replica dedup: a
+// replica that misses locally asks its siblings for the finished job
+// before simulating. Membership follows the actual fleet lifecycle —
+// a replica leaves when it is shut down (a merely-draining replica
+// stays: its results remain readable until shutdown, which is exactly
+// when a rehashed-away shard range still wants to adopt them).
+type Fleet struct {
+	mu   sync.RWMutex
+	urls map[string]string // name -> baseURL
+}
+
+// NewFleet returns an empty fleet.
+func NewFleet() *Fleet {
+	return &Fleet{urls: map[string]string{}}
+}
+
+// Set registers (or re-registers) a member.
+func (f *Fleet) Set(name, baseURL string) {
+	f.mu.Lock()
+	f.urls[name] = baseURL
+	f.mu.Unlock()
+}
+
+// Remove unregisters a member.
+func (f *Fleet) Remove(name string) {
+	f.mu.Lock()
+	delete(f.urls, name)
+	f.mu.Unlock()
+}
+
+// Peers lists every member's base URL except self, in deterministic
+// name order.
+func (f *Fleet) Peers(self string) []string {
+	f.mu.RLock()
+	names := make([]string, 0, len(f.urls))
+	for n := range f.urls {
+		if n != self {
+			names = append(names, n)
+		}
+	}
+	f.mu.RUnlock()
+	sort.Strings(names)
+	out := make([]string, len(names))
+	f.mu.RLock()
+	for i, n := range names {
+		out[i] = f.urls[n]
+	}
+	f.mu.RUnlock()
+	return out
+}
+
+// PeerAsk builds a serve.Options.PeerAsk implementation over the
+// fleet: ask each sibling for the finished job's canonical bytes (GET
+// /v1/jobs/{id}/result with a tiny wait) and adopt the first hit. A
+// missing job 404s immediately and an in-flight one times out after
+// the small wait, so a fleet-wide miss costs little; a hit replaces an
+// entire simulation with one HTTP round trip. Result bodies are
+// byte-deterministic, so adopted bytes equal what a local run would
+// produce.
+func PeerAsk(f *Fleet, self string, client *http.Client) func(ctx context.Context, jobID string) ([]byte, bool) {
+	if client == nil {
+		client = &http.Client{Timeout: 2 * time.Second}
+	}
+	return func(ctx context.Context, jobID string) ([]byte, bool) {
+		for _, peer := range f.Peers(self) {
+			req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+				peer+"/v1/jobs/"+jobID+"/result?wait=50ms", nil)
+			if err != nil {
+				continue
+			}
+			resp, err := client.Do(req)
+			if err != nil {
+				continue
+			}
+			body, rerr := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if rerr != nil || resp.StatusCode != http.StatusOK {
+				continue
+			}
+			return body, true
+		}
+		return nil, false
+	}
+}

@@ -1,0 +1,131 @@
+// Package cluster grows the single-process pimserve daemon into a
+// fleet: a consistent-hash router shards content-addressed job ids
+// across N replicas, replicas cross-deduplicate finished jobs over
+// HTTP before simulating, and a kill-and-recover check harness gates
+// the whole assembly (zero client errors, byte-identical results,
+// cluster-wide dedup no worse than single-node).
+//
+// The job id already is the shard key: serve.JobID is a pure function
+// of the request body, so every router instance — and every replica —
+// agrees on a job's owner without any coordination state beyond the
+// ring membership itself.
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+)
+
+// Ring is a consistent-hash ring over named nodes. Each node projects
+// `vnodes` points onto the 64-bit hash circle; a key is owned by the
+// first point clockwise of the key's hash. Removing a node hands
+// exactly its own arcs to the survivors and adding it back restores
+// them — the property that makes kill-and-recover cheap: only the dead
+// replica's shard range ever moves.
+type Ring struct {
+	mu     sync.RWMutex
+	vnodes int
+	nodes  map[string]bool
+	points []ringPoint // sorted by hash
+}
+
+type ringPoint struct {
+	hash uint64
+	node string
+}
+
+// NewRing builds an empty ring with `vnodes` points per node
+// (<= 0: 64).
+func NewRing(vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = 64
+	}
+	return &Ring{vnodes: vnodes, nodes: map[string]bool{}}
+}
+
+func ringHash(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}
+
+// Add inserts node's points (idempotent).
+func (r *Ring) Add(node string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.nodes[node] {
+		return
+	}
+	r.nodes[node] = true
+	for i := 0; i < r.vnodes; i++ {
+		r.points = append(r.points, ringPoint{hash: ringHash(fmt.Sprintf("%s#%d", node, i)), node: node})
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// A full 64-bit collision across nodes is vanishingly rare but
+		// must still order deterministically on every router instance.
+		return r.points[i].node < r.points[j].node
+	})
+}
+
+// Remove drops node's points (idempotent).
+func (r *Ring) Remove(node string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.nodes[node] {
+		return
+	}
+	delete(r.nodes, node)
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.node != node {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+}
+
+// Owner returns the node owning key, or false when the ring is empty.
+func (r *Ring) Owner(key string) (string, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.points) == 0 {
+		return "", false
+	}
+	h := ringHash(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].node, true
+}
+
+// Has reports node membership.
+func (r *Ring) Has(node string) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.nodes[node]
+}
+
+// Nodes lists the members in sorted order.
+func (r *Ring) Nodes() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.nodes))
+	for n := range r.nodes {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len reports the member count.
+func (r *Ring) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.nodes)
+}

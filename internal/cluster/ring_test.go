@@ -1,0 +1,112 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+// ringKeys is a workload of content-addressed-looking keys. Real job
+// ids are hex FNV fingerprints — uniformly spread — so the test keys
+// are scrambled the same way rather than being sequential strings
+// (whose trailing-byte-only differences FNV maps to one tight arc).
+func ringKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("%016x%016x",
+			ringHash(fmt.Sprintf("key-%d", i)), ringHash(fmt.Sprintf("yek-%d", i)))
+	}
+	return keys
+}
+
+// TestRingOwnerDeterministic checks that two independently-built rings
+// over the same membership agree on every key — the property that lets
+// routers and replicas route without coordination.
+func TestRingOwnerDeterministic(t *testing.T) {
+	a, b := NewRing(0), NewRing(0)
+	for _, n := range []string{"replica-0", "replica-1", "replica-2"} {
+		a.Add(n)
+	}
+	// Insertion order must not matter either.
+	for _, n := range []string{"replica-2", "replica-0", "replica-1"} {
+		b.Add(n)
+	}
+	for _, k := range ringKeys(512) {
+		oa, oka := a.Owner(k)
+		ob, okb := b.Owner(k)
+		if !oka || !okb || oa != ob {
+			t.Fatalf("rings disagree on %q: %q vs %q", k, oa, ob)
+		}
+	}
+}
+
+// TestRingRemoveMovesOnlyVictimKeys checks the consistent-hash
+// contract: removing one node reassigns exactly that node's keys, and
+// adding it back restores the original assignment bit for bit.
+func TestRingRemoveMovesOnlyVictimKeys(t *testing.T) {
+	r := NewRing(0)
+	nodes := []string{"replica-0", "replica-1", "replica-2", "replica-3"}
+	for _, n := range nodes {
+		r.Add(n)
+	}
+	keys := ringKeys(2048)
+	before := make(map[string]string, len(keys))
+	perNode := map[string]int{}
+	for _, k := range keys {
+		o, ok := r.Owner(k)
+		if !ok {
+			t.Fatalf("no owner for %q on a populated ring", k)
+		}
+		before[k] = o
+		perNode[o]++
+	}
+	for _, n := range nodes {
+		if perNode[n] == 0 {
+			t.Fatalf("node %s owns zero of %d keys; ring badly unbalanced: %v", n, len(keys), perNode)
+		}
+	}
+
+	const victim = "replica-1"
+	r.Remove(victim)
+	for _, k := range keys {
+		o, ok := r.Owner(k)
+		if !ok {
+			t.Fatalf("no owner for %q after removal", k)
+		}
+		if o == victim {
+			t.Fatalf("removed node still owns %q", k)
+		}
+		if before[k] != victim && o != before[k] {
+			t.Fatalf("key %q moved %q -> %q though its owner was not removed", k, before[k], o)
+		}
+	}
+
+	r.Add(victim)
+	for _, k := range keys {
+		if o, _ := r.Owner(k); o != before[k] {
+			t.Fatalf("re-adding %s did not restore %q: %q vs %q", victim, k, o, before[k])
+		}
+	}
+}
+
+// TestRingEmptyAndIdempotent covers the edges: an empty ring owns
+// nothing, double-add and double-remove are no-ops.
+func TestRingEmptyAndIdempotent(t *testing.T) {
+	r := NewRing(8)
+	if _, ok := r.Owner("anything"); ok {
+		t.Fatal("empty ring reported an owner")
+	}
+	r.Add("a")
+	r.Add("a")
+	if r.Len() != 1 {
+		t.Fatalf("double Add: Len = %d, want 1", r.Len())
+	}
+	r.Remove("a")
+	r.Remove("a")
+	r.Remove("never-added")
+	if r.Len() != 0 {
+		t.Fatalf("Len after removals = %d, want 0", r.Len())
+	}
+	if _, ok := r.Owner("anything"); ok {
+		t.Fatal("drained ring reported an owner")
+	}
+}

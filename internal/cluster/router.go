@@ -1,0 +1,450 @@
+package cluster
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"heteropim/internal/metrics"
+	"heteropim/internal/report"
+	"heteropim/internal/serve"
+)
+
+// Replica names one pimserve backend.
+type Replica struct {
+	Name    string `json:"name"`
+	BaseURL string `json:"base_url"`
+}
+
+// RouterOptions configures a Router.
+type RouterOptions struct {
+	// Replicas is the initial fleet (all assumed ready until a health
+	// probe or a forward failure says otherwise).
+	Replicas []Replica
+	// Vnodes is the ring's points-per-replica (<= 0: 64).
+	Vnodes int
+	// HealthInterval is the readiness-probe period (<= 0: 500ms). A
+	// replica whose /readyz stops returning 200 — a SIGTERM'd replica
+	// flips it to 503 the moment it starts draining — is marked
+	// unready and its shard range is re-hashed to the survivors; when
+	// it comes back, its range comes back with it.
+	HealthInterval time.Duration
+	// Client issues the proxied requests (nil: 2-minute timeout).
+	Client *http.Client
+}
+
+// replicaState is one fleet member as the router sees it.
+type replicaState struct {
+	name    string
+	baseURL string
+	ready   bool
+}
+
+// Router is the pimserve fleet front door: it owns no simulation state
+// at all, only the ring. Jobs are routed to the replica owning their
+// content-addressed id, so every duplicate of a cell lands on the same
+// replica and deduplicates there; reads follow the same route, with a
+// fan-out fallback for jobs stranded on a previous owner by a rehash.
+type Router struct {
+	ring     *Ring
+	reg      *metrics.Registry
+	client   *http.Client
+	probe    *http.Client
+	mux      *http.ServeMux
+	interval time.Duration
+	start    time.Time
+
+	mu       sync.Mutex
+	replicas map[string]*replicaState
+
+	stop     chan struct{}
+	stopOnce sync.Once
+}
+
+// NewRouter builds a router over the given fleet and starts its health
+// loop.
+func NewRouter(opts RouterOptions) *Router {
+	client := opts.Client
+	if client == nil {
+		client = &http.Client{Timeout: 2 * time.Minute}
+	}
+	interval := opts.HealthInterval
+	if interval <= 0 {
+		interval = 500 * time.Millisecond
+	}
+	rt := &Router{
+		ring:     NewRing(opts.Vnodes),
+		reg:      metrics.NewRegistry(),
+		client:   client,
+		probe:    &http.Client{Timeout: 2 * time.Second},
+		mux:      http.NewServeMux(),
+		interval: interval,
+		start:    time.Now(),
+		replicas: map[string]*replicaState{},
+		stop:     make(chan struct{}),
+	}
+	for _, r := range opts.Replicas {
+		rt.AddReplica(r)
+	}
+	rt.mux.HandleFunc("POST /v1/jobs", rt.handleSubmit)
+	rt.mux.HandleFunc("GET /v1/jobs/{id}", rt.handleJobGet)
+	rt.mux.HandleFunc("GET /v1/jobs/{id}/{rest...}", rt.handleJobGet)
+	rt.mux.HandleFunc("GET /metrics", rt.handleMetrics)
+	rt.mux.HandleFunc("GET /healthz", rt.handleHealthz)
+	rt.mux.HandleFunc("GET /readyz", rt.handleReadyz)
+	rt.mux.HandleFunc("GET /{$}", rt.handleStatusPage)
+	go rt.healthLoop()
+	return rt
+}
+
+// Handler returns the router's HTTP handler.
+func (rt *Router) Handler() http.Handler { return rt.mux }
+
+// Registry exposes the router's metrics registry (heteropim_cluster_*
+// once rendered to Prometheus text).
+func (rt *Router) Registry() *metrics.Registry { return rt.reg }
+
+// Close stops the health loop. In-flight proxied requests finish.
+func (rt *Router) Close() { rt.stopOnce.Do(func() { close(rt.stop) }) }
+
+// AddReplica registers (or re-registers) a fleet member, optimistically
+// ready so traffic can flow before the first probe; a failing forward
+// or probe demotes it. Recovering a replica under its old name on a
+// new address restores exactly its old shard range.
+func (rt *Router) AddReplica(r Replica) {
+	rt.mu.Lock()
+	rt.replicas[r.Name] = &replicaState{name: r.Name, baseURL: r.BaseURL, ready: true}
+	rt.mu.Unlock()
+	rt.ring.Add(r.Name)
+	rt.reg.Set("cluster.replica_ready."+r.Name, 0, 1)
+}
+
+// RemoveReplica unregisters a fleet member entirely (scale-down, as
+// opposed to the unready state a draining replica enters).
+func (rt *Router) RemoveReplica(name string) {
+	rt.mu.Lock()
+	delete(rt.replicas, name)
+	rt.mu.Unlock()
+	rt.ring.Remove(name)
+	rt.reg.Set("cluster.replica_ready."+name, 0, 0)
+}
+
+// ReadyReplicas lists the members currently in the ring.
+func (rt *Router) ReadyReplicas() []string { return rt.ring.Nodes() }
+
+// Owner reports which replica currently owns a job id (false when the
+// ring is empty) — the clustercheck uses it to pick a victim that
+// actually owns live shard ranges.
+func (rt *Router) Owner(jobID string) (string, bool) { return rt.ring.Owner(jobID) }
+
+// lookup resolves a replica name to its state.
+func (rt *Router) lookup(name string) (replicaState, bool) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	s, ok := rt.replicas[name]
+	if !ok {
+		return replicaState{}, false
+	}
+	return *s, true
+}
+
+// markUnready pulls a replica's shard range out of the ring (it stays
+// a fleet member; the health loop re-adds it when /readyz recovers).
+func (rt *Router) markUnready(name, why string) {
+	rt.mu.Lock()
+	s, ok := rt.replicas[name]
+	changed := ok && s.ready
+	if changed {
+		s.ready = false
+	}
+	rt.mu.Unlock()
+	if changed {
+		rt.ring.Remove(name)
+		rt.reg.Add("cluster.rehashes", 1)
+		rt.reg.Add("cluster.unready."+why, 1)
+		rt.reg.Set("cluster.replica_ready."+name, 0, 0)
+	}
+}
+
+// markReady restores a replica's shard range.
+func (rt *Router) markReady(name string) {
+	rt.mu.Lock()
+	s, ok := rt.replicas[name]
+	changed := ok && !s.ready
+	if changed {
+		s.ready = true
+	}
+	rt.mu.Unlock()
+	if changed {
+		rt.ring.Add(name)
+		rt.reg.Add("cluster.recoveries", 1)
+		rt.reg.Set("cluster.replica_ready."+name, 0, 1)
+	}
+}
+
+// healthLoop probes every member's /readyz each interval and keeps the
+// ring in sync: a draining or dead replica leaves the ring (rehash), a
+// recovered one rejoins it.
+func (rt *Router) healthLoop() {
+	t := time.NewTicker(rt.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-rt.stop:
+			return
+		case <-t.C:
+		}
+		rt.mu.Lock()
+		members := make([]replicaState, 0, len(rt.replicas))
+		for _, s := range rt.replicas {
+			members = append(members, *s)
+		}
+		rt.mu.Unlock()
+		for _, m := range members {
+			resp, err := rt.probe.Get(m.baseURL + "/readyz")
+			if err == nil {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+			if err != nil || resp.StatusCode != http.StatusOK {
+				rt.markUnready(m.name, "probe")
+			} else {
+				rt.markReady(m.name)
+			}
+		}
+	}
+}
+
+// writeError mirrors the replicas' JSON error shape.
+func (rt *Router) writeError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	fmt.Fprintf(w, "{\"error\":%q}\n", err.Error())
+}
+
+// flushWriter flushes after every write so proxied SSE streams stay
+// live end to end.
+type flushWriter struct {
+	w http.ResponseWriter
+	f http.Flusher
+}
+
+func (fw flushWriter) Write(p []byte) (int, error) {
+	n, err := fw.w.Write(p)
+	if fw.f != nil {
+		fw.f.Flush()
+	}
+	return n, err
+}
+
+// relay copies a backend response to the client, streaming (SSE) when
+// the backend streams.
+func (rt *Router) relay(w http.ResponseWriter, resp *http.Response) {
+	defer resp.Body.Close()
+	for _, h := range []string{"Content-Type", "Retry-After", "Cache-Control"} {
+		if v := resp.Header.Get(h); v != "" {
+			w.Header().Set(h, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	out := io.Writer(w)
+	if strings.HasPrefix(resp.Header.Get("Content-Type"), "text/event-stream") {
+		f, _ := w.(http.Flusher)
+		out = flushWriter{w: w, f: f}
+	}
+	io.Copy(out, resp.Body)
+}
+
+// handleSubmit routes one job submission to the shard owner of its
+// content-addressed id, re-hashing and retrying when the owner is
+// draining (503) or unreachable — the autoscale-friendly path: a
+// SIGTERM'd replica stops being an owner after its first rejection,
+// and the in-flight submission lands on the range's new owner instead
+// of failing back to the client.
+func (rt *Router) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	rt.reg.Add("cluster.requests", 1)
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		rt.reg.Add("cluster.bad_requests", 1)
+		rt.writeError(w, http.StatusBadRequest, fmt.Errorf("cluster: read body: %w", err))
+		return
+	}
+	var req serve.JobRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		rt.reg.Add("cluster.bad_requests", 1)
+		rt.writeError(w, http.StatusBadRequest, fmt.Errorf("cluster: bad job body: %w", err))
+		return
+	}
+	id, err := serve.JobID(req)
+	if err != nil {
+		rt.reg.Add("cluster.bad_requests", 1)
+		rt.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	// One attempt per fleet member is enough: every retry removes the
+	// failed owner from the ring first.
+	attempts := rt.ring.Len() + 1
+	for attempt := 0; attempt < attempts; attempt++ {
+		owner, ok := rt.ring.Owner(id)
+		if !ok {
+			break
+		}
+		rep, ok := rt.lookup(owner)
+		if !ok {
+			rt.ring.Remove(owner)
+			continue
+		}
+		preq, err := http.NewRequestWithContext(r.Context(), http.MethodPost,
+			rep.baseURL+"/v1/jobs", strings.NewReader(string(body)))
+		if err != nil {
+			rt.writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		preq.Header.Set("Content-Type", "application/json")
+		resp, err := rt.client.Do(preq)
+		if err != nil {
+			rt.markUnready(owner, "unreachable")
+			rt.reg.Add("cluster.retries", 1)
+			continue
+		}
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			// The owner is draining: rehash its range and retry the
+			// in-flight submission on the new owner.
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			rt.markUnready(owner, "draining")
+			rt.reg.Add("cluster.retries", 1)
+			continue
+		}
+		rt.reg.Add("cluster.forwarded."+owner, 1)
+		rt.relay(w, resp)
+		return
+	}
+	rt.reg.Add("cluster.unroutable", 1)
+	rt.writeError(w, http.StatusServiceUnavailable, errors.New("cluster: no ready replica"))
+}
+
+// handleJobGet routes job reads by id. The owner is asked first; a 404
+// or an unreachable owner falls back to a fan-out over the rest of the
+// fleet, because a rehash (or a recovery) may have moved the id's
+// range after the job was placed.
+func (rt *Router) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	rt.reg.Add("cluster.requests", 1)
+	id := r.PathValue("id")
+	ordered := make([]string, 0, rt.ring.Len())
+	if owner, ok := rt.ring.Owner(id); ok {
+		ordered = append(ordered, owner)
+	}
+	for _, n := range rt.ring.Nodes() {
+		if len(ordered) == 0 || n != ordered[0] {
+			ordered = append(ordered, n)
+		}
+	}
+	for i, name := range ordered {
+		rep, ok := rt.lookup(name)
+		if !ok {
+			continue
+		}
+		url := rep.baseURL + r.URL.Path
+		if r.URL.RawQuery != "" {
+			url += "?" + r.URL.RawQuery
+		}
+		preq, err := http.NewRequestWithContext(r.Context(), http.MethodGet, url, nil)
+		if err != nil {
+			rt.writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		resp, err := rt.client.Do(preq)
+		if err != nil {
+			rt.markUnready(name, "unreachable")
+			continue
+		}
+		if resp.StatusCode == http.StatusNotFound && i+1 < len(ordered) {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			continue
+		}
+		if i > 0 {
+			rt.reg.Add("cluster.reroutes", 1)
+		}
+		rt.reg.Add("cluster.forwarded."+name, 1)
+		rt.relay(w, resp)
+		return
+	}
+	rt.reg.Add("cluster.unroutable", 1)
+	rt.writeError(w, http.StatusNotFound, fmt.Errorf("cluster: no replica holds job %q", id))
+}
+
+// handleMetrics serves the router's own registry (the cluster.* series
+// become heteropim_cluster_* in the exposition) — per-replica forward
+// counters and readiness gauges, rehash/retry/reroute counters, fleet
+// size and uptime.
+func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	rt.mu.Lock()
+	total, ready := len(rt.replicas), 0
+	for _, s := range rt.replicas {
+		if s.ready {
+			ready++
+		}
+	}
+	rt.mu.Unlock()
+	rt.reg.Set("cluster.replicas", 0, float64(total))
+	rt.reg.Set("cluster.replicas_ready", 0, float64(ready))
+	rt.reg.Set("cluster.uptime_seconds", 0, time.Since(rt.start).Seconds())
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = rt.reg.Snapshot().WritePrometheus(w)
+}
+
+func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain")
+	fmt.Fprintln(w, "ok")
+}
+
+// handleReadyz reports router readiness: at least one replica in the
+// ring.
+func (rt *Router) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain")
+	if rt.ring.Len() == 0 {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "no ready replicas")
+		return
+	}
+	fmt.Fprintln(w, "ready")
+}
+
+// handleStatusPage renders the fleet as a text table.
+func (rt *Router) handleStatusPage(w http.ResponseWriter, r *http.Request) {
+	rt.mu.Lock()
+	members := make([]replicaState, 0, len(rt.replicas))
+	for _, s := range rt.replicas {
+		members = append(members, *s)
+	}
+	rt.mu.Unlock()
+	sort.Slice(members, func(i, j int) bool { return members[i].name < members[j].name })
+
+	t := &report.Table{
+		Title:   "pimserve cluster",
+		Columns: []string{"Replica", "Address", "Ready", "Forwarded"},
+	}
+	for _, m := range members {
+		t.AddRow(m.name, m.baseURL,
+			fmt.Sprintf("%t", m.ready),
+			fmt.Sprintf("%.0f", rt.reg.CounterValue("cluster.forwarded."+m.name)))
+	}
+	t.Notes = append(t.Notes, fmt.Sprintf(
+		"ring=%d rehashes=%.0f retries=%.0f reroutes=%.0f; up %s",
+		rt.ring.Len(),
+		rt.reg.CounterValue("cluster.rehashes"),
+		rt.reg.CounterValue("cluster.retries"),
+		rt.reg.CounterValue("cluster.reroutes"),
+		time.Since(rt.start).Round(time.Second)))
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, t.String())
+}

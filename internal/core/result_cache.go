@@ -253,6 +253,23 @@ func ResetResultCache() {
 	cacheBytes.Store(0)
 }
 
+// DropResultCacheMemory evicts every in-memory result entry while
+// leaving the disk tier and the counters untouched. A subsequent
+// lookup behaves exactly like a fresh process pointed at the same
+// HETEROPIM_CACHE_DIR: disk entries are re-read (counted as DiskHits),
+// everything else re-simulates. The cluster harness uses this between
+// phases so in-process replicas exercise the shared L2 disk tier the
+// way separate replica processes would, instead of inheriting the
+// previous phase's process-wide memory tier. Goroutines already
+// waiting on an evicted in-flight entry keep their reference and still
+// complete normally.
+func DropResultCacheMemory() {
+	resultCache.Range(func(k, _ any) bool {
+		resultCache.Delete(k)
+		return true
+	})
+}
+
 // cachedResult serves fp from the cache, running `run` at most once per
 // fingerprint across all goroutines. Deterministic errors are cached in
 // memory (repeating a failing cell re-fails identically) but never

@@ -182,6 +182,53 @@ func TestDiskTier(t *testing.T) {
 	}
 }
 
+// TestDropMemoryKeepsDiskTierAndCounters covers the fleet-replica
+// eviction primitive: DropResultCacheMemory must forget only the
+// memory tier — a shared disk tier still answers (the L2 behind every
+// replica's L1) and the running counters survive, unlike the full
+// ResetResultCache.
+func TestDropMemoryKeepsDiskTierAndCounters(t *testing.T) {
+	withCleanCache(t)
+	SetResultCacheDir(t.TempDir())
+	g, err := nn.Build(nn.AlexNetName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := hw.PaperConfig(hw.ConfigHeteroPIM)
+	cold, err := RunPIM(g, cfg, HeteroOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	DropResultCacheMemory()
+	warm, err := RunPIM(g, cfg, HeteroOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm != cold {
+		t.Errorf("post-drop disk hit differs from cold run")
+	}
+	// One cold miss, then one disk hit (which also counts as a served
+	// hit): Drop preserved both the disk tier and the miss counter.
+	if st := ResultCacheStats(); st.Misses != 1 || st.DiskHits != 1 {
+		t.Errorf("stats after drop+rerun %+v, want 1 miss + 1 disk hit", st)
+	}
+
+	// Without a disk tier the drop means a genuine re-simulation.
+	SetResultCacheDir("")
+	DropResultCacheMemory()
+	again, err := RunPIM(g, cfg, HeteroOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != cold {
+		t.Errorf("re-simulated result differs from cold run")
+	}
+	if st := ResultCacheStats(); st.Misses != 2 {
+		t.Errorf("memory-only drop stats %+v, want a second miss", st)
+	}
+}
+
 // TestSharedCacheUnderParallelRunner hammers one fingerprint from the
 // worker pool (run under -race in `make verify`): singleflight must
 // execute exactly one live simulation and hand every other caller the

@@ -108,6 +108,15 @@ func (r *Registry) CounterValue(name string) float64 {
 	return r.counters[name]
 }
 
+// GaugeValue reads one gauge's last set value (0 when absent). The
+// cluster router uses it to read per-replica readiness gauges back out
+// of its own registry for the status page and the clustercheck gates.
+func (r *Registry) GaugeValue(name string) float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.gauges[name].v
+}
+
 // NamedValue is one counter or gauge in a snapshot.
 type NamedValue struct {
 	Name  string  `json:"name"`

@@ -1,0 +1,139 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"heteropim"
+	"heteropim/internal/runner"
+)
+
+// The admission-coalescing window: a burst of near-simultaneous
+// distinct cells is almost as cacheable as a burst of identical ones —
+// cells sharing a model instantiate the same task-graph template and
+// step-1 profile, but when each rides its own pool slot they race the
+// per-entry build locks instead of sharing the warm-up. The coalescer
+// holds admitted jobs for one short window and evaluates the whole
+// window as a single heteropim.BatchRun, whose grouped-leader phase
+// warms each template exactly once.
+//
+// Semantics preserved from the direct path: duplicate ids inside one
+// window still collapse onto one job (the jobs-map dedup runs before
+// admission), per-job queue-wait deadlines still apply, a full window
+// still sheds load, and client disconnects never poison the batch —
+// the POST handler returns before the window closes, so a batch only
+// ever depends on the server's own lifecycle, not on any client's.
+type coalescer struct {
+	s      *Server
+	window time.Duration
+
+	mu      sync.Mutex
+	pending []pendingJob
+	armed   bool
+	inline  sync.WaitGroup // batches run inline when the pool is closing
+}
+
+// pendingJob is one admitted job waiting out the window.
+type pendingJob struct {
+	j        *Job
+	deadline time.Time
+}
+
+func newCoalescer(s *Server, window time.Duration) *coalescer {
+	return &coalescer{s: s, window: window}
+}
+
+// add admits j into the open window; the first job of a window arms
+// the flush timer. The pending window counts against the pool's queue
+// capacity so coalescing cannot turn admission control off.
+func (c *coalescer) add(j *Job, deadline time.Time) error {
+	c.mu.Lock()
+	if len(c.pending) >= c.s.pool.Capacity() {
+		c.mu.Unlock()
+		return runner.ErrQueueFull
+	}
+	c.pending = append(c.pending, pendingJob{j: j, deadline: deadline})
+	arm := !c.armed
+	c.armed = true
+	c.mu.Unlock()
+	if arm {
+		time.AfterFunc(c.window, c.flush)
+	}
+	return nil
+}
+
+// flush closes the current window and hands its jobs to the pool as
+// one batch. If the pool refuses (closing under Drain), the batch runs
+// inline: the jobs were accepted, so they must finish.
+func (c *coalescer) flush() {
+	c.mu.Lock()
+	batch := c.pending
+	c.pending = nil
+	c.armed = false
+	c.mu.Unlock()
+	if len(batch) == 0 {
+		return
+	}
+	if err := c.s.pool.Submit(func(context.Context) { c.s.executeBatch(batch) }); err != nil {
+		c.inline.Add(1)
+		go func() {
+			defer c.inline.Done()
+			c.s.executeBatch(batch)
+		}()
+	}
+}
+
+// wait blocks until every inline batch has finished (Drain calls this
+// after the pool itself is dry).
+func (c *coalescer) wait() { c.inline.Wait() }
+
+// executeBatch runs one coalesced window: expire overdue jobs, resolve
+// what the fleet already computed (cross-replica dedup), then evaluate
+// the remainder as a single grouped BatchRun.
+func (s *Server) executeBatch(batch []pendingJob) {
+	s.reg.Add("serve.coalesce_batches", 1)
+	s.reg.Add("serve.coalesce_jobs", float64(len(batch)))
+	now := time.Now()
+	live := make([]*Job, 0, len(batch))
+	for _, p := range batch {
+		if now.After(p.deadline) {
+			s.reg.Add("serve.jobs_timed_out", 1)
+			s.remove(p.j.ID)
+			p.j.fail(fmt.Errorf("serve: job %s spent over %s in queue", p.j.ID, s.jobTimeout))
+			continue
+		}
+		if s.adoptFromPeer(p.j) {
+			continue
+		}
+		live = append(live, p.j)
+	}
+	if len(live) == 0 {
+		return
+	}
+	cells := make([]heteropim.BatchCell, len(live))
+	for i, j := range live {
+		j.setRunning()
+		cells[i] = j.cell.batchCell()
+	}
+	s.reg.Add("serve.jobs_run", float64(len(live)))
+	results, err := heteropim.BatchRun(cells)
+	if err != nil {
+		// BatchRun fails as a whole on the first bad cell; degrade to
+		// per-job runs so one poisoned cell cannot fail its batchmates.
+		for _, j := range live {
+			res, rerr := j.cell.run(nil)
+			if rerr != nil {
+				s.reg.Add("serve.jobs_failed", 1)
+				j.fail(rerr)
+				continue
+			}
+			j.complete(EncodeResult(res))
+		}
+		return
+	}
+	for i, j := range live {
+		j.complete(EncodeResult(results[i]))
+	}
+}

@@ -1,0 +1,249 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"heteropim"
+)
+
+// waitDone polls a job until it leaves the queued/running states.
+func waitDone(t *testing.T, baseURL, id string) JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		resp, data := get(t, baseURL+"/v1/jobs/"+id)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET job = %s: %s", resp.Status, data)
+		}
+		var st JobStatus
+		if err := json.Unmarshal(data, &st); err != nil {
+			t.Fatal(err)
+		}
+		if st.Status == StatusDone || st.Status == StatusFailed {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck: %+v", id, st)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestCoalesceZeroWindowIsDirectPath checks the window is genuinely
+// opt-in: with CoalesceWindow zero the server must behave exactly like
+// the pre-coalescing daemon — jobs run through the per-job path and no
+// batch is ever formed.
+func TestCoalesceZeroWindowIsDirectPath(t *testing.T) {
+	s, ts := start(t, Options{Workers: 2})
+	resp, data := post(t, ts.URL, `{"config":"hetero","model":"AlexNet"}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST = %s: %s", resp.Status, data)
+	}
+	var st JobStatus
+	if err := json.Unmarshal(data, &st); err != nil {
+		t.Fatal(err)
+	}
+	if got := waitDone(t, ts.URL, st.ID); got.Status != StatusDone {
+		t.Fatalf("job failed: %+v", got)
+	}
+	stats := s.Stats()
+	if stats.CoalesceBatches != 0 {
+		t.Fatalf("zero-width window still formed %d batches", stats.CoalesceBatches)
+	}
+	if stats.JobsRun != 1 {
+		t.Fatalf("jobs_run = %d, want 1", stats.JobsRun)
+	}
+}
+
+// TestCoalesceDuplicateIDsCollapse fires a herd of identical posts
+// inside one window and checks the jobs-map dedup still runs before
+// admission: one job, one live run, one batch.
+func TestCoalesceDuplicateIDsCollapse(t *testing.T) {
+	s, ts := start(t, Options{Workers: 2, CoalesceWindow: 40 * time.Millisecond})
+	const herd = 12
+	ids := make([]string, herd)
+	var wg sync.WaitGroup
+	for i := 0; i < herd; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, data := post(t, ts.URL, `{"config":"hetero","model":"AlexNet"}`)
+			var st JobStatus
+			if err := json.Unmarshal(data, &st); err != nil {
+				t.Error(err)
+				return
+			}
+			ids[i] = st.ID
+		}(i)
+	}
+	wg.Wait()
+	for _, id := range ids[1:] {
+		if id != ids[0] {
+			t.Fatalf("duplicate posts produced distinct jobs: %s vs %s", id, ids[0])
+		}
+	}
+	if got := waitDone(t, ts.URL, ids[0]); got.Status != StatusDone {
+		t.Fatalf("job failed: %+v", got)
+	}
+	stats := s.Stats()
+	if stats.JobsRun != 1 {
+		t.Fatalf("jobs_run = %d, want 1 (duplicates must collapse before the window)", stats.JobsRun)
+	}
+	if stats.CoalesceBatches != 1 {
+		t.Fatalf("coalesce_batches = %d, want 1", stats.CoalesceBatches)
+	}
+	if stats.DedupHits != herd-1 {
+		t.Fatalf("dedup_hits = %d, want %d", stats.DedupHits, herd-1)
+	}
+}
+
+// TestCoalesceDistinctCellsOneBatch submits distinct cells inside one
+// window and checks they ride a single BatchRun whose results are
+// byte-identical to direct runs.
+func TestCoalesceDistinctCellsOneBatch(t *testing.T) {
+	s, ts := start(t, Options{Workers: 2, CoalesceWindow: 40 * time.Millisecond})
+	cells := []struct {
+		body   string
+		config heteropim.Config
+		model  heteropim.Model
+	}{
+		{`{"config":"hetero","model":"AlexNet"}`, heteropim.ConfigHeteroPIM, heteropim.AlexNet},
+		{`{"config":"gpu","model":"AlexNet"}`, heteropim.ConfigGPU, heteropim.AlexNet},
+		{`{"config":"hetero","model":"DCGAN"}`, heteropim.ConfigHeteroPIM, heteropim.DCGAN},
+	}
+	ids := make([]string, len(cells))
+	var wg sync.WaitGroup
+	for i, c := range cells {
+		wg.Add(1)
+		go func(i int, body string) {
+			defer wg.Done()
+			_, data := post(t, ts.URL, body)
+			var st JobStatus
+			if err := json.Unmarshal(data, &st); err != nil {
+				t.Error(err)
+				return
+			}
+			ids[i] = st.ID
+		}(i, c.body)
+	}
+	wg.Wait()
+	for i, c := range cells {
+		if waitDone(t, ts.URL, ids[i]).Status != StatusDone {
+			t.Fatalf("cell %d failed", i)
+		}
+		_, got := get(t, ts.URL+"/v1/jobs/"+ids[i]+"/result")
+		direct, err := heteropim.Run(c.config, c.model)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, EncodeResult(direct)) {
+			t.Fatalf("coalesced result %d differs from direct run", i)
+		}
+	}
+	stats := s.Stats()
+	if stats.JobsRun != int64(len(cells)) {
+		t.Fatalf("jobs_run = %d, want %d", stats.JobsRun, len(cells))
+	}
+	if stats.CoalesceBatches != 1 {
+		t.Fatalf("coalesce_batches = %d, want 1 (distinct cells should share the window)", stats.CoalesceBatches)
+	}
+}
+
+// TestCoalesceClientCancelDoesNotPoisonBatch cancels one client's
+// context while its window is still open and checks the batch is
+// unharmed: the canceled client's job still completes server-side and
+// its batchmate's result is correct. The invariant under test is that
+// a batch depends only on the server's lifecycle, never on any
+// client's.
+func TestCoalesceClientCancelDoesNotPoisonBatch(t *testing.T) {
+	s, ts := start(t, Options{Workers: 2, CoalesceWindow: 60 * time.Millisecond})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/v1/jobs",
+		strings.NewReader(`{"config":"hetero","model":"AlexNet"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doomed JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&doomed); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	// The window is still open: the job is pending in the coalescer.
+	// Kill the client's context now.
+	cancel()
+
+	// A second client joins the same window with a different cell.
+	_, data := post(t, ts.URL, `{"config":"gpu","model":"AlexNet"}`)
+	var mate JobStatus
+	if err := json.Unmarshal(data, &mate); err != nil {
+		t.Fatal(err)
+	}
+
+	if waitDone(t, ts.URL, mate.ID).Status != StatusDone {
+		t.Fatal("batchmate failed after a sibling client canceled")
+	}
+	if waitDone(t, ts.URL, doomed.ID).Status != StatusDone {
+		t.Fatal("canceled client's job did not complete server-side")
+	}
+	_, got := get(t, ts.URL+"/v1/jobs/"+mate.ID+"/result")
+	direct, err := heteropim.Run(heteropim.ConfigGPU, heteropim.AlexNet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, EncodeResult(direct)) {
+		t.Fatal("batchmate's result corrupted by sibling cancellation")
+	}
+	if s.Stats().JobsRun != 2 {
+		t.Fatalf("jobs_run = %d, want 2", s.Stats().JobsRun)
+	}
+}
+
+// TestCoalescePeerAdoption wires a stub PeerAsk and checks a window
+// job whose bytes the "fleet" already has is adopted instead of
+// simulated: peer_hits counts it, jobs_run does not.
+func TestCoalescePeerAdoption(t *testing.T) {
+	direct, err := heteropim.Run(heteropim.ConfigHeteroPIM, heteropim.AlexNet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := EncodeResult(direct)
+	s, ts := start(t, Options{
+		Workers:        2,
+		CoalesceWindow: 20 * time.Millisecond,
+		PeerAsk: func(ctx context.Context, jobID string) ([]byte, bool) {
+			return want, true
+		},
+	})
+	_, data := post(t, ts.URL, `{"config":"hetero","model":"AlexNet"}`)
+	var st JobStatus
+	if err := json.Unmarshal(data, &st); err != nil {
+		t.Fatal(err)
+	}
+	if waitDone(t, ts.URL, st.ID).Status != StatusDone {
+		t.Fatal("adopted job did not complete")
+	}
+	_, got := get(t, ts.URL+"/v1/jobs/"+st.ID+"/result")
+	if !bytes.Equal(got, want) {
+		t.Fatal("adopted bytes differ from the peer's answer")
+	}
+	stats := s.Stats()
+	if stats.PeerHits != 1 {
+		t.Fatalf("peer_hits = %d, want 1", stats.PeerHits)
+	}
+	if stats.JobsRun != 0 {
+		t.Fatalf("jobs_run = %d, want 0 (adoption must replace the local simulation)", stats.JobsRun)
+	}
+}

@@ -88,6 +88,18 @@ func normalize(req JobRequest) (cell, error) {
 	}, nil
 }
 
+// JobID computes the content-addressed id the server assigns to req's
+// cell. Identical cells produce identical ids on every replica, which
+// makes the id double as the cluster router's shard key: the ring can
+// pick a job's owner from the request body alone.
+func JobID(req JobRequest) (string, error) {
+	c, err := normalize(req)
+	if err != nil {
+		return "", err
+	}
+	return c.id(), nil
+}
+
 // id derives the job's content-addressed identifier: identical cells
 // map to the same job, which is the request-dedup mechanism.
 func (c cell) id() string {
@@ -98,6 +110,21 @@ func (c cell) id() string {
 	}
 	fmt.Fprintf(h, "ins=%t", c.instrument)
 	return fmt.Sprintf("j%016x", h.Sum64())
+}
+
+// batchCell renders the cell in heteropim.BatchRun's input shape (the
+// admission-coalescing window batches whole windows through BatchRun,
+// whose results are documented — and tested — to be bit-identical to
+// the per-cell Run* calls `run` makes).
+func (c cell) batchCell() heteropim.BatchCell {
+	bc := heteropim.BatchCell{Config: c.config, Model: c.model, FreqScale: c.freqScale}
+	if c.variant != nil {
+		bc.Variant = &heteropim.Variant{
+			RecursiveKernels:  c.variant.RecursiveKernels,
+			OperationPipeline: c.variant.OperationPipeline,
+		}
+	}
+	return bc
 }
 
 // run executes the cell through the public API. Uninstrumented runs go

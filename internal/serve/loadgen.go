@@ -102,7 +102,7 @@ func LoadGen(baseURL string, clients int, cells []LoadCell, s *Server) (LoadRepo
 			defer wg.Done()
 			cell := cells[i%len(cells)]
 			start := time.Now()
-			got, err := submitAndFetch(client, baseURL, cell)
+			got, err := SubmitAndFetch(client, baseURL, cell)
 			latencies[i] = time.Since(start).Seconds()
 			if err != nil {
 				mu.Lock()
@@ -141,8 +141,11 @@ func LoadGen(baseURL string, clients int, cells []LoadCell, s *Server) (LoadRepo
 	return rep, nil
 }
 
-// submitAndFetch POSTs one job and long-polls its result bytes.
-func submitAndFetch(client *http.Client, baseURL string, cell LoadCell) ([]byte, error) {
+// SubmitAndFetch POSTs one job and long-polls its result bytes — one
+// whole client interaction. The selfcheck load generator and the
+// cluster check's wave runner share it, so a routed request exercises
+// exactly the client path a direct one does.
+func SubmitAndFetch(client *http.Client, baseURL string, cell LoadCell) ([]byte, error) {
 	body, _ := json.Marshal(JobRequest{Config: cell.Config, Model: cell.Model})
 	var id string
 	// A 429 is the admission controller doing its job; honor the

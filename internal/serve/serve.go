@@ -39,6 +39,18 @@ type Options struct {
 	// expires fail instead of running (a discrete-event simulation is
 	// not preemptible once started). <= 0: 2 minutes.
 	JobTimeout time.Duration
+	// CoalesceWindow batches near-simultaneous admissions: jobs
+	// accepted within one window of each other are evaluated as a
+	// single heteropim.BatchRun, so distinct cells sharing a task-graph
+	// template split one template/profile warm-up instead of racing the
+	// build locks. 0 disables coalescing (every job goes straight to
+	// the pool, exactly the pre-cluster behavior).
+	CoalesceWindow time.Duration
+	// PeerAsk, when set, is consulted before simulating a locally-new
+	// job: given the job id it may return the canonical result bytes
+	// another replica already computed (cross-replica dedup). The
+	// cluster layer wires this to HTTP asks against the fleet.
+	PeerAsk func(ctx context.Context, jobID string) ([]byte, bool)
 }
 
 // Server is one simulation-serving daemon instance.
@@ -48,6 +60,8 @@ type Server struct {
 	mux        *http.ServeMux
 	jobTimeout time.Duration
 	start      time.Time
+	co         *coalescer // nil when CoalesceWindow == 0
+	peerAsk    func(ctx context.Context, jobID string) ([]byte, bool)
 
 	mu       sync.Mutex
 	jobs     map[string]*Job
@@ -69,7 +83,11 @@ func New(opts Options) *Server {
 		mux:        http.NewServeMux(),
 		jobTimeout: opts.JobTimeout,
 		start:      time.Now(),
+		peerAsk:    opts.PeerAsk,
 		jobs:       map[string]*Job{},
+	}
+	if opts.CoalesceWindow > 0 {
+		s.co = newCoalescer(s, opts.CoalesceWindow)
 	}
 	s.mux.HandleFunc("POST /v1/jobs", s.route("post_jobs", s.handleSubmit))
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.route("get_job", s.handleJob))
@@ -156,7 +174,16 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.mu.Unlock()
 
 	deadline := time.Now().Add(s.jobTimeout)
-	if err := s.pool.Submit(func(context.Context) { s.execute(j, deadline) }); err != nil {
+	submit := func() error {
+		// Instrumented jobs always run solo (they carry a live metrics
+		// collector the batch path cannot attach); everything else joins
+		// the admission-coalescing window when one is configured.
+		if s.co != nil && !c.instrument {
+			return s.co.add(j, deadline)
+		}
+		return s.pool.Submit(func(context.Context) { s.execute(j, deadline) })
+	}
+	if err := submit(); err != nil {
 		// A transient admission failure must not poison the cell: drop
 		// the record (a resubmit gets a fresh job) and unblock any
 		// dedup waiter that raced onto it.
@@ -201,6 +228,9 @@ func (s *Server) execute(j *Job, deadline time.Time) {
 		j.fail(fmt.Errorf("serve: job %s spent over %s in queue", j.ID, s.jobTimeout))
 		return
 	}
+	if s.adoptFromPeer(j) {
+		return
+	}
 	j.setRunning()
 	s.reg.Add("serve.jobs_run", 1)
 	res, err := j.cell.run(j.metrics)
@@ -210,6 +240,29 @@ func (s *Server) execute(j *Job, deadline time.Time) {
 		return
 	}
 	j.complete(EncodeResult(res))
+}
+
+// adoptFromPeer resolves a job by cross-replica dedup: ask the fleet
+// (via the injected PeerAsk) whether another replica already holds the
+// finished job, and adopt its canonical bytes instead of simulating.
+// Result bodies are byte-deterministic, so adopted bytes are exactly
+// what a local run would have produced. Instrumented jobs never adopt:
+// their purpose is the local collector side effects.
+func (s *Server) adoptFromPeer(j *Job) bool {
+	if s.peerAsk == nil || j.metrics != nil {
+		return false
+	}
+	s.reg.Add("serve.peer_asks", 1)
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	b, ok := s.peerAsk(ctx, j.ID)
+	if !ok {
+		return false
+	}
+	s.reg.Add("serve.peer_hits", 1)
+	j.setRunning()
+	j.complete(b)
+	return true
 }
 
 // lookup resolves the {id} path value.
@@ -419,12 +472,16 @@ func (s *Server) handleStatusPage(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprint(w, t.String())
 }
 
-// Stats summarizes serving-layer traffic (the selfcheck gates on it).
+// Stats summarizes serving-layer traffic (the selfcheck and the
+// clustercheck gate on it). JobsRun counts only jobs that executed a
+// simulation locally; peer-adopted and deduplicated jobs do not.
 type Stats struct {
-	Requests  int64 `json:"requests"`
-	DedupHits int64 `json:"dedup_hits"`
-	JobsRun   int64 `json:"jobs_run"`
-	Rejected  int64 `json:"rejected"`
+	Requests        int64 `json:"requests"`
+	DedupHits       int64 `json:"dedup_hits"`
+	JobsRun         int64 `json:"jobs_run"`
+	Rejected        int64 `json:"rejected"`
+	PeerHits        int64 `json:"peer_hits"`
+	CoalesceBatches int64 `json:"coalesce_batches"`
 }
 
 // Stats reads the serving counters.
@@ -435,6 +492,8 @@ func (s *Server) Stats() Stats {
 		JobsRun:   int64(s.reg.CounterValue("serve.jobs_run")),
 		Rejected: int64(s.reg.CounterValue("serve.rejected_full") +
 			s.reg.CounterValue("serve.rejected_draining")),
+		PeerHits:        int64(s.reg.CounterValue("serve.peer_hits")),
+		CoalesceBatches: int64(s.reg.CounterValue("serve.coalesce_batches")),
 	}
 }
 
@@ -445,6 +504,13 @@ func (s *Server) Drain(ctx context.Context) error {
 	s.mu.Lock()
 	s.draining = true
 	s.mu.Unlock()
+	// An armed coalescing window may still hold accepted jobs; flush it
+	// now (instead of waiting out the timer) and wait for any batch that
+	// had to run inline because the pool was already closing.
+	if s.co != nil {
+		s.co.flush()
+		defer s.co.wait()
+	}
 	return s.pool.Drain(ctx)
 }
 
