@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify lint vet build test race bench benchjson cachejson servejson clusterjson eventsjson dsejson dsejson-large golden golden-check clean
+.PHONY: verify lint vet build test race bench benchjson cachejson servejson clusterjson eventsjson multistackjson dsejson dsejson-large golden golden-check clean
 
 # verify is the default CI gate: static checks, a full build, the test
 # suite, and the race-detector pass (the parallel experiment runner
@@ -68,6 +68,14 @@ clusterjson:
 eventsjson:
 	$(GO) run ./cmd/pimbench -eventsjson BENCH_events.json
 
+# multistackjson regenerates BENCH_multistack.json (one engine vs 8
+# per-stack shard engines over the same event volume, plus the M=1
+# identity and M=2 worker-count determinism checks of the full
+# pipeline). On hosts with >= 8 cores the tool exits non-zero below a
+# 3x aggregate speedup; the identity/determinism gates apply everywhere.
+multistackjson:
+	$(GO) run ./cmd/pimbench -multistackjson BENCH_multistack.json
+
 # dsejson is the quick optimized-vs-exhaustive DSE comparison on the
 # 24-candidate paper grid. The tool exits non-zero if any winner
 # diverges, under 30% of candidates are pruned, or the aggregate
@@ -89,14 +97,17 @@ dsejson-large:
 # model/simulator change moves the numbers.
 golden:
 	$(GO) run ./cmd/pimtrain -model VGG-19 -config all > testdata/golden/pimtrain_all.txt
+	$(GO) run ./cmd/pimtrain -model VGG-19 -config hetero -stacks 2 -allreduce ring > testdata/golden/pimtrain_multistack.txt
 	$(GO) run ./cmd/pimprof > testdata/golden/pimprof.txt
 
 # golden-check fails if current tool output drifts from the goldens.
 golden-check:
 	@mkdir -p /tmp/heteropim-golden
 	$(GO) run ./cmd/pimtrain -model VGG-19 -config all > /tmp/heteropim-golden/pimtrain_all.txt
+	$(GO) run ./cmd/pimtrain -model VGG-19 -config hetero -stacks 2 -allreduce ring > /tmp/heteropim-golden/pimtrain_multistack.txt
 	$(GO) run ./cmd/pimprof > /tmp/heteropim-golden/pimprof.txt
 	diff -u testdata/golden/pimtrain_all.txt /tmp/heteropim-golden/pimtrain_all.txt
+	diff -u testdata/golden/pimtrain_multistack.txt /tmp/heteropim-golden/pimtrain_multistack.txt
 	diff -u testdata/golden/pimprof.txt /tmp/heteropim-golden/pimprof.txt
 
 clean:

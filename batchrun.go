@@ -26,6 +26,12 @@ type BatchCell struct {
 	// Processors, when > 0, runs Hetero PIM with that many programmable
 	// processors at constant logic-die area (Config is ignored).
 	Processors int
+	// Stacks, when > 1, shards the minibatch across that many stacks
+	// (data-parallel training; PIM configurations only — see
+	// Options.Stacks). AllReduce picks the gradient schedule ("ring",
+	// "tree", or "" for ring).
+	Stacks    int
+	AllReduce string
 }
 
 // BatchRun evaluates the cells on the shared worker pool and returns
@@ -64,11 +70,28 @@ func BatchRun(cells []BatchCell) ([]Result, error) {
 // runBatchCell executes one cell exactly as the public Run* entry
 // points would.
 func runBatchCell(c BatchCell, scale float64) (Result, error) {
+	sched, err := nn.ParseAllReduceKind(c.AllReduce)
+	if err != nil {
+		return Result{}, err
+	}
 	switch {
 	case c.Variant != nil:
 		g, err := nn.Build(c.Model)
 		if err != nil {
 			return Result{}, err
+		}
+		if c.Stacks > 1 {
+			opts := core.HeteroOptions()
+			opts.RC = c.Variant.RecursiveKernels
+			opts.OP = c.Variant.OperationPipeline
+			opts.Stacks, opts.AllReduce = c.Stacks, sched
+			r, err := core.RunPIM(g, hw.PaperConfigScaled(hw.ConfigHeteroPIM, scale), opts)
+			if err != nil {
+				return Result{}, err
+			}
+			r.Config.Name = fmt.Sprintf("Hetero PIM(RC=%v,OP=%v) x%d",
+				c.Variant.RecursiveKernels, c.Variant.OperationPipeline, c.Stacks)
+			return wrap(r), nil
 		}
 		r, err := core.RunHeteroVariant(g, c.Variant.RecursiveKernels, c.Variant.OperationPipeline, scale)
 		if err != nil {
@@ -80,11 +103,22 @@ func runBatchCell(c BatchCell, scale float64) (Result, error) {
 		if err != nil {
 			return Result{}, err
 		}
-		r, err := core.RunPIM(g, hw.HeteroConfigWithProcessors(c.Processors, scale), core.HeteroOptions())
+		opts := core.HeteroOptions()
+		if c.Stacks > 1 {
+			opts.Stacks, opts.AllReduce = c.Stacks, sched
+		}
+		r, err := core.RunPIM(g, hw.HeteroConfigWithProcessors(c.Processors, scale), opts)
 		if err != nil {
 			return Result{}, err
 		}
 		return wrap(r), nil
+	case c.Stacks > 1:
+		return RunWithOptions(c.Config, c.Model, Options{
+			FreqScale: scale,
+			BatchSize: c.BatchSize,
+			Stacks:    c.Stacks,
+			AllReduce: c.AllReduce,
+		})
 	case c.BatchSize > 0:
 		g, err := nn.BuildWithBatch(c.Model, c.BatchSize)
 		if err != nil {

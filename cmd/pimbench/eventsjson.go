@@ -88,6 +88,21 @@ type eventsSide struct {
 	AllocsPerEvent float64 `json:"allocs_per_event"`
 }
 
+// shardedEvents measures the sharded engine path: multiStacks engines
+// each chew through an equal slice of the event volume on the worker
+// pool, the execution shape of a multi-stack training run.
+type shardedEvents struct {
+	Shards         int     `json:"shards"`
+	EventsPerShard int     `json:"events_per_shard"`
+	Seconds        float64 `json:"seconds"`
+	// PerShard is each shard engine's events/sec over the run's wall
+	// clock (shards share cores, so these sum to Aggregate).
+	PerShard []float64 `json:"per_shard_events_per_sec"`
+	// Aggregate is total events over wall-clock seconds across all
+	// shard engines.
+	Aggregate float64 `json:"aggregate_events_per_sec"`
+}
+
 // eventsReport is the BENCH_events.json shape.
 type eventsReport struct {
 	GOMAXPROCS int `json:"gomaxprocs"`
@@ -99,6 +114,40 @@ type eventsReport struct {
 	Typed   eventsSide `json:"typed"`
 	// Speedup is typed events/sec over closure events/sec.
 	Speedup float64 `json:"speedup"`
+	// Sharded runs the typed path on per-stack engines in parallel.
+	Sharded shardedEvents `json:"sharded"`
+}
+
+// measureSharded times multiStacks typed engines each processing an
+// equal share of `total` events on the default worker pool (best of
+// three), reporting per-shard and aggregate events/sec.
+func measureSharded(total int) shardedEvents {
+	engs := make([]*sim.Engine, multiStacks)
+	for i := range engs {
+		engs[i] = sim.New()
+	}
+	perShard := total / multiStacks
+	runShardEngines(engs, perShard/4, 0) // warm
+	best := time.Duration(1<<63 - 1)
+	for i := 0; i < 3; i++ {
+		start := time.Now()
+		if got := runShardEngines(engs, perShard, 0); got < uint64(multiStacks*perShard) {
+			panic(fmt.Sprintf("shard engines processed %d events, want >= %d", got, multiStacks*perShard))
+		}
+		if d := time.Since(start); d < best {
+			best = d
+		}
+	}
+	s := shardedEvents{
+		Shards:         multiStacks,
+		EventsPerShard: perShard,
+		Seconds:        best.Seconds(),
+		Aggregate:      float64(multiStacks*perShard) / best.Seconds(),
+	}
+	for i := 0; i < multiStacks; i++ {
+		s.PerShard = append(s.PerShard, float64(perShard)/best.Seconds())
+	}
+	return s
 }
 
 // measureEvents times one variant (best of three runs) and measures its
@@ -139,10 +188,12 @@ func writeEventsJSON(path string, minRatio float64) error {
 	rep.Closure = measureEvents(runClosureEvents)
 	rep.Typed = measureEvents(runTypedEvents)
 	rep.Speedup = rep.Typed.EventsPerSec / rep.Closure.EventsPerSec
+	rep.Sharded = measureSharded(benchEvents)
 	fmt.Fprintf(os.Stderr,
-		"pimbench: events closure=%.3gM/s (%.2f allocs/ev) typed=%.3gM/s (%.4f allocs/ev) speedup=%.2fx\n",
+		"pimbench: events closure=%.3gM/s (%.2f allocs/ev) typed=%.3gM/s (%.4f allocs/ev) speedup=%.2fx sharded=%.3gM/s aggregate over %d shards\n",
 		rep.Closure.EventsPerSec/1e6, rep.Closure.AllocsPerEvent,
-		rep.Typed.EventsPerSec/1e6, rep.Typed.AllocsPerEvent, rep.Speedup)
+		rep.Typed.EventsPerSec/1e6, rep.Typed.AllocsPerEvent, rep.Speedup,
+		rep.Sharded.Aggregate/1e6, rep.Sharded.Shards)
 
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

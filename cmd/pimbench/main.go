@@ -31,6 +31,7 @@ func main() {
 	cacheMin := flag.Float64("cachemin", 1.5, "minimum aggregate warm-cache speedup accepted by -cachejson")
 	eventsJSON := flag.String("eventsjson", "", "benchmark the closure vs typed event engine paths, write the comparison to this JSON file (fails if the typed path allocates or its speedup is below -eventsmin)")
 	eventsMin := flag.Float64("eventsmin", 1.3, "minimum typed-over-closure events/sec ratio accepted by -eventsjson")
+	multistackJSON := flag.String("multistackjson", "", "benchmark sharded multi-stack engines vs a single engine, verify M=1 identity and worker-count determinism, write the report to this JSON file")
 	applyCache := cliutil.CacheFlags(flag.CommandLine)
 	startProfile := cliutil.ProfileFlags(flag.CommandLine)
 	list := flag.Bool("list", false, "list experiment ids")
@@ -76,6 +77,14 @@ func main() {
 
 	if *eventsJSON != "" {
 		if err := writeEventsJSON(*eventsJSON, *eventsMin); err != nil {
+			fmt.Fprintf(os.Stderr, "pimbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *multistackJSON != "" {
+		if err := writeMultistackJSON(*multistackJSON); err != nil {
 			fmt.Fprintf(os.Stderr, "pimbench: %v\n", err)
 			os.Exit(1)
 		}

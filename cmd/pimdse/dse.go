@@ -253,7 +253,8 @@ func writeDSEJSON(path, grid string, dopts batch.DSEOptions) error {
 		if err != nil {
 			return fmt.Errorf("%s (optimized): %w", model, err)
 		}
-		exh, exhS, exhOut, err := timeDSE(model, cands, batch.DSEOptions{})
+		exh, exhS, exhOut, err := timeDSE(model, cands,
+			batch.DSEOptions{Stacks: dopts.Stacks, AllReduce: dopts.AllReduce})
 		if err != nil {
 			return fmt.Errorf("%s (exhaustive): %w", model, err)
 		}

@@ -30,6 +30,7 @@ import (
 	"heteropim/internal/cliutil"
 	"heteropim/internal/hmc"
 	"heteropim/internal/hw"
+	"heteropim/internal/nn"
 	"heteropim/internal/pim"
 	"heteropim/internal/report"
 	"heteropim/internal/runner"
@@ -48,6 +49,8 @@ func main() {
 	grid := flag.String("grid", "paper", "candidate grid for -dse/-dsejson: paper (24) or large (288)")
 	surrogateOn := flag.Bool("surrogate", true, "order candidates by a regression surrogate fitted on simulated results")
 	deltaOn := flag.Bool("delta", true, "fork candidate groups from engine checkpoints instead of simulating from scratch")
+	stacks := flag.Int("stacks", 1, "with -dse/-dsejson: evaluate candidates sharded across this many HMC stacks")
+	allreduce := flag.String("allreduce", "ring", "gradient all-reduce schedule for -stacks > 1: ring|tree")
 	dsejson := flag.String("dsejson", "", "write an optimized-vs-exhaustive DSE comparison to this file and exit")
 	applyCache := cliutil.CacheFlags(flag.CommandLine)
 	startProfile := cliutil.ProfileFlags(flag.CommandLine)
@@ -55,17 +58,23 @@ func main() {
 
 	applyCache()
 	defer startProfile()()
+	sched, err := nn.ParseAllReduceKind(*allreduce)
+	if err != nil {
+		fail(err)
+	}
 	if *dsejson != "" {
 		// The comparison's optimized leg always prunes; -surrogate/-delta
 		// choose which optimizations stack on top. The exhaustive leg is
 		// built in-tool.
-		dopts := batch.DSEOptions{Prune: true, Surrogate: *surrogateOn, Delta: *deltaOn}
+		dopts := batch.DSEOptions{Prune: true, Surrogate: *surrogateOn, Delta: *deltaOn,
+			Stacks: *stacks, AllReduce: sched}
 		if err := writeDSEJSON(*dsejson, *grid, dopts); err != nil {
 			fail(err)
 		}
 		return
 	}
-	dopts := batch.DSEOptions{Prune: !*exhaustive, Surrogate: *surrogateOn && !*exhaustive, Delta: *deltaOn && !*exhaustive}
+	dopts := batch.DSEOptions{Prune: !*exhaustive, Surrogate: *surrogateOn && !*exhaustive, Delta: *deltaOn && !*exhaustive,
+		Stacks: *stacks, AllReduce: sched}
 	if *dse {
 		if err := runDSE(*grid, dopts); err != nil {
 			fail(err)

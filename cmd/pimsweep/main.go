@@ -13,6 +13,7 @@
 //	pimsweep -sweep freq   -models VGG-19   # 1x/2x/4x
 //	pimsweep -sweep variant                 # RC/OP toggles
 //	pimsweep -sweep batch  -models AlexNet  # batch sizes
+//	pimsweep -sweep stacks -models VGG-19   # multi-stack ring/tree
 //	pimsweep -sweep config -workers 1       # force sequential
 package main
 
@@ -29,7 +30,7 @@ import (
 )
 
 func main() {
-	sweep := flag.String("sweep", "config", "config|freq|variant|batch")
+	sweep := flag.String("sweep", "config", "config|freq|variant|batch|stacks")
 	models := flag.String("models", "", "comma-separated models (default: the 5 CNNs)")
 	workers := flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
 	applyCache := cliutil.CacheFlags(flag.CommandLine)
@@ -65,6 +66,8 @@ func main() {
 		err = sweepVariant(w, selected)
 	case "batch":
 		err = sweepBatch(w, selected)
+	case "stacks":
+		err = sweepStacks(w, selected)
 	default:
 		fmt.Fprintf(os.Stderr, "pimsweep: unknown sweep %q\n", *sweep)
 		os.Exit(2)
@@ -159,6 +162,51 @@ func sweepVariant(w *csv.Writer, models []heteropim.Model) error {
 		}
 	}
 	return writeCells(w, []string{"model", "rc", "op"}, cells)
+}
+
+// sweepStacks shards each model's global batch across 1/2/4/8 HMC
+// stacks on the Hetero PIM platform under both all-reduce schedules.
+// The extra columns split the step into the slowest stack's compute and
+// the gradient synchronization over the inter-stack link.
+func sweepStacks(w *csv.Writer, models []heteropim.Model) error {
+	header := append([]string{"model", "stacks", "allreduce"}, resultCols...)
+	header = append(header, "stack_step_s", "allreduce_s")
+	if err := w.Write(header); err != nil {
+		return err
+	}
+	type row struct{ prefix []string }
+	var prefixes []row
+	var sims []heteropim.BatchCell
+	for _, m := range models {
+		for _, stacks := range []int{1, 2, 4, 8} {
+			scheds := []string{heteropim.AllReduceRing, heteropim.AllReduceTree}
+			if stacks == 1 {
+				scheds = []string{"-"} // no gradient exchange on one stack
+			}
+			for _, sched := range scheds {
+				c := heteropim.BatchCell{Config: heteropim.ConfigHeteroPIM, Model: m, Stacks: stacks}
+				if stacks > 1 {
+					c.AllReduce = sched
+				}
+				prefixes = append(prefixes, row{[]string{string(m), strconv.Itoa(stacks), sched}})
+				sims = append(sims, c)
+			}
+		}
+	}
+	results, err := heteropim.BatchRun(sims)
+	if err != nil {
+		return err
+	}
+	for i, r := range results {
+		row := append(prefixes[i].prefix,
+			f(r.StepTime), f(r.Breakdown.Operation), f(r.Breakdown.DataMovement),
+			f(r.Breakdown.Sync), f(r.Energy), f(r.AvgPower), f(r.EDP),
+			f(r.FixedUtilization), f(r.StackStepTime), f(r.AllReduceTime))
+		if err := w.Write(row); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func sweepBatch(w *csv.Writer, models []heteropim.Model) error {

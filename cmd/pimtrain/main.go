@@ -101,6 +101,8 @@ func main() {
 	config := flag.String("config", "hetero", "platform: cpu|gpu|progr|fixed|hetero|all")
 	freq := flag.Float64("freq", 1, "PIM/stack frequency scale (1, 2 or 4)")
 	batch := flag.Int("batch", 0, "batch size override (0 = the paper's default)")
+	stacks := flag.Int("stacks", 1, "HMC stacks to shard the minibatch across (data-parallel training; PIM configs only)")
+	allreduce := flag.String("allreduce", "ring", "gradient all-reduce schedule for -stacks > 1: ring|tree")
 	schedTrace := flag.Bool("schedtrace", false, "print every Hetero PIM scheduling decision to stderr")
 	fromTrace := flag.String("fromtrace", "", "replay an instruction trace file (pimprof -trace output) instead of building a model")
 	explain := flag.Bool("explain", false, "print the Hetero PIM placement census and energy itemization")
@@ -224,6 +226,14 @@ func main() {
 	// core.Options concurrency contract).
 	results, err := runner.Map(context.Background(), len(configs), 0,
 		func(_ context.Context, i int) (heteropim.Result, error) {
+			if *stacks > 1 {
+				return heteropim.RunWithOptions(configs[i], modelName, heteropim.Options{
+					FreqScale: *freq,
+					BatchSize: *batch,
+					Stacks:    *stacks,
+					AllReduce: *allreduce,
+				})
+			}
 			if *batch > 0 {
 				return heteropim.RunWithBatch(configs[i], modelName, *batch)
 			}
@@ -244,6 +254,17 @@ func main() {
 			fmt.Sprintf("%d", r.OffloadedOps))
 	}
 	fmt.Print(t.String())
+	for _, r := range results {
+		if r.Stacks > 1 {
+			line := fmt.Sprintf("multistack: %s: stacks=%d allreduce=%s stackstep=%s arstep=%s",
+				r.Config, r.Stacks, r.AllReduce,
+				report.Seconds(r.StackStepTime), report.Seconds(r.AllReduceTime))
+			if r.StackMaxTemp > 0 {
+				line += fmt.Sprintf(" stacktemp=%.1fC", r.StackMaxTemp)
+			}
+			fmt.Println(line)
+		}
+	}
 	st := heteropim.SimulationCacheStats()
 	fmt.Printf("simcache: hits=%d misses=%d\n", st.Hits, st.Misses)
 }

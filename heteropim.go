@@ -142,12 +142,38 @@ type Result struct {
 	FixedUtilization float64
 	// OffloadedOps / CPUOps count per-step operation placement.
 	OffloadedOps, CPUOps int
+	// Stacks is how many HMC stacks the step was sharded across (1 for
+	// the paper's single-stack system).
+	Stacks int
+	// AllReduce is the gradient schedule of a multi-stack run ("ring"
+	// or "tree"; empty for single-stack).
+	AllReduce string
+	// AllReduceTime is the per-step gradient synchronization seconds
+	// included in StepTime (multi-stack runs only).
+	AllReduceTime float64
+	// StackStepTime is the slowest stack's compute seconds before the
+	// all-reduce; StepTime = StackStepTime + AllReduceTime (multi-stack
+	// runs only).
+	StackStepTime float64
+	// StackMaxTemp is one stack's hottest-bank steady-state temperature
+	// in deg C under the run's placement (multi-stack runs with a
+	// fixed-function pool; 0 otherwise).
+	StackMaxTemp float64
 }
 
 // wrap converts an internal result to the public shape.
 func wrap(r core.Result) Result {
 	e := energy.Evaluate(r)
+	stacks := r.Stacks
+	if stacks < 1 {
+		stacks = 1
+	}
 	return Result{
+		Stacks:        stacks,
+		AllReduce:     r.AllReduce,
+		AllReduceTime: r.AllReduceTime,
+		StackStepTime: r.StackStepTime,
+		StackMaxTemp:  r.StackMaxTemp,
 		Model:    Model(r.Model),
 		Config:   r.Config.Name,
 		StepTime: r.StepTime,

@@ -47,6 +47,9 @@ import (
 // pruning on `bound > incumbent` can never discard a true winner (see
 // the equivalence test across all models in dse_test.go).
 func StepTimeLowerBound(g *nn.Graph, cfg hw.SystemConfig, opts core.Options) hw.Seconds {
+	if opts.Stacks > 1 {
+		return multiStackLowerBound(g, cfg, opts)
+	}
 	steps := opts.Steps
 	if steps <= 0 {
 		steps = 4
@@ -78,6 +81,36 @@ func StepTimeLowerBound(g *nn.Graph, cfg hw.SystemConfig, opts core.Options) hw.
 }
 
 func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+// multiStackLowerBound extends the bound to sharded data-parallel runs.
+// The merged step time is exactly (slowest shard's compute step) +
+// (all-reduce time), and the slowest shard is at least as slow as shard
+// 0, whose own single-stack bound is admissible — so bound(shard 0) +
+// allReduceTime is an admissible floor. The all-reduce leg uses the
+// same per-phase arithmetic as the simulated schedule, in the same
+// order, so it never exceeds (in fact equals) the simulated value.
+// Every failure mode degrades toward zero, which is always admissible.
+func multiStackLowerBound(g *nn.Graph, cfg hw.SystemConfig, opts core.Options) hw.Seconds {
+	sched := opts.AllReduce
+	if sched == "" {
+		sched = core.ReduceRing
+	}
+	var ar hw.Seconds
+	if t, _, err := core.AllReduceStepTime(sched, opts.Stacks, g.ParamBytes, cfg.Link); err == nil {
+		ar = t
+	}
+	shards, err := nn.ShardBatches(g.BatchSize, opts.Stacks)
+	if err != nil {
+		return ar
+	}
+	sg, err := nn.BuildWithBatch(nn.ModelName(g.Model), shards[0])
+	if err != nil {
+		return ar
+	}
+	so := opts
+	so.Stacks, so.AllReduce = 1, ""
+	return StepTimeLowerBound(sg, cfg, so) + ar
+}
 
 // opFloor is the fastest any modeled path can execute op, excluding
 // every overhead.

@@ -84,8 +84,16 @@ type DSEOptions struct {
 	Surrogate bool
 	// Delta forks each (FreqScale, ProgProcessors) group from one
 	// checkpointed base run, replaying only the unit-budget-dependent
-	// suffix per candidate (core.CheckpointRun/Replay).
+	// suffix per candidate (core.CheckpointRun/Replay). Ignored when
+	// Stacks > 1: a sharded run has no single engine to checkpoint
+	// (the per-shard result cache already dedups the compute legs).
 	Delta bool
+	// Stacks evaluates every candidate as an M-stack data-parallel
+	// system (0/1 = the single-stack paper system); AllReduce picks its
+	// gradient schedule (default ring). The bound stays admissible —
+	// the exploration still provably returns the exhaustive winner.
+	Stacks    int
+	AllReduce core.ReduceSchedule
 }
 
 // dseBlockSize is how many candidates one branch-and-bound round
@@ -189,6 +197,14 @@ func ExploreDSE(ctx context.Context, model nn.ModelName, cands []Candidate, dopt
 		return Exploration{}, err
 	}
 	opts := core.HeteroOptions()
+	if dopts.Stacks > 1 {
+		opts.Stacks = dopts.Stacks
+		opts.AllReduce = dopts.AllReduce
+		if opts.AllReduce == "" {
+			opts.AllReduce = core.ReduceRing
+		}
+		dopts.Delta = false
+	}
 	r := Registry()
 	r.Add("dse.candidates", float64(len(cands)))
 
@@ -292,7 +308,7 @@ func ExploreDSE(ctx context.Context, model nn.ModelName, cands []Candidate, dopt
 				if err != nil {
 					return core.Result{}, err
 				}
-				return core.RunPIM(cg, c.Config(), core.HeteroOptions())
+				return core.RunPIM(cg, c.Config(), opts)
 			}}
 		}
 		results, err := Eval(ctx, cells)

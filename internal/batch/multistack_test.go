@@ -1,0 +1,87 @@
+package batch
+
+import (
+	"context"
+	"testing"
+
+	"heteropim/internal/core"
+	"heteropim/internal/hw"
+	"heteropim/internal/nn"
+)
+
+// The multi-stack bound must stay admissible: bound(shard 0) + analytic
+// all-reduce can never exceed the simulated sharded step, because shard
+// 0 carries the largest batch slice and the event-driven all-reduce
+// equals the analytic one exactly.
+func TestMultiStackLowerBoundAdmissible(t *testing.T) {
+	for _, model := range []nn.ModelName{nn.AlexNetName, nn.VGG19Name} {
+		g, err := nn.Build(model)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, stacks := range []int{2, 4} {
+			for _, sched := range []core.ReduceSchedule{core.ReduceRing, core.ReduceTree} {
+				opts := core.HeteroOptions()
+				opts.Stacks, opts.AllReduce = stacks, sched
+				cfg := hw.PaperConfigScaled(hw.ConfigHeteroPIM, 1)
+				lb := StepTimeLowerBound(g, cfg, opts)
+				if lb <= 0 {
+					t.Fatalf("%s m=%d %s: non-positive bound %g", model, stacks, sched, lb)
+				}
+				r, err := core.RunPIM(g, cfg, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if lb > r.StepTime {
+					t.Errorf("%s m=%d %s: bound %.6g exceeds simulated step %.6g (inadmissible)",
+						model, stacks, sched, lb, r.StepTime)
+				}
+				// The bound must include the all-reduce leg, so it has to
+				// exceed the pure synchronization time.
+				ar, _, err := core.AllReduceStepTime(sched, stacks, g.ParamBytes, cfg.Link)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if lb <= ar {
+					t.Errorf("%s m=%d %s: bound %.6g not above the all-reduce time %.6g",
+						model, stacks, sched, lb, ar)
+				}
+			}
+		}
+	}
+}
+
+// Pruned and exhaustive DSE must agree on the winner when candidates
+// are evaluated as multi-stack systems (delta replay is force-disabled
+// for sharded runs, so this also covers that degradation path).
+func TestExploreEquivalenceMultiStack(t *testing.T) {
+	ctx := context.Background()
+	cands := testCandidates()
+	for _, dopts := range []DSEOptions{
+		{Stacks: 2},
+		{Stacks: 2, Prune: true},
+		{Stacks: 2, Prune: true, Surrogate: true, Delta: true},
+	} {
+		dopts.AllReduce = core.ReduceRing
+		ex, err := ExploreDSE(ctx, nn.AlexNetName, cands, dopts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ex.Winner.Result.Stacks != 2 {
+			t.Fatalf("winner simulated with %d stacks, want 2", ex.Winner.Result.Stacks)
+		}
+		if dopts.Prune {
+			base, err := ExploreDSE(ctx, nn.AlexNetName, cands, DSEOptions{Stacks: 2, AllReduce: core.ReduceRing})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ex.Winner.Candidate != base.Winner.Candidate {
+				t.Errorf("pruned multi-stack winner %v != exhaustive %v", ex.Winner.Candidate, base.Winner.Candidate)
+			}
+			if ex.Winner.Result.StepTime != base.Winner.Result.StepTime {
+				t.Errorf("winner step time diverged: %.9g vs %.9g",
+					ex.Winner.Result.StepTime, base.Winner.Result.StepTime)
+			}
+		}
+	}
+}

@@ -229,6 +229,13 @@ func CheckpointRun(g *nn.Graph, cfg hw.SystemConfig, opts Options) (*RunCheckpoi
 	if opts.Collector != nil || opts.Trace != nil || opts.Census != nil {
 		return nil, Result{}, fmt.Errorf("core: delta simulation requires an uninstrumented run")
 	}
+	if opts.Stacks > 1 {
+		// A sharded multi-stack run has no single engine to checkpoint.
+		// Degrade gracefully: run it (cached) with no shareable
+		// checkpoint, so DSE sweeps fall back to full simulations.
+		res, err := RunPIM(g, cfg, opts)
+		return nil, res, err
+	}
 	x, err := newExec(g, cfg, opts)
 	if err != nil {
 		return nil, Result{}, err

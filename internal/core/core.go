@@ -38,20 +38,31 @@ func RunOnWithCollector(kind hw.ConfigKind, g *nn.Graph, cfg hw.SystemConfig, c 
 		return RunCPUWithCollector(g, cfg, c), nil
 	case hw.ConfigGPU:
 		return RunGPUWithCollector(g, cfg, c), nil
+	}
+	opts, ok := pimOptionsFor(kind)
+	if !ok {
+		return Result{}, fmt.Errorf("core: unknown configuration %v", kind)
+	}
+	opts.Collector = c
+	return RunPIM(g, cfg, opts)
+}
+
+// pimOptionsFor maps a PIM platform kind to its executor options; ok is
+// false for the non-PIM kinds.
+func pimOptionsFor(kind hw.ConfigKind) (Options, bool) {
+	switch kind {
 	case hw.ConfigProgrPIM:
 		// No runtime scheduling: every op runs on the programmable
 		// cores, as wide as its parallelism allows, no pipeline.
-		return RunPIM(g, cfg, Options{NoCPUFallback: true, WideProgOps: true, Collector: c})
+		return Options{NoCPUFallback: true, WideProgOps: true}, true
 	case hw.ConfigFixedPIM:
 		// Offloadable ops on the fixed-function pool, everything else
 		// (and all residual phases) on the CPU; no runtime scheduling.
-		return RunPIM(g, cfg, Options{Collector: c})
+		return Options{}, true
 	case hw.ConfigHeteroPIM:
-		opts := HeteroOptions()
-		opts.Collector = c
-		return RunPIM(g, cfg, opts)
+		return HeteroOptions(), true
 	default:
-		return Result{}, fmt.Errorf("core: unknown configuration %v", kind)
+		return Options{}, false
 	}
 }
 

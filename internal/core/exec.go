@@ -24,6 +24,17 @@ import (
 // concurrent runs must itself be safe for concurrent use (wrap it with
 // SyncWriter); os.Stderr-style single-run tracing needs nothing extra.
 type Options struct {
+	// Stacks is the number of HMC stacks the run shards the minibatch
+	// across (data-parallel training with a gradient all-reduce per
+	// step). 0 or 1 means the paper's single-stack system; M > 1
+	// requires a named, unmodified model graph (the shards are rebuilt
+	// per stack) and a config with a positive inter-stack link
+	// bandwidth.
+	Stacks int
+	// AllReduce selects the gradient all-reduce schedule for Stacks > 1
+	// (ring or tree; default ring). Ignored — and normalized away — for
+	// single-stack runs.
+	AllReduce ReduceSchedule
 	// RC enables recursive PIM kernels (Fig. 6): residual phases run on
 	// the programmable PIM and per-section synchronization stays inside
 	// the stack instead of round-tripping to the host.
@@ -100,6 +111,17 @@ func (o Options) withDefaults() Options {
 	}
 	if o.XPercent <= 0 {
 		o.XPercent = 90
+	}
+	// Normalize the multi-stack axis so every single-stack Options value
+	// fingerprints identically: Stacks 0 and 1 are the same system, and
+	// a schedule without stacks to run on is meaningless.
+	if o.Stacks < 1 {
+		o.Stacks = 1
+	}
+	if o.Stacks == 1 {
+		o.AllReduce = ""
+	} else if o.AllReduce == "" {
+		o.AllReduce = ReduceRing
 	}
 	return o
 }
@@ -311,11 +333,15 @@ type exec struct {
 // directions, because their value is the side effects.
 func RunPIM(g *nn.Graph, cfg hw.SystemConfig, opts Options) (Result, error) {
 	opts = opts.withDefaults()
+	run := func() (Result, error) { return runPIM(g, cfg, opts) }
+	if opts.Stacks > 1 {
+		run = func() (Result, error) { return runMultiPIM(g, cfg, opts) }
+	}
 	if resultCacheUsable(opts) {
 		fp := fingerprintRun("pim", g, cfg, opts, nil)
-		return cachedResult(fp, func() (Result, error) { return runPIM(g, cfg, opts) })
+		return cachedResult(fp, run)
 	}
-	return runPIM(g, cfg, opts)
+	return run()
 }
 
 // runPIM is the live (uncached) simulation behind RunPIM; opts must

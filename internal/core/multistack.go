@@ -1,0 +1,261 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"heteropim/internal/hmc"
+	"heteropim/internal/hw"
+	"heteropim/internal/nn"
+	"heteropim/internal/pim"
+	"heteropim/internal/runner"
+	"heteropim/internal/sim"
+	"heteropim/internal/thermal"
+)
+
+// Sharded multi-stack execution: M HMC stacks train data-parallel on a
+// split minibatch and synchronize gradients over the inter-stack links
+// once per step. Each stack is simulated by its own event engine — the
+// engines share nothing, so they advance concurrently on the runner
+// pool — and the per-stack results are merged deterministically:
+//
+//   - shard i runs batch ShardBatches(B, M)[i] of the global batch B
+//     through the unmodified single-stack executor (its own pooled
+//     engine, slab task graph and result-cache entry);
+//   - the merged compute phase is the slowest stack's step (argmax over
+//     StepTime, lowest stack index on ties), because data-parallel
+//     peers proceed in lockstep at all-reduce barriers;
+//   - the all-reduce is simulated as its own event timeline from the
+//     nn.AllReduceTemplate task graph over cfg.Link;
+//   - usage and energy sum over stacks in fixed index order, so the
+//     merged Result is byte-identical no matter how many workers ran
+//     the shards or in which order they finished.
+//
+// Merge rules (DESIGN.md §5i):
+//
+//	StepTime      = max_i(shard StepTime) + AllReduceTime
+//	Breakdown     = slowest shard's breakdown, Sync += AllReduceTime
+//	Usage         = sum over shards (index order) + InterStackBytes
+//	FixedUtil/ops = slowest shard's (a per-stack property)
+
+// ReduceSchedule selects the gradient all-reduce schedule of a
+// multi-stack run. It aliases the nn task-graph template kind; the
+// empty string means "default" (ring) and is what single-stack runs
+// normalize to.
+type ReduceSchedule = nn.AllReduceKind
+
+const (
+	// ReduceRing is the bandwidth-optimal ring all-reduce.
+	ReduceRing = nn.AllReduceRing
+	// ReduceTree is the latency-optimal binomial-tree all-reduce.
+	ReduceTree = nn.AllReduceTree
+)
+
+// runMultiPIM is the Stacks > 1 arm of RunPIM. opts is normalized.
+func runMultiPIM(g *nn.Graph, cfg hw.SystemConfig, opts Options) (Result, error) {
+	m := opts.Stacks
+	if err := cfg.ValidateMultiStack(); err != nil {
+		return Result{}, err
+	}
+	shards, err := nn.ShardBatches(g.BatchSize, m)
+	if err != nil {
+		return Result{}, err
+	}
+	// Shard graphs are rebuilt per stack from the model name, so the
+	// input graph must be a named model, unmodified at its batch size —
+	// otherwise the shards would silently simulate a different network.
+	name := nn.ModelName(g.Model)
+	shardOpts := opts
+	shardOpts.Stacks, shardOpts.AllReduce = 1, ""
+	if ref, rerr := nn.BuildWithBatch(name, g.BatchSize); rerr != nil {
+		return Result{}, fmt.Errorf("core: multi-stack run needs a named model graph: %v", rerr)
+	} else if fingerprintRun("pim", ref, cfg, shardOpts, nil) != fingerprintRun("pim", g, cfg, shardOpts, nil) {
+		return Result{}, fmt.Errorf("core: multi-stack run of %q: graph differs from the named model at batch %d", g.Model, g.BatchSize)
+	}
+	// One engine per stack, advanced in parallel. runner.Map reassembles
+	// results in input (= stack index) order whatever the completion
+	// order, which is half of the determinism story; the other half is
+	// that every reduction below iterates stacks in index order.
+	// Instrumentation binds to stack 0 only — the stacks are near-clones
+	// and a second collector would interleave identical timelines.
+	results, err := runner.Map(context.Background(), m, 0, func(_ context.Context, i int) (Result, error) {
+		so := shardOpts
+		if i > 0 {
+			so.Collector, so.Trace, so.Census = nil, nil, nil
+		}
+		sg, berr := nn.BuildWithBatch(name, shards[i])
+		if berr != nil {
+			return Result{}, berr
+		}
+		return RunPIM(sg, cfg, so)
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	// The gradient all-reduce, as its own event timeline over the
+	// template's phase graph.
+	arTime, arBytes, _, err := simulateAllReduce(opts.AllReduce, m, g.ParamBytes, cfg.Link, opts.Collector)
+	if err != nil {
+		return Result{}, err
+	}
+	// Slowest stack paces the step; ties break to the lowest index.
+	slow := 0
+	for i := 1; i < m; i++ {
+		if results[i].StepTime > results[slow].StepTime {
+			slow = i
+		}
+	}
+	res := results[slow]
+	res.Config = cfg
+	res.Config.Name = fmt.Sprintf("%s x%d", cfg.Name, m)
+	res.Model = g.Model
+	res.Stacks = m
+	res.AllReduce = string(opts.AllReduce)
+	res.StackStepTime = res.StepTime
+	res.AllReduceTime = arTime
+	res.StepTime = res.StackStepTime + arTime
+	res.Breakdown.Sync += arTime
+	var u Usage
+	for i := 0; i < m; i++ {
+		u.add(results[i].Usage)
+	}
+	u.InterStackBytes = arBytes
+	res.Usage = u
+	if cfg.FixedPIM.Units > 0 {
+		temp, terr := stackMaxTemp(cfg, opts)
+		if terr != nil {
+			return Result{}, terr
+		}
+		res.StackMaxTemp = temp
+	}
+	return res, nil
+}
+
+// phaseDuration is the wall-clock of one all-reduce phase: every
+// transfer in a phase moves frac*gradBytes concurrently on its own
+// link, so the phase costs one link latency plus the chunk's serialized
+// bytes. Shared by the event simulation and the analytic bound so the
+// two agree bit for bit.
+func phaseDuration(frac, gradBytes float64, link hw.InterStackLinkSpec) hw.Seconds {
+	return link.Latency + frac*gradBytes/link.Bandwidth
+}
+
+// AllReduceStepTime returns the per-step gradient synchronization time
+// and the total bytes crossing the inter-stack links for the given
+// schedule, analytically from the task-graph template. It matches the
+// event-simulated all-reduce exactly (same per-phase float additions in
+// the same order), which is what makes it usable as the synchronization
+// leg of the DSE's admissible lower bound.
+func AllReduceStepTime(sched ReduceSchedule, stacks int, gradBytes float64, link hw.InterStackLinkSpec) (hw.Seconds, float64, error) {
+	phases, err := nn.AllReduceTemplate(sched, stacks)
+	if err != nil {
+		return 0, 0, err
+	}
+	var t hw.Seconds
+	var bytes float64
+	for _, ph := range phases {
+		t += phaseDuration(ph.Frac, gradBytes, link)
+		bytes += ph.Frac * gradBytes * float64(len(ph.Transfers))
+	}
+	return t, bytes, nil
+}
+
+// simulateAllReduce runs the schedule's phase graph on a pooled event
+// engine: each transfer is one completion event, a phase opens when the
+// previous one fully drains, and transfers within a phase are scheduled
+// in template order so the (time, seq) heap order — and with it the
+// collector's span stream — is deterministic. Returns the synchronized
+// time, total link bytes and processed event count.
+func simulateAllReduce(sched ReduceSchedule, stacks int, gradBytes float64, link hw.InterStackLinkSpec, obs sim.Collector) (hw.Seconds, float64, uint64, error) {
+	phases, err := nn.AllReduceTemplate(sched, stacks)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	eng := sim.Acquire()
+	defer sim.Release(eng)
+	eng.SetCollector(obs)
+	var bytes float64
+	var schedErr error
+	var startPhase func(p int)
+	startPhase = func(p int) {
+		if p >= len(phases) || schedErr != nil {
+			return
+		}
+		ph := phases[p]
+		dur := phaseDuration(ph.Frac, gradBytes, link)
+		start := eng.Now()
+		remaining := len(ph.Transfers)
+		for _, tr := range ph.Transfers {
+			if obs != nil {
+				span := sim.Task{
+					Track: "link",
+					Name:  fmt.Sprintf("allreduce %d->%d", tr[0], tr[1]),
+					Kind:  "allreduce",
+					Start: start,
+					End:   start + dur,
+				}
+				eng.EmitTaskStart(span)
+				eng.EmitTaskEnd(span)
+			}
+			bytes += ph.Frac * gradBytes
+			if aerr := eng.After(dur, func() {
+				remaining--
+				if remaining == 0 {
+					startPhase(p + 1)
+				}
+			}); aerr != nil {
+				schedErr = aerr
+				return
+			}
+		}
+	}
+	startPhase(0)
+	if schedErr != nil {
+		return 0, 0, 0, schedErr
+	}
+	if rerr := eng.Run(); rerr != nil {
+		return 0, 0, 0, rerr
+	}
+	return eng.Now(), bytes, eng.Processed(), nil
+}
+
+// stackMaxTemp solves one stack's steady-state hottest-bank temperature
+// under the run's fixed-function placement — every stack of the array
+// is identical, so one solve covers the per-stack thermal budget.
+func stackMaxTemp(cfg hw.SystemConfig, opts Options) (float64, error) {
+	stack, err := hmc.New(cfg.Stack)
+	if err != nil {
+		return 0, err
+	}
+	var placement pim.Placement
+	if opts.UniformPlacement {
+		placement, err = pim.UniformPlacement(stack, cfg.FixedPIM.Units)
+	} else {
+		placement, err = pim.ThermalPlacement(stack, cfg.FixedPIM.Units)
+	}
+	if err != nil {
+		return 0, err
+	}
+	scale := cfg.Stack.FreqScale
+	if scale == 0 {
+		scale = 1
+	}
+	return thermal.PlacementMaxTemp(stack, placement, cfg.FixedPIM, scale)
+}
+
+// RunMulti is the multi-stack counterpart of RunOn: it runs the graph's
+// global batch data-parallel across `stacks` stacks of the given PIM
+// platform with the chosen all-reduce schedule. stacks <= 1 falls back
+// to the single-stack RunOn path (bit-identical to it); the CPU and GPU
+// baselines have no stacks to shard across and are rejected.
+func RunMulti(kind hw.ConfigKind, g *nn.Graph, cfg hw.SystemConfig, stacks int, sched ReduceSchedule) (Result, error) {
+	if stacks <= 1 {
+		return RunOn(kind, g, cfg)
+	}
+	opts, ok := pimOptionsFor(kind)
+	if !ok {
+		return Result{}, fmt.Errorf("core: multi-stack training needs a PIM platform, got %v", kind)
+	}
+	opts.Stacks, opts.AllReduce = stacks, sched
+	return RunPIM(g, cfg, opts)
+}

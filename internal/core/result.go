@@ -39,6 +39,9 @@ type Usage struct {
 	GPUBytes float64
 	// LinkBytes is host<->GPU PCIe traffic.
 	LinkBytes float64
+	// InterStackBytes is gradient traffic over the stack-to-stack links
+	// during the all-reduce (multi-stack runs only).
+	InterStackBytes float64
 }
 
 // add accumulates another usage.
@@ -52,6 +55,7 @@ func (u *Usage) add(o Usage) {
 	u.PIMBytes += o.PIMBytes
 	u.GPUBytes += o.GPUBytes
 	u.LinkBytes += o.LinkBytes
+	u.InterStackBytes += o.InterStackBytes
 }
 
 // Result is the outcome of simulating steady-state training of one model
@@ -78,6 +82,25 @@ type Result struct {
 	// GPUUtilization is the model's §V-D utilization (GPU runs only);
 	// the energy model scales board power with it.
 	GPUUtilization float64
+	// Stacks is the number of HMC stacks the step was sharded across.
+	// Zero (the single-stack executor leaves it unset) and 1 both mean
+	// the paper's single-stack system.
+	Stacks int
+	// AllReduce is the gradient synchronization schedule of a
+	// multi-stack run ("ring" or "tree"; empty for single-stack).
+	AllReduce string
+	// AllReduceTime is the per-step gradient all-reduce time included
+	// in StepTime (multi-stack runs only).
+	AllReduceTime hw.Seconds
+	// StackStepTime is the slowest stack's compute step time before the
+	// all-reduce (multi-stack runs only; StepTime = StackStepTime +
+	// AllReduceTime).
+	StackStepTime hw.Seconds
+	// StackMaxTemp is the hottest-bank steady-state temperature of one
+	// stack under the run's placement, in deg C (multi-stack runs with
+	// a fixed-function pool; every stack is identical so one number
+	// covers all of them).
+	StackMaxTemp float64
 }
 
 // Throughput returns training steps per second.

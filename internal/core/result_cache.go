@@ -111,6 +111,12 @@ func fingerprintRun(mode string, g *nn.Graph, cfg hw.SystemConfig, opts Options,
 	h.bytes(extra)
 	// Effective options (the instrumentation fields are nil by
 	// resultCacheUsable). HostOnlyOps hashes as its sorted true IDs.
+	// The multi-stack axis (Stacks, AllReduce) must be part of the
+	// address: an M-stack run of the same graph on the same config is a
+	// different cell than the single-stack run (the link parameters ride
+	// in via the cfg JSON above).
+	h.i(opts.Stacks)
+	h.str(string(opts.AllReduce))
 	h.b(opts.RC)
 	h.b(opts.OP)
 	h.i(opts.PipelineDepth)

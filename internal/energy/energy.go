@@ -50,8 +50,18 @@ func Evaluate(r core.Result) Report {
 	u := r.Usage
 	var p Parts
 
+	// A multi-stack run charges M copies of every per-node baseline
+	// (host, PIM complement, stack background): Usage busy-seconds are
+	// already summed over the stacks, so only the installed capacity
+	// behind the idle terms needs scaling. stacks == 1 reproduces the
+	// single-stack arithmetic exactly.
+	stacks := float64(r.Stacks)
+	if stacks < 1 {
+		stacks = 1
+	}
+
 	// Host CPU: busy at full dynamic power, idle at the uncore floor.
-	idle := step - u.CPUBusy
+	idle := stacks*step - u.CPUBusy
 	if idle < 0 {
 		idle = 0
 	}
@@ -71,7 +81,7 @@ func Evaluate(r core.Result) Report {
 	// Programmable PIM: busy processors at full power, the rest of the
 	// complement at the idle fraction.
 	if cfg.ProgPIM.Processors > 0 {
-		full := float64(cfg.ProgPIM.Processors) * cfg.ProgPIM.DynamicPowerPerProcessor
+		full := stacks * float64(cfg.ProgPIM.Processors) * cfg.ProgPIM.DynamicPowerPerProcessor
 		p.ProgPIM = cfg.ProgPIM.DynamicPowerPerProcessor*u.ProgBusy +
 			progIdleFrac*(full*step-cfg.ProgPIM.DynamicPowerPerProcessor*u.ProgBusy)
 		if p.ProgPIM < 0 {
@@ -86,7 +96,7 @@ func Evaluate(r core.Result) Report {
 			scale = 1
 		}
 		perUnit := cfg.FixedPIM.DynamicPowerPerUnit * scale
-		idleUnitSeconds := float64(cfg.FixedPIM.Units)*step - u.FixedBusyUnitSeconds
+		idleUnitSeconds := stacks*float64(cfg.FixedPIM.Units)*step - u.FixedBusyUnitSeconds
 		if idleUnitSeconds < 0 {
 			idleUnitSeconds = 0
 		}
@@ -98,15 +108,18 @@ func Evaluate(r core.Result) Report {
 		p.Neurocube = device.DefaultNeurocube().DynamicPower * u.NeurocubeBusy
 	}
 
-	// Stack background (refresh + SerDes idle).
-	p.DRAM = cfg.DRAMBackgroundPower * step
+	// Stack background (refresh + SerDes idle), one stack per node.
+	p.DRAM = cfg.DRAMBackgroundPower * step * stacks
 
 	// Data movement: per-byte energies by path (the core of the
 	// paper's energy argument — PIM-side bytes skip the link energy).
+	// Gradient bytes crossing the stack-to-stack links during the
+	// all-reduce pay the inter-stack SerDes energy.
 	p.Traffic = u.HostBytes*(cfg.Stack.RowAccessEnergyPerByte+cfg.Stack.LinkEnergyPerByte) +
 		u.PIMBytes*(cfg.Stack.RowAccessEnergyPerByte+cfg.Stack.TSVEnergyPerByte) +
 		u.GPUBytes*gddrEnergyPerByte +
-		u.LinkBytes*pcieEnergyPerByte
+		u.LinkBytes*pcieEnergyPerByte +
+		u.InterStackBytes*cfg.Link.EnergyPerByte
 
 	total := p.CPU + p.GPU + p.ProgPIM + p.FixedPIM + p.Neurocube + p.DRAM + p.Traffic
 	rep := Report{Dynamic: total, Parts: p, EDP: total * step}

@@ -182,6 +182,23 @@ func (p ProgPIMSpec) Peak() FlopsPerSec {
 	return float64(p.Processors*p.CoresPerProcessor) * p.Freq * p.FlopsPerCycle
 }
 
+// InterStackLinkSpec describes the point-to-point link between HMC
+// stacks in a multi-stack system (NeuroTrainer-style arrays of memory
+// modules). Each stack trains on a shard of the minibatch and the
+// gradients cross these links during the all-reduce, so the link's
+// bandwidth and latency bound the synchronization phase of every
+// training step.
+type InterStackLinkSpec struct {
+	// Bandwidth is the sustained per-direction bandwidth of one link
+	// (SerDes/NVLink-class).
+	Bandwidth BytesPerSec
+	// Latency is the fixed per-message cost of a transfer over the link
+	// (serialization + hop latency).
+	Latency Seconds
+	// EnergyPerByte is the cost of moving one byte across the link.
+	EnergyPerByte Joules
+}
+
 // SystemConfig is a full simulated platform: the host, the optional GPU,
 // the memory stack and the PIM complement.
 type SystemConfig struct {
@@ -191,6 +208,10 @@ type SystemConfig struct {
 	Stack    StackSpec
 	FixedPIM FixedPIMSpec
 	ProgPIM  ProgPIMSpec
+	// Link is the inter-stack interconnect used when a run shards the
+	// minibatch across multiple stacks (Options.Stacks > 1). Single-stack
+	// runs never touch it.
+	Link InterStackLinkSpec
 	// DRAMBackgroundPower is the static+refresh power of the stack.
 	DRAMBackgroundPower Watts
 }
@@ -213,6 +234,21 @@ func (c SystemConfig) Validate() error {
 	}
 	if c.ProgPIM.Processors < 0 {
 		return fmt.Errorf("hw: config %q: negative programmable PIM processors", c.Name)
+	}
+	if c.Link.Bandwidth < 0 || c.Link.Latency < 0 || c.Link.EnergyPerByte < 0 {
+		return fmt.Errorf("hw: config %q: inter-stack link parameters must be non-negative", c.Name)
+	}
+	return nil
+}
+
+// ValidateMultiStack checks the pieces a sharded multi-stack run needs
+// on top of Validate: a usable inter-stack link.
+func (c SystemConfig) ValidateMultiStack() error {
+	if err := c.Validate(); err != nil {
+		return err
+	}
+	if c.Link.Bandwidth <= 0 {
+		return fmt.Errorf("hw: config %q: multi-stack run needs a positive inter-stack link bandwidth", c.Name)
 	}
 	return nil
 }

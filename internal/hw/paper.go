@@ -102,6 +102,19 @@ func PaperProgPIM(processors int) ProgPIMSpec {
 	}
 }
 
+// PaperInterStackLink returns the default stack-to-stack interconnect
+// for multi-stack systems: an NVLink-class SerDes link (25 GB/s per
+// direction, sub-microsecond hop latency) at the same per-byte energy
+// as the stack's external SerDes links. NeuroTrainer (PAPERS.md) is the
+// precedent for this class of memory-module array.
+func PaperInterStackLink() InterStackLinkSpec {
+	return InterStackLinkSpec{
+		Bandwidth:     25 * GBps,
+		Latency:       0.5e-6,
+		EnergyPerByte: 40e-12,
+	}
+}
+
 // ConfigKind enumerates the five platforms of Section VI.
 type ConfigKind int
 
@@ -158,6 +171,7 @@ func PaperConfigScaled(kind ConfigKind, freqScale float64) SystemConfig {
 		Name:                kind.String(),
 		CPU:                 PaperCPU(),
 		Stack:               PaperStack(freqScale),
+		Link:                PaperInterStackLink(),
 		DRAMBackgroundPower: 9,
 	}
 	switch kind {

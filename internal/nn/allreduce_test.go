@@ -1,0 +1,155 @@
+package nn
+
+import (
+	"math"
+	"testing"
+)
+
+func TestParseAllReduceKind(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want AllReduceKind
+		ok   bool
+	}{
+		{"", AllReduceRing, true},
+		{"ring", AllReduceRing, true},
+		{"tree", AllReduceTree, true},
+		{"butterfly", "", false},
+	} {
+		got, err := ParseAllReduceKind(tc.in)
+		if (err == nil) != tc.ok {
+			t.Fatalf("ParseAllReduceKind(%q) err = %v, want ok=%v", tc.in, err, tc.ok)
+		}
+		if err == nil && got != tc.want {
+			t.Errorf("ParseAllReduceKind(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestRingTemplateShape(t *testing.T) {
+	for _, m := range []int{2, 3, 4, 8} {
+		phases, err := AllReduceTemplate(AllReduceRing, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := len(phases), 2*(m-1); got != want {
+			t.Fatalf("ring m=%d: %d phases, want %d", m, got, want)
+		}
+		for pi, p := range phases {
+			if p.Frac != 1/float64(m) {
+				t.Errorf("ring m=%d phase %d: frac %g, want %g", m, pi, p.Frac, 1/float64(m))
+			}
+			if len(p.Transfers) != m {
+				t.Errorf("ring m=%d phase %d: %d transfers, want %d", m, pi, len(p.Transfers), m)
+			}
+			for _, tr := range p.Transfers {
+				if tr[1] != (tr[0]+1)%m {
+					t.Errorf("ring m=%d phase %d: transfer %v is not to the next stack", m, pi, tr)
+				}
+			}
+		}
+	}
+}
+
+func TestTreeTemplateShape(t *testing.T) {
+	for _, m := range []int{2, 3, 4, 5, 8} {
+		phases, err := AllReduceTemplate(AllReduceTree, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rounds := int(math.Ceil(math.Log2(float64(m))))
+		if got, want := len(phases), 2*rounds; got != want {
+			t.Fatalf("tree m=%d: %d phases, want %d", m, got, want)
+		}
+		// The broadcast half mirrors the reduction half with flipped
+		// transfer direction.
+		for i := 0; i < rounds; i++ {
+			red, bc := phases[i], phases[len(phases)-1-i]
+			if len(red.Transfers) != len(bc.Transfers) {
+				t.Fatalf("tree m=%d: phase %d has %d transfers but its mirror has %d",
+					m, i, len(red.Transfers), len(bc.Transfers))
+			}
+			for j, tr := range red.Transfers {
+				if mir := bc.Transfers[j]; mir[0] != tr[1] || mir[1] != tr[0] {
+					t.Errorf("tree m=%d: transfer %v not mirrored by %v", m, tr, mir)
+				}
+			}
+		}
+		// Every non-root stack receives the reduced gradient exactly once.
+		got := map[int]int{}
+		for i := rounds; i < len(phases); i++ {
+			for _, tr := range phases[i].Transfers {
+				got[tr[1]]++
+			}
+		}
+		for s := 1; s < m; s++ {
+			if got[s] != 1 {
+				t.Errorf("tree m=%d: stack %d receives the broadcast %d times, want 1", m, s, got[s])
+			}
+		}
+	}
+}
+
+// Both schedules move exactly 2(M-1)*P bytes over the links in total.
+func TestTemplatesMoveSameTotalBytes(t *testing.T) {
+	const paramBytes = 1e8
+	for _, kind := range []AllReduceKind{AllReduceRing, AllReduceTree} {
+		for _, m := range []int{2, 3, 4, 6, 8} {
+			phases, err := AllReduceTemplate(kind, m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var bytes float64
+			for _, p := range phases {
+				bytes += p.Frac * paramBytes * float64(len(p.Transfers))
+			}
+			want := 2 * float64(m-1) * paramBytes
+			if math.Abs(bytes-want) > 1e-6*want {
+				t.Errorf("%s m=%d: %g bytes moved, want %g", kind, m, bytes, want)
+			}
+		}
+	}
+}
+
+func TestTemplateMemoized(t *testing.T) {
+	a, err := AllReduceTemplate(AllReduceRing, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := AllReduceTemplate(AllReduceRing, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &a[0] != &b[0] {
+		t.Error("repeated AllReduceTemplate calls rebuilt the template instead of memoizing")
+	}
+	if _, err := AllReduceTemplate(AllReduceRing, 1); err == nil {
+		t.Error("AllReduceTemplate accepted a single stack")
+	}
+	if _, err := AllReduceTemplate("butterfly", 4); err == nil {
+		t.Error("AllReduceTemplate accepted an unknown kind")
+	}
+}
+
+func TestShardBatches(t *testing.T) {
+	got, err := ShardBatches(10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{3, 3, 2, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ShardBatches(10, 4) = %v, want %v", got, want)
+		}
+	}
+	sum := 0
+	for _, b := range got {
+		sum += b
+	}
+	if sum != 10 {
+		t.Fatalf("shards sum to %d, want 10", sum)
+	}
+	if _, err := ShardBatches(3, 4); err == nil {
+		t.Error("ShardBatches accepted a batch smaller than the stack count")
+	}
+}

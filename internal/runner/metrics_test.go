@@ -1,0 +1,94 @@
+package runner
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"heteropim/internal/metrics"
+)
+
+// The pool gauges must rise while work is in flight and return to zero
+// once it drains, both in the package counters and in an attached
+// metrics registry.
+func TestWorkerGaugesRiseAndFall(t *testing.T) {
+	reg := metrics.NewRegistry()
+	prev := SetMetricsRegistry(reg)
+	defer SetMetricsRegistry(prev)
+
+	if v := reg.GaugeValue(MetricWorkersBusy); v != float64(BusyWorkers()) {
+		t.Fatalf("attach did not publish workers_busy: registry %g, package %d", v, BusyWorkers())
+	}
+
+	release := make(chan struct{})
+	var peak int
+	var mu sync.Mutex
+	done := make(chan error, 1)
+	go func() {
+		_, err := Map(context.Background(), 4, 4, func(context.Context, int) (int, error) {
+			mu.Lock()
+			if b := BusyWorkers(); b > peak {
+				peak = b
+			}
+			mu.Unlock()
+			<-release
+			return 0, nil
+		})
+		done <- err
+	}()
+	// All four cells block until released, so the gauge observed inside
+	// the cells must reach the worker count.
+	for i := 0; i < 4; i++ {
+		release <- struct{}{}
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	got := peak
+	mu.Unlock()
+	if got < 1 {
+		t.Fatalf("busy-worker peak %d, want >= 1", got)
+	}
+	if b := BusyWorkers(); b != 0 {
+		t.Errorf("workers still busy after Map returned: %d", b)
+	}
+	if v := reg.GaugeValue(MetricWorkersBusy); v != 0 {
+		t.Errorf("registry workers_busy %g after drain, want 0", v)
+	}
+}
+
+func TestQueueDepthGauge(t *testing.T) {
+	reg := metrics.NewRegistry()
+	prev := SetMetricsRegistry(reg)
+	defer SetMetricsRegistry(prev)
+
+	p := NewPool(1, 8)
+	block := make(chan struct{})
+	started := make(chan struct{})
+	if err := p.Submit(func(context.Context) { close(started); <-block }); err != nil {
+		t.Fatal(err)
+	}
+	<-started // the single worker is now occupied
+	for i := 0; i < 3; i++ {
+		if err := p.Submit(func(context.Context) {}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if q := QueuedJobs(); q < 3 {
+		t.Errorf("queued jobs %d with a blocked worker, want >= 3", q)
+	}
+	if v := reg.GaugeValue(MetricQueueDepth); v < 3 {
+		t.Errorf("registry queue_depth %g, want >= 3", v)
+	}
+	close(block)
+	if err := p.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if q := QueuedJobs(); q != 0 {
+		t.Errorf("queued jobs %d after drain, want 0", q)
+	}
+	if v := reg.GaugeValue(MetricQueueDepth); v != 0 {
+		t.Errorf("registry queue_depth %g after drain, want 0", v)
+	}
+}

@@ -111,6 +111,8 @@ func Map[T any](ctx context.Context, n, workers int, fn func(ctx context.Context
 	}
 	out := make([]T, n)
 	if workers == 1 {
+		workerDelta(1)
+		defer workerDelta(-1)
 		for i := 0; i < n; i++ {
 			if err := ctx.Err(); err != nil {
 				return out, err
@@ -137,6 +139,12 @@ func Map[T any](ctx context.Context, n, workers int, fn func(ctx context.Context
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
+			// One busy-gauge transition per worker lifetime, not per
+			// cell: Map workers exit as soon as the cells run out, so
+			// the gauge tracks real occupancy without putting a
+			// registry update on the per-cell hot path.
+			workerDelta(1)
+			defer workerDelta(-1)
 			for ctx.Err() == nil {
 				i := int(next.Add(1)) - 1
 				if i >= n {

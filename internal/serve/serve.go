@@ -89,6 +89,12 @@ func New(opts Options) *Server {
 	if opts.CoalesceWindow > 0 {
 		s.co = newCoalescer(s, opts.CoalesceWindow)
 	}
+	// Expose the runner's process-wide pool gauges (workers busy, queue
+	// depth) through this server's /metrics. The gauges are global to
+	// the process, so with several in-process replicas (the cluster
+	// harness) the most recent server's registry receives them — each
+	// replica still reports the same process-wide truth.
+	runner.SetMetricsRegistry(s.reg)
 	s.mux.HandleFunc("POST /v1/jobs", s.route("post_jobs", s.handleSubmit))
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.route("get_job", s.handleJob))
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.route("get_result", s.handleResult))
@@ -409,6 +415,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.reg.Set("serve.jobs_done", 0, float64(done))
 	s.reg.Set("serve.jobs_failed_state", 0, float64(failed))
 	s.reg.Set("serve.uptime_seconds", 0, time.Since(s.start).Seconds())
+	// Runner-level pool utilization (process-wide): refreshed at scrape
+	// time on top of the transition-driven updates, so a scrape always
+	// sees the current occupancy.
+	s.reg.Set(runner.MetricWorkersBusy, 0, float64(runner.BusyWorkers()))
+	s.reg.Set(runner.MetricQueueDepth, 0, float64(runner.QueuedJobs()))
 	st := heteropim.SimulationCacheStats()
 	s.reg.Set("simcache.hits", 0, float64(st.Hits))
 	s.reg.Set("simcache.misses", 0, float64(st.Misses))

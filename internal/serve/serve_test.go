@@ -259,6 +259,10 @@ func TestMetricsHealthReady(t *testing.T) {
 		"# TYPE heteropim_serve_queue_depth gauge",
 		"heteropim_http_seconds_post_jobs_count",
 		"heteropim_simcache_hits",
+		// Runner pool gauges, refreshed at scrape time; the server is
+		// idle between requests so both must read 0.
+		"heteropim_runner_workers_busy 0",
+		"heteropim_runner_queue_depth 0",
 	} {
 		if !strings.Contains(string(data), want) {
 			t.Fatalf("metrics scrape missing %q:\n%s", want, data)
