@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify lint vet build test race bench benchjson cachejson servejson clusterjson eventsjson multistackjson dsejson dsejson-large golden golden-check clean
+.PHONY: verify lint vet build test race bench benchjson cachejson servejson clusterjson eventsjson multistackjson dsejson dsejson-large fuzz golden golden-check clean
 
 # verify is the default CI gate: static checks, a full build, the test
 # suite, and the race-detector pass (the parallel experiment runner
@@ -47,11 +47,12 @@ benchjson:
 cachejson:
 	$(GO) run ./cmd/pimbench -cachejson BENCH_cache.json
 
-# servejson regenerates BENCH_serve.json: the pimserve selfcheck fires
-# 64 concurrent clients at an in-process server and fails on any error,
+# servejson regenerates BENCH_serve.json: the pimserve selfcheck
+# replays the committed open-loop Poisson scenario (64 requests over 8
+# cells) against an in-process server and fails on any error,
 # non-byte-identical result, dedup ratio below 4x, or unclean drain.
 servejson:
-	$(GO) run ./cmd/pimserve -selfcheck -benchout BENCH_serve.json
+	$(GO) run ./cmd/pimserve -selfcheck -scenario testdata/scenarios/selfcheck_poisson.json -benchout BENCH_serve.json
 
 # clusterjson regenerates BENCH_cluster.json: 3 pimserve replicas plus
 # the consistent-hash router in-process, three client waves with one
@@ -91,6 +92,15 @@ dsejson:
 # exhaustive legs simulate all 2000+ (model, candidate) cells.
 dsejson-large:
 	$(GO) run ./cmd/pimdse -dsejson BENCH_dse.json -grid large
+
+# fuzz runs the scenario front end's fuzz targets for a short budget:
+# arbitrary bytes must parse-and-compile cleanly or error — never
+# panic — and identical documents must always compile to identical
+# plans. The committed corpus under internal/scenario/testdata/fuzz
+# seeds both targets.
+fuzz:
+	$(GO) test -run='^$$' -fuzz=FuzzParseScenario -fuzztime=20s ./internal/scenario
+	$(GO) test -run='^$$' -fuzz=FuzzCompile -fuzztime=10s ./internal/scenario
 
 # golden regenerates the committed golden outputs the regression CI job
 # diffs against. Run it (and review the diff) whenever an intentional

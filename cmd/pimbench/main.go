@@ -32,6 +32,7 @@ func main() {
 	eventsJSON := flag.String("eventsjson", "", "benchmark the closure vs typed event engine paths, write the comparison to this JSON file (fails if the typed path allocates or its speedup is below -eventsmin)")
 	eventsMin := flag.Float64("eventsmin", 1.3, "minimum typed-over-closure events/sec ratio accepted by -eventsjson")
 	multistackJSON := flag.String("multistackjson", "", "benchmark sharded multi-stack engines vs a single engine, verify M=1 identity and worker-count determinism, write the report to this JSON file")
+	loadScenario := cliutil.ScenarioFlag(flag.CommandLine)
 	applyCache := cliutil.CacheFlags(flag.CommandLine)
 	startProfile := cliutil.ProfileFlags(flag.CommandLine)
 	list := flag.Bool("list", false, "list experiment ids")
@@ -40,6 +41,22 @@ func main() {
 	heteropim.SetParallelism(*workers)
 	applyCache()
 	defer startProfile()()
+
+	// -scenario runs a compiled scenario plan instead of the paper's
+	// experiment list: as sweep CSV with -csv (byte-identical to
+	// pimsweep -scenario on the same file), or as a text table.
+	if plan, err := loadScenario(); err != nil {
+		fmt.Fprintf(os.Stderr, "pimbench: %v\n", err)
+		os.Exit(1)
+	} else if plan != nil {
+		if err := runScenario(plan, *asCSV); err != nil {
+			fmt.Fprintf(os.Stderr, "pimbench: %v\n", err)
+			os.Exit(1)
+		}
+		st := heteropim.SimulationCacheStats()
+		fmt.Fprintf(os.Stderr, "simcache: hits=%d misses=%d\n", st.Hits, st.Misses)
+		return
+	}
 
 	experiments := heteropim.Experiments()
 	if *ext || *only != "" {

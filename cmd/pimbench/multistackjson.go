@@ -60,10 +60,10 @@ type multiPoint struct {
 
 // multistackReport is the BENCH_multistack.json shape.
 type multistackReport struct {
-	NumCPU         int    `json:"num_cpu"`
-	Stacks         int    `json:"stacks"`
-	EventsPerShard int    `json:"events_per_shard"`
-	TotalEvents    int    `json:"total_events"`
+	NumCPU         int `json:"num_cpu"`
+	Stacks         int `json:"stacks"`
+	EventsPerShard int `json:"events_per_shard"`
+	TotalEvents    int `json:"total_events"`
 	// M1Identical reports whether RunWithOptions{Stacks:1} reproduced
 	// Run byte for byte (JSON of the public Result).
 	M1Identical bool `json:"m1_identical"`

@@ -1,0 +1,39 @@
+package main
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+
+	"heteropim"
+	"heteropim/internal/cliutil"
+	"heteropim/internal/report"
+)
+
+// runScenario renders a compiled scenario plan: with -csv the exact
+// sweep CSV pimsweep -scenario emits for the same file (CI diffs the
+// two), otherwise a text table in the house style.
+func runScenario(plan *heteropim.ScenarioPlan, asCSV bool) error {
+	if asCSV {
+		w := csv.NewWriter(os.Stdout)
+		defer w.Flush()
+		return cliutil.WriteScenarioCSV(w, plan)
+	}
+	header, rows, err := cliutil.ScenarioRows(plan)
+	if err != nil {
+		return err
+	}
+	title := plan.Name
+	if title == "" {
+		title = "scenario"
+	}
+	t := &report.Table{
+		Title:   fmt.Sprintf("Scenario %s (%d cells, %d duplicates folded)", title, len(plan.Cells), plan.Duplicates),
+		Columns: header,
+	}
+	for _, row := range rows {
+		t.AddRow(row...)
+	}
+	fmt.Println(t.String())
+	return nil
+}

@@ -126,12 +126,13 @@ func winnerRow(t *report.Table, model nn.ModelName, ex batch.Exploration) {
 		fmt.Sprintf("%.3g", e.EDP))
 }
 
-// runDSE explores a candidate grid for every CNN model and prints the
+// runDSE explores a candidate grid for the given models (the five CNNs
+// on the flag path, a scenario's models on -scenario) and prints the
 // winner table. Only the winner table goes to stdout —
 // pruned/simulated counts go to stderr — so `pimdse -dse` and
 // `pimdse -dse -exhaustive` stdout can be diffed byte for byte (the
 // winner is invariant under every DSEOptions combination).
-func runDSE(grid string, dopts batch.DSEOptions) error {
+func runDSE(grid string, models []nn.ModelName, dopts batch.DSEOptions) error {
 	cands, err := candidatesFor(grid)
 	if err != nil {
 		return err
@@ -142,7 +143,7 @@ func runDSE(grid string, dopts batch.DSEOptions) error {
 	}
 	t.Notes = append(t.Notes,
 		"winner = units/freq/processors minimizing step time under the full Hetero PIM runtime")
-	for _, model := range nn.CNNModelNames() {
+	for _, model := range models {
 		ex, err := batch.ExploreDSE(context.Background(), model, cands, dopts)
 		if err != nil {
 			return err
@@ -153,6 +154,37 @@ func runDSE(grid string, dopts batch.DSEOptions) error {
 	}
 	fmt.Println(t.String())
 	return nil
+}
+
+// scenarioDSEInputs extracts the DSE inputs from a compiled scenario:
+// the distinct models in plan order and the uniform stacks/allreduce
+// pair. A DSE run evaluates every candidate under one sharding, so a
+// plan mixing stacks or schedules is rejected rather than averaged.
+func scenarioDSEInputs(plan *heteropim.ScenarioPlan) ([]nn.ModelName, int, nn.AllReduceKind, error) {
+	var models []nn.ModelName
+	seen := map[heteropim.Model]bool{}
+	stacks, sched := 0, ""
+	for i, c := range plan.Cells {
+		if !seen[c.Model] {
+			seen[c.Model] = true
+			models = append(models, c.Model)
+		}
+		s := c.Stacks
+		if s < 1 {
+			s = 1
+		}
+		if i == 0 {
+			stacks, sched = s, c.AllReduce
+		} else if s != stacks || c.AllReduce != sched {
+			return nil, 0, "", fmt.Errorf("scenario mixes stacks/allreduce axes (%d/%q vs %d/%q); DSE needs one sharding",
+				stacks, sched, s, c.AllReduce)
+		}
+	}
+	kind, err := nn.ParseAllReduceKind(sched)
+	if err != nil {
+		return nil, 0, "", err
+	}
+	return models, stacks, kind, nil
 }
 
 // dseEntry is one model's pruned-vs-exhaustive comparison.

@@ -52,6 +52,7 @@ func main() {
 	stacks := flag.Int("stacks", 1, "with -dse/-dsejson: evaluate candidates sharded across this many HMC stacks")
 	allreduce := flag.String("allreduce", "ring", "gradient all-reduce schedule for -stacks > 1: ring|tree")
 	dsejson := flag.String("dsejson", "", "write an optimized-vs-exhaustive DSE comparison to this file and exit")
+	loadScenario := cliutil.ScenarioFlag(flag.CommandLine)
 	applyCache := cliutil.CacheFlags(flag.CommandLine)
 	startProfile := cliutil.ProfileFlags(flag.CommandLine)
 	flag.Parse()
@@ -61,6 +62,23 @@ func main() {
 	sched, err := nn.ParseAllReduceKind(*allreduce)
 	if err != nil {
 		fail(err)
+	}
+
+	// -scenario explores the candidate grid for the scenario's models,
+	// under the scenario's (uniform) stacks/allreduce axes.
+	if plan, err := loadScenario(); err != nil {
+		fail(err)
+	} else if plan != nil {
+		models, planStacks, planSched, err := scenarioDSEInputs(plan)
+		if err != nil {
+			fail(err)
+		}
+		dopts := batch.DSEOptions{Prune: !*exhaustive, Surrogate: *surrogateOn && !*exhaustive,
+			Delta: *deltaOn && !*exhaustive, Stacks: planStacks, AllReduce: planSched}
+		if err := runDSE(*grid, models, dopts); err != nil {
+			fail(err)
+		}
+		return
 	}
 	if *dsejson != "" {
 		// The comparison's optimized leg always prunes; -surrogate/-delta
@@ -76,7 +94,7 @@ func main() {
 	dopts := batch.DSEOptions{Prune: !*exhaustive, Surrogate: *surrogateOn && !*exhaustive, Delta: *deltaOn && !*exhaustive,
 		Stacks: *stacks, AllReduce: sched}
 	if *dse {
-		if err := runDSE(*grid, dopts); err != nil {
+		if err := runDSE(*grid, nn.CNNModelNames(), dopts); err != nil {
 			fail(err)
 		}
 		return

@@ -63,12 +63,39 @@ func main() {
 	timelineModel := flag.String("timeline", "", "run this model instrumented and dump the Chrome trace-event timeline")
 	config := flag.String("config", "hetero", "platform for -timeline: cpu|gpu|progr|fixed|hetero")
 	out := flag.String("o", "", "write -timeline output to this file instead of stdout")
+	loadScenario := cliutil.ScenarioFlag(flag.CommandLine)
 	applyCache := cliutil.CacheFlags(flag.CommandLine)
 	startProfile := cliutil.ProfileFlags(flag.CommandLine)
 	flag.Parse()
 
 	applyCache()
 	defer startProfile()()
+
+	// -scenario profiles the scenario's models (distinct, in plan
+	// order) through the same three tables the default mode prints.
+	if plan, err := loadScenario(); err != nil {
+		fail(err)
+	} else if plan != nil {
+		var models []heteropim.Model
+		seen := map[heteropim.Model]bool{}
+		for _, c := range plan.Cells {
+			if !seen[c.Model] {
+				seen[c.Model] = true
+				models = append(models, c.Model)
+			}
+		}
+		for _, run := range []func([]heteropim.Model) (*heteropim.Table, error){
+			heteropim.ModelSummariesFor, heteropim.TableIFor, heteropim.Fig2ClassesFor} {
+			t, err := run(models)
+			if err != nil {
+				fail(err)
+			}
+			fmt.Println(t.String())
+		}
+		st := heteropim.SimulationCacheStats()
+		fmt.Printf("simcache: hits=%d misses=%d\n", st.Hits, st.Misses)
+		return
+	}
 
 	if *dotModel != "" {
 		if err := buildModel(*dotModel).WriteDOT(os.Stdout); err != nil {

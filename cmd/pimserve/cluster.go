@@ -36,8 +36,10 @@ func runRouter(addr, addrFile, backends string, healthEvery, drainWait time.Dura
 			BaseURL: strings.TrimRight(raw, "/"),
 		})
 	}
+	// An empty fleet is fine now that replicas self-register: the router
+	// serves 503 on /readyz until the first POST /v1/replicas arrives.
 	if len(members) == 0 {
-		fail(errors.New("-router needs -backends with at least one replica URL"))
+		fmt.Fprintln(os.Stderr, "pimserve: router starting with no backends; waiting for replica announcements")
 	}
 
 	rt := cluster.NewRouter(cluster.RouterOptions{Replicas: members, HealthInterval: healthEvery})
@@ -78,6 +80,27 @@ func runRouter(addr, addrFile, backends string, healthEvery, drainWait time.Dura
 	fmt.Fprintf(os.Stderr, "pimserve: router drained clean: requests=%.0f rehashes=%.0f retries=%.0f reroutes=%.0f\n",
 		reg.CounterValue("cluster.requests"), reg.CounterValue("cluster.rehashes"),
 		reg.CounterValue("cluster.retries"), reg.CounterValue("cluster.reroutes"))
+}
+
+// announceSelf registers this replica with a router, retrying briefly
+// (startup races the router's listener), then warn-only: a replica
+// that cannot announce still serves — the router just won't route to
+// it until someone registers it.
+func announceSelf(routerURL, name, baseURL string) {
+	if name == "" {
+		name = strings.TrimPrefix(strings.TrimPrefix(baseURL, "http://"), "https://")
+	}
+	client := &http.Client{Timeout: 5 * time.Second}
+	var err error
+	for attempt := 0; attempt < 10; attempt++ {
+		if err = cluster.Announce(client, strings.TrimRight(routerURL, "/"),
+			cluster.Replica{Name: name, BaseURL: baseURL}); err == nil {
+			fmt.Fprintf(os.Stderr, "pimserve: announced %s (%s) to %s\n", name, baseURL, routerURL)
+			return
+		}
+		time.Sleep(300 * time.Millisecond)
+	}
+	fmt.Fprintf(os.Stderr, "pimserve: announce to %s failed (serving anyway): %v\n", routerURL, err)
 }
 
 // runClustercheck is the fleet's acceptance harness: replicas + router

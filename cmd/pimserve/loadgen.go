@@ -10,15 +10,23 @@ import (
 	"syscall"
 	"time"
 
+	"heteropim"
 	"heteropim/internal/serve"
 )
 
 // runSelfcheck is the acceptance harness for the serving layer: start
-// a real daemon on an ephemeral port, hammer it with `clients`
-// concurrent mixed-model clients over the default 8-cell set, verify
+// a real daemon on an ephemeral port, drive the scenario's load at it
+// (nil plan: the embedded default — 8 mixed cells, closed loop), verify
 // zero errors / byte-identity / the dedup gate, then exercise the real
 // SIGTERM drain path and write BENCH_serve.json.
-func runSelfcheck(clients int, dedupMin float64, benchOut string, workers, queue int, timeout time.Duration) error {
+func runSelfcheck(plan *heteropim.ScenarioPlan, clients int, dedupMin float64, benchOut string, workers, queue int, timeout time.Duration) error {
+	if plan == nil {
+		p, err := serve.DefaultSelfcheckPlan()
+		if err != nil {
+			return err
+		}
+		plan = p
+	}
 	srv := serve.New(serve.Options{Workers: workers, QueueCapacity: queue, JobTimeout: timeout})
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -27,14 +35,15 @@ func runSelfcheck(clients int, dedupMin float64, benchOut string, workers, queue
 	baseURL := "http://" + ln.Addr().String()
 	hs := &http.Server{Handler: srv.Handler()}
 	go func() { _ = hs.Serve(ln) }()
-	fmt.Fprintf(os.Stderr, "pimserve: selfcheck against %s (%d clients, 8 cells)\n", baseURL, clients)
+	fmt.Fprintf(os.Stderr, "pimserve: selfcheck against %s (scenario %q, %d cells)\n",
+		baseURL, plan.Name, len(plan.Cells))
 
 	// Arm the real signal path before the load so the drain below goes
 	// through the same SIGTERM plumbing a supervisor would use.
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM)
 	defer stop()
 
-	rep, err := serve.LoadGen(baseURL, clients, serve.DefaultLoadCells(), srv)
+	rep, err := serve.ScenarioLoadGen(baseURL, plan, clients, srv)
 	if err != nil {
 		return err
 	}

@@ -11,16 +11,22 @@
 //	pimserve -addr 127.0.0.1:0 -addrfile /tmp/addr   # ephemeral port for scripts
 //	pimserve -coalesce 2ms                    # batch near-simultaneous cells through BatchRun
 //	pimserve -router -backends URL1,URL2,URL3 # route jobs across a replica fleet
+//	pimserve -router                          # empty router; replicas self-register
+//	pimserve -announce http://router:8080     # replica: POST itself to the router's /v1/replicas
 //	pimserve -selfcheck                       # built-in load generator, writes BENCH_serve.json
+//	pimserve -selfcheck -scenario f.json      # load generator driven by a scenario file (open-loop arrivals)
 //	pimserve -clustercheck                    # 3 replicas + router + kill-and-recover, writes BENCH_cluster.json
 //	pimserve -print hetero,VGG-19             # canonical result JSON of one direct run
 //
 // Endpoints:
 //
-//	POST /v1/jobs                submit {"config","model","freq_scale","variant","instrument"}
+//	POST /v1/jobs                submit {"config","model","freq_scale","variant","batch_size","stacks","allreduce","processors","instrument"}
+//	POST /v1/scenarios           compile a scenario document, admit one job per unique cell
 //	GET  /v1/jobs/{id}           poll the job status document
 //	GET  /v1/jobs/{id}/result    long-poll the canonical result bytes
 //	GET  /v1/jobs/{id}/events    SSE lifecycle + progress stream
+//	POST /v1/replicas            (router) replica self-registration
+//	GET  /v1/replicas            (router) list the fleet with readiness
 //	GET  /metrics                Prometheus text exposition
 //	GET  /healthz, /readyz       liveness / readiness (503 while draining)
 //	GET  /                       text status page
@@ -84,7 +90,9 @@ func main() {
 	drainWait := flag.Duration("drainwait", 60*time.Second, "how long SIGTERM waits for in-flight jobs")
 	coalesce := flag.Duration("coalesce", 0, "admission-coalescing window (0 disables; batches near-simultaneous cells through BatchRun)")
 	router := flag.Bool("router", false, "run as the cluster router instead of a replica")
-	backends := flag.String("backends", "", "router: comma-separated replica base URLs")
+	backends := flag.String("backends", "", "router: comma-separated replica base URLs (optional; replicas can self-register)")
+	announce := flag.String("announce", "", "replica: self-register with this router's /v1/replicas on startup")
+	name := flag.String("name", "", "replica: fleet name used with -announce (default: the listen address)")
 	healthEvery := flag.Duration("healthevery", 500*time.Millisecond, "router: replica readiness-probe period")
 	selfcheck := flag.Bool("selfcheck", false, "run the built-in load generator against an in-process server and exit")
 	clustercheck := flag.Bool("clustercheck", false, "run the in-process cluster load test (replicas + router, kill-and-recover) and exit")
@@ -93,6 +101,7 @@ func main() {
 	dedupMin := flag.Float64("dedupmin", 4, "selfcheck: minimum accepted dedup ratio")
 	benchOut := flag.String("benchout", "", "benchmark JSON output path (default BENCH_serve.json or BENCH_cluster.json per mode)")
 	printCell := flag.String("print", "", "print the canonical result JSON of one direct run (\"config,model\") and exit")
+	loadScenario := cliutil.ScenarioFlag(flag.CommandLine)
 	applyCache := cliutil.CacheFlags(flag.CommandLine)
 	startProfile := cliutil.ProfileFlags(flag.CommandLine)
 	flag.Parse()
@@ -103,12 +112,23 @@ func main() {
 		printDirect(*printCell)
 		return
 	}
+	// -scenario swaps the selfcheck's embedded load document for a file:
+	// its cell mix and arrival process (closed-loop clients, open-loop
+	// Poisson/diurnal/burst offsets) drive the generator.
+	plan, err := loadScenario()
+	if err != nil {
+		fail(err)
+	}
+	if plan != nil && !*selfcheck {
+		fail(fmt.Errorf("-scenario drives the load generator; combine it with -selfcheck " +
+			"(daemons accept scenario documents on POST /v1/scenarios)"))
+	}
 	if *selfcheck {
 		out := *benchOut
 		if out == "" {
 			out = "BENCH_serve.json"
 		}
-		if err := runSelfcheck(*clients, *dedupMin, out, *workers, *queue, *timeout); err != nil {
+		if err := runSelfcheck(plan, *clients, *dedupMin, out, *workers, *queue, *timeout); err != nil {
 			fail(err)
 		}
 		return
@@ -140,6 +160,9 @@ func main() {
 		}
 	}
 	fmt.Fprintf(os.Stderr, "pimserve: listening on %s\n", baseURL)
+	if *announce != "" {
+		go announceSelf(*announce, *name, baseURL)
+	}
 
 	hs := &http.Server{Handler: srv.Handler()}
 	errc := make(chan error, 1)

@@ -1,7 +1,12 @@
 // Command pimsweep emits CSV parameter sweeps for plotting the paper's
 // figures: the 5x5 configuration matrix (Figs. 8/9), the frequency
-// sweep (Figs. 11/17), the RC/OP variant matrix (Figs. 13-15), and the
-// batch-size extension sweep.
+// sweep (Figs. 11/17), the RC/OP variant matrix (Figs. 13-15), the
+// batch-size extension sweep, and the multi-stack sweep.
+//
+// Every sweep is a scenario: -sweep compiles the builtin spec of that
+// name (heteropim.SweepScenario) and -scenario compiles a scenario
+// file; both run through the same compiled-plan renderer, so a file
+// spelling out the same grid is byte-identical to the flag form.
 //
 // Independent sweep cells run concurrently on the shared worker pool;
 // rows are still emitted in sweep order, so the CSV is byte-identical
@@ -14,6 +19,7 @@
 //	pimsweep -sweep variant                 # RC/OP toggles
 //	pimsweep -sweep batch  -models AlexNet  # batch sizes
 //	pimsweep -sweep stacks -models VGG-19   # multi-stack ring/tree
+//	pimsweep -scenario grid.json            # declarative scenario file
 //	pimsweep -sweep config -workers 1       # force sequential
 package main
 
@@ -22,7 +28,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
 	"strings"
 
 	"heteropim"
@@ -30,9 +35,10 @@ import (
 )
 
 func main() {
-	sweep := flag.String("sweep", "config", "config|freq|variant|batch|stacks")
-	models := flag.String("models", "", "comma-separated models (default: the 5 CNNs)")
+	sweep := flag.String("sweep", "config", "builtin sweep scenario: config|freq|variant|batch|stacks")
+	models := flag.String("models", "", "comma-separated models for -sweep (default: the 5 CNNs)")
 	workers := flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
+	loadScenario := cliutil.ScenarioFlag(flag.CommandLine)
 	applyCache := cliutil.CacheFlags(flag.CommandLine)
 	startProfile := cliutil.ProfileFlags(flag.CommandLine)
 	flag.Parse()
@@ -41,185 +47,44 @@ func main() {
 	applyCache()
 	defer startProfile()()
 
-	selected := heteropim.Models()
-	if *models != "" {
-		selected = nil
-		for _, m := range strings.Split(*models, ",") {
-			model, err := heteropim.ParseModel(strings.TrimSpace(m))
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "pimsweep: %v\n", err)
-				os.Exit(1)
+	fatal := func(err error) {
+		fmt.Fprintf(os.Stderr, "pimsweep: %v\n", err)
+		os.Exit(1)
+	}
+
+	plan, err := loadScenario()
+	if err != nil {
+		fatal(err)
+	}
+	if plan == nil {
+		var selected []heteropim.Model
+		if *models != "" {
+			for _, m := range strings.Split(*models, ",") {
+				model, err := heteropim.ParseModel(strings.TrimSpace(m))
+				if err != nil {
+					fatal(err)
+				}
+				selected = append(selected, model)
 			}
-			selected = append(selected, model)
+		}
+		spec, err := heteropim.SweepScenario(*sweep, selected)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pimsweep: unknown sweep %q\n", *sweep)
+			os.Exit(2)
+		}
+		if plan, err = heteropim.CompileScenarioSpec(spec); err != nil {
+			fatal(err)
 		}
 	}
 
 	w := csv.NewWriter(os.Stdout)
 	defer w.Flush()
-	var err error
-	switch *sweep {
-	case "config":
-		err = sweepConfig(w, selected)
-	case "freq":
-		err = sweepFreq(w, selected)
-	case "variant":
-		err = sweepVariant(w, selected)
-	case "batch":
-		err = sweepBatch(w, selected)
-	case "stacks":
-		err = sweepStacks(w, selected)
-	default:
-		fmt.Fprintf(os.Stderr, "pimsweep: unknown sweep %q\n", *sweep)
-		os.Exit(2)
-	}
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "pimsweep: %v\n", err)
-		os.Exit(1)
+	if err := cliutil.WriteScenarioCSV(w, plan); err != nil {
+		fatal(err)
 	}
 	// Stats go to stderr: stdout is machine-readable CSV.
 	st := heteropim.SimulationCacheStats()
 	bs := heteropim.BatchRunStats()
 	fmt.Fprintf(os.Stderr, "simcache: hits=%d misses=%d batch_cells=%d batch_groups=%d batch_leaders=%d\n",
 		st.Hits, st.Misses, bs.Cells, bs.Groups, bs.Leaders)
-}
-
-func f(v float64) string { return strconv.FormatFloat(v, 'g', 8, 64) }
-
-var resultCols = []string{"step_s", "operation_s", "datamove_s", "sync_s",
-	"energy_j", "power_w", "edp_js", "fixed_util"}
-
-// cell is one sweep point: the CSV prefix columns plus the batched
-// simulation that produces the row's results.
-type cell struct {
-	prefix []string
-	sim    heteropim.BatchCell
-}
-
-// writeCells evaluates the cells through the grouped batch engine
-// (template/profile warm-up per group, then parallel fan-out) and
-// writes one CSV row per cell, in cell order.
-func writeCells(w *csv.Writer, header []string, cells []cell) error {
-	if err := w.Write(append(header, resultCols...)); err != nil {
-		return err
-	}
-	sims := make([]heteropim.BatchCell, len(cells))
-	for i, c := range cells {
-		sims[i] = c.sim
-	}
-	results, err := heteropim.BatchRun(sims)
-	if err != nil {
-		return err
-	}
-	for i, r := range results {
-		row := append(cells[i].prefix,
-			f(r.StepTime), f(r.Breakdown.Operation), f(r.Breakdown.DataMovement),
-			f(r.Breakdown.Sync), f(r.Energy), f(r.AvgPower), f(r.EDP),
-			f(r.FixedUtilization))
-		if err := w.Write(row); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-func sweepConfig(w *csv.Writer, models []heteropim.Model) error {
-	var cells []cell
-	for _, m := range models {
-		for _, cfg := range heteropim.Configs() {
-			cells = append(cells, cell{
-				prefix: []string{string(m), cfg.String()},
-				sim:    heteropim.BatchCell{Config: cfg, Model: m},
-			})
-		}
-	}
-	return writeCells(w, []string{"model", "config"}, cells)
-}
-
-func sweepFreq(w *csv.Writer, models []heteropim.Model) error {
-	var cells []cell
-	for _, m := range models {
-		for _, scale := range []float64{1, 2, 4} {
-			cells = append(cells, cell{
-				prefix: []string{string(m), f(scale)},
-				sim:    heteropim.BatchCell{Config: heteropim.ConfigHeteroPIM, Model: m, FreqScale: scale},
-			})
-		}
-	}
-	return writeCells(w, []string{"model", "freq_scale"}, cells)
-}
-
-func sweepVariant(w *csv.Writer, models []heteropim.Model) error {
-	var cells []cell
-	for _, m := range models {
-		for _, rc := range []bool{false, true} {
-			for _, op := range []bool{false, true} {
-				v := &heteropim.Variant{RecursiveKernels: rc, OperationPipeline: op}
-				cells = append(cells, cell{
-					prefix: []string{string(m), strconv.FormatBool(rc), strconv.FormatBool(op)},
-					sim:    heteropim.BatchCell{Model: m, Variant: v},
-				})
-			}
-		}
-	}
-	return writeCells(w, []string{"model", "rc", "op"}, cells)
-}
-
-// sweepStacks shards each model's global batch across 1/2/4/8 HMC
-// stacks on the Hetero PIM platform under both all-reduce schedules.
-// The extra columns split the step into the slowest stack's compute and
-// the gradient synchronization over the inter-stack link.
-func sweepStacks(w *csv.Writer, models []heteropim.Model) error {
-	header := append([]string{"model", "stacks", "allreduce"}, resultCols...)
-	header = append(header, "stack_step_s", "allreduce_s")
-	if err := w.Write(header); err != nil {
-		return err
-	}
-	type row struct{ prefix []string }
-	var prefixes []row
-	var sims []heteropim.BatchCell
-	for _, m := range models {
-		for _, stacks := range []int{1, 2, 4, 8} {
-			scheds := []string{heteropim.AllReduceRing, heteropim.AllReduceTree}
-			if stacks == 1 {
-				scheds = []string{"-"} // no gradient exchange on one stack
-			}
-			for _, sched := range scheds {
-				c := heteropim.BatchCell{Config: heteropim.ConfigHeteroPIM, Model: m, Stacks: stacks}
-				if stacks > 1 {
-					c.AllReduce = sched
-				}
-				prefixes = append(prefixes, row{[]string{string(m), strconv.Itoa(stacks), sched}})
-				sims = append(sims, c)
-			}
-		}
-	}
-	results, err := heteropim.BatchRun(sims)
-	if err != nil {
-		return err
-	}
-	for i, r := range results {
-		row := append(prefixes[i].prefix,
-			f(r.StepTime), f(r.Breakdown.Operation), f(r.Breakdown.DataMovement),
-			f(r.Breakdown.Sync), f(r.Energy), f(r.AvgPower), f(r.EDP),
-			f(r.FixedUtilization), f(r.StackStepTime), f(r.AllReduceTime))
-		if err := w.Write(row); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-func sweepBatch(w *csv.Writer, models []heteropim.Model) error {
-	var cells []cell
-	for _, m := range models {
-		for _, batch := range []int{8, 16, 32, 64, 128} {
-			for _, cfg := range []heteropim.Config{heteropim.ConfigGPU, heteropim.ConfigHeteroPIM} {
-				cells = append(cells, cell{
-					prefix: []string{string(m), strconv.Itoa(batch), cfg.String()},
-					sim:    heteropim.BatchCell{Config: cfg, Model: m, BatchSize: batch},
-				})
-			}
-		}
-	}
-	return writeCells(w, []string{"model", "batch", "config"}, cells)
 }

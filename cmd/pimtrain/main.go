@@ -6,12 +6,12 @@
 //
 //	pimtrain -model VGG-19 -config hetero -freq 2
 //	pimtrain -model ResNet-50 -config all
+//	pimtrain -scenario grid.json            # declarative scenario file
 //	pimtrain -model AlexNet -schedtrace     # dump scheduling decisions
 //	pimtrain -list
 package main
 
 import (
-	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -24,7 +24,6 @@ import (
 	"heteropim/internal/hw"
 	"heteropim/internal/nn"
 	"heteropim/internal/report"
-	"heteropim/internal/runner"
 	"heteropim/internal/trace"
 )
 
@@ -108,6 +107,7 @@ func main() {
 	explain := flag.Bool("explain", false, "print the Hetero PIM placement census and energy itemization")
 	metricsOut := flag.String("metrics", "", "run instrumented and write the metrics JSON dump to this file (\"-\" for stdout)")
 	advise := flag.Bool("advise", false, "run instrumented and print the tfprof-style advisor reading")
+	loadScenario := cliutil.ScenarioFlag(flag.CommandLine)
 	applyCache := cliutil.CacheFlags(flag.CommandLine)
 	startProfile := cliutil.ProfileFlags(flag.CommandLine)
 	list := flag.Bool("list", false, "list models and configurations")
@@ -115,6 +115,13 @@ func main() {
 
 	applyCache()
 	defer startProfile()()
+
+	if plan, err := loadScenario(); err != nil {
+		fail(err)
+	} else if plan != nil {
+		runScenario(plan)
+		return
+	}
 
 	if *fromTrace != "" {
 		f, err := os.Open(*fromTrace)
@@ -215,32 +222,42 @@ func main() {
 		return
 	}
 
-	t := &report.Table{
-		Title: fmt.Sprintf("%s at %gx stack frequency", modelName, *freq),
-		Columns: []string{"Config", "Step", "Operation", "DataMove", "Sync",
-			"Energy", "Power", "Util", "Offloaded"},
+	// The table path is a one-group scenario plan: build the same
+	// BatchCells a scenario file would compile and fan them out through
+	// BatchRun (bit-identical to the per-cell Run* helpers).
+	cells := make([]heteropim.BatchCell, len(configs))
+	for i, cfg := range configs {
+		bc := heteropim.BatchCell{Config: cfg, Model: modelName}
+		switch {
+		case *stacks > 1:
+			bc.FreqScale = *freq
+			bc.BatchSize = *batch
+			bc.Stacks = *stacks
+			bc.AllReduce = *allreduce
+		case *batch > 0:
+			// freq is ignored with -batch, as RunWithBatch always did.
+			bc.BatchSize = *batch
+		default:
+			bc.FreqScale = *freq
+		}
+		cells[i] = bc
 	}
-	// With -config all the five platform runs are independent; fan them
-	// out on the worker pool. Each run gets its own core.Options inside
-	// the Run* helpers, so no Trace/Census state is shared (see the
-	// core.Options concurrency contract).
-	results, err := runner.Map(context.Background(), len(configs), 0,
-		func(_ context.Context, i int) (heteropim.Result, error) {
-			if *stacks > 1 {
-				return heteropim.RunWithOptions(configs[i], modelName, heteropim.Options{
-					FreqScale: *freq,
-					BatchSize: *batch,
-					Stacks:    *stacks,
-					AllReduce: *allreduce,
-				})
-			}
-			if *batch > 0 {
-				return heteropim.RunWithBatch(configs[i], modelName, *batch)
-			}
-			return heteropim.RunScaled(configs[i], modelName, *freq)
-		})
+	results, err := heteropim.BatchRun(cells)
 	if err != nil {
 		fail(err)
+	}
+	printTable(fmt.Sprintf("%s at %gx stack frequency", modelName, *freq), results)
+	st := heteropim.SimulationCacheStats()
+	fmt.Printf("simcache: hits=%d misses=%d\n", st.Hits, st.Misses)
+}
+
+// printTable renders one result table plus the multistack detail lines
+// beneath it — shared by the flag path and the scenario path.
+func printTable(title string, results []heteropim.Result) {
+	t := &report.Table{
+		Title: title,
+		Columns: []string{"Config", "Step", "Operation", "DataMove", "Sync",
+			"Energy", "Power", "Util", "Offloaded"},
 	}
 	for _, r := range results {
 		t.AddRow(r.Config,
@@ -264,6 +281,39 @@ func main() {
 			}
 			fmt.Println(line)
 		}
+	}
+}
+
+// runScenario renders a compiled scenario plan as pimtrain tables: one
+// table per (model, frequency) group in first-appearance order, with
+// one row per cell, then the shared simcache line.
+func runScenario(plan *heteropim.ScenarioPlan) {
+	results, err := heteropim.BatchRun(plan.Cells)
+	if err != nil {
+		fail(err)
+	}
+	type groupKey struct {
+		model heteropim.Model
+		freq  float64
+	}
+	keyOf := func(c heteropim.BatchCell) groupKey {
+		k := groupKey{model: c.Model, freq: c.FreqScale}
+		if k.freq == 0 {
+			k.freq = 1
+		}
+		return k
+	}
+	var order []groupKey
+	grouped := map[groupKey][]heteropim.Result{}
+	for i, c := range plan.Cells {
+		k := keyOf(c)
+		if _, ok := grouped[k]; !ok {
+			order = append(order, k)
+		}
+		grouped[k] = append(grouped[k], results[i])
+	}
+	for _, k := range order {
+		printTable(fmt.Sprintf("%s at %gx stack frequency", k.model, k.freq), grouped[k])
 	}
 	st := heteropim.SimulationCacheStats()
 	fmt.Printf("simcache: hits=%d misses=%d\n", st.Hits, st.Misses)

@@ -115,12 +115,15 @@ func addGroups(t *Table, groups [][][]string) {
 // AlexNet and DCGAN, the top-5 operations by execution time ("CI ops")
 // and by main-memory accesses ("MI ops"), with their shares and
 // invocation counts.
-func TableI() (*Table, error) {
+func TableI() (*Table, error) { return TableIFor(profiledModels()) }
+
+// TableIFor is TableI over an explicit model set (scenario-driven
+// profiling; TableI keeps the paper's three models).
+func TableIFor(models []Model) (*Table, error) {
 	t := &Table{
 		Title:   "Table I: operation profiling (one training step on CPU)",
 		Columns: []string{"Model", "Rank", "Top CI Op", "Time%", "#Inv", "Top MI Op", "Mem%", "#Inv"},
 	}
-	models := profiledModels()
 	groups, err := rowGroups(len(models), func(i int) ([][]string, error) {
 		m := models[i]
 		g, err := nn.Build(m)
@@ -196,12 +199,14 @@ func TableI() (*Table, error) {
 }
 
 // Fig2Classes reproduces the four-class operation taxonomy.
-func Fig2Classes() (*Table, error) {
+func Fig2Classes() (*Table, error) { return Fig2ClassesFor(profiledModels()) }
+
+// Fig2ClassesFor is Fig2Classes over an explicit model set.
+func Fig2ClassesFor(models []Model) (*Table, error) {
 	t := &Table{
 		Title:   "Fig. 2: operation classes (1=CI, 2=CI+MI offload targets, 3=MI only, 4=neither)",
 		Columns: []string{"Model", "Class1", "Class2", "Class3", "Class4"},
 	}
-	models := profiledModels()
 	groups, err := rowGroups(len(models), func(i int) ([][]string, error) {
 		g, err := nn.Build(models[i])
 		if err != nil {
@@ -549,12 +554,14 @@ func min(a, b int) int {
 // ModelSummaries renders the workload-characteristics table: per model,
 // graph size, parameters, per-step arithmetic and main-memory traffic,
 // and the Fig. 2 class mix — the "Section V-C workloads" overview.
-func ModelSummaries() (*Table, error) {
+func ModelSummaries() (*Table, error) { return ModelSummariesFor(AllModels()) }
+
+// ModelSummariesFor is ModelSummaries over an explicit model set.
+func ModelSummariesFor(models []Model) (*Table, error) {
 	t := &Table{
 		Title:   "Workload characteristics (one training step, paper batch sizes)",
 		Columns: []string{"Model", "Batch", "Ops", "Params", "GFLOPs", "GB", "Class2 ops"},
 	}
-	models := AllModels()
 	groups, err := rowGroups(len(models), func(i int) ([][]string, error) {
 		g, err := nn.Build(models[i])
 		if err != nil {

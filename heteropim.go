@@ -174,9 +174,9 @@ func wrap(r core.Result) Result {
 		AllReduceTime: r.AllReduceTime,
 		StackStepTime: r.StackStepTime,
 		StackMaxTemp:  r.StackMaxTemp,
-		Model:    Model(r.Model),
-		Config:   r.Config.Name,
-		StepTime: r.StepTime,
+		Model:         Model(r.Model),
+		Config:        r.Config.Name,
+		StepTime:      r.StepTime,
 		Breakdown: Breakdown{
 			Operation:    r.Breakdown.Operation,
 			DataMovement: r.Breakdown.DataMovement,

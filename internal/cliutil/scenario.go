@@ -1,0 +1,180 @@
+package cliutil
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"heteropim"
+)
+
+// ScenarioFlag registers the shared -scenario flag on fs and returns
+// the load function to call after fs.Parse: it reads and compiles the
+// scenario file, or returns (nil, nil) when the flag was not given.
+// Every CLI exposes the same flag name and semantics through this.
+func ScenarioFlag(fs *flag.FlagSet) func() (*heteropim.ScenarioPlan, error) {
+	path := fs.String("scenario", "", "run a declarative scenario file (JSON, see README \"Scenarios\") instead of flag-driven cells")
+	return func() (*heteropim.ScenarioPlan, error) {
+		if *path == "" {
+			return nil, nil
+		}
+		return LoadScenario(*path)
+	}
+}
+
+// LoadScenario reads and compiles a scenario file.
+func LoadScenario(path string) (*heteropim.ScenarioPlan, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := heteropim.CompileScenario(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return plan, nil
+}
+
+// FormatSweepFloat renders a float the way every sweep CSV does.
+func FormatSweepFloat(v float64) string { return strconv.FormatFloat(v, 'g', 8, 64) }
+
+// scenarioAxes are the prefix columns a compiled plan can need, in
+// fixed order: option axes first, platform last (matching the legacy
+// sweeps' model,...,config layout).
+var scenarioAxes = []struct {
+	name  string
+	value func(c heteropim.BatchCell) string
+}{
+	{"freq_scale", func(c heteropim.BatchCell) string {
+		s := c.FreqScale
+		if s == 0 {
+			s = 1
+		}
+		return FormatSweepFloat(s)
+	}},
+	{"batch", func(c heteropim.BatchCell) string {
+		if c.BatchSize == 0 {
+			return "-"
+		}
+		return strconv.Itoa(c.BatchSize)
+	}},
+	{"stacks", func(c heteropim.BatchCell) string {
+		if c.Stacks < 1 {
+			return "1"
+		}
+		return strconv.Itoa(c.Stacks)
+	}},
+	{"allreduce", func(c heteropim.BatchCell) string {
+		if c.Stacks > 1 {
+			return c.AllReduce
+		}
+		return "-" // no gradient exchange on one stack
+	}},
+	{"rc", func(c heteropim.BatchCell) string {
+		if c.Variant == nil {
+			return "-"
+		}
+		return strconv.FormatBool(c.Variant.RecursiveKernels)
+	}},
+	{"op", func(c heteropim.BatchCell) string {
+		if c.Variant == nil {
+			return "-"
+		}
+		return strconv.FormatBool(c.Variant.OperationPipeline)
+	}},
+	{"processors", func(c heteropim.BatchCell) string {
+		if c.Processors == 0 {
+			return "-"
+		}
+		return strconv.Itoa(c.Processors)
+	}},
+	{"config", func(c heteropim.BatchCell) string {
+		if c.Variant != nil || c.Processors > 0 {
+			return "-" // variant/processor cells are Hetero PIM by construction
+		}
+		return c.Config.String()
+	}},
+}
+
+var scenarioResultCols = []string{"step_s", "operation_s", "datamove_s", "sync_s",
+	"energy_j", "power_w", "edp_js", "fixed_util"}
+
+// ScenarioRows runs a compiled plan through BatchRun and builds the
+// adaptive sweep rows: the model column, then every axis column with
+// more than one distinct value across the plan, then the result
+// columns (plus the multi-stack split columns when any cell shards
+// across stacks). Both the CSV form (pimsweep, pimbench -csv) and the
+// text-table form (pimbench) render these rows.
+func ScenarioRows(plan *heteropim.ScenarioPlan) (header []string, rows [][]string, err error) {
+	var active []int
+	for ai, axis := range scenarioAxes {
+		distinct := map[string]bool{}
+		for _, c := range plan.Cells {
+			distinct[axis.value(c)] = true
+			if len(distinct) > 1 {
+				active = append(active, ai)
+				break
+			}
+		}
+	}
+	multiStack := false
+	for _, c := range plan.Cells {
+		if c.Stacks > 1 {
+			multiStack = true
+			break
+		}
+	}
+
+	header = []string{"model"}
+	for _, ai := range active {
+		header = append(header, scenarioAxes[ai].name)
+	}
+	header = append(header, scenarioResultCols...)
+	if multiStack {
+		header = append(header, "stack_step_s", "allreduce_s")
+	}
+
+	results, err := heteropim.BatchRun(plan.Cells)
+	if err != nil {
+		return nil, nil, err
+	}
+	f := FormatSweepFloat
+	for i, r := range results {
+		c := plan.Cells[i]
+		row := []string{string(c.Model)}
+		for _, ai := range active {
+			row = append(row, scenarioAxes[ai].value(c))
+		}
+		row = append(row,
+			f(r.StepTime), f(r.Breakdown.Operation), f(r.Breakdown.DataMovement),
+			f(r.Breakdown.Sync), f(r.Energy), f(r.AvgPower), f(r.EDP),
+			f(r.FixedUtilization))
+		if multiStack {
+			row = append(row, f(r.StackStepTime), f(r.AllReduceTime))
+		}
+		rows = append(rows, row)
+	}
+	return header, rows, nil
+}
+
+// WriteScenarioCSV writes a compiled plan as the adaptive sweep CSV
+// (see ScenarioRows). For the builtin sweep scenarios this reproduces
+// the legacy flag-driven pimsweep output byte for byte — the CI
+// scenario-smoke diff holds it to that.
+func WriteScenarioCSV(w *csv.Writer, plan *heteropim.ScenarioPlan) error {
+	header, rows, err := ScenarioRows(plan)
+	if err != nil {
+		return err
+	}
+	if err := w.Write(header); err != nil {
+		return err
+	}
+	for _, row := range rows {
+		if err := w.Write(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}

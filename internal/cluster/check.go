@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"heteropim"
+	"heteropim/internal/scenario"
 	"heteropim/internal/serve"
 )
 
@@ -43,6 +44,16 @@ type CheckOptions struct {
 	Window time.Duration
 	// Cells overrides the load mix (nil: serve.DefaultLoadCells()).
 	Cells []serve.LoadCell
+	// Arrival is the per-wave arrival process (nil: open-loop Poisson
+	// at 600 req/s — the router's rehash and dedup machinery is gated
+	// under load that keeps arriving while a replica dies, not a
+	// closed loop that self-throttles). Rate-driven processes are
+	// resized to each wave's request count; a burst trace must have
+	// exactly one offset per wave request.
+	Arrival *scenario.Arrival
+	// Seed drives the arrival schedules (0: 1). Each wave offsets the
+	// seed so the waves differ but the whole check replays identically.
+	Seed int64
 	// Workers / Queue / JobTimeout are passed through to each replica.
 	Workers    int
 	Queue      int
@@ -71,11 +82,13 @@ type PhaseStats struct {
 type CheckReport struct {
 	Replicas      int              `json:"replicas"`
 	Clients       int              `json:"clients"`
+	Arrival       string           `json:"arrival"`
 	Cells         []serve.LoadCell `json:"cells"`
 	Single        PhaseStats       `json:"single"`
 	Cluster       PhaseStats       `json:"cluster"`
 	Killed        string           `json:"killed_replica"`
 	Recovered     bool             `json:"recovered_in_ring"`
+	Announces     float64          `json:"replica_announces"`
 	Rehashes      float64          `json:"rehashes"`
 	Retries       float64          `json:"retried_submissions"`
 	Reroutes      float64          `json:"read_reroutes"`
@@ -130,36 +143,56 @@ func (p *replicaProc) shutdown(ctx context.Context, fleet *Fleet) error {
 	return p.hs.Shutdown(ctx)
 }
 
-// runWave fires n concurrent clients at baseURL, client i targeting
-// cells[i%len(cells)], and verifies each body against expected.
-func runWave(baseURL string, n int, cells []serve.LoadCell, expected [][]byte) (errs int64, identical bool, lats []float64) {
+// waveOffsets builds one wave's arrival schedule: n requests through
+// the configured process. Rate-driven open-loop processes are resized
+// to exactly n requests; closed-loop waves fire everything at once
+// (all-zero offsets) — the pre-scenario behavior.
+func waveOffsets(arr *scenario.Arrival, n int, seed int64) ([]float64, error) {
+	if !arr.Open() {
+		return make([]float64, n), nil
+	}
+	a := *arr
+	if a.Process != scenario.ArrivalBurst {
+		a.Requests = n
+	}
+	offsets, err := a.Schedule(seed)
+	if err != nil {
+		return nil, err
+	}
+	if len(offsets) != n {
+		return nil, fmt.Errorf("clustercheck: %s arrival produced %d offsets for a %d-request wave (raise duration_sec or fix the trace length)",
+			a.Normalized(), len(offsets), n)
+	}
+	return offsets, nil
+}
+
+// runWave fires one request per arrival offset at baseURL — request i
+// targeting cells[i%len(cells)] — through the shared open-loop driver,
+// and verifies each body against expected. Requests fire on schedule
+// even when earlier ones are still in flight.
+func runWave(baseURL string, offsets []float64, cells []serve.LoadCell, expected [][]byte) (errs int64, identical bool, lats []float64) {
 	client := &http.Client{Timeout: 2 * time.Minute}
 	identical = true
-	lats = make([]float64, n)
 	var mu sync.Mutex
-	var wg sync.WaitGroup
-	for i := 0; i < n; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			cell := cells[i%len(cells)]
-			t0 := time.Now()
-			got, err := serve.SubmitAndFetch(client, baseURL, cell)
-			lats[i] = time.Since(t0).Seconds()
+	res := scenario.Drive(offsets, func(i int) error {
+		cell := cells[i%len(cells)]
+		got, err := serve.SubmitAndFetch(client, baseURL, cell)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "clustercheck client %d (%s/%s): %v\n", i, cell.Config, cell.Model, err)
+			return err
+		}
+		if !sameBytes(got, expected[i%len(cells)]) {
 			mu.Lock()
-			defer mu.Unlock()
-			if err != nil {
-				errs++
-				fmt.Fprintf(os.Stderr, "clustercheck client %d (%s/%s): %v\n", i, cell.Config, cell.Model, err)
-				return
-			}
-			if !sameBytes(got, expected[i%len(cells)]) {
-				identical = false
-			}
-		}(i)
+			identical = false
+			mu.Unlock()
+		}
+		return nil
+	})
+	lats = make([]float64, 0, len(res.Latencies))
+	for _, d := range res.Latencies {
+		lats = append(lats, d.Seconds())
 	}
-	wg.Wait()
-	return errs, identical, lats
+	return int64(res.Errors), identical, lats
 }
 
 func sameBytes(a, b []byte) bool {
@@ -225,7 +258,15 @@ func RunCheck(opts CheckOptions) (CheckReport, error) {
 	if logw == nil {
 		logw = os.Stderr
 	}
-	rep := CheckReport{Replicas: nrep, Clients: clients, Cells: cells}
+	arr := opts.Arrival
+	if arr == nil {
+		arr = &scenario.Arrival{Process: scenario.ArrivalPoisson, RatePerSec: 600}
+	}
+	seed := opts.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	rep := CheckReport{Replicas: nrep, Clients: clients, Arrival: arr.Normalized(), Cells: cells}
 
 	// Ground truth: the canonical bytes of each cell from direct
 	// public-API runs — what `pimserve -print` emits.
@@ -269,8 +310,13 @@ func RunCheck(opts CheckOptions) (CheckReport, error) {
 	if err != nil {
 		return rep, err
 	}
-	fmt.Fprintf(logw, "pimserve: clustercheck baseline: 1 node, %d clients, %d cells\n", totalClients, len(cells))
-	sErrs, sIdent, _ := runWave(single.url, totalClients, cells, expected)
+	fmt.Fprintf(logw, "pimserve: clustercheck baseline: 1 node, %d requests (%s arrivals), %d cells\n",
+		totalClients, arr.Normalized(), len(cells))
+	baseOffsets, err := waveOffsets(arr, totalClients, seed)
+	if err != nil {
+		return rep, err
+	}
+	sErrs, sIdent, _ := runWave(single.url, baseOffsets, cells, expected)
 	st := single.srv.Stats()
 	rep.Single = PhaseStats{
 		Requests: int64(totalClients), LiveRuns: st.JobsRun,
@@ -320,11 +366,20 @@ func RunCheck(opts CheckOptions) (CheckReport, error) {
 	routerURL := "http://" + rln.Addr().String()
 	defer rhs.Shutdown(context.Background())
 
-	fmt.Fprintf(logw, "pimserve: clustercheck cluster: %d replicas behind %s, 3 waves x %d clients\n",
-		nrep, routerURL, wave)
+	fmt.Fprintf(logw, "pimserve: clustercheck cluster: %d replicas behind %s, 3 waves x %d requests (%s arrivals)\n",
+		nrep, routerURL, wave, arr.Normalized())
+
+	// One schedule per wave, seeded apart so the waves differ while the
+	// whole check replays deterministically from (arrival, seed).
+	waves := make([][]float64, 3)
+	for w := range waves {
+		if waves[w], err = waveOffsets(arr, wave, seed+int64(w)+1); err != nil {
+			return rep, err
+		}
+	}
 
 	t0 := time.Now()
-	e1, i1, l1 := runWave(routerURL, wave, cells, expected)
+	e1, i1, l1 := runWave(routerURL, waves[0], cells, expected)
 
 	// Kill: pick the replica owning the most job ids and drain it — the
 	// SIGTERM path. Its readyz flips to 503 immediately, so wave 2's
@@ -350,10 +405,13 @@ func RunCheck(opts CheckOptions) (CheckReport, error) {
 		return rep, fmt.Errorf("clustercheck: victim drain: %w", err)
 	}
 
-	e2, i2, l2 := runWave(routerURL, wave, cells, expected)
+	e2, i2, l2 := runWave(routerURL, waves[1], cells, expected)
 
 	// Full kill, then recovery under the same name (same shard range)
-	// on a fresh port with empty state.
+	// on a fresh port with empty state. The recovered replica rejoins by
+	// announcing itself over the wire — the same POST /v1/replicas a
+	// `pimserve -announce` replica sends — not by the harness reaching
+	// into the router, so the check covers self-registration end to end.
 	if err := victim.shutdown(dctx, fleet); err != nil {
 		return rep, fmt.Errorf("clustercheck: victim shutdown: %w", err)
 	}
@@ -362,10 +420,12 @@ func RunCheck(opts CheckOptions) (CheckReport, error) {
 	if err != nil {
 		return rep, err
 	}
-	router.AddReplica(Replica{Name: recovered.name, BaseURL: recovered.url})
-	fmt.Fprintf(logw, "pimserve: clustercheck: recovered %s at %s\n", recovered.name, recovered.url)
+	if err := Announce(nil, routerURL, Replica{Name: recovered.name, BaseURL: recovered.url}); err != nil {
+		return rep, fmt.Errorf("clustercheck: recovery announce: %w", err)
+	}
+	fmt.Fprintf(logw, "pimserve: clustercheck: recovered %s at %s (self-announced)\n", recovered.name, recovered.url)
 
-	e3, i3, l3 := runWave(routerURL, wave, cells, expected)
+	e3, i3, l3 := runWave(routerURL, waves[2], cells, expected)
 	rep.WallSeconds = time.Since(t0).Seconds()
 
 	// Collect before draining the fleet (counters survive drain anyway).
@@ -382,6 +442,7 @@ func RunCheck(opts CheckOptions) (CheckReport, error) {
 	}
 	rep.Errors = e1 + e2 + e3
 	rep.ByteIdentical = i1 && i2 && i3
+	rep.Announces = router.Registry().CounterValue("cluster.announces")
 	rep.Rehashes = router.Registry().CounterValue("cluster.rehashes")
 	rep.Retries = router.Registry().CounterValue("cluster.retries")
 	rep.Reroutes = router.Registry().CounterValue("cluster.reroutes")
@@ -428,6 +489,8 @@ func RunCheck(opts CheckOptions) (CheckReport, error) {
 		return rep, fmt.Errorf("clustercheck: no in-flight submission was retried across the kill")
 	case rep.Cluster.PeerHits < 1:
 		return rep, fmt.Errorf("clustercheck: no cross-replica dedup adoption happened")
+	case rep.Announces < 1:
+		return rep, fmt.Errorf("clustercheck: recovery never went through POST /v1/replicas")
 	case !rep.Recovered:
 		return rep, fmt.Errorf("clustercheck: %s never rejoined the ring", victim.name)
 	}

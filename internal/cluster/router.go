@@ -93,6 +93,8 @@ func NewRouter(opts RouterOptions) *Router {
 		rt.AddReplica(r)
 	}
 	rt.mux.HandleFunc("POST /v1/jobs", rt.handleSubmit)
+	rt.mux.HandleFunc("POST /v1/replicas", rt.handleReplicaAnnounce)
+	rt.mux.HandleFunc("GET /v1/replicas", rt.handleReplicaList)
 	rt.mux.HandleFunc("GET /v1/jobs/{id}", rt.handleJobGet)
 	rt.mux.HandleFunc("GET /v1/jobs/{id}/{rest...}", rt.handleJobGet)
 	rt.mux.HandleFunc("GET /metrics", rt.handleMetrics)
@@ -380,6 +382,86 @@ func (rt *Router) handleJobGet(w http.ResponseWriter, r *http.Request) {
 	}
 	rt.reg.Add("cluster.unroutable", 1)
 	rt.writeError(w, http.StatusNotFound, fmt.Errorf("cluster: no replica holds job %q", id))
+}
+
+// handleReplicaAnnounce lets a replica register itself: `pimserve
+// -announce <router>` POSTs {"name","base_url"} here on startup, so a
+// recovered or scaled-up replica joins the ring without the router
+// being restarted with a new -backends list. Re-announcing an existing
+// name (recovery on a fresh port) restores exactly its old shard range.
+func (rt *Router) handleReplicaAnnounce(w http.ResponseWriter, r *http.Request) {
+	rt.reg.Add("cluster.requests", 1)
+	var rep Replica
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&rep); err != nil {
+		rt.reg.Add("cluster.bad_requests", 1)
+		rt.writeError(w, http.StatusBadRequest, fmt.Errorf("cluster: bad replica body: %w", err))
+		return
+	}
+	if rep.Name == "" || rep.BaseURL == "" {
+		rt.reg.Add("cluster.bad_requests", 1)
+		rt.writeError(w, http.StatusBadRequest, errors.New("cluster: replica needs both name and base_url"))
+		return
+	}
+	if !strings.HasPrefix(rep.BaseURL, "http://") && !strings.HasPrefix(rep.BaseURL, "https://") {
+		rt.reg.Add("cluster.bad_requests", 1)
+		rt.writeError(w, http.StatusBadRequest, fmt.Errorf("cluster: replica base_url %q is not an http(s) URL", rep.BaseURL))
+		return
+	}
+	rt.AddReplica(rep)
+	rt.reg.Add("cluster.announces", 1)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_ = json.NewEncoder(w).Encode(struct {
+		Replica Replica `json:"replica"`
+		Ring    int     `json:"ring"`
+	}{Replica: rep, Ring: rt.ring.Len()})
+}
+
+// ReplicaStatus is one GET /v1/replicas entry.
+type ReplicaStatus struct {
+	Name    string `json:"name"`
+	BaseURL string `json:"base_url"`
+	Ready   bool   `json:"ready"`
+}
+
+// handleReplicaList reports the fleet as the router sees it, sorted by
+// name.
+func (rt *Router) handleReplicaList(w http.ResponseWriter, r *http.Request) {
+	rt.reg.Add("cluster.requests", 1)
+	rt.mu.Lock()
+	out := make([]ReplicaStatus, 0, len(rt.replicas))
+	for _, s := range rt.replicas {
+		out = append(out, ReplicaStatus{Name: s.name, BaseURL: s.baseURL, Ready: s.ready})
+	}
+	rt.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(out)
+}
+
+// Announce registers a replica with a router over the wire — one POST
+// to /v1/replicas. The caller owns the retry budget (startup
+// announcement races the router's own listener coming up).
+func Announce(client *http.Client, routerURL string, rep Replica) error {
+	if client == nil {
+		client = &http.Client{Timeout: 5 * time.Second}
+	}
+	body, err := json.Marshal(rep)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Post(routerURL+"/v1/replicas", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<12))
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("cluster: announce to %s: %s: %s", routerURL, resp.Status, strings.TrimSpace(string(data)))
+	}
+	return nil
 }
 
 // handleMetrics serves the router's own registry (the cluster.* series

@@ -281,3 +281,80 @@ func TestRouterMetricsAndReadyz(t *testing.T) {
 		t.Fatalf("readyz with empty ring = %s, want 503", resp2.Status)
 	}
 }
+
+// TestReplicaAnnounce covers self-registration: a router that starts
+// with an empty fleet accepts POST /v1/replicas (the `pimserve
+// -announce` payload), lists the member on GET, routes to it, and
+// rejects malformed announcements.
+func TestReplicaAnnounce(t *testing.T) {
+	rt := NewRouter(RouterOptions{HealthInterval: time.Hour})
+	defer rt.Close()
+	ts := httptest.NewServer(rt.Handler())
+	defer ts.Close()
+
+	// Empty fleet: not ready, nothing listed.
+	resp, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("empty-fleet readyz = %s, want 503", resp.Status)
+	}
+
+	stub := newStubReplica(t)
+	defer stub.ts.Close()
+	if err := Announce(nil, ts.URL, Replica{Name: "worker-a", BaseURL: stub.ts.URL}); err != nil {
+		t.Fatalf("Announce: %v", err)
+	}
+
+	resp, err = http.Get(ts.URL + "/v1/replicas")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var listed []ReplicaStatus
+	if err := json.NewDecoder(resp.Body).Decode(&listed); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(listed) != 1 || listed[0].Name != "worker-a" || listed[0].BaseURL != stub.ts.URL || !listed[0].Ready {
+		t.Fatalf("replica list: %+v", listed)
+	}
+	if nodes := rt.ReadyReplicas(); len(nodes) != 1 || nodes[0] != "worker-a" {
+		t.Fatalf("ring members: %v", nodes)
+	}
+
+	// A routed submit now lands on the announced replica.
+	body := `{"config":"hetero","model":"VGG-19"}`
+	resp, err = http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("routed submit = %s, want 202", resp.Status)
+	}
+	if got := stub.submitted(); len(got) != 1 {
+		t.Fatalf("stub saw %d submits, want 1", len(got))
+	}
+
+	// Malformed announcements are rejected.
+	for name, bad := range map[string]string{
+		"no name":       `{"base_url":"http://127.0.0.1:1"}`,
+		"no url":        `{"name":"x"}`,
+		"not a url":     `{"name":"x","base_url":"127.0.0.1:1"}`,
+		"unknown field": `{"name":"x","base_url":"http://127.0.0.1:1","extra":true}`,
+	} {
+		resp, err := http.Post(ts.URL+"/v1/replicas", "application/json", strings.NewReader(bad))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %s, want 400", name, resp.Status)
+		}
+	}
+}

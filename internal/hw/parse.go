@@ -1,0 +1,62 @@
+package hw
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// configByFlagName maps the flag-style lowercase platform names used by
+// every cmd/ tool (and the serving/scenario layers) to configuration
+// kinds. The public heteropim.ParseConfig delegates here so the CLI
+// flags, the POST body and the scenario schema all accept exactly the
+// same spellings.
+var configByFlagName = map[string]ConfigKind{
+	"cpu":    ConfigCPU,
+	"gpu":    ConfigGPU,
+	"progr":  ConfigProgrPIM,
+	"fixed":  ConfigFixedPIM,
+	"hetero": ConfigHeteroPIM,
+}
+
+// ConfigFlagNames lists the flag-style platform names ParseConfigFlag
+// accepts, sorted.
+func ConfigFlagNames() []string {
+	names := make([]string, 0, len(configByFlagName))
+	for n := range configByFlagName {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ParseConfigFlag resolves a flag-style platform name
+// (case-insensitive: cpu, gpu, progr, fixed, hetero) to its
+// configuration kind. The error for an unknown name lists the valid
+// ones.
+func ParseConfigFlag(name string) (ConfigKind, error) {
+	if kind, ok := configByFlagName[strings.ToLower(name)]; ok {
+		return kind, nil
+	}
+	return 0, fmt.Errorf("heteropim: unknown configuration %q (valid: %s)",
+		name, strings.Join(ConfigFlagNames(), ", "))
+}
+
+// ConfigFlagName is the inverse of ParseConfigFlag: the canonical
+// flag-style name of a configuration kind ("" for an unknown kind).
+func ConfigFlagName(kind ConfigKind) string {
+	switch kind {
+	case ConfigCPU:
+		return "cpu"
+	case ConfigGPU:
+		return "gpu"
+	case ConfigProgrPIM:
+		return "progr"
+	case ConfigFixedPIM:
+		return "fixed"
+	case ConfigHeteroPIM:
+		return "hetero"
+	default:
+		return ""
+	}
+}

@@ -1,0 +1,33 @@
+package nn
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ModelFlagNames lists the canonical model names ParseModelName
+// accepts, sorted.
+func ModelFlagNames() []string {
+	names := make([]string, 0, len(AllModelNames()))
+	for _, m := range AllModelNames() {
+		names = append(names, string(m))
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ParseModelName resolves a workload model name (case-insensitive:
+// "vgg-19" and "VGG-19" both work) to its canonical ModelName. The
+// error for an unknown name lists the valid ones. The public
+// heteropim.ParseModel delegates here so the CLI flags, the POST body
+// and the scenario schema all accept exactly the same spellings.
+func ParseModelName(name string) (ModelName, error) {
+	for _, m := range AllModelNames() {
+		if strings.EqualFold(string(m), name) {
+			return m, nil
+		}
+	}
+	return "", fmt.Errorf("heteropim: unknown model %q (valid: %s)",
+		name, strings.Join(ModelFlagNames(), ", "))
+}

@@ -1,0 +1,191 @@
+package scenario
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Arrival process names. "closed" (or the empty string) is the classic
+// N-clients closed loop; the other three are open-loop: the schedule
+// generator emits absolute arrival offsets and Drive fires requests at
+// those offsets regardless of how fast responses come back.
+const (
+	ArrivalClosed  = "closed"
+	ArrivalPoisson = "poisson"
+	ArrivalDiurnal = "diurnal"
+	ArrivalBurst   = "burst"
+)
+
+// MaxScheduleRequests bounds a generated schedule so a scenario file
+// cannot ask a load generator to allocate an unbounded arrival list.
+const MaxScheduleRequests = 100000
+
+// Arrival describes how a load generator fires a plan's cells at a
+// serving daemon. Which fields matter depends on Process:
+//
+//   - closed:  Clients (concurrent closed-loop clients), Requests
+//     (total; defaults to one per client).
+//   - poisson: RatePerSec (λ) plus Requests or DurationSec (horizon).
+//   - diurnal: RatePerSec (peak λ), MinRatePerSec (off-peak floor),
+//     PeriodSec (one day's length in test time), DurationSec.
+//   - burst:   TraceSec, a recorded trace of non-decreasing arrival
+//     offsets replayed verbatim.
+type Arrival struct {
+	Process       string    `json:"process"`
+	Clients       int       `json:"clients,omitempty"`
+	Requests      int       `json:"requests,omitempty"`
+	RatePerSec    float64   `json:"rate_per_sec,omitempty"`
+	MinRatePerSec float64   `json:"min_rate_per_sec,omitempty"`
+	PeriodSec     float64   `json:"period_sec,omitempty"`
+	DurationSec   float64   `json:"duration_sec,omitempty"`
+	TraceSec      []float64 `json:"trace_sec,omitempty"`
+}
+
+// Normalized returns the canonical process name ("" means closed).
+func (a *Arrival) Normalized() string {
+	if a == nil || a.Process == "" {
+		return ArrivalClosed
+	}
+	return a.Process
+}
+
+// Open reports whether the process is open-loop (has an arrival
+// schedule) rather than closed-loop.
+func (a *Arrival) Open() bool {
+	switch a.Normalized() {
+	case ArrivalPoisson, ArrivalDiurnal, ArrivalBurst:
+		return true
+	}
+	return false
+}
+
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+// Validate checks the arrival block in isolation (Compile calls it).
+func (a *Arrival) Validate() error {
+	if a == nil {
+		return nil
+	}
+	if a.Clients < 0 {
+		return fmt.Errorf("scenario: arrival: clients must be >= 0, got %d", a.Clients)
+	}
+	if a.Requests < 0 || a.Requests > MaxScheduleRequests {
+		return fmt.Errorf("scenario: arrival: requests must be in [0, %d], got %d", MaxScheduleRequests, a.Requests)
+	}
+	switch a.Normalized() {
+	case ArrivalClosed:
+		return nil
+	case ArrivalPoisson:
+		if !(a.RatePerSec > 0) || !finite(a.RatePerSec) {
+			return fmt.Errorf("scenario: arrival: poisson needs rate_per_sec > 0, got %g", a.RatePerSec)
+		}
+		if a.Requests == 0 && !(a.DurationSec > 0 && finite(a.DurationSec)) {
+			return fmt.Errorf("scenario: arrival: poisson needs requests or duration_sec")
+		}
+		if a.DurationSec < 0 || !finite(a.DurationSec) {
+			return fmt.Errorf("scenario: arrival: duration_sec must be a finite non-negative number, got %g", a.DurationSec)
+		}
+		return nil
+	case ArrivalDiurnal:
+		if !(a.RatePerSec > 0) || !finite(a.RatePerSec) {
+			return fmt.Errorf("scenario: arrival: diurnal needs rate_per_sec > 0 (peak), got %g", a.RatePerSec)
+		}
+		if a.MinRatePerSec < 0 || a.MinRatePerSec > a.RatePerSec || !finite(a.MinRatePerSec) {
+			return fmt.Errorf("scenario: arrival: diurnal min_rate_per_sec must be in [0, rate_per_sec], got %g", a.MinRatePerSec)
+		}
+		if !(a.PeriodSec > 0) || !finite(a.PeriodSec) {
+			return fmt.Errorf("scenario: arrival: diurnal needs period_sec > 0, got %g", a.PeriodSec)
+		}
+		if !(a.DurationSec > 0) || !finite(a.DurationSec) {
+			return fmt.Errorf("scenario: arrival: diurnal needs duration_sec > 0, got %g", a.DurationSec)
+		}
+		return nil
+	case ArrivalBurst:
+		if len(a.TraceSec) == 0 {
+			return fmt.Errorf("scenario: arrival: burst needs a non-empty trace_sec")
+		}
+		if len(a.TraceSec) > MaxScheduleRequests {
+			return fmt.Errorf("scenario: arrival: trace_sec has %d offsets, max %d", len(a.TraceSec), MaxScheduleRequests)
+		}
+		prev := 0.0
+		for i, t := range a.TraceSec {
+			if t < 0 || !finite(t) {
+				return fmt.Errorf("scenario: arrival: trace_sec[%d] must be a finite non-negative offset, got %g", i, t)
+			}
+			if t < prev {
+				return fmt.Errorf("scenario: arrival: trace_sec[%d]=%g is before trace_sec[%d]=%g (offsets must be non-decreasing)", i, t, i-1, prev)
+			}
+			prev = t
+		}
+		return nil
+	default:
+		return fmt.Errorf("scenario: arrival: unknown process %q (valid: %s, %s, %s, %s)",
+			a.Process, ArrivalClosed, ArrivalPoisson, ArrivalDiurnal, ArrivalBurst)
+	}
+}
+
+// Schedule generates the arrival offsets (seconds from test start) for
+// an open-loop process. The generator is a pure function of the
+// arrival block and the seed: replaying a scenario file reproduces the
+// exact same schedule. Closed-loop processes return a nil schedule.
+func (a *Arrival) Schedule(seed int64) ([]float64, error) {
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	switch a.Normalized() {
+	case ArrivalClosed:
+		return nil, nil
+	case ArrivalBurst:
+		// Replay the recorded trace verbatim, so a schedule captured
+		// from one run can be fed back as a scenario and fire
+		// identically (burst round-trip).
+		out := make([]float64, len(a.TraceSec))
+		copy(out, a.TraceSec)
+		return out, nil
+	case ArrivalPoisson:
+		rng := rand.New(rand.NewSource(seed))
+		var out []float64
+		t := 0.0
+		for len(out) < MaxScheduleRequests {
+			t += rng.ExpFloat64() / a.RatePerSec
+			if a.DurationSec > 0 && t > a.DurationSec {
+				break
+			}
+			out = append(out, t)
+			if a.Requests > 0 && len(out) == a.Requests {
+				break
+			}
+		}
+		return out, nil
+	case ArrivalDiurnal:
+		// Thinning (Lewis-Shedler): draw candidate arrivals from a
+		// homogeneous Poisson at the peak rate, keep each with
+		// probability lambda(t)/peak where lambda follows a raised
+		// cosine between min_rate_per_sec and rate_per_sec over one
+		// period.
+		rng := rand.New(rand.NewSource(seed))
+		peak := a.RatePerSec
+		lambda := func(t float64) float64 {
+			phase := (1 - math.Cos(2*math.Pi*t/a.PeriodSec)) / 2
+			return a.MinRatePerSec + (peak-a.MinRatePerSec)*phase
+		}
+		var out []float64
+		t := 0.0
+		for len(out) < MaxScheduleRequests {
+			t += rng.ExpFloat64() / peak
+			if t > a.DurationSec {
+				break
+			}
+			if rng.Float64()*peak <= lambda(t) {
+				out = append(out, t)
+				if a.Requests > 0 && len(out) == a.Requests {
+					break
+				}
+			}
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("scenario: arrival: unknown process %q", a.Process)
+	}
+}

@@ -1,0 +1,58 @@
+package scenario
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// DriveResult is what the open-loop driver hands back: per-request
+// latencies (successful requests only, arrival order lost), the error
+// count, and the wall-clock span of the whole run.
+type DriveResult struct {
+	Fired     int
+	Errors    int
+	Latencies []time.Duration
+	Wall      time.Duration
+}
+
+// Drive executes an open-loop arrival schedule: request i fires at
+// offsets[i] seconds after start — on time even when earlier requests
+// are still in flight, which is the property that distinguishes
+// open-loop load from the closed-loop N-clients harness (a closed loop
+// self-throttles when the server slows down; an open loop keeps
+// arriving and exposes queue growth). fire(i) performs request i and
+// returns its error; it runs on its own goroutine per arrival.
+func Drive(offsets []float64, fire func(i int) error) DriveResult {
+	start := time.Now()
+	var (
+		wg  sync.WaitGroup
+		mu  sync.Mutex
+		res DriveResult
+	)
+	for i, off := range offsets {
+		due := start.Add(time.Duration(off * float64(time.Second)))
+		if d := time.Until(due); d > 0 {
+			time.Sleep(d)
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			t0 := time.Now()
+			err := fire(i)
+			lat := time.Since(t0)
+			mu.Lock()
+			defer mu.Unlock()
+			res.Fired++
+			if err != nil {
+				res.Errors++
+				return
+			}
+			res.Latencies = append(res.Latencies, lat)
+		}(i)
+	}
+	wg.Wait()
+	sort.Slice(res.Latencies, func(i, j int) bool { return res.Latencies[i] < res.Latencies[j] })
+	res.Wall = time.Since(start)
+	return res
+}

@@ -1,0 +1,112 @@
+package scenario
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// seedCorpus feeds every committed scenario document plus a few
+// adversarial shapes to a fuzz target.
+func seedCorpus(f *testing.F) {
+	files, err := filepath.Glob("../../testdata/scenarios/*.json")
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, file := range files {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	for _, doc := range []string{
+		``,
+		`{}`,
+		`{"scenario": 1}`,
+		`{"scenario": 1, "cells": [{"models": ["VGG-19"]}]}`,
+		`{"scenario": 1, "cells": [{"models": ["VGG-19"], "stacks": [0]}]}`,
+		`{"scenario": 1, "seed": -9223372036854775808, "cells": [{"models": ["LSTM"], "freq_scales": [1e308, 5e-324]}]}`,
+		`{"scenario": 1, "cells": [{"models": ["VGG-19"]}], "arrival": {"process": "poisson", "rate_per_sec": 1e-9, "duration_sec": 1e9}}`,
+		`{"scenario": 1, "cells": [{"models": ["VGG-19"]}], "arrival": {"process": "burst", "trace_sec": [0, 0, 0]}}`,
+	} {
+		f.Add([]byte(doc))
+	}
+}
+
+// FuzzParseScenario asserts the whole front end is total: arbitrary
+// bytes either parse-and-compile cleanly or return an error — never a
+// panic — and an accepted document respects the plan's hard limits.
+func FuzzParseScenario(f *testing.F) {
+	seedCorpus(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Parse(data)
+		if err != nil {
+			return
+		}
+		p, err := Compile(s)
+		if err != nil {
+			return
+		}
+		if len(p.Cells) == 0 {
+			t.Fatal("compile accepted a plan with zero cells")
+		}
+		if len(p.Cells) > MaxCells {
+			t.Fatalf("plan has %d cells, above the %d cap", len(p.Cells), MaxCells)
+		}
+		if p.Requested < len(p.Cells) || p.Duplicates != p.Requested-len(p.Cells) {
+			t.Fatalf("accounting broken: requested=%d duplicates=%d cells=%d",
+				p.Requested, p.Duplicates, len(p.Cells))
+		}
+		if p.Arrival != nil {
+			offsets, err := p.Arrival.Schedule(p.Seed)
+			if err != nil {
+				t.Fatalf("validated arrival failed to schedule: %v", err)
+			}
+			if len(offsets) > MaxScheduleRequests {
+				t.Fatalf("schedule has %d offsets, above the %d cap", len(offsets), MaxScheduleRequests)
+			}
+			for i, off := range offsets {
+				if off < 0 || (i > 0 && off < offsets[i-1]) {
+					t.Fatalf("offsets not non-decreasing/non-negative at %d: %v", i, offsets)
+				}
+			}
+		}
+	})
+}
+
+// FuzzCompile asserts the compiler is a pure function of the document:
+// compiling the same bytes twice yields identical plans (cells, order,
+// accounting, schedules).
+func FuzzCompile(f *testing.F) {
+	seedCorpus(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s1, err1 := Parse(data)
+		s2, err2 := Parse(data)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("parse not deterministic: %v vs %v", err1, err2)
+		}
+		if err1 != nil {
+			return
+		}
+		p1, err1 := Compile(s1)
+		p2, err2 := Compile(s2)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("compile not deterministic: %v vs %v", err1, err2)
+		}
+		if err1 != nil {
+			return
+		}
+		if !reflect.DeepEqual(p1, p2) {
+			t.Fatal("identical documents compiled to different plans")
+		}
+		if p1.Arrival != nil {
+			o1, _ := p1.Arrival.Schedule(p1.Seed)
+			o2, _ := p2.Arrival.Schedule(p2.Seed)
+			if !reflect.DeepEqual(o1, o2) {
+				t.Fatal("identical arrivals scheduled differently under one seed")
+			}
+		}
+	})
+}

@@ -26,7 +26,9 @@ type VariantSpec struct {
 	OperationPipeline bool `json:"operation_pipeline"`
 }
 
-// JobRequest is the POST /v1/jobs body: one simulation cell.
+// JobRequest is the POST /v1/jobs body: one simulation cell. The
+// optional axes mirror heteropim.BatchCell, so any cell a scenario can
+// compile is also addressable as a single wire request.
 type JobRequest struct {
 	// Config is a flag-style platform name (heteropim.ParseConfig).
 	Config string `json:"config"`
@@ -34,8 +36,17 @@ type JobRequest struct {
 	Model string `json:"model"`
 	// FreqScale is the PIM/stack frequency multiplier (0 means 1).
 	FreqScale float64 `json:"freq_scale,omitempty"`
-	// Variant toggles RC/OP; requires the hetero config at scale 1.
+	// Variant toggles RC/OP; requires the hetero config.
 	Variant *VariantSpec `json:"variant,omitempty"`
+	// BatchSize overrides the model's paper batch size when > 0.
+	BatchSize int `json:"batch_size,omitempty"`
+	// Stacks shards the minibatch across that many stacks when > 1;
+	// AllReduce picks the gradient schedule ("ring", "tree", "" = ring).
+	Stacks    int    `json:"stacks,omitempty"`
+	AllReduce string `json:"allreduce,omitempty"`
+	// Processors runs Hetero PIM with that many programmable processors
+	// at constant logic-die area when > 0 (requires the hetero config).
+	Processors int `json:"processors,omitempty"`
 	// Instrument runs the job live with a metrics collector attached
 	// (never the result cache) so the SSE stream can carry progress.
 	Instrument bool `json:"instrument,omitempty"`
@@ -48,12 +59,17 @@ type cell struct {
 	model      heteropim.Model
 	freqScale  float64
 	variant    *VariantSpec
+	batchSize  int
+	stacks     int    // always >= 1
+	allReduce  string // "" exactly when stacks == 1
+	processors int
 	instrument bool
 }
 
 // normalize validates a request against the public parsers and
-// canonicalizes it (case-insensitive names, default frequency), so
-// every spelling of the same cell shares one job.
+// canonicalizes it (case-insensitive names, default frequency,
+// collapsed single-stack allreduce), so every spelling of the same
+// cell shares one job.
 func normalize(req JobRequest) (cell, error) {
 	cfg, err := heteropim.ParseConfig(req.Config)
 	if err != nil {
@@ -74,9 +90,42 @@ func normalize(req JobRequest) (cell, error) {
 		if !strings.EqualFold(req.Config, "hetero") {
 			return cell{}, fmt.Errorf("serve: variant toggles need the hetero config, got %q", req.Config)
 		}
-		if fs != 1 {
-			return cell{}, fmt.Errorf("serve: variant toggles run at freq_scale 1, got %g", fs)
+		if req.Processors > 0 {
+			return cell{}, fmt.Errorf("serve: variant and processors are mutually exclusive")
 		}
+	}
+	if req.Processors < 0 {
+		return cell{}, fmt.Errorf("serve: processors must be >= 0, got %d", req.Processors)
+	}
+	if req.Processors > 0 && !strings.EqualFold(req.Config, "hetero") {
+		return cell{}, fmt.Errorf("serve: processors need the hetero config, got %q", req.Config)
+	}
+	if req.BatchSize < 0 {
+		return cell{}, fmt.Errorf("serve: batch_size must be >= 0, got %d", req.BatchSize)
+	}
+	if req.BatchSize > 0 && (req.Variant != nil || req.Processors > 0) {
+		return cell{}, fmt.Errorf("serve: batch_size does not combine with variant/processors")
+	}
+	stacks := req.Stacks
+	if stacks < 0 {
+		return cell{}, fmt.Errorf("serve: stacks must be >= 0, got %d", req.Stacks)
+	}
+	if stacks == 0 {
+		stacks = 1
+	}
+	allReduce := ""
+	if stacks > 1 {
+		switch req.AllReduce {
+		case "":
+			allReduce = "ring"
+		case "ring", "tree":
+			allReduce = req.AllReduce
+		default:
+			return cell{}, fmt.Errorf("serve: unknown allreduce %q (valid: ring, tree)", req.AllReduce)
+		}
+	}
+	if req.Instrument && (req.BatchSize > 0 || stacks > 1 || req.Processors > 0 || req.Variant != nil) {
+		return cell{}, fmt.Errorf("serve: instrument needs a plain config/model/freq_scale cell")
 	}
 	return cell{
 		config:     cfg,
@@ -84,6 +133,10 @@ func normalize(req JobRequest) (cell, error) {
 		model:      model,
 		freqScale:  fs,
 		variant:    req.Variant,
+		batchSize:  req.BatchSize,
+		stacks:     stacks,
+		allReduce:  allReduce,
+		processors: req.Processors,
 		instrument: req.Instrument,
 	}, nil
 }
@@ -101,7 +154,9 @@ func JobID(req JobRequest) (string, error) {
 }
 
 // id derives the job's content-addressed identifier: identical cells
-// map to the same job, which is the request-dedup mechanism.
+// map to the same job, which is the request-dedup mechanism. Extended
+// axes append only when non-default, so the ids of plain cells are
+// byte-stable across releases (a pinned test holds them to that).
 func (c cell) id() string {
 	h := fnv.New64a()
 	fmt.Fprintf(h, "%s|%s|%g|", c.configName, c.model, c.freqScale)
@@ -109,39 +164,111 @@ func (c cell) id() string {
 		fmt.Fprintf(h, "rc=%t,op=%t|", c.variant.RecursiveKernels, c.variant.OperationPipeline)
 	}
 	fmt.Fprintf(h, "ins=%t", c.instrument)
+	if c.batchSize > 0 {
+		fmt.Fprintf(h, "|batch=%d", c.batchSize)
+	}
+	if c.stacks > 1 {
+		fmt.Fprintf(h, "|stacks=%d,%s", c.stacks, c.allReduce)
+	}
+	if c.processors > 0 {
+		fmt.Fprintf(h, "|procs=%d", c.processors)
+	}
 	return fmt.Sprintf("j%016x", h.Sum64())
 }
 
-// batchCell renders the cell in heteropim.BatchRun's input shape (the
-// admission-coalescing window batches whole windows through BatchRun,
+// batchCell renders the cell in heteropim.BatchRun's input shape (both
+// `run` and the admission-coalescing window execute through BatchRun,
 // whose results are documented — and tested — to be bit-identical to
-// the per-cell Run* calls `run` makes).
+// the per-cell Run* calls).
 func (c cell) batchCell() heteropim.BatchCell {
-	bc := heteropim.BatchCell{Config: c.config, Model: c.model, FreqScale: c.freqScale}
+	bc := heteropim.BatchCell{Config: c.config, Model: c.model, FreqScale: c.freqScale,
+		BatchSize: c.batchSize, Processors: c.processors}
 	if c.variant != nil {
 		bc.Variant = &heteropim.Variant{
 			RecursiveKernels:  c.variant.RecursiveKernels,
 			OperationPipeline: c.variant.OperationPipeline,
 		}
 	}
+	if c.stacks > 1 {
+		bc.Stacks, bc.AllReduce = c.stacks, c.allReduce
+	}
 	return bc
 }
 
+// cellFromBatch builds the serving cell for one compiled scenario cell
+// (the POST /v1/scenarios fan-out). Variant and processor cells run on
+// the hetero platform by construction, so they canonicalize onto the
+// same job a direct hetero-config POST would.
+func cellFromBatch(bc heteropim.BatchCell) cell {
+	cfg := bc.Config
+	name := heteropim.ConfigName(cfg)
+	if bc.Variant != nil || bc.Processors > 0 {
+		cfg = heteropim.ConfigHeteroPIM
+		name = "hetero"
+	}
+	fs := bc.FreqScale
+	if fs == 0 {
+		fs = 1
+	}
+	c := cell{
+		config:     cfg,
+		configName: name,
+		model:      bc.Model,
+		freqScale:  fs,
+		batchSize:  bc.BatchSize,
+		stacks:     1,
+		processors: bc.Processors,
+	}
+	if bc.Variant != nil {
+		c.variant = &VariantSpec{
+			RecursiveKernels:  bc.Variant.RecursiveKernels,
+			OperationPipeline: bc.Variant.OperationPipeline,
+		}
+	}
+	if bc.Stacks > 1 {
+		c.stacks, c.allReduce = bc.Stacks, bc.AllReduce
+	}
+	return c
+}
+
+// RequestFromBatch renders one compiled scenario cell as the wire
+// request a client would POST for it — the scenario-driven load
+// generator submits these, so its traffic exercises exactly the public
+// job API (and dedups onto the same content-addressed ids).
+func RequestFromBatch(bc heteropim.BatchCell) JobRequest {
+	req := JobRequest{Config: heteropim.ConfigName(bc.Config), Model: string(bc.Model),
+		BatchSize: bc.BatchSize, Processors: bc.Processors}
+	if bc.Variant != nil || bc.Processors > 0 {
+		req.Config = "hetero"
+	}
+	if bc.Variant != nil {
+		req.Variant = &VariantSpec{
+			RecursiveKernels:  bc.Variant.RecursiveKernels,
+			OperationPipeline: bc.Variant.OperationPipeline,
+		}
+	}
+	if bc.FreqScale != 0 && bc.FreqScale != 1 {
+		req.FreqScale = bc.FreqScale
+	}
+	if bc.Stacks > 1 {
+		req.Stacks, req.AllReduce = bc.Stacks, bc.AllReduce
+	}
+	return req
+}
+
 // run executes the cell through the public API. Uninstrumented runs go
-// through the PR-3 result cache (and its singleflight); instrumented
+// through BatchRun — bit-identical to the per-cell Run* entry points,
+// and riding the PR-3 result cache (and its singleflight); instrumented
 // runs record into m and always execute live.
 func (c cell) run(m *heteropim.Metrics) (heteropim.Result, error) {
-	switch {
-	case c.instrument:
+	if c.instrument {
 		return heteropim.RunObserved(c.config, c.model, c.freqScale, m)
-	case c.variant != nil:
-		return heteropim.RunVariant(c.model, heteropim.Variant{
-			RecursiveKernels:  c.variant.RecursiveKernels,
-			OperationPipeline: c.variant.OperationPipeline,
-		})
-	default:
-		return heteropim.RunScaled(c.config, c.model, c.freqScale)
 	}
+	results, err := heteropim.BatchRun([]heteropim.BatchCell{c.batchCell()})
+	if err != nil {
+		return heteropim.Result{}, err
+	}
+	return results[0], nil
 }
 
 // EncodeResult renders the canonical wire form of one result: compact
@@ -205,6 +332,10 @@ type JobStatus struct {
 	Model      string          `json:"model"`
 	FreqScale  float64         `json:"freq_scale"`
 	Variant    *VariantSpec    `json:"variant,omitempty"`
+	BatchSize  int             `json:"batch_size,omitempty"`
+	Stacks     int             `json:"stacks,omitempty"`
+	AllReduce  string          `json:"allreduce,omitempty"`
+	Processors int             `json:"processors,omitempty"`
 	Instrument bool            `json:"instrument,omitempty"`
 	Requests   int64           `json:"requests"`
 	QueueMs    float64         `json:"queue_ms"`
@@ -222,11 +353,17 @@ func (j *Job) Status() JobStatus {
 		Status:     j.status,
 		Config:     j.cell.configName,
 		Model:      string(j.cell.model),
+		AllReduce:  j.cell.allReduce,
 		FreqScale:  j.cell.freqScale,
 		Variant:    j.cell.variant,
+		BatchSize:  j.cell.batchSize,
+		Processors: j.cell.processors,
 		Instrument: j.cell.instrument,
 		Requests:   j.requests,
 		Error:      j.err,
+	}
+	if j.cell.stacks > 1 {
+		s.Stacks = j.cell.stacks
 	}
 	switch j.status {
 	case StatusQueued:

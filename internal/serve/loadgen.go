@@ -7,17 +7,19 @@ import (
 	"io"
 	"net/http"
 	"os"
-	"sort"
 	"sync"
 	"time"
 
 	"heteropim"
+	"heteropim/internal/scenario"
 )
 
-// The built-in load generator: N concurrent clients hammer a running
-// daemon with a mixed-model cell set over real HTTP, and the outcome
-// (throughput, latency percentiles, dedup ratio, byte-identity against
-// direct Run output) joins the bench trajectory as BENCH_serve.json.
+// The built-in load generator: a scenario document describes the cell
+// mix and the arrival process (closed-loop N clients, or open-loop
+// Poisson/diurnal/burst offsets), the shared scenario.Drive driver
+// fires the requests over real HTTP, and the outcome (throughput,
+// latency percentiles, dedup ratio, byte-identity against direct Run
+// output) joins the bench trajectory as BENCH_serve.json.
 
 // LoadCell is one (config, model) target of the generator.
 type LoadCell struct {
@@ -25,21 +27,45 @@ type LoadCell struct {
 	Model  string `json:"model"`
 }
 
-// DefaultLoadCells is the selfcheck's 8-cell mix: four models on the
-// hetero platform, the same four on the GPU baseline.
+// defaultSelfcheckScenario is the embedded scenario behind the
+// selfcheck's default 8-cell mix: four models on the hetero platform,
+// the same four on the GPU baseline. `pimserve -selfcheck -scenario
+// file.json` swaps in any other document with the same machinery.
+const defaultSelfcheckScenario = `{
+  "scenario": 1,
+  "name": "selfcheck-default",
+  "cells": [
+    {"models": ["VGG-19", "AlexNet", "DCGAN", "ResNet-50"], "configs": ["hetero"]},
+    {"models": ["VGG-19", "AlexNet", "DCGAN", "ResNet-50"], "configs": ["gpu"]}
+  ]
+}`
+
+// DefaultSelfcheckPlan compiles the embedded selfcheck scenario.
+func DefaultSelfcheckPlan() (*heteropim.ScenarioPlan, error) {
+	return heteropim.CompileScenario([]byte(defaultSelfcheckScenario))
+}
+
+// DefaultLoadCells is the selfcheck's 8-cell mix, derived from the
+// embedded scenario so the document stays the single source of truth
+// for both the selfcheck and the cluster check.
 func DefaultLoadCells() []LoadCell {
-	models := []string{"VGG-19", "AlexNet", "DCGAN", "ResNet-50"}
-	cells := make([]LoadCell, 0, 2*len(models))
-	for _, cfg := range []string{"hetero", "gpu"} {
-		for _, m := range models {
-			cells = append(cells, LoadCell{Config: cfg, Model: m})
-		}
+	plan, err := DefaultSelfcheckPlan()
+	if err != nil {
+		// The scenario is an embedded constant; failing to compile it is
+		// a build defect, not a runtime condition.
+		panic(err)
+	}
+	cells := make([]LoadCell, len(plan.Cells))
+	for i, bc := range plan.Cells {
+		cells[i] = LoadCell{Config: heteropim.ConfigName(bc.Config), Model: string(bc.Model)}
 	}
 	return cells
 }
 
 // LoadReport is the BENCH_serve.json shape.
 type LoadReport struct {
+	Scenario      string     `json:"scenario,omitempty"`
+	Arrival       string     `json:"arrival,omitempty"`
 	Clients       int        `json:"clients"`
 	Cells         []LoadCell `json:"cells"`
 	Requests      int64      `json:"requests"`
@@ -64,14 +90,66 @@ func percentile(sorted []float64, p float64) float64 {
 	return sorted[i]
 }
 
-// LoadGen runs `clients` concurrent clients against the daemon at
-// baseURL, client i targeting cells[i%len(cells)]: POST the job, then
-// long-poll its result and compare the bytes against the expected
-// direct-Run encoding. The server's Stats() fills the dedup figures.
+// driveLoad fires len(offsets) requests at baseURL through the shared
+// scenario driver — request i departs at offsets[i] seconds and
+// targets reqs[i%len(reqs)] — and verifies each body against expected.
+func driveLoad(baseURL string, offsets []float64, reqs []JobRequest, expected [][]byte) (errs int64, identical bool, lats []float64, wall float64) {
+	client := &http.Client{Timeout: 2 * time.Minute}
+	identical = true
+	var mu sync.Mutex
+	res := scenario.Drive(offsets, func(i int) error {
+		k := i % len(reqs)
+		got, err := SubmitAndFetchRequest(client, baseURL, reqs[k])
+		if err != nil {
+			mu.Lock()
+			fmt.Fprintf(os.Stderr, "loadgen request %d (%s/%s): %v\n", i, reqs[k].Config, reqs[k].Model, err)
+			mu.Unlock()
+			return err
+		}
+		if !bytes.Equal(got, expected[k]) {
+			mu.Lock()
+			identical = false
+			mu.Unlock()
+		}
+		return nil
+	})
+	lats = make([]float64, len(res.Latencies))
+	for i, d := range res.Latencies {
+		lats[i] = d.Seconds()
+	}
+	return int64(res.Errors), identical, lats, res.Wall.Seconds()
+}
+
+// finishReport folds the drive outcome and the server's counters into
+// the report (latencies must be sorted; scenario.Drive sorts them).
+func (r *LoadReport) finish(errs int64, identical bool, lats []float64, wall float64, s *Server) {
+	r.Errors = errs
+	r.ByteIdentical = identical
+	r.WallSeconds = wall
+	r.LatencyP50Ms = percentile(lats, 0.50) * 1e3
+	r.LatencyP99Ms = percentile(lats, 0.99) * 1e3
+	if wall > 0 {
+		r.ThroughputRPS = float64(len(lats)) / wall
+	}
+	st := s.Stats()
+	r.Requests = st.Requests
+	r.DedupHits = st.DedupHits
+	r.LiveRuns = st.JobsRun
+	if st.JobsRun > 0 {
+		r.DedupRatio = float64(st.Requests) / float64(st.JobsRun)
+	}
+}
+
+// LoadGen runs `clients` concurrent closed-loop clients against the
+// daemon at baseURL, client i targeting cells[i%len(cells)]: POST the
+// job, then long-poll its result and compare the bytes against the
+// expected direct-Run encoding. The server's Stats() fills the dedup
+// figures.
 func LoadGen(baseURL string, clients int, cells []LoadCell, s *Server) (LoadReport, error) {
 	rep := LoadReport{Clients: clients, Cells: cells}
 
 	// Expected canonical bytes per cell, from direct public-API runs.
+	reqs := make([]JobRequest, len(cells))
 	expected := make([][]byte, len(cells))
 	for i, c := range cells {
 		cfg, err := heteropim.ParseConfig(c.Config)
@@ -86,58 +164,69 @@ func LoadGen(baseURL string, clients int, cells []LoadCell, s *Server) (LoadRepo
 		if err != nil {
 			return rep, err
 		}
+		reqs[i] = JobRequest{Config: c.Config, Model: c.Model}
 		expected[i] = EncodeResult(r)
 	}
 
-	client := &http.Client{Timeout: 2 * time.Minute}
-	latencies := make([]float64, clients)
-	identical := make([]bool, clients)
-	var errs int64
-	var mu sync.Mutex
-	var wg sync.WaitGroup
-	t0 := time.Now()
-	for i := 0; i < clients; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			cell := cells[i%len(cells)]
-			start := time.Now()
-			got, err := SubmitAndFetch(client, baseURL, cell)
-			latencies[i] = time.Since(start).Seconds()
-			if err != nil {
-				mu.Lock()
-				errs++
-				fmt.Fprintf(os.Stderr, "loadgen client %d (%s/%s): %v\n", i, cell.Config, cell.Model, err)
-				mu.Unlock()
-				return
-			}
-			identical[i] = bytes.Equal(got, expected[i%len(cells)])
-		}(i)
-	}
-	wg.Wait()
-	rep.WallSeconds = time.Since(t0).Seconds()
+	errs, identical, lats, wall := driveLoad(baseURL, make([]float64, clients), reqs, expected)
+	rep.finish(errs, identical, lats, wall, s)
+	return rep, nil
+}
 
-	rep.Errors = errs
-	rep.ByteIdentical = true
-	for i := range identical {
-		if !identical[i] {
-			rep.ByteIdentical = false
+// ScenarioLoadGen drives a compiled scenario plan against the daemon
+// at baseURL. A closed-loop plan (no arrival, or process "closed")
+// fires `clients` concurrent requests at once, exactly like LoadGen; an
+// open-loop plan derives its departure offsets from the arrival
+// process under the scenario's seed, so the request count and timing
+// come from the document, not the flag. Request i targets plan cell
+// i%len(cells); every body is verified against the BatchRun encoding
+// of its cell.
+func ScenarioLoadGen(baseURL string, plan *heteropim.ScenarioPlan, clients int, s *Server) (LoadReport, error) {
+	arr := heteropim.Arrival{}
+	if plan.Arrival != nil {
+		arr = *plan.Arrival
+	}
+	rep := LoadReport{Scenario: plan.Name, Arrival: arr.Normalized()}
+	if len(plan.Cells) == 0 {
+		return rep, fmt.Errorf("serve: scenario %q compiled to no cells", plan.Name)
+	}
+
+	reqs := make([]JobRequest, len(plan.Cells))
+	for i, bc := range plan.Cells {
+		reqs[i] = RequestFromBatch(bc)
+		c, err := normalize(reqs[i])
+		if err != nil {
+			return rep, fmt.Errorf("serve: scenario cell %d: %w", i, err)
 		}
+		rep.Cells = append(rep.Cells, LoadCell{Config: c.configName, Model: string(c.model)})
 	}
-	sort.Float64s(latencies)
-	rep.LatencyP50Ms = percentile(latencies, 0.50) * 1e3
-	rep.LatencyP99Ms = percentile(latencies, 0.99) * 1e3
-	if rep.WallSeconds > 0 {
-		rep.ThroughputRPS = float64(clients) / rep.WallSeconds
+	// Ground truth straight from the public batch API — documented (and
+	// tested) to be bit-identical to the per-cell Run* entry points.
+	results, err := heteropim.BatchRun(plan.Cells)
+	if err != nil {
+		return rep, err
+	}
+	expected := make([][]byte, len(results))
+	for i, r := range results {
+		expected[i] = EncodeResult(r)
 	}
 
-	st := s.Stats()
-	rep.Requests = st.Requests
-	rep.DedupHits = st.DedupHits
-	rep.LiveRuns = st.JobsRun
-	if st.JobsRun > 0 {
-		rep.DedupRatio = float64(st.Requests) / float64(st.JobsRun)
+	var offsets []float64
+	if arr.Open() {
+		if offsets, err = arr.Schedule(plan.Seed); err != nil {
+			return rep, err
+		}
+	} else {
+		n := clients
+		if arr.Clients > 0 {
+			n = arr.Clients
+		}
+		offsets = make([]float64, n)
 	}
+	rep.Clients = len(offsets)
+
+	errs, identical, lats, wall := driveLoad(baseURL, offsets, reqs, expected)
+	rep.finish(errs, identical, lats, wall, s)
 	return rep, nil
 }
 
@@ -146,7 +235,14 @@ func LoadGen(baseURL string, clients int, cells []LoadCell, s *Server) (LoadRepo
 // cluster check's wave runner share it, so a routed request exercises
 // exactly the client path a direct one does.
 func SubmitAndFetch(client *http.Client, baseURL string, cell LoadCell) ([]byte, error) {
-	body, _ := json.Marshal(JobRequest{Config: cell.Config, Model: cell.Model})
+	return SubmitAndFetchRequest(client, baseURL, JobRequest{Config: cell.Config, Model: cell.Model})
+}
+
+// SubmitAndFetchRequest is SubmitAndFetch over a full wire request, so
+// scenario cells with extended axes (batch, stacks, variant,
+// processors) ride the same submit-poll path.
+func SubmitAndFetchRequest(client *http.Client, baseURL string, req JobRequest) ([]byte, error) {
+	body, _ := json.Marshal(req)
 	var id string
 	// A 429 is the admission controller doing its job; honor the
 	// Retry-After budget a few times before giving up.

@@ -19,6 +19,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"sync"
 	"time"
@@ -96,6 +97,7 @@ func New(opts Options) *Server {
 	// replica still reports the same process-wide truth.
 	runner.SetMetricsRegistry(s.reg)
 	s.mux.HandleFunc("POST /v1/jobs", s.route("post_jobs", s.handleSubmit))
+	s.mux.HandleFunc("POST /v1/scenarios", s.route("post_scenarios", s.handleScenarios))
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.route("get_job", s.handleJob))
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.route("get_result", s.handleResult))
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents) // streams; no latency histogram
@@ -159,20 +161,33 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	st, code, err := s.admit(c)
+	if err != nil {
+		if code == http.StatusTooManyRequests {
+			w.Header().Set("Retry-After", "1")
+		}
+		writeError(w, code, err)
+		return
+	}
+	writeJSON(w, code, st)
+}
 
+// admit dedups or enqueues one validated cell — the shared admission
+// path of the single-job and scenario endpoints. On success the
+// returned code is 200 (deduplicated onto an existing job) or 202
+// (newly enqueued); on failure it is the HTTP status to write.
+func (s *Server) admit(c cell) (JobStatus, int, error) {
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
 		s.reg.Add("serve.rejected_draining", 1)
-		writeError(w, http.StatusServiceUnavailable, errors.New("serve: draining, not admitting jobs"))
-		return
+		return JobStatus{}, http.StatusServiceUnavailable, errors.New("serve: draining, not admitting jobs")
 	}
 	if j, ok := s.jobs[c.id()]; ok {
 		s.mu.Unlock()
 		j.addRequest()
 		s.reg.Add("serve.dedup_hits", 1)
-		writeJSON(w, http.StatusOK, j.Status())
-		return
+		return j.Status(), http.StatusOK, nil
 	}
 	j := newJob(c)
 	s.jobs[j.ID] = j
@@ -197,16 +212,64 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		j.fail(fmt.Errorf("serve: not admitted: %w", err))
 		if errors.Is(err, runner.ErrQueueFull) {
 			s.reg.Add("serve.rejected_full", 1)
-			w.Header().Set("Retry-After", "1")
-			writeError(w, http.StatusTooManyRequests, errors.New("serve: admission queue full, retry later"))
-			return
+			return JobStatus{}, http.StatusTooManyRequests, errors.New("serve: admission queue full, retry later")
 		}
 		s.reg.Add("serve.rejected_draining", 1)
-		writeError(w, http.StatusServiceUnavailable, err)
-		return
+		return JobStatus{}, http.StatusServiceUnavailable, err
 	}
 	s.reg.Set("serve.queue_depth", 0, float64(s.pool.QueueDepth()))
-	writeJSON(w, http.StatusAccepted, j.Status())
+	return j.Status(), http.StatusAccepted, nil
+}
+
+// ScenarioResponse is the POST /v1/scenarios body: the compiled plan's
+// accounting plus one job status per unique cell, in plan order.
+type ScenarioResponse struct {
+	Scenario   string      `json:"scenario"`
+	Requested  int         `json:"requested"`
+	Duplicates int         `json:"duplicates"`
+	Jobs       []JobStatus `json:"jobs"`
+}
+
+// handleScenarios accepts a scenario document as the POST body,
+// compiles it with the same strict compiler the CLIs use, and fans the
+// plan out to content-addressed jobs through the shared admission path
+// (dedup, coalescing, queue limits all apply per cell). The plan's
+// cells must fit the admission queue; split larger scenarios.
+func (s *Server) handleScenarios(w http.ResponseWriter, r *http.Request) {
+	s.reg.Add("serve.scenario_requests", 1)
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		s.reg.Add("serve.bad_requests", 1)
+		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: bad scenario body: %w", err))
+		return
+	}
+	plan, err := heteropim.CompileScenario(body)
+	if err != nil {
+		s.reg.Add("serve.bad_requests", 1)
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	resp := ScenarioResponse{
+		Scenario:   plan.Name,
+		Requested:  plan.Requested,
+		Duplicates: plan.Duplicates,
+	}
+	for _, bc := range plan.Cells {
+		// Each fanned-out cell counts as one logical submission, so
+		// dedup ratios read the same whichever endpoint carried it.
+		s.reg.Add("serve.requests", 1)
+		st, code, err := s.admit(cellFromBatch(bc))
+		if err != nil {
+			if code == http.StatusTooManyRequests {
+				w.Header().Set("Retry-After", "1")
+			}
+			writeError(w, code, fmt.Errorf("serve: scenario cell %d of %d: %w",
+				len(resp.Jobs)+1, len(plan.Cells), err))
+			return
+		}
+		resp.Jobs = append(resp.Jobs, st)
+	}
+	writeJSON(w, http.StatusAccepted, resp)
 }
 
 // remove drops a job record (transient failures only: completed and

@@ -1,10 +1,7 @@
 package heteropim
 
 import (
-	"fmt"
 	"io"
-	"sort"
-	"strings"
 
 	"heteropim/internal/core"
 	"heteropim/internal/hw"
@@ -91,58 +88,27 @@ func RunInstrumentedScaled(config Config, model Model, freqScale float64) (Resul
 	return r, m, nil
 }
 
-// configByName maps the flag-style lowercase platform names used by
-// every cmd/ tool to configuration kinds.
-var configByName = map[string]Config{
-	"cpu":    ConfigCPU,
-	"gpu":    ConfigGPU,
-	"progr":  ConfigProgrPIM,
-	"fixed":  ConfigFixedPIM,
-	"hetero": ConfigHeteroPIM,
-}
-
 // ConfigNames lists the flag-style platform names ParseConfig accepts,
 // sorted.
-func ConfigNames() []string {
-	names := make([]string, 0, len(configByName))
-	for n := range configByName {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	return names
-}
+func ConfigNames() []string { return hw.ConfigFlagNames() }
 
 // ParseConfig resolves a flag-style platform name (case-insensitive:
 // cpu, gpu, progr, fixed, hetero) to its configuration kind. The error
-// for an unknown name lists the valid ones.
-func ParseConfig(name string) (Config, error) {
-	if kind, ok := configByName[strings.ToLower(name)]; ok {
-		return kind, nil
-	}
-	return 0, fmt.Errorf("heteropim: unknown configuration %q (valid: %s)",
-		name, strings.Join(ConfigNames(), ", "))
-}
+// for an unknown name lists the valid ones. The scenario compiler and
+// the serving POST body validate through the same table
+// (hw.ParseConfigFlag), so every front door accepts the same spellings.
+func ParseConfig(name string) (Config, error) { return hw.ParseConfigFlag(name) }
+
+// ConfigName is the inverse of ParseConfig: the canonical flag-style
+// name of a configuration ("" for an unknown kind). The serving layer
+// uses it to render compiled scenario cells as wire requests.
+func ConfigName(c Config) string { return hw.ConfigFlagName(c) }
 
 // ModelNames lists the canonical model names ParseModel accepts,
 // sorted (cf. ConfigNames).
-func ModelNames() []string {
-	names := make([]string, 0, len(nn.AllModelNames()))
-	for _, m := range nn.AllModelNames() {
-		names = append(names, string(m))
-	}
-	sort.Strings(names)
-	return names
-}
+func ModelNames() []string { return nn.ModelFlagNames() }
 
 // ParseModel resolves a workload model name (case-insensitive:
 // "vgg-19" and "VGG-19" both work) to its canonical Model. The error
 // for an unknown name lists the valid ones (cf. ParseConfig).
-func ParseModel(name string) (Model, error) {
-	for _, m := range nn.AllModelNames() {
-		if strings.EqualFold(string(m), name) {
-			return Model(m), nil
-		}
-	}
-	return "", fmt.Errorf("heteropim: unknown model %q (valid: %s)",
-		name, strings.Join(ModelNames(), ", "))
-}
+func ParseModel(name string) (Model, error) { return nn.ParseModelName(name) }

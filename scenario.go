@@ -1,0 +1,156 @@
+package heteropim
+
+import (
+	"fmt"
+
+	"heteropim/internal/scenario"
+)
+
+// ScenarioSpec is the versioned declarative scenario document: cell
+// sets (models x configurations x option axes), and optionally an
+// arrival process for load generation. See internal/scenario for the
+// schema and README "Scenarios" for examples.
+type ScenarioSpec = scenario.Spec
+
+// ScenarioCellSet is one cross product of models and option axes
+// inside a ScenarioSpec.
+type ScenarioCellSet = scenario.CellSet
+
+// ScenarioVariant is one RC/OP runtime-technique combination on the
+// variants axis of a cell set.
+type ScenarioVariant = scenario.VariantAxis
+
+// Arrival describes how a load generator fires a compiled plan's
+// cells at a serving daemon: closed-loop N clients, or the open-loop
+// poisson / diurnal / burst processes with a seeded, deterministic
+// arrival schedule (Arrival.Schedule).
+type Arrival = scenario.Arrival
+
+// ScenarioVersion is the schema version CompileScenario accepts (the
+// required "scenario" field of the document).
+const ScenarioVersion = scenario.Version
+
+// ScenarioPlan is a compiled scenario: the unique simulation cells in
+// deterministic order (ready for BatchRun), the dedup accounting, and
+// the validated arrival process.
+type ScenarioPlan struct {
+	Name string
+	Seed int64
+	// Cells are unique and ordered (first spec occurrence wins); they
+	// run through BatchRun byte-identically to the equivalent
+	// flag-driven invocations.
+	Cells []BatchCell
+	// Requested counts cells before dedup; Requested - len(Cells) of
+	// them were duplicates.
+	Requested  int
+	Duplicates int
+	Arrival    *Arrival
+}
+
+// CompileScenario parses and compiles a scenario document (strict
+// JSON: unknown fields and version mismatches are errors) into an
+// ordered BatchRun plan. Compilation is deterministic: the same bytes
+// always yield the same plan.
+func CompileScenario(data []byte) (*ScenarioPlan, error) {
+	s, err := scenario.Parse(data)
+	if err != nil {
+		return nil, err
+	}
+	return CompileScenarioSpec(*s)
+}
+
+// CompileScenarioSpec compiles an in-memory spec (cf. CompileScenario).
+func CompileScenarioSpec(s ScenarioSpec) (*ScenarioPlan, error) {
+	p, err := scenario.Compile(&s)
+	if err != nil {
+		return nil, err
+	}
+	plan := &ScenarioPlan{
+		Name:       p.Name,
+		Seed:       p.Seed,
+		Cells:      make([]BatchCell, len(p.Cells)),
+		Requested:  p.Requested,
+		Duplicates: p.Duplicates,
+		Arrival:    p.Arrival,
+	}
+	for i, c := range p.Cells {
+		bc := BatchCell{
+			Config:    c.Config,
+			Model:     c.Model,
+			BatchSize: c.BatchSize,
+			FreqScale: c.FreqScale,
+		}
+		if c.Stacks > 1 {
+			bc.Stacks, bc.AllReduce = c.Stacks, c.AllReduce
+		}
+		if c.Variant != nil {
+			bc.Variant = &Variant{
+				RecursiveKernels:  c.Variant.RecursiveKernels,
+				OperationPipeline: c.Variant.OperationPipeline,
+			}
+			bc.Config = 0
+		}
+		if c.Processors > 0 {
+			bc.Processors = c.Processors
+			bc.Config = 0
+		}
+		plan.Cells[i] = bc
+	}
+	return plan, nil
+}
+
+// SweepScenario returns the builtin scenario spec equivalent to one of
+// pimsweep's flag-driven sweeps over the given models (nil means the
+// paper's five CNN figure models). pimsweep itself compiles these
+// specs, so `pimsweep -sweep config` and `pimsweep -scenario <this
+// spec>` are byte-identical by construction. Kinds: config, freq,
+// variant, batch, stacks.
+func SweepScenario(kind string, models []Model) (ScenarioSpec, error) {
+	if len(models) == 0 {
+		models = Models()
+	}
+	names := make([]string, len(models))
+	for i, m := range models {
+		names[i] = string(m)
+	}
+	spec := ScenarioSpec{Scenario: ScenarioVersion, Name: "sweep-" + kind}
+	switch kind {
+	case "config":
+		spec.Cells = []ScenarioCellSet{{
+			Models:  names,
+			Configs: []string{"cpu", "gpu", "progr", "fixed", "hetero"},
+		}}
+	case "freq":
+		spec.Cells = []ScenarioCellSet{{
+			Models:     names,
+			Configs:    []string{"hetero"},
+			FreqScales: []float64{1, 2, 4},
+		}}
+	case "variant":
+		spec.Cells = []ScenarioCellSet{{
+			Models: names,
+			Variants: []ScenarioVariant{
+				{RecursiveKernels: false, OperationPipeline: false},
+				{RecursiveKernels: false, OperationPipeline: true},
+				{RecursiveKernels: true, OperationPipeline: false},
+				{RecursiveKernels: true, OperationPipeline: true},
+			},
+		}}
+	case "batch":
+		spec.Cells = []ScenarioCellSet{{
+			Models:     names,
+			Configs:    []string{"gpu", "hetero"},
+			BatchSizes: []int{8, 16, 32, 64, 128},
+		}}
+	case "stacks":
+		spec.Cells = []ScenarioCellSet{{
+			Models:    names,
+			Configs:   []string{"hetero"},
+			Stacks:    []int{1, 2, 4, 8},
+			AllReduce: []string{"ring", "tree"},
+		}}
+	default:
+		return ScenarioSpec{}, fmt.Errorf("heteropim: unknown sweep scenario %q (valid: config, freq, variant, batch, stacks)", kind)
+	}
+	return spec, nil
+}
