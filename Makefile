@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify lint vet build test race bench benchjson cachejson servejson clusterjson eventsjson multistackjson dsejson dsejson-large fuzz golden golden-check clean
+.PHONY: verify lint vet build test race bench benchjson cachejson servejson clusterjson eventsjson multistackjson dsejson dsejson-large dsejson-xl fuzz golden golden-check clean
 
 # verify is the default CI gate: static checks, a full build, the test
 # suite, and the race-detector pass (the parallel experiment runner
@@ -92,6 +92,16 @@ dsejson:
 # exhaustive legs simulate all 2000+ (model, candidate) cells.
 dsejson-large:
 	$(GO) run ./cmd/pimdse -dsejson BENCH_dse.json -grid large
+
+# dsejson-xl regenerates the committed BENCH_dse.json on the
+# 2232-candidate xl grid (calibrated admissible bounds + deep delta
+# checkpoints + confidence ordering vs the large-grid optimization
+# level). Gates: >= 2000 candidates, >= 80% pruned, >= 2x aggregate
+# speedup over the {prune, surrogate, delta} baseline, sub-second
+# median per model per 100 candidates, and winners byte-identical to
+# an exhaustive re-run over the winner-containing verification subset.
+dsejson-xl:
+	$(GO) run ./cmd/pimdse -dsejson BENCH_dse.json -grid xl
 
 # fuzz runs the scenario front end's fuzz targets for a short budget:
 # arbitrary bytes must parse-and-compile cleanly or error — never

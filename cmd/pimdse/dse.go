@@ -103,6 +103,66 @@ func ladderRung(maxUnits, r int) int {
 	return int(v + 0.5)
 }
 
+// xlGridFreqs/xlGridRungs shape the XL grid: ten PLL points and a
+// 96-rung ladder per point over the same 64x span, crossed with the
+// three processor counts — thousands of candidates, the scale where the
+// calibrated bound and deep delta checkpoints earn their keep.
+var xlGridFreqs = []float64{0.5, 0.75, 1, 1.25, 1.5, 2, 2.5, 3, 3.5, 4}
+
+const xlGridRungs = 96
+
+// xlCandidates builds the XL interactive-DSE grid (>= 2000 thermally
+// capped candidates after integer dedup of the dense ladders).
+func xlCandidates() ([]batch.Candidate, error) {
+	stack, err := hmc.New(hw.PaperStack(1))
+	if err != nil {
+		return nil, err
+	}
+	var cands []batch.Candidate
+	for _, scale := range xlGridFreqs {
+		maxUnits, err := thermal.MaxUnitsUnderCap(stack, thermal.DRAMThermalCap, scale)
+		if err != nil {
+			return nil, err
+		}
+		prev := 0
+		for r := 0; r < xlGridRungs; r++ {
+			v := float64(maxUnits) * math.Pow(1.0/largeGridSpan, float64(r)/float64(xlGridRungs-1))
+			units := int(v + 0.5)
+			if units < 1 || units == prev {
+				continue
+			}
+			prev = units
+			for _, procs := range largeGridProcs {
+				cands = append(cands, batch.Candidate{
+					Units: units, FreqScale: scale, ProgProcessors: procs,
+				})
+			}
+		}
+	}
+	return cands, nil
+}
+
+// xlVerifyStride subsamples the XL grid for exhaustive verification:
+// every ninth candidate in grid order (plus, in the JSON comparison,
+// the optimized winner) is simulated exhaustively and must reproduce
+// the optimized winner byte for byte.
+const xlVerifyStride = 9
+
+// xlVerifyCandidates is the deterministic verification subset, also
+// exposed as its own grid so CI can byte-diff optimized vs exhaustive
+// stdout on it.
+func xlVerifyCandidates() ([]batch.Candidate, error) {
+	xl, err := xlCandidates()
+	if err != nil {
+		return nil, err
+	}
+	var sub []batch.Candidate
+	for i := 0; i < len(xl); i += xlVerifyStride {
+		sub = append(sub, xl[i])
+	}
+	return sub, nil
+}
+
 // candidatesFor resolves a -grid flag value.
 func candidatesFor(grid string) ([]batch.Candidate, error) {
 	switch grid {
@@ -110,8 +170,12 @@ func candidatesFor(grid string) ([]batch.Candidate, error) {
 		return defaultCandidates()
 	case "large":
 		return largeCandidates()
+	case "xl":
+		return xlCandidates()
+	case "xl-verify":
+		return xlVerifyCandidates()
 	default:
-		return nil, fmt.Errorf("unknown grid %q (want paper or large)", grid)
+		return nil, fmt.Errorf("unknown grid %q (want paper, large, xl, or xl-verify)", grid)
 	}
 }
 

@@ -10,13 +10,18 @@
 //	pimdse -model AlexNet
 //	pimdse -dse            # branch-and-bound winner search, all CNNs
 //	pimdse -dse -exhaustive           # same space, no optimizations
-//	pimdse -dse -grid large           # interactive-DSE grid (288 candidates)
+//	pimdse -dse -grid large           # interactive-DSE grid (~400 candidates)
+//	pimdse -dse -grid xl              # interactive-DSE at scale (>= 2000 candidates)
 //	pimdse -dsejson BENCH_dse.json -grid large   # optimized-vs-exhaustive comparison
+//	pimdse -dsejson BENCH_dse.json -grid xl      # optimized-vs-baseline + subsampled verification
 //
-// -surrogate and -delta (both default on) control the two interactive-DSE
-// optimizations: surrogate-guided candidate ordering and delta-simulation
-// replay from per-group engine checkpoints. Winners are identical under
-// every flag combination — only the wall clock changes.
+// -surrogate, -delta, -deepdelta, -calibrate and -confidence (all default
+// on) control the interactive-DSE optimizations: surrogate-guided
+// candidate ordering, delta-simulation replay from per-group engine
+// checkpoints (deep: from the deepest shared event boundary), the
+// reference-calibrated admissible bound, and confidence-ordered rounds.
+// Winners are identical under every flag combination — only the wall
+// clock changes.
 package main
 
 import (
@@ -46,9 +51,12 @@ func main() {
 	model := flag.String("model", "VGG-19", "model for the unit-budget performance sweep")
 	dse := flag.Bool("dse", false, "explore the thermally-capped candidate space for every CNN (branch-and-bound)")
 	exhaustive := flag.Bool("exhaustive", false, "with -dse: simulate every candidate instead of pruning")
-	grid := flag.String("grid", "paper", "candidate grid for -dse/-dsejson: paper (24) or large (288)")
+	grid := flag.String("grid", "paper", "candidate grid for -dse/-dsejson: paper, large, xl, or xl-verify")
 	surrogateOn := flag.Bool("surrogate", true, "order candidates by a regression surrogate fitted on simulated results")
 	deltaOn := flag.Bool("delta", true, "fork candidate groups from engine checkpoints instead of simulating from scratch")
+	deepOn := flag.Bool("deepdelta", true, "fork from the deepest shared event boundary instead of the first fixed-pool grant")
+	calibrateOn := flag.Bool("calibrate", true, "prune with the reference-calibrated admissible bound on top of the analytic one")
+	confidenceOn := flag.Bool("confidence", true, "batch likely-prunable candidates last using the surrogate's residual spread")
 	stacks := flag.Int("stacks", 1, "with -dse/-dsejson: evaluate candidates sharded across this many HMC stacks")
 	allreduce := flag.String("allreduce", "ring", "gradient all-reduce schedule for -stacks > 1: ring|tree")
 	dsejson := flag.String("dsejson", "", "write an optimized-vs-exhaustive DSE comparison to this file and exit")
@@ -74,25 +82,37 @@ func main() {
 			fail(err)
 		}
 		dopts := batch.DSEOptions{Prune: !*exhaustive, Surrogate: *surrogateOn && !*exhaustive,
-			Delta: *deltaOn && !*exhaustive, Stacks: planStacks, AllReduce: planSched}
+			Delta: *deltaOn && !*exhaustive, DeepDelta: *deepOn && !*exhaustive,
+			Calibrate: *calibrateOn && !*exhaustive, Confidence: *confidenceOn && !*exhaustive,
+			Stacks: planStacks, AllReduce: planSched}
 		if err := runDSE(*grid, models, dopts); err != nil {
 			fail(err)
 		}
 		return
 	}
 	if *dsejson != "" {
-		// The comparison's optimized leg always prunes; -surrogate/-delta
-		// choose which optimizations stack on top. The exhaustive leg is
-		// built in-tool.
+		// The comparison's optimized leg always prunes; the optimization
+		// flags choose what stacks on top. The baseline leg is built
+		// in-tool: full exhaustive on the paper/large grids, the shallow
+		// optimized mode plus a subsampled exhaustive verification on xl.
 		dopts := batch.DSEOptions{Prune: true, Surrogate: *surrogateOn, Delta: *deltaOn,
+			DeepDelta: *deepOn, Calibrate: *calibrateOn, Confidence: *confidenceOn,
 			Stacks: *stacks, AllReduce: sched}
+		if *grid == "xl" {
+			if err := writeXLDSEJSON(*dsejson, dopts); err != nil {
+				fail(err)
+			}
+			return
+		}
 		if err := writeDSEJSON(*dsejson, *grid, dopts); err != nil {
 			fail(err)
 		}
 		return
 	}
 	dopts := batch.DSEOptions{Prune: !*exhaustive, Surrogate: *surrogateOn && !*exhaustive, Delta: *deltaOn && !*exhaustive,
-		Stacks: *stacks, AllReduce: sched}
+		DeepDelta: *deepOn && !*exhaustive, Calibrate: *calibrateOn && !*exhaustive,
+		Confidence: *confidenceOn && !*exhaustive,
+		Stacks:     *stacks, AllReduce: sched}
 	if *dse {
 		if err := runDSE(*grid, nn.CNNModelNames(), dopts); err != nil {
 			fail(err)

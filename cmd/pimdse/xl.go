@@ -1,0 +1,208 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+
+	"heteropim"
+	"heteropim/internal/batch"
+	"heteropim/internal/nn"
+)
+
+// The XL comparison cannot afford a full exhaustive leg (thousands of
+// candidates per model), so it measures and verifies separately:
+//
+//   - speedup is measured against the shallow optimized mode that
+//     shipped before the calibrated bound and deep checkpoints
+//     (prune + surrogate + first-grant delta), on the full grid;
+//   - winner correctness is verified exhaustively on a deterministic
+//     subsample (every xlVerifyStride-th candidate) plus the optimized
+//     winner itself. The subset contains the winner by construction, so
+//     exhaustive search over it returns a strictly better candidate iff
+//     the optimized run pruned incorrectly — byte-diffing the rendered
+//     winner rows turns admissibility bugs into CI failures.
+
+// xlGateMinCandidates is the scale contract of the XL grid.
+const xlGateMinCandidates = 2000
+
+// xlGates are the in-tool acceptance thresholds for the XL comparison.
+const (
+	xlGateMinPrunedFrac = 0.80
+	xlGateMinSpeedup    = 2.0
+	xlGateMaxPer100S    = 1.0
+)
+
+// xlEntry is one model's optimized-vs-baseline comparison plus its
+// subsampled exhaustive verification.
+type xlEntry struct {
+	Model       string  `json:"model"`
+	Winner      string  `json:"winner"`
+	WinnerStepS float64 `json:"winner_step_s"`
+	Candidates  int     `json:"candidates"`
+	Pruned      int     `json:"pruned"`
+	Simulated   int     `json:"simulated"`
+	// CalibratedPruned counts candidates only the calibrated bound could
+	// retire; DeltaBoundaries counts distinct deep-checkpoint captures.
+	CalibratedPruned int     `json:"calibrated_pruned"`
+	DeltaBoundaries  int     `json:"delta_boundaries"`
+	DeltaCheckpoints int     `json:"delta_checkpoints"`
+	DeltaReplays     int     `json:"delta_replays"`
+	DeltaSharedEv    uint64  `json:"delta_shared_events"`
+	SurrogateR2      float64 `json:"surrogate_r2"`
+	SurrogateRank    float64 `json:"surrogate_rank"`
+	// OptimizedS is the full-option wall clock, BaselineS the shallow
+	// optimized mode's, Per100S the optimized seconds per 100 candidates.
+	OptimizedS float64 `json:"optimized_s"`
+	BaselineS  float64 `json:"baseline_s"`
+	Speedup    float64 `json:"speedup"`
+	Per100S    float64 `json:"per_100_candidates_s"`
+	// VerifyIdentical reports whether exhaustive search over the
+	// verification subset reproduced the optimized winner byte for byte.
+	VerifyCandidates int  `json:"verify_candidates"`
+	VerifyIdentical  bool `json:"verify_identical"`
+}
+
+// xlReport is the BENCH_dse.json shape for the xl grid.
+type xlReport struct {
+	Grid         string    `json:"grid"`
+	GOMAXPROCS   int       `json:"gomaxprocs"`
+	NumCPU       int       `json:"num_cpu"`
+	Workers      int       `json:"workers"`
+	Candidates   int       `json:"candidates"`
+	VerifyStride int       `json:"verify_stride"`
+	Models       []xlEntry `json:"models"`
+	// Aggregates over all models; the gates apply to these.
+	AggregateOptimizedS float64 `json:"aggregate_optimized_s"`
+	AggregateBaselineS  float64 `json:"aggregate_baseline_s"`
+	AggregateSpeedup    float64 `json:"aggregate_speedup"`
+	PrunedFraction      float64 `json:"pruned_fraction"`
+	MedianPer100S       float64 `json:"median_per_100_candidates_s"`
+}
+
+// writeXLDSEJSON times the full-option exploration against the shallow
+// optimized baseline per CNN model on the XL grid, verifies each winner
+// exhaustively on the subsampled set, and writes the comparison plus
+// in-tool gates to path.
+func writeXLDSEJSON(path string, dopts batch.DSEOptions) error {
+	cands, err := xlCandidates()
+	if err != nil {
+		return err
+	}
+	if len(cands) < xlGateMinCandidates {
+		return fmt.Errorf("xl grid holds %d candidates, contract is >= %d", len(cands), xlGateMinCandidates)
+	}
+	baseline := batch.DSEOptions{Prune: true, Surrogate: true, Delta: true,
+		Stacks: dopts.Stacks, AllReduce: dopts.AllReduce}
+	exhaustive := batch.DSEOptions{Stacks: dopts.Stacks, AllReduce: dopts.AllReduce}
+	rep := xlReport{
+		Grid:         "xl",
+		GOMAXPROCS:   runtime.GOMAXPROCS(0),
+		NumCPU:       runtime.NumCPU(),
+		Workers:      heteropim.Parallelism(),
+		Candidates:   len(cands),
+		VerifyStride: xlVerifyStride,
+	}
+	totalPruned := 0
+	mismatch := false
+	var per100 []float64
+	for _, model := range nn.CNNModelNames() {
+		opt, optS, optOut, err := timeDSE(model, cands, dopts)
+		if err != nil {
+			return fmt.Errorf("%s (optimized): %w", model, err)
+		}
+		base, baseS, baseOut, err := timeDSE(model, cands, baseline)
+		if err != nil {
+			return fmt.Errorf("%s (baseline): %w", model, err)
+		}
+		if optOut != baseOut {
+			mismatch = true
+			fmt.Fprintf(os.Stderr, "pimdse: %s full-option winner diverged from baseline: %v vs %v\n",
+				model, opt.Winner.Candidate, base.Winner.Candidate)
+		}
+		// Exhaustive verification on the subsample plus the winner.
+		verify := make([]batch.Candidate, 0, len(cands)/xlVerifyStride+2)
+		seenWinner := false
+		for i := 0; i < len(cands); i += xlVerifyStride {
+			verify = append(verify, cands[i])
+			if cands[i] == opt.Winner.Candidate {
+				seenWinner = true
+			}
+		}
+		if !seenWinner {
+			verify = append(verify, opt.Winner.Candidate)
+		}
+		exh, _, exhOut, err := timeDSE(model, verify, exhaustive)
+		if err != nil {
+			return fmt.Errorf("%s (verification): %w", model, err)
+		}
+		identical := exh.Winner.Candidate == opt.Winner.Candidate && exhOut == optOut
+		if !identical {
+			mismatch = true
+			fmt.Fprintf(os.Stderr, "pimdse: %s subsampled exhaustive found %v, optimized chose %v\n",
+				model, exh.Winner.Candidate, opt.Winner.Candidate)
+		}
+		p100 := optS / (float64(len(cands)) / 100)
+		per100 = append(per100, p100)
+		rep.Models = append(rep.Models, xlEntry{
+			Model:            string(model),
+			Winner:           opt.Winner.Candidate.String(),
+			WinnerStepS:      float64(opt.Winner.Result.StepTime),
+			Candidates:       len(cands),
+			Pruned:           opt.Pruned,
+			Simulated:        opt.Simulated,
+			CalibratedPruned: opt.CalibratedPruned,
+			DeltaBoundaries:  opt.DeltaBoundaries,
+			DeltaCheckpoints: opt.DeltaCheckpoints,
+			DeltaReplays:     opt.DeltaReplays,
+			DeltaSharedEv:    opt.DeltaShared,
+			SurrogateR2:      opt.SurrogateR2,
+			SurrogateRank:    opt.SurrogateRank,
+			OptimizedS:       optS,
+			BaselineS:        baseS,
+			Speedup:          baseS / optS,
+			Per100S:          p100,
+			VerifyCandidates: len(verify),
+			VerifyIdentical:  identical,
+		})
+		totalPruned += opt.Pruned
+		rep.AggregateOptimizedS += optS
+		rep.AggregateBaselineS += baseS
+		fmt.Fprintf(os.Stderr, "pimdse: %s winner %v pruned %d/%d (cal %d) %.2fs vs baseline %.2fs, verify %d ok=%v\n",
+			model, opt.Winner.Candidate, opt.Pruned, len(cands), opt.CalibratedPruned,
+			optS, baseS, len(verify), identical)
+	}
+	rep.AggregateSpeedup = rep.AggregateBaselineS / rep.AggregateOptimizedS
+	rep.PrunedFraction = float64(totalPruned) / float64(len(cands)*len(rep.Models))
+	sort.Float64s(per100)
+	rep.MedianPer100S = per100[len(per100)/2]
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "pimdse: wrote %s (grid xl, %d candidates, pruned %.0f%%, speedup %.2fx, median %.2fs/100)\n",
+		path, rep.Candidates, rep.PrunedFraction*100, rep.AggregateSpeedup, rep.MedianPer100S)
+
+	if mismatch {
+		return fmt.Errorf("optimized exploration diverged on the verification set (see %s)", path)
+	}
+	if rep.PrunedFraction < xlGateMinPrunedFrac {
+		return fmt.Errorf("pruned only %.0f%% of candidates, gate is %.0f%%",
+			rep.PrunedFraction*100, xlGateMinPrunedFrac*100)
+	}
+	if rep.AggregateSpeedup < xlGateMinSpeedup {
+		return fmt.Errorf("aggregate speedup over the shallow mode %.2fx below the %.2fx gate",
+			rep.AggregateSpeedup, xlGateMinSpeedup)
+	}
+	if rep.MedianPer100S >= xlGateMaxPer100S {
+		return fmt.Errorf("median %.2fs per model per 100 candidates breaks the sub-second gate",
+			rep.MedianPer100S)
+	}
+	return nil
+}

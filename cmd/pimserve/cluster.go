@@ -13,7 +13,9 @@ import (
 	"syscall"
 	"time"
 
+	"heteropim"
 	"heteropim/internal/cluster"
+	"heteropim/internal/serve"
 )
 
 // runRouter runs pimserve as the fleet front door: consistent-hash
@@ -87,9 +89,7 @@ func runRouter(addr, addrFile, backends string, healthEvery, drainWait time.Dura
 // that cannot announce still serves — the router just won't route to
 // it until someone registers it.
 func announceSelf(routerURL, name, baseURL string) {
-	if name == "" {
-		name = strings.TrimPrefix(strings.TrimPrefix(baseURL, "http://"), "https://")
-	}
+	name = replicaName(name, baseURL)
 	client := &http.Client{Timeout: 5 * time.Second}
 	var err error
 	for attempt := 0; attempt < 10; attempt++ {
@@ -103,19 +103,68 @@ func announceSelf(routerURL, name, baseURL string) {
 	fmt.Fprintf(os.Stderr, "pimserve: announce to %s failed (serving anyway): %v\n", routerURL, err)
 }
 
+// replicaName applies the -name default: the listen address.
+func replicaName(name, baseURL string) string {
+	if name == "" {
+		return strings.TrimPrefix(strings.TrimPrefix(baseURL, "http://"), "https://")
+	}
+	return name
+}
+
+// departSelf announces a graceful drain to the router — DELETE
+// /v1/replicas/{name} — so the shard range rehashes before the drain
+// window starts rejecting submissions. Warn-only: an unreachable router
+// discovers the drain through its readiness probe instead.
+func departSelf(routerURL, name, baseURL string) {
+	name = replicaName(name, baseURL)
+	if err := cluster.Depart(nil, strings.TrimRight(routerURL, "/"), name); err != nil {
+		fmt.Fprintf(os.Stderr, "pimserve: depart from %s failed (draining anyway): %v\n", routerURL, err)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "pimserve: departed %s from %s\n", name, routerURL)
+}
+
+// clustercheckInputs converts a compiled scenario into the cluster
+// check's cell mix and arrival process. The check's ground truth and
+// routing keys are plain (config, model) jobs, so cells carrying the
+// batch API's extra axes (batch size, frequency, variants, processor
+// counts, sharding) are rejected rather than silently flattened.
+func clustercheckInputs(plan *heteropim.ScenarioPlan) ([]serve.LoadCell, *heteropim.Arrival, int64, error) {
+	cells := make([]serve.LoadCell, len(plan.Cells))
+	for i, bc := range plan.Cells {
+		if bc.BatchSize > 0 || (bc.FreqScale != 0 && bc.FreqScale != 1) ||
+			bc.Variant != nil || bc.Processors > 0 || bc.Stacks > 1 {
+			return nil, nil, 0, fmt.Errorf("scenario cell %d carries batch-API axes; "+
+				"-clustercheck scenarios take plain (config, model) cells", i)
+		}
+		cells[i] = serve.LoadCell{Config: heteropim.ConfigName(bc.Config), Model: string(bc.Model)}
+	}
+	return cells, plan.Arrival, plan.Seed, nil
+}
+
 // runClustercheck is the fleet's acceptance harness: replicas + router
 // in-process, three client waves with a kill-and-recover of one
 // replica mid-load, gates on zero errors / byte-identity / cluster
-// dedup >= single-node dedup, and writes BENCH_cluster.json.
-func runClustercheck(nodes, clients int, window time.Duration, benchOut string, workers, queue int, timeout time.Duration) error {
-	rep, checkErr := cluster.RunCheck(cluster.CheckOptions{
+// dedup >= single-node dedup, and writes BENCH_cluster.json. A non-nil
+// plan supplies the cell mix and arrival process from a scenario file.
+func runClustercheck(plan *heteropim.ScenarioPlan, nodes, clients int, window time.Duration, benchOut string, workers, queue int, timeout time.Duration) error {
+	opts := cluster.CheckOptions{
 		Replicas:   nodes,
 		Clients:    clients,
 		Window:     window,
 		Workers:    workers,
 		Queue:      queue,
 		JobTimeout: timeout,
-	})
+	}
+	if plan != nil {
+		cells, arr, seed, err := clustercheckInputs(plan)
+		if err != nil {
+			return err
+		}
+		opts.Cells, opts.Arrival, opts.Seed = cells, arr, seed
+		fmt.Fprintf(os.Stderr, "pimserve: clustercheck scenario %q: %d cells\n", plan.Name, len(cells))
+	}
+	rep, checkErr := cluster.RunCheck(opts)
 
 	f, err := os.Create(benchOut)
 	if err != nil {

@@ -119,9 +119,9 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	if plan != nil && !*selfcheck {
-		fail(fmt.Errorf("-scenario drives the load generator; combine it with -selfcheck " +
-			"(daemons accept scenario documents on POST /v1/scenarios)"))
+	if plan != nil && !*selfcheck && !*clustercheck {
+		fail(fmt.Errorf("-scenario drives the load generators; combine it with -selfcheck or " +
+			"-clustercheck (daemons accept scenario documents on POST /v1/scenarios)"))
 	}
 	if *selfcheck {
 		out := *benchOut
@@ -138,7 +138,7 @@ func main() {
 		if out == "" {
 			out = "BENCH_cluster.json"
 		}
-		if err := runClustercheck(*nodes, *clients, *coalesce, out, *workers, *queue, *timeout); err != nil {
+		if err := runClustercheck(plan, *nodes, *clients, *coalesce, out, *workers, *queue, *timeout); err != nil {
 			fail(err)
 		}
 		return
@@ -178,6 +178,11 @@ func main() {
 	stop() // a second signal kills immediately instead of re-draining
 
 	fmt.Fprintln(os.Stderr, "pimserve: draining (no new jobs; finishing in-flight)")
+	if *announce != "" {
+		// Tell the router we are leaving before serving out the drain, so
+		// our shard range rehashes now instead of at the next failed probe.
+		departSelf(*announce, *name, baseURL)
+	}
 	dctx, cancel := context.WithTimeout(context.Background(), *drainWait)
 	defer cancel()
 	if err := srv.Drain(dctx); err != nil {

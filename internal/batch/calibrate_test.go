@@ -1,0 +1,271 @@
+package batch
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"heteropim/internal/core"
+	"heteropim/internal/hmc"
+	"heteropim/internal/hw"
+	"heteropim/internal/nn"
+	"heteropim/internal/thermal"
+)
+
+// TestDominanceSlackProperty is the measurement dominanceSlack rests
+// on: across every model and a frequency x unit-ladder grid, the step
+// time of a LARGER unit budget never exceeds dominanceSlack times the
+// step time of a smaller one in the same (FreqScale, ProgProcessors)
+// group. Strict monotone dominance is deliberately NOT asserted — the
+// opportunistic-offload rule makes it false (a Graham-style anomaly) —
+// but the calibrated bound is admissible exactly as long as this
+// slacked form holds. The test demands headroom below the constant so
+// drift in the scheduler shows up before correctness is at risk.
+func TestDominanceSlackProperty(t *testing.T) {
+	stack, err := hmc.New(hw.PaperStack(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := core.HeteroOptions()
+	worst := 0.0
+	worstAt := ""
+	for _, model := range nn.AllModelNames() {
+		g, err := nn.Build(model)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, freq := range []float64{0.5, 1, 2, 4} {
+			maxUnits, err := thermal.MaxUnitsUnderCap(stack, thermal.DRAMThermalCap, freq)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Geometric ladder down from the thermal max: the densest
+			// region real grids sample.
+			var ladder []int
+			for u := maxUnits; u >= 1 && len(ladder) < 8; u = u * 4 / 5 {
+				if len(ladder) > 0 && ladder[len(ladder)-1] == u {
+					break
+				}
+				ladder = append(ladder, u)
+			}
+			objs := make([]float64, len(ladder))
+			for i, u := range ladder {
+				c := Candidate{Units: u, FreqScale: freq, ProgProcessors: 1}
+				r, err := core.RunPIM(g, c.Config(), opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				objs[i] = r.StepTime
+			}
+			// ladder is descending: i < j means ladder[i] > ladder[j].
+			for i := 0; i < len(ladder); i++ {
+				for j := i + 1; j < len(ladder); j++ {
+					if objs[j] <= 0 {
+						t.Fatalf("%s f=%g u=%d: non-positive step time", model, freq, ladder[j])
+					}
+					ratio := objs[i] / objs[j]
+					if ratio > worst {
+						worst = ratio
+						worstAt = string(model)
+					}
+					if ratio >= dominanceSlack {
+						t.Errorf("%s f=%g: obj(%d)=%.9g vs obj(%d)=%.9g, ratio %.4f >= slack %.2f",
+							model, freq, ladder[i], objs[i], ladder[j], objs[j], ratio, dominanceSlack)
+					}
+				}
+			}
+		}
+	}
+	t.Logf("worst larger/smaller-budget ratio %.6f (model %s), slack %.2f", worst, worstAt, dominanceSlack)
+	if worst > dominanceSlack*0.95 {
+		t.Errorf("worst ratio %.4f within 5%% of dominanceSlack %.2f — re-measure and widen the constant",
+			worst, dominanceSlack)
+	}
+}
+
+// TestCalibratorBoundSemantics pins the calibrator's unit behavior,
+// including the degenerate groups the exploration can produce.
+func TestCalibratorBoundSemantics(t *testing.T) {
+	cal := newCalibrator()
+	c := Candidate{Units: 100, FreqScale: 1, ProgProcessors: 1}
+
+	// No observation at all (an all-pruned group, or one not yet
+	// reached): no constraint — analytic fallback.
+	if b := cal.bound(c); b != 0 {
+		t.Fatalf("empty group bound = %g, want 0", b)
+	}
+
+	// A SMALLER same-group budget certifies nothing for a larger one.
+	cal.observe(Candidate{Units: 50, FreqScale: 1, ProgProcessors: 1}, 8)
+	if b := cal.bound(c); b != 0 {
+		t.Fatalf("smaller-budget observation bounded a larger budget: %g", b)
+	}
+
+	// A larger budget certifies obj/slack.
+	cal.observe(Candidate{Units: 200, FreqScale: 1, ProgProcessors: 1}, 4.8)
+	if b := cal.bound(c); b != hw.Seconds(4.8)/dominanceSlack {
+		t.Fatalf("bound = %g, want %g", b, hw.Seconds(4.8)/dominanceSlack)
+	}
+
+	// Multiple qualifying observations: the tightest (largest) wins.
+	cal.observe(Candidate{Units: 150, FreqScale: 1, ProgProcessors: 1}, 6.4)
+	if b := cal.bound(c); b != hw.Seconds(6.4)/dominanceSlack {
+		t.Fatalf("bound = %g, want the tighter %g", b, hw.Seconds(6.4)/dominanceSlack)
+	}
+
+	// Other groups are invisible: same units, different frequency.
+	other := Candidate{Units: 100, FreqScale: 2, ProgProcessors: 1}
+	if b := cal.bound(other); b != 0 {
+		t.Fatalf("cross-group leak: bound = %g, want 0", b)
+	}
+
+	// A single-member group observes itself; its own bound is then
+	// obj/slack — harmless, since it is already simulated.
+	solo := Candidate{Units: 7, FreqScale: 3, ProgProcessors: 2}
+	cal.observe(solo, 1.6)
+	if b := cal.bound(solo); b != hw.Seconds(1.6)/dominanceSlack {
+		t.Fatalf("single-member bound = %g, want %g", b, hw.Seconds(1.6)/dominanceSlack)
+	}
+}
+
+// TestExploreCalibrateDegenerateGroups runs calibrated exploration on a
+// space of single-member groups (every candidate its own group): the
+// calibrated bound can never fire, the winner must still match
+// exhaustive, and the accounting must stay exact.
+func TestExploreCalibrateDegenerateGroups(t *testing.T) {
+	ctx := context.Background()
+	var cands []Candidate
+	for i, freq := range []float64{0.5, 0.75, 1, 1.25, 1.5, 2, 3, 4} {
+		cands = append(cands, Candidate{Units: 100 + 50*i, FreqScale: freq, ProgProcessors: 1})
+	}
+	base, err := ExploreDSE(ctx, nn.AlexNetName, cands, DSEOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ExploreDSE(ctx, nn.AlexNetName, cands, DSEOptions{Prune: true, Calibrate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Winner.Candidate != base.Winner.Candidate {
+		t.Errorf("winner %v != exhaustive %v", got.Winner.Candidate, base.Winner.Candidate)
+	}
+	if got.CalibratedPruned != 0 {
+		t.Errorf("calibrated bound pruned %d candidates in single-member groups", got.CalibratedPruned)
+	}
+	if got.Simulated+got.Pruned != len(cands) {
+		t.Errorf("%d simulated + %d pruned != %d", got.Simulated, got.Pruned, len(cands))
+	}
+}
+
+// TestExploreCalibratePrunesBeyondAnalytic checks the perf claim on a
+// dense unit ladder: the calibrated bound must retire candidates the
+// analytic bound alone could not.
+func TestExploreCalibratePrunesBeyondAnalytic(t *testing.T) {
+	ctx := context.Background()
+	stack, err := hmc.New(hw.PaperStack(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cands []Candidate
+	for _, freq := range []float64{0.5, 1, 2, 4} {
+		maxUnits, err := thermal.MaxUnitsUnderCap(stack, thermal.DRAMThermalCap, freq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for u := maxUnits; u >= maxUnits/16 && u >= 1; u = u * 4 / 5 {
+			cands = append(cands, Candidate{Units: u, FreqScale: freq, ProgProcessors: 1})
+		}
+	}
+	base, err := ExploreDSE(ctx, nn.VGG19Name, cands, DSEOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ExploreDSE(ctx, nn.VGG19Name, cands,
+		DSEOptions{Prune: true, Surrogate: true, Calibrate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Winner.Candidate != base.Winner.Candidate {
+		t.Errorf("winner %v != exhaustive %v", got.Winner.Candidate, base.Winner.Candidate)
+	}
+	if got.CalibratedPruned == 0 {
+		t.Errorf("calibrated bound retired no candidates on a dense ladder (pruned %d/%d total)",
+			got.Pruned, len(cands))
+	}
+	t.Logf("pruned %d/%d, %d by calibration alone", got.Pruned, len(cands), got.CalibratedPruned)
+}
+
+// TestExploreDeepDeltaTelemetry checks the deep layer end to end inside
+// an exploration: boundaries are captured, replays happen, and shared
+// depth exceeds what the shallow layer reports on the same space.
+func TestExploreDeepDeltaTelemetry(t *testing.T) {
+	defer core.EnableResultCache(core.EnableResultCache(false))
+	ctx := context.Background()
+	var cands []Candidate
+	for _, units := range []int{507, 506, 505, 480, 440, 400, 380} {
+		cands = append(cands, Candidate{Units: units, FreqScale: 1, ProgProcessors: 1})
+	}
+	shallow, err := ExploreDSE(ctx, nn.DCGANName, cands,
+		DSEOptions{Surrogate: true, Delta: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	core.EnableResultCache(core.EnableResultCache(false)) // drop cached cells between modes
+	deep, err := ExploreDSE(ctx, nn.DCGANName, cands,
+		DSEOptions{Surrogate: true, DeepDelta: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deep.Winner.Candidate != shallow.Winner.Candidate ||
+		deep.Winner.Result.StepTime != shallow.Winner.Result.StepTime {
+		t.Errorf("deep winner %v (%.12g) != shallow %v (%.12g)",
+			deep.Winner.Candidate, deep.Winner.Result.StepTime,
+			shallow.Winner.Candidate, shallow.Winner.Result.StepTime)
+	}
+	if deep.DeltaBoundaries < 1 {
+		t.Errorf("deep exploration captured %d boundaries, want >= 1", deep.DeltaBoundaries)
+	}
+	if shallow.DeltaBoundaries != 0 {
+		t.Errorf("shallow exploration reported %d deep boundaries", shallow.DeltaBoundaries)
+	}
+	if deep.DeltaReplays == 0 {
+		t.Error("deep exploration replayed nothing")
+	}
+	if deep.DeltaShared <= shallow.DeltaShared {
+		t.Errorf("deep shared %d events, shallow %d — deep must share strictly more",
+			deep.DeltaShared, shallow.DeltaShared)
+	}
+	t.Logf("shared events: deep %d vs shallow %d (%d boundaries, %d replays)",
+		deep.DeltaShared, shallow.DeltaShared, deep.DeltaBoundaries, deep.DeltaReplays)
+}
+
+// TestExploreConfidenceOrderingInvariance pins that confidence
+// ordering — like the surrogate it extends — is ordering only: the
+// winner and the simulated+pruned accounting are unchanged even when
+// the residual spread is degenerate (zero observations of error).
+func TestExploreConfidenceOrderingInvariance(t *testing.T) {
+	ctx := context.Background()
+	cands := testCandidates()
+	base, err := ExploreDSE(ctx, nn.Word2VecName, cands, DSEOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ExploreDSE(ctx, nn.Word2VecName, cands,
+		DSEOptions{Prune: true, Surrogate: true, Confidence: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Winner.Candidate != base.Winner.Candidate {
+		t.Errorf("winner %v != exhaustive %v", got.Winner.Candidate, base.Winner.Candidate)
+	}
+	if got.Winner.Result.StepTime != base.Winner.Result.StepTime {
+		t.Errorf("winner step time %.12g != exhaustive %.12g",
+			got.Winner.Result.StepTime, base.Winner.Result.StepTime)
+	}
+	if got.Simulated+got.Pruned != len(cands) {
+		t.Errorf("%d simulated + %d pruned != %d", got.Simulated, got.Pruned, len(cands))
+	}
+	if math.IsInf(got.Winner.Result.StepTime, 0) {
+		t.Error("degenerate winner")
+	}
+}

@@ -68,6 +68,15 @@ type Exploration struct {
 	DeltaCheckpoints int
 	DeltaReplays     int
 	DeltaShared      uint64
+	// DeltaBoundaries counts the distinct deep-checkpoint boundaries
+	// captured (zero unless DeepDelta; budgets in one quotient window
+	// share a boundary).
+	DeltaBoundaries int
+
+	// CalibratedPruned counts prunes the analytic bound alone would NOT
+	// have made — the calibrated bound's contribution (zero when
+	// calibration was off).
+	CalibratedPruned int
 }
 
 // DSEOptions selects the exploration strategy. Every combination
@@ -88,6 +97,24 @@ type DSEOptions struct {
 	// Stacks > 1: a sharded run has no single engine to checkpoint
 	// (the per-shard result cache already dedups the compute legs).
 	Delta bool
+	// DeepDelta upgrades the delta layer to deep checkpoints
+	// (core.DeltaPlan): instead of stopping at the first fixed-pool
+	// grant, each group's probe records its full grant-quotient
+	// narrowing history and every sibling forks from the DEEPEST event
+	// boundary its unit budget shares with the base. Implies the delta
+	// layer even when Delta is false; same Stacks restriction.
+	DeepDelta bool
+	// Calibrate derives a second admissible bound per (FreqScale,
+	// ProgProcessors) group from simulated siblings (calibrate.go):
+	// group references — the largest unit budget of each group — are
+	// ordered first, and the pruner takes max(analytic, calibrated).
+	Calibrate bool
+	// Confidence batches likely-prunable candidates last: once the
+	// surrogate is fitted, candidates whose prediction exceeds the
+	// incumbent by more than twice the fit's residual spread are
+	// deferred, so they are usually pruned before ever being reached.
+	// No effect without Surrogate.
+	Confidence bool
 	// Stacks evaluates every candidate as an M-stack data-parallel
 	// system (0/1 = the single-stack paper system); AllReduce picks its
 	// gradient schedule (default ring). The bound stays admissible —
@@ -103,10 +130,13 @@ type DSEOptions struct {
 const dseBlockSize = 8
 
 // deltaGroup is one (FreqScale, ProgProcessors) family sharing a
-// checkpointed base run; once gives the checkpoint singleflight.
+// checkpointed base run; once gives the checkpoint singleflight. In
+// deep mode the group carries a DeltaPlan instead of the single
+// first-grant checkpoint.
 type deltaGroup struct {
 	once      sync.Once
 	cp        *core.RunCheckpoint
+	plan      *core.DeltaPlan
 	base      core.Result
 	baseUnits int
 	err       error
@@ -114,6 +144,7 @@ type deltaGroup struct {
 
 // deltaManager owns the per-group checkpoints of one exploration.
 type deltaManager struct {
+	deep   bool
 	mu     sync.Mutex
 	groups map[string]*deltaGroup
 
@@ -148,16 +179,30 @@ func (m *deltaManager) run(model nn.ModelName, c Candidate) (core.Result, error)
 	}
 	cfg := c.Config()
 	opts := core.HeteroOptions()
-	e := m.group(fmt.Sprintf("%g|%d", c.FreqScale, c.ProgProcessors))
+	e := m.group(calKey(c))
 	e.once.Do(func() {
 		e.baseUnits = c.Units
-		e.cp, e.base, e.err = core.CheckpointRun(cg, cfg, opts)
-		if e.err == nil && e.cp != nil {
-			m.checkpoints.Add(1)
+		if m.deep {
+			e.plan, e.base, e.err = core.NewDeltaPlan(cg, cfg, opts)
+			if e.err == nil && e.plan != nil {
+				m.checkpoints.Add(1)
+			}
+		} else {
+			e.cp, e.base, e.err = core.CheckpointRun(cg, cfg, opts)
+			if e.err == nil && e.cp != nil {
+				m.checkpoints.Add(1)
+			}
 		}
 	})
 	if e.err == nil && c.Units == e.baseUnits {
 		return e.base, nil
+	}
+	if e.err == nil && e.plan != nil {
+		if res, shared, rerr := e.plan.Replay(cfg); rerr == nil {
+			m.replays.Add(1)
+			m.shared.Add(shared)
+			return res, nil
+		}
 	}
 	if e.err == nil && e.cp != nil && e.cp.Compatible(cfg) == nil {
 		if res, rerr := e.cp.Replay(cfg); rerr == nil {
@@ -167,6 +212,19 @@ func (m *deltaManager) run(model nn.ModelName, c Candidate) (core.Result, error)
 		}
 	}
 	return core.RunPIM(cg, cfg, opts)
+}
+
+// boundaries sums the distinct deep boundaries captured across groups.
+func (m *deltaManager) boundaries() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for _, e := range m.groups {
+		if e.plan != nil {
+			n += e.plan.Boundaries()
+		}
+	}
+	return n
 }
 
 // ExploreDSE finds the candidate minimizing simulated step time for the
@@ -204,6 +262,7 @@ func ExploreDSE(ctx context.Context, model nn.ModelName, cands []Candidate, dopt
 			opts.AllReduce = core.ReduceRing
 		}
 		dopts.Delta = false
+		dopts.DeepDelta = false
 	}
 	r := Registry()
 	r.Add("dse.candidates", float64(len(cands)))
@@ -212,13 +271,40 @@ func ExploreDSE(ctx context.Context, model nn.ModelName, cands []Candidate, dopt
 	for i, c := range cands {
 		ex.Evals[i] = Explored{Candidate: c, Bound: StepTimeLowerBound(g, c.Config(), opts)}
 	}
-	// Canonical order: bound ascending, input position breaking ties.
+	// Group references for the calibrated bound: the LARGEST unit budget
+	// of each (FreqScale, ProgProcessors) group (ties to the earliest
+	// input position). Simulating a reference certifies a calibrated
+	// bound for its whole group, so references go first in every round.
+	var cal *calibrator
+	isRef := make([]bool, len(cands))
+	if dopts.Calibrate {
+		cal = newCalibrator()
+		refIdx := map[string]int{}
+		for i, c := range cands {
+			k := calKey(c)
+			if j, ok := refIdx[k]; !ok || c.Units > cands[j].Units {
+				refIdx[k] = i
+			}
+		}
+		for _, i := range refIdx {
+			isRef[i] = true
+		}
+	}
+	// Canonical order: references first (when calibrating), then bound
+	// ascending, input position breaking ties.
 	remaining := make([]int, len(cands))
 	for i := range remaining {
 		remaining[i] = i
 	}
 	sort.SliceStable(remaining, func(a, b int) bool {
-		return ex.Evals[remaining[a]].Bound < ex.Evals[remaining[b]].Bound
+		ia, ib := remaining[a], remaining[b]
+		if isRef[ia] != isRef[ib] {
+			return isRef[ia]
+		}
+		if ex.Evals[ia].Bound != ex.Evals[ib].Bound {
+			return ex.Evals[ia].Bound < ex.Evals[ib].Bound
+		}
+		return ia < ib
 	})
 
 	// Seed the surrogate from the cross-run result corpus: cells this
@@ -236,8 +322,8 @@ func ExploreDSE(ctx context.Context, model nn.ModelName, cands []Candidate, dopt
 		sur.fit()
 	}
 	var mgr *deltaManager
-	if dopts.Delta {
-		mgr = &deltaManager{}
+	if dopts.Delta || dopts.DeepDelta {
+		mgr = &deltaManager{deep: dopts.DeepDelta}
 	}
 
 	incumbent := math.Inf(1)
@@ -254,8 +340,27 @@ func ExploreDSE(ctx context.Context, model nn.ModelName, cands []Candidate, dopt
 			for _, idx := range remaining {
 				pred[idx] = sur.predict(cands[idx])
 			}
+			// Confidence ordering: candidates whose prediction clears the
+			// incumbent even after a 2-spread error allowance are LIKELY
+			// prunable — every simulation before them can only tighten the
+			// incumbent or the calibration, so batching them last
+			// maximizes the chance they are pruned instead of simulated.
+			// Ordering only; admissibility still gates the actual prune.
+			likelyPrunable := func(int) bool { return false }
+			if dopts.Confidence && !math.IsInf(incumbent, 1) {
+				spread := sur.residualSpread()
+				likelyPrunable = func(idx int) bool {
+					return pred[idx]-2*spread > incumbent
+				}
+			}
 			sort.SliceStable(remaining, func(a, b int) bool {
 				ia, ib := remaining[a], remaining[b]
+				if isRef[ia] != isRef[ib] {
+					return isRef[ia]
+				}
+				if pa, pb := likelyPrunable(ia), likelyPrunable(ib); pa != pb {
+					return pb
+				}
 				if pred[ia] != pred[ib] {
 					return pred[ia] < pred[ib]
 				}
@@ -276,10 +381,20 @@ func ExploreDSE(ctx context.Context, model nn.ModelName, cands []Candidate, dopt
 		var block []int
 		rest := remaining[:0]
 		for _, idx := range remaining {
+			b := ex.Evals[idx].Bound
+			if cal != nil {
+				if cb := cal.bound(cands[idx]); cb > b {
+					b = cb
+				}
+			}
 			switch {
-			case dopts.Prune && ex.Evals[idx].Bound > incumbent:
+			case dopts.Prune && b > incumbent:
 				// Strictly beaten by the incumbent: can neither win nor tie.
 				ex.Pruned++
+				if cal != nil && ex.Evals[idx].Bound <= incumbent {
+					// The analytic bound alone would not have pruned it.
+					ex.CalibratedPruned++
+				}
 			case len(block) < size:
 				block = append(block, idx)
 			default:
@@ -328,6 +443,9 @@ func ExploreDSE(ctx context.Context, model nn.ModelName, cands []Candidate, dopt
 			if dopts.Surrogate {
 				sur.add(cands[idx], obj)
 			}
+			if cal != nil {
+				cal.observe(cands[idx], obj)
+			}
 		}
 		if dopts.Surrogate {
 			sur.fit()
@@ -362,6 +480,13 @@ func ExploreDSE(ctx context.Context, model nn.ModelName, cands []Candidate, dopt
 		r.Add("dse.delta.checkpoints", float64(ex.DeltaCheckpoints))
 		r.Add("dse.delta.replays", float64(ex.DeltaReplays))
 		r.Add("dse.delta.shared_events", float64(ex.DeltaShared))
+		if mgr.deep {
+			ex.DeltaBoundaries = mgr.boundaries()
+			r.Add("dse.delta.boundaries", float64(ex.DeltaBoundaries))
+		}
+	}
+	if cal != nil {
+		r.Add("dse.calibrated.pruned", float64(ex.CalibratedPruned))
 	}
 	ex.Winner = ex.Evals[winner]
 	return ex, nil

@@ -140,6 +140,27 @@ func (s *surrogate) predict(c Candidate) float64 {
 	return v
 }
 
+// residualSpread is the RMS residual of the fitted surrogate over its
+// own observations — the confidence scale the exploration uses to
+// decide which candidates are likely prunable (predicted well past the
+// incumbent even after a 2-spread error allowance) and can be batched
+// last.
+func (s *surrogate) residualSpread() float64 {
+	if !s.fitted || len(s.obs) == 0 {
+		return 0
+	}
+	var ss float64
+	for _, o := range s.obs {
+		var p float64
+		for k := 0; k < surBasis; k++ {
+			p += s.coef[k] * o.x[k]
+		}
+		d := o.y - p
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(s.obs)))
+}
+
 // r2 is the in-sample coefficient of determination of the current fit.
 func (s *surrogate) r2() float64 {
 	if !s.fitted || len(s.obs) == 0 {

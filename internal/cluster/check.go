@@ -89,6 +89,7 @@ type CheckReport struct {
 	Killed        string           `json:"killed_replica"`
 	Recovered     bool             `json:"recovered_in_ring"`
 	Announces     float64          `json:"replica_announces"`
+	Departures    float64          `json:"replica_departures"`
 	Rehashes      float64          `json:"rehashes"`
 	Retries       float64          `json:"retried_submissions"`
 	Reroutes      float64          `json:"read_reroutes"`
@@ -401,6 +402,9 @@ func RunCheck(opts CheckOptions) (CheckReport, error) {
 	rep.Killed = victim.name
 	fmt.Fprintf(logw, "pimserve: clustercheck: draining %s (owns %d/%d job ids)\n",
 		victim.name, owned[victim.name], len(jobIDs))
+	// The drain is deliberately silent — no departure announcement — so
+	// wave 2 exercises the lost-announcement path: the router discovers
+	// the drain from a 503'd submission and retries it on the new owner.
 	if err := victim.drain(dctx); err != nil {
 		return rep, fmt.Errorf("clustercheck: victim drain: %w", err)
 	}
@@ -412,6 +416,13 @@ func RunCheck(opts CheckOptions) (CheckReport, error) {
 	// announcing itself over the wire — the same POST /v1/replicas a
 	// `pimserve -announce` replica sends — not by the harness reaching
 	// into the router, so the check covers self-registration end to end.
+	// This time the victim announces its departure over the wire first —
+	// the same DELETE /v1/replicas/{name} a SIGTERM'd `pimserve
+	// -announce` sends — so the graceful-exit path is covered end to end
+	// alongside wave 2's unannounced drain.
+	if err := Depart(nil, routerURL, victim.name); err != nil {
+		return rep, fmt.Errorf("clustercheck: victim depart: %w", err)
+	}
 	if err := victim.shutdown(dctx, fleet); err != nil {
 		return rep, fmt.Errorf("clustercheck: victim shutdown: %w", err)
 	}
@@ -443,6 +454,7 @@ func RunCheck(opts CheckOptions) (CheckReport, error) {
 	rep.Errors = e1 + e2 + e3
 	rep.ByteIdentical = i1 && i2 && i3
 	rep.Announces = router.Registry().CounterValue("cluster.announces")
+	rep.Departures = router.Registry().CounterValue("cluster.departures")
 	rep.Rehashes = router.Registry().CounterValue("cluster.rehashes")
 	rep.Retries = router.Registry().CounterValue("cluster.retries")
 	rep.Reroutes = router.Registry().CounterValue("cluster.reroutes")
@@ -491,6 +503,8 @@ func RunCheck(opts CheckOptions) (CheckReport, error) {
 		return rep, fmt.Errorf("clustercheck: no cross-replica dedup adoption happened")
 	case rep.Announces < 1:
 		return rep, fmt.Errorf("clustercheck: recovery never went through POST /v1/replicas")
+	case rep.Departures < 1:
+		return rep, fmt.Errorf("clustercheck: the drain never went through DELETE /v1/replicas/{name}")
 	case !rep.Recovered:
 		return rep, fmt.Errorf("clustercheck: %s never rejoined the ring", victim.name)
 	}

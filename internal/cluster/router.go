@@ -95,6 +95,7 @@ func NewRouter(opts RouterOptions) *Router {
 	rt.mux.HandleFunc("POST /v1/jobs", rt.handleSubmit)
 	rt.mux.HandleFunc("POST /v1/replicas", rt.handleReplicaAnnounce)
 	rt.mux.HandleFunc("GET /v1/replicas", rt.handleReplicaList)
+	rt.mux.HandleFunc("DELETE /v1/replicas/{name}", rt.handleReplicaDepart)
 	rt.mux.HandleFunc("GET /v1/jobs/{id}", rt.handleJobGet)
 	rt.mux.HandleFunc("GET /v1/jobs/{id}/{rest...}", rt.handleJobGet)
 	rt.mux.HandleFunc("GET /metrics", rt.handleMetrics)
@@ -419,6 +420,30 @@ func (rt *Router) handleReplicaAnnounce(w http.ResponseWriter, r *http.Request) 
 	}{Replica: rep, Ring: rt.ring.Len()})
 }
 
+// handleReplicaDepart is the graceful-drain announcement: a SIGTERM'd
+// replica DELETEs itself here before serving out its drain window, so
+// the router rehashes its shard range immediately instead of waiting
+// for the next health probe (or a 503'd submission) to notice. The
+// replica stays a fleet member — if it comes back up and re-announces
+// (or its /readyz recovers), its old range is restored.
+func (rt *Router) handleReplicaDepart(w http.ResponseWriter, r *http.Request) {
+	rt.reg.Add("cluster.requests", 1)
+	name := r.PathValue("name")
+	if _, ok := rt.lookup(name); !ok {
+		rt.reg.Add("cluster.bad_requests", 1)
+		rt.writeError(w, http.StatusNotFound, fmt.Errorf("cluster: unknown replica %q", name))
+		return
+	}
+	rt.markUnready(name, "depart")
+	rt.reg.Add("cluster.departures", 1)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_ = json.NewEncoder(w).Encode(struct {
+		Replica string `json:"replica"`
+		Ring    int    `json:"ring"`
+	}{Replica: name, Ring: rt.ring.Len()})
+}
+
 // ReplicaStatus is one GET /v1/replicas entry.
 type ReplicaStatus struct {
 	Name    string `json:"name"`
@@ -460,6 +485,29 @@ func Announce(client *http.Client, routerURL string, rep Replica) error {
 	data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<12))
 	if resp.StatusCode != http.StatusOK {
 		return fmt.Errorf("cluster: announce to %s: %s: %s", routerURL, resp.Status, strings.TrimSpace(string(data)))
+	}
+	return nil
+}
+
+// Depart announces a graceful drain to a router over the wire — one
+// DELETE to /v1/replicas/{name}. Best-effort by design: a dead router
+// just means the drain is discovered by probe instead.
+func Depart(client *http.Client, routerURL, name string) error {
+	if client == nil {
+		client = &http.Client{Timeout: 5 * time.Second}
+	}
+	req, err := http.NewRequest(http.MethodDelete, routerURL+"/v1/replicas/"+name, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<12))
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("cluster: depart from %s: %s: %s", routerURL, resp.Status, strings.TrimSpace(string(data)))
 	}
 	return nil
 }

@@ -358,3 +358,77 @@ func TestReplicaAnnounce(t *testing.T) {
 		}
 	}
 }
+
+// TestReplicaDepart covers the graceful-drain announcement: DELETE
+// /v1/replicas/{name} pulls the replica's range out of the ring at
+// once (counted as a departure rehash), leaves it a fleet member so a
+// recovery restores its range, and 404s unknown names.
+func TestReplicaDepart(t *testing.T) {
+	rt := NewRouter(RouterOptions{HealthInterval: time.Hour})
+	defer rt.Close()
+	ts := httptest.NewServer(rt.Handler())
+	defer ts.Close()
+
+	stub := newStubReplica(t)
+	defer stub.ts.Close()
+	if err := Announce(nil, ts.URL, Replica{Name: "worker-a", BaseURL: stub.ts.URL}); err != nil {
+		t.Fatalf("Announce: %v", err)
+	}
+	if nodes := rt.ReadyReplicas(); len(nodes) != 1 {
+		t.Fatalf("ring members before depart: %v", nodes)
+	}
+
+	if err := Depart(nil, ts.URL, "worker-a"); err != nil {
+		t.Fatalf("Depart: %v", err)
+	}
+	if nodes := rt.ReadyReplicas(); len(nodes) != 0 {
+		t.Fatalf("ring members after depart: %v", nodes)
+	}
+	reg := rt.Registry()
+	if got := reg.CounterValue("cluster.departures"); got != 1 {
+		t.Fatalf("cluster.departures = %.0f, want 1", got)
+	}
+	if got := reg.CounterValue("cluster.unready.depart"); got != 1 {
+		t.Fatalf("cluster.unready.depart = %.0f, want 1", got)
+	}
+
+	// Still a fleet member: listed unready, and a re-announce (or a
+	// /readyz recovery) brings the same range back.
+	resp, err := http.Get(ts.URL + "/v1/replicas")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var listed []ReplicaStatus
+	if err := json.NewDecoder(resp.Body).Decode(&listed); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(listed) != 1 || listed[0].Name != "worker-a" || listed[0].Ready {
+		t.Fatalf("replica list after depart: %+v", listed)
+	}
+	if err := Announce(nil, ts.URL, Replica{Name: "worker-a", BaseURL: stub.ts.URL}); err != nil {
+		t.Fatalf("re-announce: %v", err)
+	}
+	if nodes := rt.ReadyReplicas(); len(nodes) != 1 || nodes[0] != "worker-a" {
+		t.Fatalf("ring members after re-announce: %v", nodes)
+	}
+
+	// A departure for a name the router never met is a 404, not a
+	// silent success.
+	if err := Depart(nil, ts.URL, "stranger"); err == nil {
+		t.Fatal("depart of an unknown replica succeeded")
+	}
+	req, err := http.NewRequest(http.MethodDelete, ts.URL+"/v1/replicas/stranger", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp2.Body)
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown depart = %s, want 404", resp2.Status)
+	}
+}

@@ -35,66 +35,140 @@ import (
 //   - the pool's utilization integral is replayed advance-by-advance so
 //     the fork accumulates its OWN unit budget over the same piecewise
 //     intervals, reproducing the float sum a scratch run computes
-//     (pim.Pool.ReplayAdvances — the pool is idle throughout the
-//     prefix, so the busy integral is exactly zero).
+//     (pim.Pool.ReplayHistory — the recorded busy levels are identical
+//     for every budget the checkpoint covers).
 //
 // The watch's constraints make the reuse sound rather than hopeful: a
 // fork whose unit budget would have flipped any recorded predicate is
 // refused (Compatible) and must simulate from scratch.
+//
+// The watch has two modes. The shallow mode (the original delta layer)
+// stops at the first capacity grant: everything after it is treated as
+// budget-specific. The deep mode keeps watching THROUGH grants: a grant
+// computes quotient = available/granule, and every budget that yields
+// the same quotient produces the same granted size — so the timeline
+// stays shared for the whole quotient window [busy + q*granule,
+// busy + (q+1)*granule - 1] and only narrows as further grants observe
+// the budget. The watch records each narrowing with the event index it
+// happened at; DeltaPlan turns that history into per-budget deepest
+// checkpoints.
 
-// capWatch records a run's unit-budget-sensitive decisions. All hooks
-// are no-ops once the horizon is set: from the first grant on, the
-// timeline legitimately depends on the exact budget and the replay
-// re-evaluates everything live.
+// watchStep is one range-narrowing: during the 1-based event index
+// `processed`, the set of unit budgets indistinguishable from the
+// watched run shrank to [min, max].
+type watchStep struct {
+	processed uint64
+	min, max  int
+}
+
+// capWatch records a run's unit-budget-sensitive decisions.
 type capWatch struct {
-	// minUnits/maxUnits bound the unit budgets whose prefix timeline is
+	// minUnits/maxUnits bound the unit budgets whose timeline so far is
 	// identical to the watched run's.
 	minUnits int
 	maxUnits int
 	// horizon is the 1-based processed index of the event that computed
-	// the first capacity grant; 0 while no grant has happened.
+	// the first capacity grant; 0 while no grant has happened. Shallow
+	// hooks are no-ops once it is set.
 	horizon uint64
+	// deep keeps the watch narrowing through grants instead of stopping
+	// at the horizon, appending each narrowing to steps.
+	deep  bool
+	steps []watchStep
+}
+
+// watchNarrow intersects the watch's budget window with [lo, hi]
+// (lo <= 0 / hi == math.MaxInt mean unconstrained on that side). In
+// deep mode every effective narrowing is stamped with the current event
+// index; in shallow mode narrowing stops at the horizon.
+func (x *exec) watchNarrow(lo, hi int) {
+	w := x.watch
+	if w == nil || (!w.deep && w.horizon != 0) {
+		return
+	}
+	changed := false
+	if lo > w.minUnits {
+		w.minUnits = lo
+		changed = true
+	}
+	if hi < w.maxUnits {
+		w.maxUnits = hi
+		changed = true
+	}
+	if changed && w.deep {
+		w.steps = append(w.steps, watchStep{processed: x.eng.Processed(), min: w.minUnits, max: w.maxUnits})
+	}
+}
+
+// watchCollapse pins the window to the run's own budget — used when a
+// decision reads the exact Total() (the granule clamp), which no other
+// budget reproduces.
+func (x *exec) watchCollapse() {
+	u := x.pool.Total()
+	x.watchNarrow(u, u)
 }
 
 // poolHasUnits reports Total() > 0 for dispatch's fixed-eligibility
 // check, recording the predicate's outcome as a replay constraint.
 func (x *exec) poolHasUnits() bool {
 	ok := x.pool.Total() > 0
-	if w := x.watch; w != nil && w.horizon == 0 {
-		if ok {
-			if w.minUnits < 1 {
-				w.minUnits = 1
-			}
-		} else if w.maxUnits > 0 {
-			w.maxUnits = 0
-		}
+	if ok {
+		x.watchNarrow(1, math.MaxInt)
+	} else {
+		x.watchNarrow(0, 0)
 	}
 	return ok
 }
 
 // availAtLeast reports Available() >= n for dispatch's opportunistic
-// check. Before the first grant the pool is idle, so Available IS the
-// unit budget: the comparison resolves the same way for another budget
-// exactly when that budget is on the same side of n — recorded as a
-// replay constraint.
+// check. Available is Total - busy, and busy is identical for every
+// budget still in the watch window (their grant sizes have all matched
+// so far), so the comparison resolves the same way for another budget
+// exactly when that budget is on the same side of busy + n — recorded
+// as a replay constraint.
 func (x *exec) availAtLeast(n int) bool {
 	ok := x.pool.Available() >= n
-	if w := x.watch; w != nil && w.horizon == 0 {
-		if ok {
-			if n > w.minUnits {
-				w.minUnits = n
-			}
-		} else if n-1 < w.maxUnits {
-			w.maxUnits = n - 1
-		}
+	busy := x.pool.Busy()
+	if ok {
+		x.watchNarrow(busy+n, math.MaxInt)
+	} else {
+		x.watchNarrow(0, busy+n-1)
 	}
 	return ok
 }
 
-// markGrant flags the first capacity-grant computation: the event
-// executing right now is where the shareable timeline prefix ends.
+// watchClampGranule applies the pool-size clamp to a section's granule,
+// recording the clamp comparison: budgets at or above the granule keep
+// the op's own granule; a budget below it substitutes the exact Total,
+// which only the run's own budget reproduces.
+func (x *exec) watchClampGranule(granule int) int {
+	if granule > x.pool.Total() {
+		x.watchCollapse()
+		return x.pool.Total()
+	}
+	x.watchNarrow(granule, math.MaxInt)
+	return granule
+}
+
+// watchQuotient records a grant computation: quotient = avail/granule
+// with busy units already held. Every budget in [busy + q*granule,
+// busy + (q+1)*granule - 1] computes the same quotient — and therefore
+// the same granted size — so the window narrows to exactly that
+// interval (a zero quotient pins the budget below busy + granule).
+func (x *exec) watchQuotient(busy, granule, quotient int) {
+	if quotient == 0 {
+		x.watchNarrow(0, busy+granule-1)
+		return
+	}
+	x.watchNarrow(busy+quotient*granule, busy+(quotient+1)*granule-1)
+}
+
+// markGrant flags the first capacity-grant computation: in shallow mode
+// the event executing right now is where the shareable timeline prefix
+// ends. Deep watches keep going — the grant's quotient window is
+// recorded by watchQuotient instead.
 func (x *exec) markGrant() {
-	if w := x.watch; w != nil && w.horizon == 0 {
+	if w := x.watch; w != nil && !w.deep && w.horizon == 0 {
 		w.horizon = x.eng.Processed()
 	}
 }
@@ -147,7 +221,10 @@ type RunCheckpoint struct {
 	firstOpen int
 	cpu, prog devSnap
 	regs      *pim.RegistersSnapshot
-	poolAdv   []hw.Seconds
+	poolAdv   []pim.PoolAdvance
+	poolBusy  int
+	poolGrant int
+	fixedWait []int32 // tasks queued on the fixed pool, as slab indices
 
 	bk      Breakdown
 	usage   Usage
@@ -256,7 +333,7 @@ func CheckpointRun(g *nn.Graph, cfg hw.SystemConfig, opts Options) (*RunCheckpoi
 		// while still constraining); nothing worth sharing.
 		return nil, res, nil
 	}
-	cp, cerr := captureAt(g, cfg, opts, w.horizon-1)
+	cp, cerr := captureAt(g, cfg, opts, w.horizon-1, false)
 	if cerr != nil {
 		// Degrade gracefully: the sweep falls back to full simulations.
 		return nil, res, nil
@@ -266,16 +343,20 @@ func CheckpointRun(g *nn.Graph, cfg hw.SystemConfig, opts Options) (*RunCheckpoi
 
 // captureAt re-runs the prefix and freezes the executor after exactly
 // stopAfter events. The capture run carries its own watch, so the
-// recorded constraints cover precisely the frozen prefix. It refuses a
-// capture point at or past the first grant — the state would already be
-// budget-specific.
-func captureAt(g *nn.Graph, cfg hw.SystemConfig, opts Options, stopAfter uint64) (*RunCheckpoint, error) {
+// recorded constraints cover precisely the frozen prefix. A shallow
+// capture refuses a point at or past the first grant — under the
+// shallow contract that state is already budget-specific. A deep
+// capture may freeze held grants and a non-empty fixed-pool wait queue
+// (both reproduced verbatim by Replay), but refuses a point whose watch
+// window has narrowed to the base budget alone: no sibling could ever
+// replay it.
+func captureAt(g *nn.Graph, cfg hw.SystemConfig, opts Options, stopAfter uint64, deep bool) (*RunCheckpoint, error) {
 	x, err := newExec(g, cfg, opts)
 	if err != nil {
 		return nil, err
 	}
 	defer x.teardown()
-	w := &capWatch{maxUnits: math.MaxInt}
+	w := &capWatch{maxUnits: math.MaxInt, deep: deep}
 	x.watch = w
 	x.pool.RecordAdvances(true)
 	x.seed()
@@ -285,11 +366,16 @@ func captureAt(g *nn.Graph, cfg hw.SystemConfig, opts Options, stopAfter uint64)
 	if x.err != nil {
 		return nil, x.err
 	}
-	if x.pool.Grants() != 0 || x.pool.Busy() != 0 {
-		return nil, fmt.Errorf("core: checkpoint point is past the first fixed-pool grant")
-	}
-	if x.fixedHead != len(x.fixedPending) {
-		return nil, fmt.Errorf("core: checkpoint with tasks waiting on the fixed pool")
+	if !deep {
+		if x.pool.Grants() != 0 || x.pool.Busy() != 0 {
+			return nil, fmt.Errorf("core: checkpoint point is past the first fixed-pool grant")
+		}
+		if x.fixedHead != len(x.fixedPending) {
+			return nil, fmt.Errorf("core: checkpoint with tasks waiting on the fixed pool")
+		}
+	} else if w.minUnits >= w.maxUnits {
+		return nil, fmt.Errorf("core: checkpoint point is budget-specific (window [%d, %d])",
+			w.minUnits, w.maxUnits)
 	}
 	engCp, err := x.eng.Checkpoint()
 	if err != nil {
@@ -319,6 +405,8 @@ func captureAt(g *nn.Graph, cfg hw.SystemConfig, opts Options, stopAfter uint64)
 		prog:      snapDevice(x.prog, n),
 		regs:      x.regs.Snapshot(),
 		poolAdv:   x.pool.AdvanceHistory(),
+		poolBusy:  x.pool.Busy(),
+		poolGrant: x.pool.Grants(),
 		bk:        x.bk,
 		usage:     x.usage,
 		offload:   x.offload,
@@ -338,6 +426,9 @@ func captureAt(g *nn.Graph, cfg hw.SystemConfig, opts Options, stopAfter uint64)
 		for _, t := range held {
 			cp.heldBack[s] = append(cp.heldBack[s], taskIdx(t, n))
 		}
+	}
+	for k := x.fixedHead; k < len(x.fixedPending); k++ {
+		cp.fixedWait = append(cp.fixedWait, taskIdx(x.fixedPending[k], n))
 	}
 	return cp, nil
 }
@@ -394,8 +485,13 @@ func (c *RunCheckpoint) Replay(cfg2 hw.SystemConfig) (Result, error) {
 	x.restoreDevice(x.cpu, c.cpu)
 	x.restoreDevice(x.prog, c.prog)
 	x.regs = c.regs.NewRegisters()
-	if err := x.pool.ReplayAdvances(c.poolAdv); err != nil {
+	if err := x.pool.ReplayHistory(c.poolAdv, c.poolBusy, c.poolGrant); err != nil {
 		return Result{}, err
+	}
+	x.fixedPending = x.fixedPending[:0]
+	x.fixedHead = 0
+	for _, idx := range c.fixedWait {
+		x.fixedPending = append(x.fixedPending, x.taskAt(idx))
 	}
 	x.bk = c.bk
 	x.usage = c.usage

@@ -182,10 +182,10 @@ func TestCaptureAtRejectsPostGrantPoints(t *testing.T) {
 	if w.horizon == 0 {
 		t.Fatal("toy hetero run never granted fixed units")
 	}
-	if _, err := captureAt(g, cfg, opts, w.horizon); err == nil {
+	if _, err := captureAt(g, cfg, opts, w.horizon, false); err == nil {
 		t.Fatal("captureAt accepted a point at the first grant")
 	}
-	if cp, err := captureAt(g, cfg, opts, w.horizon-1); err != nil || cp == nil {
+	if cp, err := captureAt(g, cfg, opts, w.horizon-1, false); err != nil || cp == nil {
 		t.Fatalf("captureAt refused the last pre-grant point: %v", err)
 	}
 }

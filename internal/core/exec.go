@@ -1018,12 +1018,11 @@ func (x *exec) requestSection(t *task) {
 	if granule <= 0 {
 		granule = 1
 	}
-	if granule > x.pool.Total() {
-		granule = x.pool.Total()
-	}
+	granule = x.watchClampGranule(granule)
 	x.pool.Advance(x.eng.Now())
 	avail := x.pool.Available()
 	granules := avail / granule
+	x.watchQuotient(x.pool.Busy(), granule, granules)
 	if granules == 0 {
 		x.fixedPending = append(x.fixedPending, t)
 		return
@@ -1126,10 +1125,9 @@ func (x *exec) pumpFixedPending() {
 		if granule <= 0 {
 			granule = 1
 		}
-		if granule > x.pool.Total() {
-			granule = x.pool.Total()
-		}
+		granule = x.watchClampGranule(granule)
 		granules := x.pool.Available() / granule
+		x.watchQuotient(x.pool.Busy(), granule, granules)
 		if granules == 0 {
 			return
 		}

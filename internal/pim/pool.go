@@ -24,10 +24,11 @@ type Pool struct {
 	totalUnitTime float64 // integral of total units dt
 	grants        int     // number of Grant calls (kernel spawns served)
 
-	// advances, when non-nil, records every clock-moving Advance
-	// timestamp so a delta-simulation fork can replay the integral
-	// piecewise (snapshot.go); nil keeps Advance allocation-free.
-	advances []hw.Seconds
+	// advances, when non-nil, records every clock-moving Advance as a
+	// (timestamp, busy-level) pair so a delta-simulation fork can replay
+	// the integral piecewise (snapshot.go); nil keeps Advance
+	// allocation-free.
+	advances []PoolAdvance
 }
 
 // NewPool builds a pool over a placement.
@@ -55,7 +56,7 @@ func (p *Pool) Advance(now hw.Seconds) {
 	p.totalUnitTime += float64(p.total) * dt
 	p.lastAdvance = now
 	if p.advances != nil {
-		p.advances = append(p.advances, now)
+		p.advances = append(p.advances, PoolAdvance{At: now, Busy: int32(p.busy)})
 	}
 }
 

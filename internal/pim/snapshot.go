@@ -75,44 +75,70 @@ func (s *RegistersSnapshot) NewRegisters() *Registers {
 // open (their Complete calls happen in the forked suffix).
 func (s *RegistersSnapshot) InFlight() int { return len(s.inflight) }
 
+// PoolAdvance is one recorded clock move: the timestamp the pool
+// advanced to and the busy level it integrated over the interval ending
+// there. A history of these pairs lets a fork reproduce the busy
+// integral bit for bit even when the checkpointed prefix held grants
+// open, because the per-interval float sums are re-accumulated in the
+// exact order the base run accumulated them.
+type PoolAdvance struct {
+	At   hw.Seconds
+	Busy int32
+}
+
 // RecordAdvances switches the pool's advance history on or off. With
-// recording on, every Advance call that moves the clock appends its
-// timestamp, so a fork can integrate the same piecewise utilization
-// sums — bit for bit — under a DIFFERENT unit budget (the integral is a
-// float accumulation; one fused total*elapsed product would differ in
-// the last bits from the per-interval sum a scratch run accumulates).
+// recording on, every Advance call that moves the clock appends a
+// (timestamp, busy) pair, so a fork can integrate the same piecewise
+// utilization sums — bit for bit — under a DIFFERENT unit budget (the
+// integral is a float accumulation; one fused total*elapsed product
+// would differ in the last bits from the per-interval sum a scratch run
+// accumulates).
 func (p *Pool) RecordAdvances(on bool) {
 	if on {
 		if p.advances == nil {
-			p.advances = []hw.Seconds{}
+			p.advances = []PoolAdvance{}
 		}
 		return
 	}
 	p.advances = nil
 }
 
-// AdvanceHistory returns the recorded advance timestamps (nil when
+// AdvanceHistory returns the recorded advance history (nil when
 // recording is off). The slice is a copy.
-func (p *Pool) AdvanceHistory() []hw.Seconds {
+func (p *Pool) AdvanceHistory() []PoolAdvance {
 	if p.advances == nil {
 		return nil
 	}
-	return append([]hw.Seconds(nil), p.advances...)
+	return append([]PoolAdvance(nil), p.advances...)
 }
 
-// ReplayAdvances drives a fresh pool's clock through a recorded advance
-// history. The pool must be untouched (no grants, no prior advances):
-// replaying onto a used pool would interleave with real history and is
-// rejected. Because the pool is idle throughout a replayed prefix, the
-// busy integral stays exactly zero and the total integral accumulates
-// the fork's OWN unit budget over the same intervals.
-func (p *Pool) ReplayAdvances(history []hw.Seconds) error {
+// ReplayHistory drives a fresh pool through a recorded advance history
+// and then installs the checkpoint's final busy level and grant count.
+// The pool must be untouched (no grants, no prior advances): replaying
+// onto a used pool would interleave with real history and is rejected.
+// The busy integral re-accumulates the recorded per-interval levels —
+// identical across every unit budget the checkpoint is valid for, since
+// a valid budget range by construction produced the same grant sizes —
+// while the total integral accumulates the fork's OWN unit budget over
+// the same intervals.
+func (p *Pool) ReplayHistory(history []PoolAdvance, busy, grants int) error {
 	if p.busy != 0 || p.grants != 0 || p.lastAdvance != 0 || p.totalUnitTime != 0 {
-		return fmt.Errorf("pim: ReplayAdvances on a pool already in use (busy=%d grants=%d t=%.9g)",
+		return fmt.Errorf("pim: ReplayHistory on a pool already in use (busy=%d grants=%d t=%.9g)",
 			p.busy, p.grants, p.lastAdvance)
 	}
-	for _, t := range history {
-		p.Advance(t)
+	if busy < 0 || busy > p.total || grants < 0 {
+		return fmt.Errorf("pim: ReplayHistory busy=%d grants=%d on a %d-unit pool", busy, grants, p.total)
 	}
+	for _, adv := range history {
+		dt := adv.At - p.lastAdvance
+		if dt <= 0 {
+			continue
+		}
+		p.busyUnitTime += float64(adv.Busy) * dt
+		p.totalUnitTime += float64(p.total) * dt
+		p.lastAdvance = adv.At
+	}
+	p.busy = busy
+	p.grants = grants
 	return nil
 }
